@@ -1,0 +1,92 @@
+//! Stages: batched frees of overwritten VBNs.
+//!
+//! "A similar, though simpler, process … occurs for overwritten blocks
+//! whose VBNs must be freed in the file system. The cleaner thread stores
+//! the freed VBNs to a structure called a stage, which is analogous to a
+//! bucket. When a stage is full, the cleaner thread sends a message to the
+//! infrastructure to commit those frees to the metafiles" (§IV-A).
+
+use wafl_blockdev::Vbn;
+
+/// A per-cleaner staging buffer for freed VBNs.
+#[derive(Debug)]
+pub struct Stage {
+    frees: Vec<Vbn>,
+    capacity: usize,
+}
+
+impl Stage {
+    /// Empty stage holding up to `capacity` frees before it reports full.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "stage capacity must be positive");
+        Self {
+            frees: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Record a freed VBN. Returns `true` when the stage just became full
+    /// and should be committed to the infrastructure.
+    #[inline]
+    pub fn push(&mut self, vbn: Vbn) -> bool {
+        debug_assert!(self.frees.len() < self.capacity, "push to a full stage");
+        self.frees.push(vbn);
+        self.frees.len() >= self.capacity
+    }
+
+    /// Number of staged frees.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.frees.len()
+    }
+
+    /// True when no frees are staged.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.frees.is_empty()
+    }
+
+    /// True when the stage is at capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.frees.len() >= self.capacity
+    }
+
+    /// Drain the staged frees for a commit message, leaving the stage
+    /// empty and reusable.
+    pub fn drain(&mut self) -> Vec<Vbn> {
+        std::mem::replace(&mut self.frees, Vec::with_capacity(self.capacity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_reports_full() {
+        let mut s = Stage::new(3);
+        assert!(!s.push(Vbn(1)));
+        assert!(!s.push(Vbn(2)));
+        assert!(s.push(Vbn(3)), "third push fills a capacity-3 stage");
+        assert!(s.is_full());
+    }
+
+    #[test]
+    fn drain_resets() {
+        let mut s = Stage::new(2);
+        s.push(Vbn(10));
+        s.push(Vbn(20));
+        let got = s.drain();
+        assert_eq!(got, vec![Vbn(10), Vbn(20)]);
+        assert!(s.is_empty());
+        assert!(!s.is_full());
+        assert!(!s.push(Vbn(30)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        Stage::new(0);
+    }
+}

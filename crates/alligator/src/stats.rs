@@ -1,0 +1,126 @@
+//! Allocator-wide statistics, shared across infrastructure and cleaners.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters describing allocator activity. All relaxed: they are
+/// reporting-only and never guard correctness.
+#[derive(Debug, Default)]
+pub struct AllocStats {
+    /// GET operations (buckets handed to cleaners).
+    pub gets: AtomicU64,
+    /// GETs that found the bucket cache empty and had to wait/refill —
+    /// the paper's infrastructure "keeps this list non-empty to ensure
+    /// that the GET operation does not block" (§IV-D), so this counter
+    /// measures how well the refill pipeline keeps up.
+    pub get_stalls: AtomicU64,
+    /// USE operations (VBNs assigned to buffers).
+    pub uses: AtomicU64,
+    /// PUT operations (buckets returned).
+    pub puts: AtomicU64,
+    /// Refill rounds executed by the infrastructure.
+    pub refill_rounds: AtomicU64,
+    /// Buckets filled with VBNs.
+    pub buckets_filled: AtomicU64,
+    /// VBNs reserved from the bitmaps.
+    pub vbns_reserved: AtomicU64,
+    /// VBNs committed as used (metafile updates, step 6 of Fig 2).
+    pub vbns_committed: AtomicU64,
+    /// Reserved VBNs released unconsumed.
+    pub vbns_released: AtomicU64,
+    /// VBNs freed through stages (overwrites).
+    pub vbns_freed: AtomicU64,
+    /// Stage-commit messages processed by the infrastructure.
+    pub stage_commits: AtomicU64,
+    /// Tetris write I/Os sent to RAID.
+    pub tetris_ios: AtomicU64,
+    /// Allocation-Area switches (a new AA selected for a RAID group).
+    pub aa_switches: AtomicU64,
+    /// Infrastructure messages executed (refill + commit + free-commit).
+    pub infra_msgs: AtomicU64,
+}
+
+impl AllocStats {
+    /// Plain-value snapshot for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            gets: self.gets.load(Ordering::Relaxed),
+            get_stalls: self.get_stalls.load(Ordering::Relaxed),
+            uses: self.uses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            refill_rounds: self.refill_rounds.load(Ordering::Relaxed),
+            buckets_filled: self.buckets_filled.load(Ordering::Relaxed),
+            vbns_reserved: self.vbns_reserved.load(Ordering::Relaxed),
+            vbns_committed: self.vbns_committed.load(Ordering::Relaxed),
+            vbns_released: self.vbns_released.load(Ordering::Relaxed),
+            vbns_freed: self.vbns_freed.load(Ordering::Relaxed),
+            stage_commits: self.stage_commits.load(Ordering::Relaxed),
+            tetris_ios: self.tetris_ios.load(Ordering::Relaxed),
+            aa_switches: self.aa_switches.load(Ordering::Relaxed),
+            infra_msgs: self.infra_msgs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of [`AllocStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub struct StatsSnapshot {
+    pub gets: u64,
+    pub get_stalls: u64,
+    pub uses: u64,
+    pub puts: u64,
+    pub refill_rounds: u64,
+    pub buckets_filled: u64,
+    pub vbns_reserved: u64,
+    pub vbns_committed: u64,
+    pub vbns_released: u64,
+    pub vbns_freed: u64,
+    pub stage_commits: u64,
+    pub tetris_ios: u64,
+    pub aa_switches: u64,
+    pub infra_msgs: u64,
+}
+
+impl StatsSnapshot {
+    /// Conservation check: every reserved VBN is committed, released, or
+    /// still outstanding in a live bucket. With `outstanding` known (e.g.,
+    /// zero after a full drain), the identity must hold exactly.
+    pub fn check_conservation(&self, outstanding: u64) -> Result<(), String> {
+        let accounted = self.vbns_committed + self.vbns_released + outstanding;
+        if self.vbns_reserved != accounted {
+            return Err(format!(
+                "VBN conservation violated: reserved {} != committed {} + released {} + outstanding {}",
+                self.vbns_reserved, self.vbns_committed, self.vbns_released, outstanding
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_values() {
+        let s = AllocStats::default();
+        s.gets.store(3, Ordering::Relaxed);
+        s.uses.store(17, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.gets, 3);
+        assert_eq!(snap.uses, 17);
+    }
+
+    #[test]
+    fn conservation_identity() {
+        let snap = StatsSnapshot {
+            vbns_reserved: 100,
+            vbns_committed: 60,
+            vbns_released: 30,
+            ..Default::default()
+        };
+        snap.check_conservation(10).unwrap();
+        assert!(snap.check_conservation(0).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! M2: allocation-bitmap scan and reservation throughput — the
+//! infrastructure's bucket-fill primitive ("walks the allocation bitmaps
+//! to find free VBNs", §IV-D) — plus AA selection cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use wafl_blockdev::{GeometryBuilder, RaidGroupId};
+use wafl_metafile::{AaStats, ActiveMap};
+
+fn bench_reserve_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reserve_scan");
+    for &fill in &[0u32, 50, 90] {
+        // Pre-fill `fill`% of a 1M-bit map, scattered.
+        let map = ActiveMap::new(1 << 20);
+        let step = if fill == 0 { u64::MAX } else { 100 / fill as u64 };
+        if fill > 0 {
+            let mut i = 0u64;
+            while i < (1 << 20) {
+                let _ = map.reserve(i);
+                i += step.max(1);
+            }
+        }
+        g.throughput(Throughput::Elements(64));
+        g.bench_with_input(
+            BenchmarkId::new("fill_pct", fill),
+            &fill,
+            |b, _| {
+                let mut cursor = 0u64;
+                b.iter(|| {
+                    let got = map.reserve_scan(cursor, 1 << 20, 64);
+                    // Release so the map state stays steady.
+                    for &v in &got {
+                        map.release(v).unwrap();
+                    }
+                    cursor = got.last().map(|v| v + 1).unwrap_or(0) % (1 << 19);
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_aa_selection(c: &mut Criterion) {
+    let geo = GeometryBuilder::new()
+        .aa_stripes(512)
+        .raid_group(12, 2, 1 << 20)
+        .build();
+    let stats = AaStats::new_all_free(&geo);
+    c.bench_function("aa_select_emptiest_2048_aas", |b| {
+        b.iter(|| stats.select_emptiest(RaidGroupId(0)))
+    });
+}
+
+fn bench_dirty_tracking(c: &mut Criterion) {
+    let map = Arc::new(ActiveMap::new(1 << 24));
+    c.bench_function("commit_and_take_dirty_blocks", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let idx = (i * 7919) % (1 << 24);
+            if map.reserve(idx).is_ok() {
+                map.commit_used(idx).unwrap();
+            }
+            i += 1;
+            if i % 1024 == 0 {
+                criterion::black_box(map.take_dirty_blocks());
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_reserve_scan, bench_aa_selection, bench_dirty_tracking);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! M1: bucket GET/USE/PUT cycle cost vs chunk size — the amortization
+//! claim of §IV-C. A chunk of 1 is the per-VBN-allocation baseline the
+//! paper contrasts against; larger chunks amortize cache synchronization
+//! and bitmap scanning over more blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use waffinity::{Model, Topology};
+use alligator::{AllocConfig, Allocator, InlineExecutor};
+use wafl_blockdev::{DriveKind, GeometryBuilder, IoEngine};
+use wafl_metafile::AggregateMap;
+
+fn mk(chunk: usize) -> Arc<Allocator> {
+    let geo = Arc::new(
+        GeometryBuilder::new()
+            .aa_stripes(1024)
+            .raid_group(4, 1, 1 << 20)
+            .build(),
+    );
+    let aggmap = Arc::new(AggregateMap::new(Arc::clone(&geo)));
+    let io = Arc::new(IoEngine::new(geo, DriveKind::Ssd));
+    let topo = Arc::new(Topology::symmetric(Model::Hierarchical, 1, 1, 4, 4));
+    Allocator::new(
+        AllocConfig::with_chunk(chunk),
+        aggmap,
+        io,
+        Arc::new(InlineExecutor),
+        topo,
+        0,
+    )
+}
+
+fn bench_bucket_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bucket_get_use_put_per_block");
+    for &chunk in &[1usize, 8, 64, 256] {
+        let alloc = mk(chunk);
+        g.throughput(Throughput::Elements(chunk as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, _| {
+            // Steady state: every allocated VBN is freed again, so the
+            // aggregate never exhausts however long the bench runs.
+            let mut stage = alloc.new_stage();
+            let mut stamp = 1u128;
+            let mut vbns = Vec::with_capacity(chunk);
+            b.iter(|| {
+                let mut bucket = alloc.get_bucket().expect("space available");
+                while let Some(v) = bucket.use_vbn(stamp) {
+                    stamp += 1;
+                    vbns.push(v);
+                }
+                alloc.put_bucket(bucket);
+                for v in vbns.drain(..) {
+                    alloc.free_vbn(&mut stage, v);
+                }
+            });
+            alloc.flush_stage(&mut stage);
+            alloc.drain();
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bucket_cycle);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! M6: end-to-end consistency-point cost on the real stack — dirty N
+//! buffers, run a CP (clean + metafile flush + superblock), measured per
+//! buffer; plus the batching effect on many small inodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wafl::{ExecMode, FileId, Filesystem, FsConfig, VolumeId};
+use wafl_blockdev::{stamp, DriveKind, GeometryBuilder};
+
+fn mk(batching: bool) -> Filesystem {
+    let mut cfg = FsConfig::default();
+    cfg.cleaner.threads = 2;
+    cfg.cleaner.batching = batching;
+    let fs = Filesystem::new(
+        cfg,
+        GeometryBuilder::new()
+            .aa_stripes(1024)
+            .raid_group(4, 1, 1 << 20)
+            .build(),
+        DriveKind::Ssd,
+        ExecMode::Inline,
+    );
+    fs.create_volume(VolumeId(0));
+    fs
+}
+
+fn bench_cp_one_big_file(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cp_cycle_one_file");
+    for &blocks in &[64u64, 1024] {
+        let fs = mk(true);
+        fs.create_file(VolumeId(0), FileId(1));
+        g.throughput(Throughput::Elements(blocks));
+        g.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |b, _| {
+            let mut generation = 0u64;
+            b.iter(|| {
+                generation += 1;
+                for fbn in 0..blocks {
+                    fs.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, generation));
+                }
+                fs.run_cp()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cp_many_small_inodes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cp_cycle_500_small_inodes");
+    for (label, batching) in [("batched", true), ("unbatched", false)] {
+        let fs = mk(batching);
+        for f in 0..500u64 {
+            fs.create_file(VolumeId(0), FileId(f));
+        }
+        g.throughput(Throughput::Elements(1000));
+        g.bench_function(label, |b| {
+            let mut generation = 0u64;
+            b.iter(|| {
+                generation += 1;
+                for f in 0..500u64 {
+                    fs.write(VolumeId(0), FileId(f), 0, stamp(f, 0, generation));
+                    fs.write(VolumeId(0), FileId(f), 1, stamp(f, 1, generation));
+                }
+                fs.run_cp()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cp_one_big_file, bench_cp_many_small_inodes);
+criterion_main!(benches);

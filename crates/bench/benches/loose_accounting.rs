@@ -1,0 +1,70 @@
+//! M4: loose accounting vs strict shared-counter updates (§III-C; the
+//! "sloppy counters" analogy of §VI). Measures single-thread cost and
+//! multi-thread contention.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use wafl_metafile::LooseCounter;
+
+fn bench_single_thread(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counter_add_single_thread");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("strict_atomic", |b| {
+        let a = AtomicI64::new(0);
+        b.iter(|| a.fetch_add(1, Ordering::Relaxed));
+    });
+    g.bench_function("loose_token_batch64", |b| {
+        let c = LooseCounter::new(0);
+        let mut t = c.token(64);
+        b.iter(|| t.add(1));
+    });
+    g.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counter_add_4_threads_100k_each");
+    g.bench_function("strict_atomic", |b| {
+        b.iter(|| {
+            let a = Arc::new(AtomicI64::new(0));
+            let hs: Vec<_> = (0..4)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    std::thread::spawn(move || {
+                        for _ in 0..100_000 {
+                            a.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(a.load(Ordering::Relaxed), 400_000);
+        });
+    });
+    g.bench_function("loose_token_batch64", |b| {
+        b.iter(|| {
+            let c = LooseCounter::new(0);
+            let hs: Vec<_> = (0..4)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    std::thread::spawn(move || {
+                        let mut t = c.token(64);
+                        for _ in 0..100_000 {
+                            t.add(1);
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(c.value_loose(), 400_000);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_thread, bench_contended);
+criterion_main!(benches);

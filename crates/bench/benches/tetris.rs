@@ -1,0 +1,62 @@
+//! M5: tetris processing (§IV-E) — the synchronization-free USE path and
+//! full-stripe write-I/O construction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+use alligator::{AllocStats, Tetris};
+use wafl_blockdev::{DriveKind, GeometryBuilder, IoEngine, RaidGroupId};
+
+fn engine(width: u32) -> Arc<IoEngine> {
+    Arc::new(IoEngine::new(
+        Arc::new(
+            GeometryBuilder::new()
+                .aa_stripes(1024)
+                .raid_group(width, 1, 1 << 20)
+                .build(),
+        ),
+        DriveKind::Ssd,
+    ))
+}
+
+fn bench_full_tetris(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tetris_full_round");
+    for &width in &[4u32, 12] {
+        let io = engine(width);
+        let depth = 64u64;
+        g.throughput(Throughput::Elements(width as u64 * depth));
+        g.bench_function(format!("width_{width}_depth_{depth}"), |b| {
+            let mut base = 0u64;
+            b.iter(|| {
+                let stats = Arc::new(AllocStats::default());
+                let t = Tetris::new(RaidGroupId(0), width as usize, Arc::clone(&io), stats);
+                for d in 0..width {
+                    let writes: Vec<(u64, u128)> = (0..depth)
+                        .map(|i| (base + i, (d as u128 + 1) << 64 | i as u128))
+                        .collect();
+                    t.deposit_and_complete(d, writes);
+                }
+                base = (base + depth) % ((1 << 20) - depth);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_ragged_tetris(c: &mut Criterion) {
+    // Partial stripes force parity reads: the cost the equal-progress
+    // discipline avoids.
+    let io = engine(4);
+    c.bench_function("tetris_single_drive_partial", |b| {
+        let mut base = 0u64;
+        b.iter(|| {
+            let stats = Arc::new(AllocStats::default());
+            let t = Tetris::new(RaidGroupId(0), 1, Arc::clone(&io), stats);
+            let writes: Vec<(u64, u128)> = (0..64).map(|i| (base + i, i as u128 + 1)).collect();
+            t.deposit_and_complete(0, writes);
+            base = (base + 64) % ((1 << 20) - 64);
+        });
+    });
+}
+
+criterion_group!(benches, bench_full_tetris, bench_ragged_tetris);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! M3: Waffinity scheduling overhead — message dispatch through the
+//! hierarchy (pure scheduler) and end-to-end through the real thread
+//! pool, for conflict-free and conflicting affinity mixes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+use waffinity::{Affinity, ExclusionState, Model, Scheduler, Topology, WaffinityPool};
+
+fn topo() -> Arc<Topology> {
+    Arc::new(Topology::symmetric(Model::Hierarchical, 2, 4, 8, 8))
+}
+
+fn bench_pure_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_enqueue_pop_complete");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("disjoint_stripes", |b| {
+        let t = topo();
+        let mut s: Scheduler<u32> = Scheduler::new(ExclusionState::new(Arc::clone(&t)));
+        let ids: Vec<_> = (0..8).map(|i| t.id(Affinity::Stripe(0, i))).collect();
+        let mut i = 0u32;
+        b.iter(|| {
+            let id = ids[(i % 8) as usize];
+            s.enqueue(id, i);
+            let (got, _) = s.pop_runnable().unwrap();
+            s.complete(got);
+            i += 1;
+        });
+    });
+    g.bench_function("same_range_serialized", |b| {
+        let t = topo();
+        let mut s: Scheduler<u32> = Scheduler::new(ExclusionState::new(Arc::clone(&t)));
+        let id = t.id(Affinity::AggrVbnRange(0, 3));
+        let mut i = 0u32;
+        b.iter(|| {
+            s.enqueue(id, i);
+            let (got, _) = s.pop_runnable().unwrap();
+            s.complete(got);
+            i += 1;
+        });
+    });
+    g.finish();
+}
+
+fn bench_conflict_queries(c: &mut Criterion) {
+    let t = topo();
+    let mut s = ExclusionState::new(Arc::clone(&t));
+    s.start(t.id(Affinity::VolumeLogical(0)));
+    s.start(t.id(Affinity::VolumeVbn(1)));
+    let probe = t.id(Affinity::Stripe(0, 3));
+    c.bench_function("exclusion_can_run_probe", |b| {
+        b.iter(|| criterion::black_box(s.can_run(probe)))
+    });
+}
+
+fn bench_pool_round_trip(c: &mut Criterion) {
+    let pool = WaffinityPool::new(topo(), 2);
+    c.bench_function("pool_call_round_trip", |b| {
+        b.iter(|| pool.call(Affinity::Stripe(1, 2), || 42u32))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pure_scheduler,
+    bench_conflict_queries,
+    bench_pool_round_trip
+);
+criterion_main!(benches);

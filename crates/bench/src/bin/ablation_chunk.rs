@@ -1,0 +1,40 @@
+//! Ablation: bucket chunk size (§IV-C). A chunk of 1 degenerates to
+//! per-VBN allocation — the design the paper argues against — paying full
+//! synchronization and refill overhead per block and destroying
+//! contiguity; larger chunks amortize both.
+
+use wafl_bench::{emit, platform};
+use wafl_simsrv::scenario::chunk_sweep;
+use wafl_simsrv::{FigureTable, WorkloadKind};
+
+fn main() {
+    let cfg = platform(WorkloadKind::sequential_write());
+    let rows = chunk_sweep(&cfg, &[1, 8, 64, 256]);
+    let mut t = FigureTable::new(
+        "ablation_chunk",
+        "bucket chunk-size sweep (sequential write, full parallelization)",
+    );
+    let base = rows
+        .iter()
+        .find(|(c, _)| *c == 64)
+        .map(|(_, r)| r.throughput_ops)
+        .unwrap();
+    for (chunk, r) in &rows {
+        t.row_measured(
+            format!("throughput @chunk {chunk}"),
+            r.throughput_ops,
+            "ops/s",
+        );
+        t.row_measured(
+            format!("relative to chunk-64 @chunk {chunk}"),
+            r.throughput_ops / base * 100.0,
+            "%",
+        );
+        t.row_measured(
+            format!("infra cores @chunk {chunk}"),
+            r.usage.infra_cores(r.measured_ns),
+            "cores",
+        );
+    }
+    emit(&t);
+}

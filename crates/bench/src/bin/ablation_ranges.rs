@@ -1,0 +1,38 @@
+//! Ablation: Range-affinity granularity (§IV-B2, second mechanism).
+//!
+//! "Waffinity provides a set of Range affinities under each Volume VBN
+//! and Aggregate VBN affinity in order to allow parallel accesses to
+//! different blocks in metafiles of a single volume or aggregate." With
+//! one Range the parallel infrastructure degenerates to the serialized
+//! one; more Ranges admit more concurrent metafile operations. Random
+//! write (infrastructure-bound) shows the effect most clearly.
+
+use wafl_bench::{emit, gain_pct, platform};
+use wafl_simsrv::{CleanerSetting, FigureTable, Simulator, WorkloadKind};
+
+fn main() {
+    let mut t = FigureTable::new(
+        "ablation_ranges",
+        "random write: throughput vs Range affinities per aggregate",
+    );
+    let mut base = None;
+    for ranges in [1u32, 2, 4, 8, 16] {
+        let mut cfg = platform(WorkloadKind::random_write());
+        cfg.infra_ranges = ranges;
+        cfg.cleaners = CleanerSetting::dynamic_default(8);
+        let r = Simulator::new(cfg).run();
+        let b = *base.get_or_insert(r.throughput_ops);
+        t.row_measured(format!("throughput @{ranges} ranges"), r.throughput_ops, "ops/s");
+        t.row_measured(
+            format!("gain vs 1 range @{ranges} ranges"),
+            gain_pct(r.throughput_ops, b),
+            "%",
+        );
+        t.row_measured(
+            format!("infra cores @{ranges} ranges"),
+            r.usage.infra_cores(r.measured_ns),
+            "cores",
+        );
+    }
+    emit(&t);
+}

@@ -1,0 +1,44 @@
+//! Extension experiment — the paper's forward-looking claim: "all cores
+//! in the system were saturated, which … suggests that White Alligator
+//! will be able to scale even further on future platforms with more
+//! cores" (§V-A). We sweep the simulated core count past the paper's
+//! 20-core testbed and check that throughput keeps following the CPU.
+
+use wafl_bench::{emit, platform};
+use wafl_simsrv::{CleanerSetting, FigureTable, Simulator, WorkloadKind};
+
+fn main() {
+    let mut t = FigureTable::new(
+        "exp_scaling",
+        "future platforms: sequential-write throughput vs core count",
+    );
+    let mut base: Option<f64> = None;
+    for cores in [8u32, 12, 16, 20, 28, 40] {
+        let mut cfg = platform(WorkloadKind::sequential_write());
+        cfg.cores = cores;
+        // More cores need more offered load and more cleaner headroom.
+        cfg.clients = cores * 2;
+        cfg.cleaners = CleanerSetting::dynamic_default((cores as usize / 3).max(4));
+        cfg.dirty_limit = 64 * cores as u64;
+        cfg.total_buckets = 4 * cfg.drives as u64;
+        let r = Simulator::new(cfg).run();
+        let b = *base.get_or_insert(r.throughput_ops);
+        t.row_measured(format!("throughput @{cores} cores"), r.throughput_ops, "ops/s");
+        t.row_measured(
+            format!("speedup vs 8 cores @{cores} cores"),
+            r.throughput_ops / b,
+            "x",
+        );
+        t.row_measured(
+            format!("write-alloc cores @{cores} cores"),
+            r.write_alloc_cores(),
+            "cores",
+        );
+        t.row_measured(
+            format!("utilization @{cores} cores"),
+            r.total_cores() / cores as f64 * 100.0,
+            "%",
+        );
+    }
+    emit(&t);
+}

@@ -1,0 +1,44 @@
+//! Figure 5: sequential-write throughput per client and cleaner core
+//! usage as the number of cleaner threads increases, with a parallelized
+//! infrastructure (§V-A1).
+//!
+//! The paper reports a "nearly linear increase in system throughput up to
+//! the point when system CPUs are saturated".
+
+use wafl_bench::{emit, gain_pct, platform};
+use wafl_simsrv::scenario::cleaner_thread_sweep;
+use wafl_simsrv::{FigureTable, WorkloadKind};
+
+fn main() {
+    let cfg = platform(WorkloadKind::sequential_write());
+    let counts = [1usize, 2, 3, 4, 5, 6];
+    let rows = cleaner_thread_sweep(&cfg, &counts);
+    let base = rows[0].1.throughput_ops;
+
+    let mut t = FigureTable::new(
+        "fig5",
+        "sequential write: throughput and cleaner cores vs cleaner-thread count",
+    );
+    for (n, r) in &rows {
+        t.row_measured(format!("throughput @{n} cleaners"), r.throughput_ops, "ops/s");
+        t.row_measured(
+            format!("gain @{n} cleaners"),
+            gain_pct(r.throughput_ops, base),
+            "%",
+        );
+        t.row_measured(
+            format!("cleaner cores @{n} cleaners"),
+            r.usage.cleaner_cores(r.measured_ns),
+            "cores",
+        );
+        t.row_measured(
+            format!("total cores @{n} cleaners"),
+            r.total_cores(),
+            "cores",
+        );
+    }
+    // Shape checks the paper states: near-linear at low counts.
+    let two = rows[1].1.throughput_ops;
+    t.row("2-thread speedup (near-linear ≈ 2.0×)", 2.0, two / base, "x");
+    emit(&t);
+}

@@ -1,0 +1,51 @@
+//! Figure 6: infrastructure core usage and throughput with and without
+//! infrastructure parallelization, in the presence of parallel cleaner
+//! threads (§V-A1).
+//!
+//! Paper: infrastructure core usage rises from 0.94 to 2.35 cores and
+//! throughput rises 106 %.
+
+use wafl_bench::{emit, gain_pct, platform};
+use wafl_simsrv::scenario::infra_comparison;
+use wafl_simsrv::{FigureTable, WorkloadKind};
+
+fn main() {
+    let cfg = platform(WorkloadKind::sequential_write());
+    let (serial, parallel) = infra_comparison(&cfg, 4);
+
+    let mut t = FigureTable::new(
+        "fig6",
+        "sequential write: serialized vs parallel infrastructure (4 cleaners)",
+    );
+    t.row(
+        "infra cores, serialized infrastructure",
+        0.94,
+        serial.usage.infra_cores(serial.measured_ns),
+        "cores",
+    );
+    t.row(
+        "infra cores, parallel infrastructure",
+        2.35,
+        parallel.usage.infra_cores(parallel.measured_ns),
+        "cores",
+    );
+    t.row(
+        "throughput gain from infra parallelization",
+        106.0,
+        gain_pct(parallel.throughput_ops, serial.throughput_ops),
+        "%",
+    );
+    t.row_measured("throughput serialized", serial.throughput_ops, "ops/s");
+    t.row_measured("throughput parallel", parallel.throughput_ops, "ops/s");
+    t.row_measured(
+        "bucket stalls serialized",
+        serial.bucket_stalls as f64,
+        "count",
+    );
+    t.row_measured(
+        "bucket stalls parallel",
+        parallel.bucket_stalls as f64,
+        "count",
+    );
+    emit(&t);
+}

@@ -1,0 +1,63 @@
+//! Figure 9: throughput per client vs latency at increasing levels of
+//! client load, for static cleaner counts 1–4 and dynamic tuning, on the
+//! sequential-write configuration (§V-B). "Lower and to the right is
+//! better."
+//!
+//! Paper: peak throughput is achieved with four threads, lower off-peak
+//! latency with three; dynamic tuning gets both.
+
+use wafl_bench::{emit, platform};
+use wafl_simsrv::scenario::knee_sweep;
+use wafl_simsrv::{CleanerSetting, FigureTable, WorkloadKind};
+
+fn main() {
+    let cfg = platform(WorkloadKind::sequential_write());
+    let settings = vec![
+        ("1".to_string(), CleanerSetting::Fixed(1)),
+        ("2".to_string(), CleanerSetting::Fixed(2)),
+        ("3".to_string(), CleanerSetting::Fixed(3)),
+        ("4".to_string(), CleanerSetting::Fixed(4)),
+        ("dynamic".to_string(), CleanerSetting::dynamic_default(4)),
+    ];
+    let levels = [2u32, 4, 8, 16, 24, 32, 48];
+    let rows = knee_sweep(&cfg, &settings, &levels);
+
+    let mut t = FigureTable::new(
+        "fig9",
+        "sequential write: throughput vs latency curves per cleaner setting",
+    );
+    for r in &rows {
+        for p in &r.curve {
+            t.row_measured(
+                format!(
+                    "{} cleaners @{} clients: tput / latency",
+                    r.setting, p.load
+                ),
+                p.throughput_ops,
+                format!("ops/s @ {:.2} ms", p.latency_ns as f64 / 1e6),
+            );
+        }
+    }
+    let peak4 = rows[3].peak_throughput;
+    let peak_dyn = rows[4].peak_throughput;
+    t.row_measured("4-thread peak", peak4, "ops/s");
+    t.row_measured("dynamic peak", peak_dyn, "ops/s");
+    t.row_measured(
+        "dynamic peak vs 4-thread peak",
+        (peak_dyn / peak4 - 1.0) * 100.0,
+        "%",
+    );
+    // Off-peak latency comparison (paper: fewer threads win off-peak).
+    let off_idx = 1; // 4 clients
+    t.row_measured(
+        "off-peak latency, 4 threads",
+        rows[3].curve[off_idx].latency_ns as f64 / 1e6,
+        "ms",
+    );
+    t.row_measured(
+        "off-peak latency, dynamic",
+        rows[4].curve[off_idx].latency_ns as f64 / 1e6,
+        "ms",
+    );
+    emit(&t);
+}

@@ -1,0 +1,48 @@
+//! §III — the history of parallelism in WAFL, as one table: throughput of
+//! the same sequential-write load under each era's execution constraints.
+//!
+//! * pre-Waffinity (§III-A): one domain, everything serial;
+//! * Classical Waffinity, 2006 (§III-B): parallel user-file stripes, but
+//!   inode cleaning still in the Serial affinity, excluding all client
+//!   work while it runs (§III-C);
+//! * single cleaner thread, 2008 (§III-C): cleaning moves to a dedicated
+//!   thread that runs in parallel with Waffinity;
+//! * White Alligator + Hierarchical Waffinity, 2011 (§IV): parallel
+//!   cleaners and parallel infrastructure.
+//!
+//! The paper gives no absolute numbers for the historical systems; these
+//! rows are measurement-only and demonstrate that each step relaxes a
+//! real constraint.
+
+use wafl_bench::{emit, gain_pct, platform};
+use wafl_simsrv::config::Era;
+use wafl_simsrv::{CleanerSetting, FigureTable, Simulator, WorkloadKind};
+
+fn main() {
+    let eras = [
+        ("pre-Waffinity (serial WAFL)", Era::SerialWafl),
+        ("Classical Waffinity, serial cleaning (2006)", Era::ClassicalSerialCleaning),
+        ("Classical + 1 cleaner thread (2008)", Era::ClassicalCleanerThread),
+        ("White Alligator (2011)", Era::WhiteAlligator),
+    ];
+    let mut t = FigureTable::new(
+        "history",
+        "§III evolution: sequential-write throughput per parallelization era",
+    );
+    let mut base = None;
+    for (label, era) in eras {
+        let mut cfg = platform(WorkloadKind::sequential_write());
+        cfg.era = era;
+        cfg.cleaners = CleanerSetting::dynamic_default(8);
+        let r = Simulator::new(cfg).run();
+        let b = *base.get_or_insert(r.throughput_ops);
+        t.row_measured(format!("throughput — {label}"), r.throughput_ops, "ops/s");
+        t.row_measured(
+            format!("gain vs serial — {label}"),
+            gain_pct(r.throughput_ops, b),
+            "%",
+        );
+        t.row_measured(format!("total cores — {label}"), r.total_cores(), "cores");
+    }
+    emit(&t);
+}

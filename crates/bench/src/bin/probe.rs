@@ -1,0 +1,31 @@
+//! Calibration probe: prints raw permutation numbers for both workloads.
+use wafl_simsrv::scenario::permutation_sweep;
+use wafl_simsrv::{SimConfig, WorkloadKind};
+
+fn main() {
+    for (name, wl) in [
+        ("seq", WorkloadKind::sequential_write()),
+        ("rand", WorkloadKind::random_write()),
+    ] {
+        let mut cfg = SimConfig::paper_platform(wl);
+        cfg.duration_ns = 1_000_000_000;
+        cfg.warmup_ns = 200_000_000;
+        let rows = permutation_sweep(&cfg, wafl_simsrv::CleanerSetting::dynamic_default(8));
+        let base = rows[0].result.throughput_ops;
+        println!("== {name} ==");
+        for r in &rows {
+            let res = &r.result;
+            println!(
+                "{:<34} tput {:>10.0} gain {:>6.1}%  cl {:>5.2}c inf {:>5.2}c cli {:>5.2}c tot {:>5.2}c stalls {} refills {} msgs {}",
+                r.label(),
+                res.throughput_ops,
+                (res.throughput_ops / base - 1.0) * 100.0,
+                res.usage.cleaner_cores(res.measured_ns),
+                res.usage.infra_cores(res.measured_ns),
+                (res.usage.client_msg_ns + res.usage.protocol_ns) as f64 / res.measured_ns as f64,
+                res.total_cores(),
+                res.bucket_stalls, res.refills, res.cleaner_messages,
+            );
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Blockdev integration: multi-RAID-group engines, service-time
+//! monotonicity, degraded reads, and stripe accounting across realistic
+//! write patterns.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use wafl_blockdev::{
+    stamp, Dbn, DriveKind, GeometryBuilder, IoEngine, RaidGroupId, ServiceModel, Vbn, WriteIo,
+    WriteSegment,
+};
+
+fn engine() -> IoEngine {
+    IoEngine::new(
+        Arc::new(
+            GeometryBuilder::new()
+                .aa_stripes(64)
+                .raid_group(4, 1, 2048)
+                .raid_group(2, 1, 2048)
+                .build(),
+        ),
+        DriveKind::Ssd,
+    )
+}
+
+#[test]
+fn tetris_shaped_io_across_both_groups() {
+    let e = engine();
+    // A full tetris per group: depth 64, full width.
+    for (rg, width) in [(RaidGroupId(0), 4u32), (RaidGroupId(1), 2u32)] {
+        let io = WriteIo {
+            rg,
+            segments: (0..width)
+                .map(|d| WriteSegment {
+                    drive_in_rg: d,
+                    start_dbn: 0,
+                    stamps: (0..64).map(|i| stamp(rg.0 as u64, d as u64, i)).collect(),
+                })
+                .collect(),
+        };
+        let r = e.submit_write(&io);
+        assert_eq!(r.parity_reads, 0, "aligned tetris for rg {rg:?}");
+        assert_eq!(r.blocks_written, width as u64 * 64);
+    }
+    assert_eq!(e.full_stripe_ratio(), Some(1.0));
+    e.scrub().unwrap();
+    let snap = e.counters().snapshot();
+    assert_eq!(snap.write_ios, 2);
+    assert_eq!(snap.blocks_written, 4 * 64 + 2 * 64);
+}
+
+#[test]
+fn degraded_read_recovers_data_after_heavy_churn() {
+    let e = engine();
+    // Write three generations over the same stripes.
+    for generation in 1..=3u64 {
+        let io = WriteIo {
+            rg: RaidGroupId(0),
+            segments: (0..4)
+                .map(|d| WriteSegment {
+                    drive_in_rg: d,
+                    start_dbn: 100,
+                    stamps: (0..16).map(|i| stamp(d as u64, i, generation)).collect(),
+                })
+                .collect(),
+        };
+        e.submit_write(&io);
+    }
+    // Any single drive's content is reconstructible from the rest.
+    let g = e.raid_group(RaidGroupId(0));
+    for failed in 0..4u32 {
+        for dbn in 100..116 {
+            let original = g.data_drives()[failed as usize].read_block(Dbn(dbn)).0;
+            assert_eq!(g.reconstruct(failed, Dbn(dbn)), original);
+        }
+    }
+}
+
+#[test]
+fn service_time_grows_with_blocks_and_randomness() {
+    let hdd = ServiceModel::for_kind(DriveKind::Hdd);
+    let mut prev = 0;
+    for blocks in [1u64, 8, 64, 256] {
+        let t = hdd.service_ns(blocks, false);
+        assert!(t > prev, "monotone in block count");
+        prev = t;
+    }
+    assert!(hdd.service_ns(64, false) > hdd.service_ns(64, true));
+
+    let ssd = ServiceModel::for_kind(DriveKind::Ssd);
+    assert!(
+        hdd.service_ns(1, false) > 10 * ssd.service_ns(1, false),
+        "an HDD seek dwarfs an SSD access"
+    );
+}
+
+#[test]
+fn interleaved_group_writes_do_not_cross_talk() {
+    let e = engine();
+    e.write_vbn(Vbn(0), 0xAAA); // rg0 drive0 dbn0
+    let rg1_base = 4 * 2048;
+    e.write_vbn(Vbn(rg1_base as u64), 0xBBB); // rg1 drive0 dbn0
+    assert_eq!(e.read_vbn(Vbn(0)), 0xAAA);
+    assert_eq!(e.read_vbn(Vbn(rg1_base as u64)), 0xBBB);
+    // Same DBN, different groups → independent parity.
+    e.scrub().unwrap();
+}
+
+#[test]
+fn raid_write_handles_interleaved_runs_and_holes() {
+    let e = engine();
+    let g = e.raid_group(RaidGroupId(1));
+    let mut m0 = BTreeMap::new();
+    let mut m1 = BTreeMap::new();
+    // Drive 0: runs [0..3) and [10..12); drive 1: [1..4).
+    for d in 0..3u64 {
+        m0.insert(d, stamp(0, d, 1));
+    }
+    for d in 10..12u64 {
+        m0.insert(d, stamp(0, d, 1));
+    }
+    for d in 1..4u64 {
+        m1.insert(d, stamp(1, d, 1));
+    }
+    let (ns, parity_reads) = g.write(&[m0, m1]);
+    assert!(ns > 0);
+    // Full stripes: dbn 1, 2 (both drives). Partial: 0, 3, 10, 11.
+    assert_eq!(
+        g.counters()
+            .full_stripe_writes
+            .load(std::sync::atomic::Ordering::Relaxed),
+        2
+    );
+    assert_eq!(
+        g.counters()
+            .partial_stripe_writes
+            .load(std::sync::atomic::Ordering::Relaxed),
+        4
+    );
+    assert_eq!(parity_reads, 4);
+    g.verify_parity(0, 12).unwrap();
+}
+
+#[test]
+fn drive_stats_reflect_group_level_writes() {
+    let e = engine();
+    let io = WriteIo {
+        rg: RaidGroupId(0),
+        segments: vec![WriteSegment {
+            drive_in_rg: 2,
+            start_dbn: 500,
+            stamps: vec![1, 2, 3, 4],
+        }],
+    };
+    e.submit_write(&io);
+    let g = e.raid_group(RaidGroupId(0));
+    assert_eq!(g.data_drives()[2].stats().blocks_written, 4);
+    assert_eq!(g.data_drives()[0].stats().blocks_written, 0);
+    // Parity drive took the 4 parity blocks.
+    assert_eq!(g.parity_drives()[0].stats().blocks_written, 4);
+}
+
+#[test]
+fn geometry_equivalence_of_vbn_and_loc_views() {
+    let e = engine();
+    let geo = e.geometry();
+    // Write through VBN view, read through loc view.
+    let vbn = Vbn(3 * 2048 + 77); // rg0 drive3 dbn77
+    e.write_vbn(vbn, 0x77);
+    let loc = geo.locate(vbn);
+    assert_eq!(loc.rg, RaidGroupId(0));
+    assert_eq!(loc.drive_in_rg, 3);
+    assert_eq!(loc.dbn, Dbn(77));
+    let drive = &e.raid_group(loc.rg).data_drives()[loc.drive_in_rg as usize];
+    assert_eq!(drive.read_block(loc.dbn).0, 0x77);
+}

@@ -1,0 +1,121 @@
+//! Property tests: geometry arithmetic and RAID parity under random
+//! inputs.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use wafl_blockdev::{
+    DriveKind, GeometryBuilder, IoEngine, RaidGroupId, Vbn, WriteIo, WriteSegment,
+};
+
+fn geometries() -> impl Strategy<Value = (u32, u32, u64, u64)> {
+    // (groups, data drives per group, blocks per drive, aa stripes)
+    (1u32..4, 1u32..6, 16u64..512, 4u64..128)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn locate_vbn_roundtrip_for_random_geometries(
+        (groups, width, blocks, aa) in geometries(),
+        probes in prop::collection::vec(0u64..u64::MAX, 1..50),
+    ) {
+        let mut b = GeometryBuilder::new().aa_stripes(aa);
+        for _ in 0..groups {
+            b = b.raid_group(width, 1, blocks);
+        }
+        let geo = b.build();
+        prop_assert_eq!(geo.total_vbns(), groups as u64 * width as u64 * blocks);
+        for p in probes {
+            let vbn = Vbn(p % geo.total_vbns());
+            let loc = geo.locate(vbn);
+            prop_assert_eq!(geo.vbn_at(loc.rg, loc.drive_in_rg, loc.dbn), vbn);
+            prop_assert!(loc.dbn.0 < blocks);
+            prop_assert!(loc.drive_in_rg < width);
+            // AA containment.
+            let aa_id = geo.aa_of(vbn);
+            let r = geo.aa_dbn_range(aa_id);
+            prop_assert!(r.contains(&loc.dbn.0));
+        }
+    }
+
+    #[test]
+    fn vbns_partition_across_drives(
+        (groups, width, blocks, aa) in geometries(),
+    ) {
+        let mut b = GeometryBuilder::new().aa_stripes(aa);
+        for _ in 0..groups {
+            b = b.raid_group(width, 1, blocks);
+        }
+        let geo = b.build();
+        // Walk all VBNs (bounded by strategy ranges) and count per drive.
+        let mut counts = std::collections::HashMap::new();
+        for v in 0..geo.total_vbns() {
+            let loc = geo.locate(Vbn(v));
+            *counts.entry(loc.drive).or_insert(0u64) += 1;
+        }
+        prop_assert_eq!(counts.len() as u64, groups as u64 * width as u64);
+        prop_assert!(counts.values().all(|&c| c == blocks));
+    }
+
+    #[test]
+    fn parity_holds_after_arbitrary_write_sequences(
+        writes in prop::collection::vec(
+            (0u32..3, 0u64..64, 1u64..8, 1u128..u128::MAX), 1..40),
+    ) {
+        let geo = Arc::new(
+            GeometryBuilder::new()
+                .aa_stripes(16)
+                .raid_group(3, 1, 128)
+                .build(),
+        );
+        let engine = IoEngine::new(geo, DriveKind::Ssd);
+        for (drive, start, len, stamp) in writes {
+            let drive = drive % 3;
+            let start = start % 120;
+            let len = len.min(128 - start);
+            let io = WriteIo {
+                rg: RaidGroupId(0),
+                segments: vec![WriteSegment {
+                    drive_in_rg: drive,
+                    start_dbn: start,
+                    stamps: (0..len).map(|i| stamp ^ i as u128).collect(),
+                }],
+            };
+            engine.submit_write(&io);
+        }
+        engine.scrub().unwrap();
+    }
+
+    #[test]
+    fn reconstruction_equals_original_after_random_writes(
+        writes in prop::collection::vec((0u32..4, 0u64..100, 1u128..u128::MAX), 5..30),
+        failed in 0u32..4,
+        probe in 0u64..100,
+    ) {
+        let geo = Arc::new(
+            GeometryBuilder::new()
+                .aa_stripes(32)
+                .raid_group(4, 1, 100)
+                .build(),
+        );
+        let engine = IoEngine::new(Arc::clone(&geo), DriveKind::Ssd);
+        for (drive, dbn, stamp) in writes {
+            let io = WriteIo {
+                rg: RaidGroupId(0),
+                segments: vec![WriteSegment {
+                    drive_in_rg: drive % 4,
+                    start_dbn: dbn,
+                    stamps: vec![stamp],
+                }],
+            };
+            engine.submit_write(&io);
+        }
+        let rg = engine.raid_group(RaidGroupId(0));
+        let original = rg.data_drives()[failed as usize]
+            .read_block(wafl_blockdev::Dbn(probe))
+            .0;
+        prop_assert_eq!(rg.reconstruct(failed, wafl_blockdev::Dbn(probe)), original);
+    }
+}

@@ -1,0 +1,251 @@
+//! [`AggregateMap`]: the combined free-space metadata of one aggregate.
+//!
+//! Bundles the PVBN [`ActiveMap`] with [`AaStats`] and the geometry, and
+//! keeps the two consistent across the reserve / commit / release / free
+//! lifecycle. This is the object the White Alligator *infrastructure*
+//! manipulates from inside Waffinity; cleaner threads never touch it
+//! (§IV-B2) — they only see buckets.
+
+use crate::{AaStats, ActiveMap, AllocError};
+use std::sync::Arc;
+use wafl_blockdev::{AaId, AggregateGeometry, RaidGroupId, Vbn};
+
+/// Free-space metadata for an aggregate: active map + AA stats.
+pub struct AggregateMap {
+    geo: Arc<AggregateGeometry>,
+    map: ActiveMap,
+    aa: AaStats,
+}
+
+impl AggregateMap {
+    /// A fresh, empty aggregate (all blocks free).
+    pub fn new(geo: Arc<AggregateGeometry>) -> Self {
+        let map = ActiveMap::new(geo.total_vbns());
+        let aa = AaStats::new_all_free(&geo);
+        Self { geo, map, aa }
+    }
+
+    /// The aggregate geometry.
+    #[inline]
+    pub fn geometry(&self) -> &Arc<AggregateGeometry> {
+        &self.geo
+    }
+
+    /// The underlying active map (read-mostly access for tests/CP flush).
+    #[inline]
+    pub fn active_map(&self) -> &ActiveMap {
+        &self.map
+    }
+
+    /// AA statistics.
+    #[inline]
+    pub fn aa_stats(&self) -> &AaStats {
+        &self.aa
+    }
+
+    /// Aggregate-wide free-block count.
+    #[inline]
+    pub fn free_count(&self) -> u64 {
+        self.map.free_count()
+    }
+
+    /// Select the emptiest AA of a RAID group (the fill policy of §IV-D).
+    #[inline]
+    pub fn select_aa(&self, rg: RaidGroupId) -> Option<AaId> {
+        self.aa.select_emptiest(rg)
+    }
+
+    /// Reserve up to `max` free VBNs for one data drive of an AA, scanning
+    /// from `from_dbn` (relative progress within the AA) downward. Returns
+    /// the reserved VBNs in ascending order. This is the per-drive half of
+    /// a bucket refill.
+    pub fn reserve_in_aa(
+        &self,
+        aa: AaId,
+        drive_in_rg: u32,
+        from_dbn: u64,
+        max: usize,
+    ) -> Vec<Vbn> {
+        let g = self.geo.raid_group(aa.rg);
+        let dbns = self.geo.aa_dbn_range(aa);
+        let start = dbns.start.max(from_dbn);
+        if start >= dbns.end {
+            return Vec::new();
+        }
+        let base = g.drive_vbn_range(drive_in_rg).start;
+        let got = self
+            .map
+            .reserve_scan(base + start, base + dbns.end, max);
+        if !got.is_empty() {
+            self.aa.on_reserve(aa, got.len() as u64);
+        }
+        got.into_iter().map(Vbn).collect()
+    }
+
+    /// Commit a consumed VBN: dirty the covering metafile block.
+    pub fn commit_used(&self, vbn: Vbn) -> Result<(), AllocError> {
+        self.map.commit_used(vbn.0)
+    }
+
+    /// Release an unconsumed reservation back to the free pool.
+    pub fn release(&self, vbn: Vbn) -> Result<(), AllocError> {
+        self.map.release(vbn.0)?;
+        self.aa.on_release(self.geo.aa_of(vbn), 1);
+        Ok(())
+    }
+
+    /// Adopt a VBN as used without dirtying metafiles — the crash-recovery
+    /// path, which rebuilds the in-memory maps from the committed disk
+    /// image (the on-disk bitmaps are by definition already current for
+    /// adopted blocks).
+    pub fn adopt_used(&self, vbn: Vbn) -> Result<(), AllocError> {
+        self.map.reserve(vbn.0)?;
+        self.aa.on_reserve(self.geo.aa_of(vbn), 1);
+        Ok(())
+    }
+
+    /// Free a previously allocated VBN (overwrite/delete path).
+    pub fn free(&self, vbn: Vbn) -> Result<(), AllocError> {
+        self.map.free(vbn.0)?;
+        self.aa.on_release(self.geo.aa_of(vbn), 1);
+        Ok(())
+    }
+
+    /// Is a VBN used (or reserved)?
+    #[inline]
+    pub fn is_used(&self, vbn: Vbn) -> bool {
+        self.map.is_used(vbn.0)
+    }
+
+    /// Drain the dirty metafile-block list (CP flush).
+    pub fn take_dirty_blocks(&self) -> Vec<u64> {
+        self.map.take_dirty_blocks()
+    }
+
+    /// Full consistency check: AA counters match bitmap recounts and the
+    /// running free count is exact. Test/scrub helper; call only when
+    /// quiesced.
+    pub fn verify(&self) -> Result<(), String> {
+        self.aa.verify_against(&self.geo, &self.map)?;
+        let recount = self.map.recount_free();
+        let running = self.map.free_count();
+        if recount != running {
+            return Err(format!(
+                "free count drift: running {running}, recount {recount}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for AggregateMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AggregateMap")
+            .field("free", &self.free_count())
+            .field("total", &self.geo.total_vbns())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wafl_blockdev::{Dbn, GeometryBuilder};
+
+    fn aggmap() -> AggregateMap {
+        let geo = Arc::new(
+            GeometryBuilder::new()
+                .aa_stripes(64)
+                .raid_group(3, 1, 256)
+                .raid_group(2, 1, 256)
+                .build(),
+        );
+        AggregateMap::new(geo)
+    }
+
+    #[test]
+    fn reserve_in_aa_yields_contiguous_drive_vbns() {
+        let am = aggmap();
+        let aa = AaId { rg: RaidGroupId(0), index: 0 };
+        let vbns = am.reserve_in_aa(aa, 1, 0, 8);
+        assert_eq!(vbns.len(), 8);
+        // Drive 1 of RG0 starts at VBN 256; AA0 covers DBN [0,64).
+        assert_eq!(vbns[0], Vbn(256));
+        for w in vbns.windows(2) {
+            assert_eq!(w[1].0, w[0].0 + 1, "bucket VBNs must be contiguous");
+        }
+        assert_eq!(am.aa_stats().free_in(aa), 64 * 3 - 8);
+        am.verify().unwrap();
+    }
+
+    #[test]
+    fn reserve_respects_aa_boundary() {
+        let am = aggmap();
+        let aa = AaId { rg: RaidGroupId(0), index: 0 };
+        // Ask for more than the AA holds on one drive (64 stripes).
+        let vbns = am.reserve_in_aa(aa, 0, 0, 1000);
+        assert_eq!(vbns.len(), 64);
+        am.verify().unwrap();
+    }
+
+    #[test]
+    fn reserve_from_progress_offset() {
+        let am = aggmap();
+        let aa = AaId { rg: RaidGroupId(0), index: 2 }; // DBNs [128,192)
+        let vbns = am.reserve_in_aa(aa, 0, 150, 4);
+        assert_eq!(vbns[0], Vbn(150));
+        let done = am.reserve_in_aa(aa, 0, 192, 4);
+        assert!(done.is_empty(), "progress past AA end yields nothing");
+    }
+
+    #[test]
+    fn commit_release_free_keep_consistency() {
+        let am = aggmap();
+        let aa = AaId { rg: RaidGroupId(1), index: 0 };
+        let vbns = am.reserve_in_aa(aa, 0, 0, 10);
+        for v in &vbns[..6] {
+            am.commit_used(*v).unwrap();
+        }
+        for v in &vbns[6..] {
+            am.release(*v).unwrap();
+        }
+        for v in &vbns[..3] {
+            am.free(*v).unwrap();
+        }
+        am.verify().unwrap();
+        assert_eq!(
+            am.free_count(),
+            am.geometry().total_vbns() - 10 + 4 + 3
+        );
+        // 6 commits + 3 frees all landed in metafile block 0 of the map.
+        assert_eq!(am.take_dirty_blocks().len(), 1);
+    }
+
+    #[test]
+    fn freeing_credits_the_correct_aa() {
+        let am = aggmap();
+        let geo = Arc::clone(am.geometry());
+        let aa1 = AaId { rg: RaidGroupId(0), index: 1 };
+        let before = am.aa_stats().free_in(aa1);
+        let vbn = geo.vbn_at(RaidGroupId(0), 2, Dbn(70)); // AA1
+        am.active_map().reserve(vbn.0).unwrap();
+        am.aa_stats().on_reserve(aa1, 1);
+        am.free(vbn).unwrap();
+        assert_eq!(am.aa_stats().free_in(aa1), before);
+        am.verify().unwrap();
+    }
+
+    #[test]
+    fn select_aa_follows_drain() {
+        let am = aggmap();
+        let rg = RaidGroupId(0);
+        let first = am.select_aa(rg).unwrap();
+        assert_eq!(first.index, 0);
+        // Drain AA0 on all drives.
+        for d in 0..3 {
+            am.reserve_in_aa(first, d, 0, 64);
+        }
+        let next = am.select_aa(rg).unwrap();
+        assert_eq!(next.index, 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! # wafl-metafile — allocation metafiles and loose accounting
+//!
+//! WAFL stores *all* metadata in files ("metafiles", §II-B of the paper).
+//! The metafiles relevant to write allocation are the ones that track free
+//! space:
+//!
+//! * the **active map** — "a metafile containing one bit for each block in
+//!   the file system to track whether the corresponding block is used or
+//!   free. Thus, allocations and frees of VBNs toggle bits in this
+//!   metafile" (§III-C). Modeled by [`activemap::ActiveMap`]. Because the
+//!   metafile is itself made of 4 KiB blocks, the active map tracks which
+//!   *metafile blocks* each bit update dirties; the contrast between
+//!   sequential writes (updates concentrated in few metafile blocks) and
+//!   random writes (updates scattered over many) is exactly the effect the
+//!   paper uses to explain Figure 7;
+//! * per-**Allocation-Area** free-block counts — the infrastructure
+//!   "selects the Allocation Area in each RAID group that contains the
+//!   most free blocks" (§IV-D). Modeled by [`aastats::AaStats`];
+//! * [`aggmap::AggregateMap`] bundles the two, keyed by the aggregate
+//!   geometry, and is the structure the White Alligator infrastructure
+//!   operates on. A plain [`activemap::ActiveMap`] over the VVBN space
+//!   plays the same role inside each FlexVol volume.
+//!
+//! The crate also provides **loose accounting** ([`loose`]): per-thread
+//! counter tokens that are batch-applied to global counters, introduced
+//! when inode cleaning first moved off the serial path (§III-C) and
+//! directly analogous to OSDI 2010's "sloppy counters" (§VI).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aastats;
+pub mod activemap;
+pub mod aggmap;
+pub mod loose;
+
+pub use aastats::AaStats;
+pub use activemap::{ActiveMap, AllocError, BITS_PER_MF_BLOCK};
+pub use aggmap::AggregateMap;
+pub use loose::{LooseCounter, LooseToken};

@@ -1,0 +1,152 @@
+//! Property tests: active-map bit discipline, dirty-block coverage, and
+//! AA accounting under random and concurrent schedules.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use wafl_blockdev::GeometryBuilder;
+use wafl_metafile::{ActiveMap, AggregateMap, BITS_PER_MF_BLOCK};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_state_changing_persistent_op_dirties_its_covering_block(
+        indices in prop::collection::vec(0u64..(3 * BITS_PER_MF_BLOCK), 1..60),
+    ) {
+        let map = ActiveMap::new(3 * BITS_PER_MF_BLOCK);
+        for &idx in &indices {
+            if map.reserve(idx).is_err() {
+                continue;
+            }
+            map.commit_used(idx).unwrap();
+            let dirty = map.take_dirty_blocks();
+            prop_assert!(
+                dirty.contains(&(idx / BITS_PER_MF_BLOCK)),
+                "commit of {idx} must dirty block {}",
+                idx / BITS_PER_MF_BLOCK
+            );
+            map.free(idx).unwrap();
+            let dirty = map.take_dirty_blocks();
+            prop_assert!(dirty.contains(&(idx / BITS_PER_MF_BLOCK)));
+        }
+    }
+
+    #[test]
+    fn reserve_release_is_identity_on_observable_state(
+        indices in prop::collection::btree_set(0u64..4096, 1..200),
+    ) {
+        let map = ActiveMap::new(4096);
+        let before_free = map.free_count();
+        for &idx in &indices {
+            map.reserve(idx).unwrap();
+        }
+        for &idx in &indices {
+            map.release(idx).unwrap();
+        }
+        prop_assert_eq!(map.free_count(), before_free);
+        prop_assert_eq!(map.recount_free(), before_free);
+        prop_assert_eq!(map.dirty_block_count(), 0, "pure reservation churn is clean");
+        for idx in 0..4096 {
+            prop_assert!(!map.is_used(idx));
+        }
+    }
+
+    #[test]
+    fn scan_partitions_space_with_concurrent_threads(
+        nbits in 256u64..2048,
+        threads in 2usize..6,
+        chunk in 1usize..64,
+    ) {
+        let map = Arc::new(ActiveMap::new(nbits));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let map = Arc::clone(&map);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        let vs = map.reserve_scan(0, nbits, chunk);
+                        if vs.is_empty() {
+                            return got;
+                        }
+                        got.extend(vs);
+                    }
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let n = all.len();
+        all.dedup();
+        prop_assert_eq!(all.len(), n, "no block handed out twice");
+        prop_assert_eq!(n as u64, nbits, "all space handed out exactly once");
+        prop_assert_eq!(map.free_count(), 0);
+    }
+
+    #[test]
+    fn aa_selection_is_argmax_of_free_counts(
+        drains in prop::collection::vec((0u32..8, 1u64..100), 0..20),
+    ) {
+        let geo = Arc::new(
+            GeometryBuilder::new()
+                .aa_stripes(32)
+                .raid_group(2, 1, 256) // 8 AAs × 64 free each
+                .build(),
+        );
+        let am = AggregateMap::new(Arc::clone(&geo));
+        let stats = am.aa_stats();
+        for (aa, n) in drains {
+            let aa = wafl_blockdev::AaId {
+                rg: wafl_blockdev::RaidGroupId(0),
+                index: aa % 8,
+            };
+            let n = n.min(stats.free_in(aa));
+            if n > 0 {
+                stats.on_reserve(aa, n);
+            }
+        }
+        let best = stats.select_emptiest(wafl_blockdev::RaidGroupId(0));
+        let max_free = (0..8)
+            .map(|i| {
+                stats.free_in(wafl_blockdev::AaId {
+                    rg: wafl_blockdev::RaidGroupId(0),
+                    index: i,
+                })
+            })
+            .max()
+            .unwrap();
+        match best {
+            Some(aa) => prop_assert_eq!(stats.free_in(aa), max_free),
+            None => prop_assert_eq!(max_free, 0),
+        }
+    }
+
+    #[test]
+    fn aggmap_reserve_commit_free_cycles_are_lossless(
+        cycles in prop::collection::vec((0u32..2, 1usize..64), 1..30),
+    ) {
+        let geo = Arc::new(
+            GeometryBuilder::new()
+                .aa_stripes(64)
+                .raid_group(2, 1, 1024)
+                .build(),
+        );
+        let am = AggregateMap::new(Arc::clone(&geo));
+        let total = am.free_count();
+        for (drive, n) in cycles {
+            let Some(aa) = am.select_aa(wafl_blockdev::RaidGroupId(0)) else { break };
+            let dbns = geo.aa_dbn_range(aa);
+            let got = am.reserve_in_aa(aa, drive % 2, dbns.start, n);
+            for v in &got {
+                am.commit_used(*v).unwrap();
+            }
+            for v in &got {
+                am.free(*v).unwrap();
+            }
+        }
+        prop_assert_eq!(am.free_count(), total, "commit+free round-trips all space");
+        am.verify().unwrap();
+    }
+}

@@ -1,0 +1,50 @@
+//! # wafl-simsrv — a discrete-event model of a many-core storage server
+//!
+//! The paper's evaluation (§V) runs on 20-core NetApp storage servers
+//! driven by Fibre Channel clients. This crate substitutes a
+//! **discrete-event simulation** for that testbed (see DESIGN.md §3):
+//! CPU cores are explicit resources, Waffinity's exclusion rules gate
+//! message concurrency (reusing the *real*
+//! [`waffinity::Scheduler`]), cleaner threads are schedulable entities
+//! governed by the *real* [`wafl::tuner::DynamicTuner`], and service
+//! times come from a calibrated [`config::CostModel`].
+//!
+//! The couplings that produce the paper's results are structural, not
+//! curve-fitted:
+//!
+//! * client writes are acknowledged from NVRAM but accumulate **dirty
+//!   buffers**; when the dirty pool hits its limit, admission throttles —
+//!   so sustained throughput equals the cleaning rate (the write-allocation
+//!   bottleneck of §I);
+//! * cleaner quanta need **buckets**; the bucket cache is refilled by
+//!   **infrastructure messages** whose concurrency depends on
+//!   [`alligator::InfraMode`] — `Serial` maps every message to one
+//!   affinity (at most one at a time), `Parallel` spreads them over Range
+//!   affinities (§IV-B2);
+//! * free-stage commits charge CPU per **distinct metafile block**
+//!   touched: sequential overwrites free contiguous VBNs (≈1 block per
+//!   stage), random overwrites scatter frees across the VBN space (tens
+//!   to hundreds of blocks per stage) — the paper's explanation for the
+//!   inverted gains of Figure 7;
+//! * each active cleaner adds lock-contention overhead to bucket-cache
+//!   synchronization, so *too many* cleaners hurt (Figure 8's 3-thread
+//!   regression), which is what the dynamic tuner navigates.
+//!
+//! [`scenario`] packages the parameter sweeps behind every figure; the
+//! `wafl-bench` crate's `fig*` binaries print the resulting tables.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod report;
+pub mod scenario;
+pub mod workload;
+
+pub use config::{CleanerSetting, CostModel, SimConfig};
+pub use engine::{SimResult, Simulator};
+pub use metrics::{knee_point, LatencyStats, LoadPoint};
+pub use report::{FigureRow, FigureTable};
+pub use workload::{Workload, WorkloadKind};

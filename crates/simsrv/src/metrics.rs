@@ -1,0 +1,213 @@
+//! Measurement: latency distributions, throughput, core-usage accounting,
+//! and knee-of-curve detection.
+
+use serde::{Deserialize, Serialize};
+
+/// Online latency statistics with exact percentiles (samples are kept;
+/// simulated runs complete a bounded number of ops).
+#[derive(Debug, Default, Clone)]
+pub struct LatencyRecorder {
+    samples: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency (ns).
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        self.samples.push(ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Summarize (sorts internally).
+    pub fn stats(&mut self) -> LatencyStats {
+        if self.samples.is_empty() {
+            return LatencyStats::default();
+        }
+        self.samples.sort_unstable();
+        let n = self.samples.len();
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        let pct = |p: f64| -> u64 {
+            let idx = ((n as f64 - 1.0) * p).floor() as usize;
+            self.samples[idx.min(n - 1)]
+        };
+        LatencyStats {
+            count: n as u64,
+            mean_ns: (sum / n as u128) as u64,
+            p50_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            p99_ns: pct(0.99),
+            max_ns: self.samples[n - 1],
+        }
+    }
+}
+
+/// Summary of a latency distribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Samples measured.
+    pub count: u64,
+    /// Mean latency (ns).
+    pub mean_ns: u64,
+    /// Median (ns).
+    pub p50_ns: u64,
+    /// 95th percentile (ns).
+    pub p95_ns: u64,
+    /// 99th percentile (ns).
+    pub p99_ns: u64,
+    /// Maximum (ns).
+    pub max_ns: u64,
+}
+
+/// One point on a throughput/latency curve (Figs 8–9).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// Offered load identifier (e.g., client count).
+    pub load: u64,
+    /// Achieved throughput, ops/s.
+    pub throughput_ops: f64,
+    /// Mean latency at that load (ns).
+    pub latency_ns: u64,
+}
+
+/// Find the "knee" of a latency curve using the half-latency rule of
+/// N. Patel (the paper's reference \[11\]): the highest-throughput point
+/// whose latency is still at most **twice the baseline** (lowest-load)
+/// latency — beyond it, load increases buy disproportionate latency.
+///
+/// Returns `None` for an empty curve.
+pub fn knee_point(points: &[LoadPoint]) -> Option<LoadPoint> {
+    let base = points.iter().map(|p| p.latency_ns).min()?;
+    points
+        .iter()
+        .filter(|p| p.latency_ns <= base.saturating_mul(2))
+        .max_by(|a, b| {
+            a.throughput_ops
+                .partial_cmp(&b.throughput_ops)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .copied()
+}
+
+/// Busy-time accounting per simulated component; `cores(x)` = average
+/// cores consumed by that component over the measured interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreUsage {
+    /// Protocol-stack busy ns.
+    pub protocol_ns: u64,
+    /// Client Waffinity message busy ns.
+    pub client_msg_ns: u64,
+    /// Cleaner-thread busy ns.
+    pub cleaner_ns: u64,
+    /// Write-allocation infrastructure busy ns.
+    pub infra_ns: u64,
+}
+
+impl CoreUsage {
+    /// Average cores used by cleaners.
+    pub fn cleaner_cores(&self, elapsed_ns: u64) -> f64 {
+        self.cleaner_ns as f64 / elapsed_ns.max(1) as f64
+    }
+
+    /// Average cores used by the infrastructure.
+    pub fn infra_cores(&self, elapsed_ns: u64) -> f64 {
+        self.infra_ns as f64 / elapsed_ns.max(1) as f64
+    }
+
+    /// Average cores used by write-allocation work (cleaners + infra) —
+    /// the quantity Figures 4–7 plot.
+    pub fn write_alloc_cores(&self, elapsed_ns: u64) -> f64 {
+        (self.cleaner_ns + self.infra_ns) as f64 / elapsed_ns.max(1) as f64
+    }
+
+    /// Average total cores used.
+    pub fn total_cores(&self, elapsed_ns: u64) -> f64 {
+        (self.protocol_ns + self.client_msg_ns + self.cleaner_ns + self.infra_ns) as f64
+            / elapsed_ns.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100u64 {
+            r.record(i * 1000);
+        }
+        let s = r.stats();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 50_000);
+        assert_eq!(s.p95_ns, 95_000);
+        assert_eq!(s.max_ns, 100_000);
+        assert_eq!(s.mean_ns, 50_500);
+    }
+
+    #[test]
+    fn empty_recorder_yields_zeros() {
+        let mut r = LatencyRecorder::new();
+        assert_eq!(r.stats(), LatencyStats::default());
+    }
+
+    #[test]
+    fn knee_follows_half_latency_rule() {
+        // Latency doubles between load 40 and 50 → knee at 40.
+        let curve: Vec<LoadPoint> = vec![
+            (10, 1000.0, 100),
+            (20, 2000.0, 110),
+            (30, 3000.0, 130),
+            (40, 3800.0, 180),
+            (50, 4000.0, 400),
+            (60, 4050.0, 900),
+        ]
+        .into_iter()
+        .map(|(load, throughput_ops, latency_ns)| LoadPoint {
+            load,
+            throughput_ops,
+            latency_ns,
+        })
+        .collect();
+        let knee = knee_point(&curve).unwrap();
+        assert_eq!(knee.load, 40);
+    }
+
+    #[test]
+    fn knee_of_flat_curve_is_max_throughput() {
+        let curve: Vec<LoadPoint> = (1..=5)
+            .map(|i| LoadPoint {
+                load: i,
+                throughput_ops: i as f64 * 100.0,
+                latency_ns: 100 + i,
+            })
+            .collect();
+        assert_eq!(knee_point(&curve).unwrap().load, 5);
+    }
+
+    #[test]
+    fn knee_empty_is_none() {
+        assert!(knee_point(&[]).is_none());
+    }
+
+    #[test]
+    fn core_usage_math() {
+        let u = CoreUsage {
+            protocol_ns: 10,
+            client_msg_ns: 30,
+            cleaner_ns: 40,
+            infra_ns: 20,
+        };
+        assert!((u.total_cores(100) - 1.0).abs() < 1e-9);
+        assert!((u.write_alloc_cores(100) - 0.6).abs() < 1e-9);
+        assert!((u.cleaner_cores(10) - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,229 @@
+//! Canned experiment sweeps: one function per paper figure/table.
+//!
+//! Each function returns plain data; the `wafl-bench` crate's `fig*`
+//! binaries format them next to the paper's reported numbers, and
+//! EXPERIMENTS.md records the comparison.
+
+use crate::config::{CleanerSetting, SimConfig};
+use crate::engine::{SimResult, Simulator};
+use crate::metrics::{knee_point, LoadPoint};
+use crate::workload::WorkloadKind;
+use alligator::InfraMode;
+use serde::{Deserialize, Serialize};
+
+/// One permutation row of Figures 4 / 7.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PermutationRow {
+    /// Parallel cleaner threads enabled?
+    pub parallel_cleaners: bool,
+    /// Parallel infrastructure enabled?
+    pub parallel_infra: bool,
+    /// The simulation outcome.
+    pub result: SimResult,
+}
+
+impl PermutationRow {
+    /// Short label matching the paper's x-axis.
+    pub fn label(&self) -> &'static str {
+        match (self.parallel_cleaners, self.parallel_infra) {
+            (false, false) => "serial/serial",
+            (false, true) => "serial-cleaners/parallel-infra",
+            (true, false) => "parallel-cleaners/serial-infra",
+            (true, true) => "parallel/parallel",
+        }
+    }
+}
+
+/// Figures 4 and 7: the four permutations of {parallel cleaners,
+/// parallel infrastructure}. `parallel` is the cleaner setting used when
+/// cleaners are parallel — the shipped system runs the dynamic tuner
+/// (§V-B), so [`CleanerSetting::dynamic_default`] is the faithful choice.
+pub fn permutation_sweep(
+    base: &SimConfig,
+    parallel: CleanerSetting,
+) -> Vec<PermutationRow> {
+    let mut rows = Vec::with_capacity(4);
+    for (pc, pi) in [(false, false), (false, true), (true, false), (true, true)] {
+        let mut cfg = base.clone();
+        cfg.cleaners = if pc { parallel } else { CleanerSetting::Fixed(1) };
+        cfg.infra_mode = if pi {
+            InfraMode::Parallel
+        } else {
+            InfraMode::Serial
+        };
+        rows.push(PermutationRow {
+            parallel_cleaners: pc,
+            parallel_infra: pi,
+            result: Simulator::new(cfg).run(),
+        });
+    }
+    rows
+}
+
+/// Figure 5: throughput and core usage as the number of cleaner threads
+/// grows (parallel infrastructure).
+pub fn cleaner_thread_sweep(base: &SimConfig, counts: &[usize]) -> Vec<(usize, SimResult)> {
+    counts
+        .iter()
+        .map(|&n| {
+            let mut cfg = base.clone();
+            cfg.cleaners = CleanerSetting::Fixed(n);
+            cfg.infra_mode = InfraMode::Parallel;
+            (n, Simulator::new(cfg).run())
+        })
+        .collect()
+}
+
+/// Figure 6: infrastructure serial vs parallel, with parallel cleaners.
+pub fn infra_comparison(base: &SimConfig, cleaners: usize) -> (SimResult, SimResult) {
+    let mut serial = base.clone();
+    serial.cleaners = CleanerSetting::Fixed(cleaners);
+    serial.infra_mode = InfraMode::Serial;
+    let mut par = base.clone();
+    par.cleaners = CleanerSetting::Fixed(cleaners);
+    par.infra_mode = InfraMode::Parallel;
+    (Simulator::new(serial).run(), Simulator::new(par).run())
+}
+
+/// One cleaner-setting's load sweep (Figs 8–9): vary client count, record
+/// throughput and latency at each level.
+pub fn load_sweep(base: &SimConfig, client_levels: &[u32]) -> Vec<LoadPoint> {
+    client_levels
+        .iter()
+        .map(|&clients| {
+            let mut cfg = base.clone();
+            cfg.clients = clients;
+            let r = Simulator::new(cfg).run();
+            LoadPoint {
+                load: clients as u64,
+                throughput_ops: r.throughput_ops,
+                latency_ns: r.latency.mean_ns,
+            }
+        })
+        .collect()
+}
+
+/// Figure 8 row: peak throughput across the sweep + latency at the knee.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KneeRow {
+    /// Setting label ("1", "2", …, "dynamic").
+    pub setting: String,
+    /// Peak throughput over the load sweep (ops/s).
+    pub peak_throughput: f64,
+    /// Latency at the knee of the curve (ns).
+    pub knee_latency_ns: u64,
+    /// Throughput at the knee (ops/s).
+    pub knee_throughput: f64,
+    /// The full curve (for Figure 9 plotting).
+    pub curve: Vec<LoadPoint>,
+}
+
+/// Figures 8/9: sweep load for each cleaner setting (static counts and
+/// dynamic) and extract peak + knee.
+pub fn knee_sweep(
+    base: &SimConfig,
+    settings: &[(String, CleanerSetting)],
+    client_levels: &[u32],
+) -> Vec<KneeRow> {
+    settings
+        .iter()
+        .map(|(label, setting)| {
+            let mut cfg = base.clone();
+            cfg.cleaners = *setting;
+            let curve = load_sweep(&cfg, client_levels);
+            let peak = curve
+                .iter()
+                .map(|p| p.throughput_ops)
+                .fold(0.0f64, f64::max);
+            let knee = knee_point(&curve).expect("non-empty sweep");
+            KneeRow {
+                setting: label.clone(),
+                peak_throughput: peak,
+                knee_latency_ns: knee.latency_ns,
+                knee_throughput: knee.throughput_ops,
+                curve,
+            }
+        })
+        .collect()
+}
+
+/// §V-C: the NFS-mix batching comparison. Returns `(batched, unbatched)`.
+pub fn batching_comparison(base: &SimConfig) -> (SimResult, SimResult) {
+    let mut on = base.clone();
+    on.workload = WorkloadKind::nfs_mix();
+    on.batching = true;
+    let mut off = on.clone();
+    off.batching = false;
+    (Simulator::new(on).run(), Simulator::new(off).run())
+}
+
+/// Ablation: the bucket chunk-size sweep (§IV-C's amortization claim at
+/// system level).
+pub fn chunk_sweep(base: &SimConfig, chunks: &[u64]) -> Vec<(u64, SimResult)> {
+    chunks
+        .iter()
+        .map(|&chunk| {
+            let mut cfg = base.clone();
+            cfg.chunk = chunk;
+            (chunk, Simulator::new(cfg).run())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(workload: WorkloadKind) -> SimConfig {
+        let mut c = SimConfig::paper_platform(workload);
+        c.duration_ns = 200_000_000;
+        c.warmup_ns = 50_000_000;
+        c
+    }
+
+    #[test]
+    fn permutation_sweep_produces_four_ordered_rows() {
+        let rows = permutation_sweep(
+            &quick(WorkloadKind::sequential_write()),
+            CleanerSetting::dynamic_default(6),
+        );
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].label(), "serial/serial");
+        let base = rows[0].result.throughput_ops;
+        let both = rows[3].result.throughput_ops;
+        assert!(both > base * 1.5, "full parallelization wins big");
+    }
+
+    #[test]
+    fn cleaner_sweep_is_monotonicish_then_saturates() {
+        let rows =
+            cleaner_thread_sweep(&quick(WorkloadKind::sequential_write()), &[1, 2, 4]);
+        assert!(rows[1].1.throughput_ops > rows[0].1.throughput_ops);
+        assert!(rows[2].1.throughput_ops >= rows[1].1.throughput_ops * 0.95);
+    }
+
+    #[test]
+    fn load_sweep_latency_grows_with_load() {
+        let cfg = quick(WorkloadKind::oltp());
+        let curve = load_sweep(&cfg, &[2, 8, 64]);
+        assert!(curve[2].latency_ns > curve[0].latency_ns);
+    }
+
+    #[test]
+    fn knee_sweep_produces_rows_per_setting() {
+        let mut cfg = quick(WorkloadKind::oltp());
+        cfg.duration_ns = 120_000_000;
+        cfg.warmup_ns = 30_000_000;
+        let rows = knee_sweep(
+            &cfg,
+            &[
+                ("1".into(), CleanerSetting::Fixed(1)),
+                ("2".into(), CleanerSetting::Fixed(2)),
+            ],
+            &[2, 8, 32],
+        );
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.peak_throughput > 0.0));
+        assert!(rows.iter().all(|r| r.curve.len() == 3));
+    }
+}

@@ -1,0 +1,49 @@
+//! # waffinity — the WAFL affinity message scheduler
+//!
+//! WAFL parallelizes file-system processing with a message scheduler that
+//! defines execution contexts called **affinities** (§III of the paper).
+//! Two models shipped:
+//!
+//! * **Classical Waffinity** (Data ONTAP 7.2, 2006): user files are
+//!   partitioned into *file stripes* rotated over a set of **Stripe**
+//!   affinities; anything else runs in a **Serial** affinity that excludes
+//!   all Stripe affinities (§III-B).
+//! * **Hierarchical Waffinity** (Data ONTAP 8.1, 2011): a *hierarchy* of
+//!   affinities (Figure 1) where "the scheduler enforced execution
+//!   exclusivity between a given affinity and its children, so it only
+//!   restricted the execution of an affinity's parents and children in the
+//!   hierarchy; all other affinities could safely run in parallel"
+//!   (§III-D).
+//!
+//! White Alligator's infrastructure runs *as messages in Waffinity*
+//! (§IV-B2): per-aggregate and per-volume allocation bitmaps map to
+//! **Aggregate-VBN** and **Volume-VBN** affinities, with **Range**
+//! affinities underneath for parallel access to different block ranges of
+//! a single metafile.
+//!
+//! ## Crate structure
+//!
+//! * [`hierarchy`] — the affinity tree: [`hierarchy::Affinity`] names,
+//!   [`hierarchy::Topology`] instance counts, ancestor/conflict queries;
+//! * [`state`] — [`state::ExclusionState`], the pure runnable/start/finish
+//!   logic, shared verbatim by the real thread pool and by the
+//!   discrete-event simulator (which needs to make identical scheduling
+//!   decisions under virtual time);
+//! * [`sched`] — [`sched::Scheduler`], per-affinity FIFO queues over an
+//!   `ExclusionState`;
+//! * [`pool`] — [`pool::WaffinityPool`], a real-thread executor: `send`
+//!   fire-and-forget messages or `call` for a result, with per-affinity
+//!   execution statistics.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hierarchy;
+pub mod pool;
+pub mod sched;
+pub mod state;
+
+pub use hierarchy::{Affinity, AffinityId, Model, Topology};
+pub use pool::WaffinityPool;
+pub use sched::Scheduler;
+pub use state::ExclusionState;

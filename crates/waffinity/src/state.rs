@@ -1,0 +1,269 @@
+//! Pure exclusion-state tracking, shared by the real thread pool and the
+//! discrete-event simulator.
+//!
+//! A message in affinity `A` may start iff:
+//!
+//! 1. no message is currently running in `A` itself (an affinity is a
+//!    serial execution context);
+//! 2. no message is running in any *descendant* of `A`;
+//! 3. no message is running in any *ancestor* of `A`.
+//!
+//! [`ExclusionState`] maintains, per affinity, a `running` flag and a
+//! `subtree_running` count (running messages in the subtree rooted there,
+//! including the node itself). The three conditions then collapse to two
+//! O(depth) checks, with no per-pair conflict matrix.
+
+use crate::hierarchy::{AffinityId, Topology};
+use std::sync::Arc;
+
+/// Tracks which affinities are executing and answers `can_run` queries.
+#[derive(Debug, Clone)]
+pub struct ExclusionState {
+    topo: Arc<Topology>,
+    running: Vec<bool>,
+    subtree_running: Vec<u32>,
+    active: u32,
+}
+
+impl ExclusionState {
+    /// Fresh state: nothing running.
+    pub fn new(topo: Arc<Topology>) -> Self {
+        let n = topo.len();
+        Self {
+            topo,
+            running: vec![false; n],
+            subtree_running: vec![0; n],
+            active: 0,
+        }
+    }
+
+    /// The topology this state tracks.
+    #[inline]
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// Total messages currently executing.
+    #[inline]
+    pub fn active(&self) -> u32 {
+        self.active
+    }
+
+    /// Is a message currently executing in `id` itself?
+    #[inline]
+    pub fn is_running(&self, id: AffinityId) -> bool {
+        self.running[id.0 as usize]
+    }
+
+    /// May a message in `id` start now?
+    pub fn can_run(&self, id: AffinityId) -> bool {
+        // Conditions 1+2: nothing running at or below `id`.
+        if self.subtree_running[id.0 as usize] != 0 {
+            return false;
+        }
+        // Condition 3: nothing running at any proper ancestor.
+        let mut cur = id;
+        while let Some(p) = self.topo.parent(cur) {
+            if self.running[p.0 as usize] {
+                return false;
+            }
+            cur = p;
+        }
+        true
+    }
+
+    /// Mark a message started in `id`.
+    ///
+    /// # Panics
+    /// Panics (debug) if `can_run(id)` is false — callers must check first.
+    pub fn start(&mut self, id: AffinityId) {
+        debug_assert!(self.can_run(id), "start() on excluded affinity {id:?}");
+        self.running[id.0 as usize] = true;
+        for a in self.topo.ancestors_inclusive(id).collect::<Vec<_>>() {
+            self.subtree_running[a.0 as usize] += 1;
+        }
+        self.active += 1;
+    }
+
+    /// Mark the message in `id` finished.
+    ///
+    /// # Panics
+    /// Panics if nothing is running in `id`.
+    pub fn finish(&mut self, id: AffinityId) {
+        assert!(
+            self.running[id.0 as usize],
+            "finish() on idle affinity {id:?}"
+        );
+        self.running[id.0 as usize] = false;
+        for a in self.topo.ancestors_inclusive(id).collect::<Vec<_>>() {
+            let c = &mut self.subtree_running[a.0 as usize];
+            debug_assert!(*c > 0);
+            *c -= 1;
+        }
+        self.active -= 1;
+    }
+
+    /// Exhaustive invariant check (test helper): no two running affinities
+    /// conflict, and the subtree counters are exact.
+    pub fn verify(&self) -> Result<(), String> {
+        let n = self.topo.len();
+        let running: Vec<AffinityId> = (0..n as u32)
+            .map(AffinityId)
+            .filter(|&i| self.running[i.0 as usize])
+            .collect();
+        for (i, &a) in running.iter().enumerate() {
+            for &b in &running[i + 1..] {
+                if self.topo.conflicts(a, b) {
+                    return Err(format!(
+                        "conflicting affinities running: {:?} and {:?}",
+                        self.topo.name(a),
+                        self.topo.name(b)
+                    ));
+                }
+            }
+        }
+        for id in 0..n as u32 {
+            let id = AffinityId(id);
+            let expect = running
+                .iter()
+                .filter(|&&r| self.topo.is_ancestor_or_self(id, r))
+                .count() as u32;
+            if self.subtree_running[id.0 as usize] != expect {
+                return Err(format!(
+                    "subtree counter drift at {:?}: have {}, expect {expect}",
+                    self.topo.name(id),
+                    self.subtree_running[id.0 as usize]
+                ));
+            }
+        }
+        if self.active as usize != running.len() {
+            return Err("active counter drift".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::{Affinity, Model};
+
+    fn state() -> ExclusionState {
+        ExclusionState::new(Arc::new(Topology::symmetric(
+            Model::Hierarchical,
+            2,
+            2,
+            4,
+            3,
+        )))
+    }
+
+    #[test]
+    fn start_blocks_ancestors_and_descendants_only() {
+        let mut s = state();
+        let t = Arc::clone(s.topology());
+        let vl0 = t.id(Affinity::VolumeLogical(0));
+        s.start(vl0);
+        assert!(!s.can_run(t.id(Affinity::Stripe(0, 1))));
+        assert!(!s.can_run(t.id(Affinity::Volume(0))));
+        assert!(!s.can_run(t.id(Affinity::Aggregate(0))));
+        assert!(!s.can_run(t.id(Affinity::Serial)));
+        assert!(s.can_run(t.id(Affinity::VolumeVbn(0))));
+        assert!(s.can_run(t.id(Affinity::VolumeLogical(1))));
+        assert!(s.can_run(t.id(Affinity::AggrVbnRange(0, 0))));
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn affinity_serializes_its_own_messages() {
+        let mut s = state();
+        let t = Arc::clone(s.topology());
+        let r = t.id(Affinity::VolVbnRange(1, 2));
+        s.start(r);
+        assert!(!s.can_run(r), "same affinity must serialize");
+        s.finish(r);
+        assert!(s.can_run(r));
+    }
+
+    #[test]
+    fn serial_runs_only_alone() {
+        let mut s = state();
+        let t = Arc::clone(s.topology());
+        let serial = t.id(Affinity::Serial);
+        assert!(s.can_run(serial));
+        s.start(t.id(Affinity::Stripe(3, 0)));
+        assert!(!s.can_run(serial));
+        s.finish(t.id(Affinity::Stripe(3, 0)));
+        s.start(serial);
+        for i in 1..t.len() as u32 {
+            assert!(!s.can_run(AffinityId(i)), "Serial excludes everything");
+        }
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn siblings_run_concurrently() {
+        let mut s = state();
+        let t = Arc::clone(s.topology());
+        for i in 0..4 {
+            let a = t.id(Affinity::Stripe(0, i));
+            assert!(s.can_run(a));
+            s.start(a);
+        }
+        assert_eq!(s.active(), 4);
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn finish_restores_runnability() {
+        let mut s = state();
+        let t = Arc::clone(s.topology());
+        let vol = t.id(Affinity::Volume(1));
+        let stripe = t.id(Affinity::Stripe(1, 0));
+        s.start(vol);
+        assert!(!s.can_run(stripe));
+        s.finish(vol);
+        assert!(s.can_run(stripe));
+        s.verify().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "finish() on idle affinity")]
+    fn finish_idle_panics() {
+        let mut s = state();
+        let t = Arc::clone(s.topology());
+        s.finish(t.id(Affinity::Serial));
+    }
+
+    #[test]
+    fn randomized_start_finish_keeps_invariants() {
+        // Pseudo-random torture: repeatedly start a runnable affinity or
+        // finish a running one; verify() after every transition.
+        let mut s = state();
+        let t = Arc::clone(s.topology());
+        let n = t.len() as u32;
+        let mut running: Vec<AffinityId> = Vec::new();
+        let mut seed = 0xdecafbad_u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..2000 {
+            let pick = rng();
+            if pick % 2 == 0 || running.is_empty() {
+                let id = AffinityId((rng() % n as u64) as u32);
+                if s.can_run(id) {
+                    s.start(id);
+                    running.push(id);
+                }
+            } else {
+                let idx = (rng() % running.len() as u64) as usize;
+                let id = running.swap_remove(idx);
+                s.finish(id);
+            }
+            s.verify().unwrap();
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests: the exclusion relation and scheduler safety under
+//! random topologies and schedules (DESIGN.md §8.4).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use waffinity::{AffinityId, ExclusionState, Model, Scheduler, Topology};
+
+fn topologies() -> impl Strategy<Value = Arc<Topology>> {
+    (1u32..3, 1u32..4, 1u32..6, 1u32..5).prop_map(|(aggrs, vols, stripes, ranges)| {
+        Arc::new(Topology::symmetric(
+            Model::Hierarchical,
+            aggrs,
+            vols,
+            stripes,
+            ranges,
+        ))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conflict_relation_is_reflexive_and_symmetric(
+        topo in topologies(),
+        probes in prop::collection::vec((0u32..1000, 0u32..1000), 1..100),
+    ) {
+        let n = topo.len() as u32;
+        for (a, b) in probes {
+            let (a, b) = (AffinityId(a % n), AffinityId(b % n));
+            prop_assert!(topo.conflicts(a, a), "reflexive");
+            prop_assert_eq!(topo.conflicts(a, b), topo.conflicts(b, a), "symmetric");
+        }
+    }
+
+    #[test]
+    fn conflict_iff_ancestor_chain(
+        topo in topologies(),
+        probes in prop::collection::vec((0u32..1000, 0u32..1000), 1..60),
+    ) {
+        let n = topo.len() as u32;
+        for (a, b) in probes {
+            let (a, b) = (AffinityId(a % n), AffinityId(b % n));
+            let chain = topo.ancestors_inclusive(a).any(|x| x == b)
+                || topo.ancestors_inclusive(b).any(|x| x == a);
+            prop_assert_eq!(topo.conflicts(a, b), chain);
+        }
+    }
+
+    #[test]
+    fn scheduler_never_runs_conflicting_messages(
+        topo in topologies(),
+        script in prop::collection::vec((0u32..1000, prop::bool::ANY), 1..300,),
+    ) {
+        let n = topo.len() as u32;
+        let mut sched: Scheduler<u32> =
+            Scheduler::new(ExclusionState::new(Arc::clone(&topo)));
+        let mut running: Vec<AffinityId> = Vec::new();
+        let mut msg = 0u32;
+        for (pick, complete) in script {
+            if complete && !running.is_empty() {
+                let idx = pick as usize % running.len();
+                let id = running.swap_remove(idx);
+                sched.complete(id);
+            } else {
+                sched.enqueue(AffinityId(pick % n), msg);
+                msg += 1;
+            }
+            // Drain everything runnable right now.
+            while let Some((id, _)) = sched.pop_runnable() {
+                // The new message must not conflict with anything running.
+                for &r in &running {
+                    prop_assert!(
+                        !topo.conflicts(id, r),
+                        "scheduler ran conflicting affinities {:?} and {:?}",
+                        topo.name(id),
+                        topo.name(r)
+                    );
+                }
+                running.push(id);
+            }
+            sched.state().verify().unwrap();
+        }
+        // Drain to idle.
+        for id in running.drain(..) {
+            sched.complete(id);
+        }
+        while let Some((id, _)) = sched.pop_runnable() {
+            sched.complete(id);
+        }
+        prop_assert!(sched.is_idle());
+    }
+
+    #[test]
+    fn every_enqueued_message_eventually_runs(
+        topo in topologies(),
+        targets in prop::collection::vec(0u32..1000, 1..120),
+    ) {
+        let n = topo.len() as u32;
+        let mut sched: Scheduler<usize> =
+            Scheduler::new(ExclusionState::new(Arc::clone(&topo)));
+        for (i, t) in targets.iter().enumerate() {
+            sched.enqueue(AffinityId(t % n), i);
+        }
+        let mut seen = vec![false; targets.len()];
+        // Pop-complete loop: no message may starve.
+        let mut guard = 0;
+        while !sched.is_idle() {
+            guard += 1;
+            prop_assert!(guard < 100_000, "livelock");
+            if let Some((id, m)) = sched.pop_runnable() {
+                prop_assert!(!seen[m], "message ran twice");
+                seen[m] = true;
+                sched.complete(id);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every message ran exactly once");
+        prop_assert_eq!(sched.executed(), targets.len() as u64);
+    }
+
+    #[test]
+    fn classical_target_mapping_is_safe(
+        stripes in 1u32..16,
+        file in 0u64..1000,
+        region in 0u64..1000,
+    ) {
+        let t = Topology::symmetric(Model::Classical, 1, 1, stripes, 1);
+        let a = t.stripe_for(0, file, region);
+        // Stripe targets stay; the id resolves without panicking.
+        let mapped = t.classical_target(a);
+        prop_assert_eq!(a, mapped);
+        t.id(mapped);
+    }
+}

@@ -1,0 +1,44 @@
+//! File-system-level configuration.
+
+use crate::cleaner::CleanerConfig;
+use alligator::AllocConfig;
+use serde::{Deserialize, Serialize};
+
+/// Top-level configuration for a [`Filesystem`](crate::fs::Filesystem).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FsConfig {
+    /// Write-allocator settings (chunk size, infra mode, …).
+    pub alloc: AllocConfig,
+    /// Cleaner-pool settings (thread count, batching, region split).
+    pub cleaner: CleanerConfig,
+    /// VVBNs per volume created through
+    /// [`Filesystem::create_volume`](crate::fs::Filesystem::create_volume).
+    pub vvbn_per_volume: u64,
+    /// Maximum metafile-flush fix-point iterations before the CP writes
+    /// remaining dirty metafile blocks in place (see `cp.rs` docs).
+    pub metafile_fixpoint_max: usize,
+}
+
+impl Default for FsConfig {
+    fn default() -> Self {
+        Self {
+            alloc: AllocConfig::default(),
+            cleaner: CleanerConfig::default(),
+            vvbn_per_volume: 1 << 20,
+            metafile_fixpoint_max: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_consistent() {
+        let c = FsConfig::default();
+        assert!(c.vvbn_per_volume > 0);
+        assert!(c.metafile_fixpoint_max >= 1);
+        assert!(c.cleaner.threads >= 1);
+    }
+}

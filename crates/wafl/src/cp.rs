@@ -1,0 +1,385 @@
+//! Consistency points: WAFL's atomic batch-commit of dirty state.
+//!
+//! "WAFL accumulates and flushes thousands of operations worth of data to
+//! persistent storage … Writing a consistent collection of changes as a
+//! single transaction in WAFL is known as a consistency point … The
+//! primary function of a CP is to flush changed state — i.e., all dirty
+//! buffers — from each dirty inode to persistent storage, which is known
+//! as inode cleaning … Once all dirty inodes for files and metafiles have
+//! been cleaned, the newly written data is atomically persisted by
+//! overwriting the superblock in place" (§II-C).
+//!
+//! The phases implemented by [`run_cp`]:
+//!
+//! 1. **freeze** — swap the NVLog halves and atomically take every dirty
+//!    inode's CP workload (in-memory COW boundary);
+//! 2. **clean** — partition into cleaner messages (region split +
+//!    batching) and run them on the [`CleanerPool`];
+//! 3. **apply** — install cleaned block locations into the inodes;
+//! 4. **metafile flush** — the allocation metafiles dirtied by this CP's
+//!    commits and frees are themselves write-allocated and written, to a
+//!    bounded fix-point ("any metafile updates made on behalf of a CP
+//!    must reach persistent storage as part of that same CP"). Allocating
+//!    a bitmap block's new location dirties the bitmap again, so a true
+//!    fix-point never closes; after `metafile_fixpoint_max` rounds the
+//!    residual blocks are written in place at their previous locations
+//!    (first-time blocks take one final allocation whose bitmap dirt is
+//!    dropped, counted in [`CpReport::residual_dirty_dropped`]);
+//! 5. **commit** — atomically publish the new [`DiskImage`] superblock
+//!    and discard the in-flight NVLog half.
+
+use crate::cleaner::{partition_work, CleanerPool};
+use crate::config::FsConfig;
+use crate::inode::{BlockPtr, FileId};
+use crate::nvlog::NvLog;
+use crate::snapshot::Snapshot;
+use crate::volume::{Volume, VolumeId};
+use alligator::Allocator;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use wafl_blockdev::Vbn;
+
+/// Identifies the owner of a metafile block: the aggregate's active map,
+/// or a volume's VVBN map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MetafileSrc {
+    /// The aggregate active map / AA metadata.
+    Aggregate,
+    /// A volume's VVBN active map.
+    Volume(VolumeId),
+}
+
+/// On-disk locations of metafile blocks (metafiles are files too and are
+/// written copy-on-write like everything else).
+#[derive(Debug, Default)]
+pub struct MetafileLocs {
+    locs: Mutex<BTreeMap<(MetafileSrc, u64), Vbn>>,
+}
+
+impl MetafileLocs {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current location of a metafile block.
+    pub fn get(&self, src: MetafileSrc, block: u64) -> Option<Vbn> {
+        self.locs.lock().get(&(src, block)).copied()
+    }
+
+    /// Record a new location; returns the previous one (to free).
+    pub fn set(&self, src: MetafileSrc, block: u64, vbn: Vbn) -> Option<Vbn> {
+        self.locs.lock().insert((src, block), vbn)
+    }
+
+    /// Snapshot for the superblock image.
+    pub fn snapshot(&self) -> Vec<((MetafileSrc, u64), Vbn)> {
+        self.locs.lock().iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Restore from a superblock image.
+    pub fn restore(entries: &[((MetafileSrc, u64), Vbn)]) -> Self {
+        Self {
+            locs: Mutex::new(entries.iter().copied().collect()),
+        }
+    }
+
+    /// Number of located metafile blocks.
+    pub fn len(&self) -> usize {
+        self.locs.lock().len()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.locs.lock().is_empty()
+    }
+}
+
+/// The point-in-time on-disk image committed by a CP: what the superblock
+/// roots. (Real WAFL serializes this state into metafile/inodefile blocks;
+/// the simulation snapshots it logically — see DESIGN.md §3.)
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiskImage {
+    /// CP sequence number.
+    pub cp_id: u64,
+    /// Per-volume file system trees.
+    pub volumes: Vec<VolumeImage>,
+    /// Metafile block locations.
+    pub metafile_locs: Vec<((MetafileSrc, u64), Vbn)>,
+}
+
+/// One volume's committed state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VolumeImage {
+    /// Volume id.
+    pub id: VolumeId,
+    /// Housing aggregate index.
+    pub aggr: u32,
+    /// VVBN space size.
+    pub vvbn_total: u64,
+    /// Every file with its committed block map.
+    pub files: Vec<(FileId, Vec<(u64, BlockPtr)>)>,
+    /// Retained snapshots (part of the on-disk state: a snapshot is a
+    /// kept CP image).
+    pub snapshots: Vec<Snapshot>,
+}
+
+/// The superblock slot: atomically replaceable committed image.
+#[derive(Debug, Default)]
+pub struct SuperblockStore {
+    image: Mutex<Option<Arc<DiskImage>>>,
+}
+
+impl SuperblockStore {
+    /// Empty store (no CP committed yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Atomically overwrite the superblock (the commit point).
+    pub fn commit(&self, image: DiskImage) {
+        *self.image.lock() = Some(Arc::new(image));
+    }
+
+    /// The most recently committed image.
+    pub fn load(&self) -> Option<Arc<DiskImage>> {
+        self.image.lock().clone()
+    }
+}
+
+/// What one CP did (returned by [`run_cp`]).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CpReport {
+    /// CP sequence number.
+    pub cp_id: u64,
+    /// Dirty inodes cleaned.
+    pub inodes_cleaned: usize,
+    /// Dirty buffers cleaned (user data blocks written).
+    pub buffers_cleaned: usize,
+    /// Cleaner messages dispatched (after batching / region split).
+    pub cleaner_messages: usize,
+    /// Metafile blocks written by the flush phase.
+    pub metafile_blocks_written: usize,
+    /// Fix-point rounds used by the metafile flush.
+    pub fixpoint_rounds: usize,
+    /// Dirty metafile blocks whose re-dirt was dropped at the bound.
+    pub residual_dirty_dropped: usize,
+}
+
+/// Execute one consistency point. See the module docs for phases.
+///
+/// `cp_id` must increase monotonically across calls.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cp(
+    cp_id: u64,
+    cfg: &FsConfig,
+    volumes: &[Arc<Volume>],
+    nvlog: &NvLog,
+    alloc: &Arc<Allocator>,
+    pool: &CleanerPool,
+    mf_locs: &MetafileLocs,
+    sb: &SuperblockStore,
+) -> CpReport {
+    let mut report = CpReport {
+        cp_id,
+        ..Default::default()
+    };
+
+    // Phase 1: freeze.
+    nvlog.freeze();
+    let mut frozen = Vec::new();
+    for v in volumes {
+        for (file, buffers) in v.freeze_for_cp() {
+            frozen.push((Arc::clone(v), file, buffers));
+        }
+    }
+    report.inodes_cleaned = frozen.len();
+    report.buffers_cleaned = frozen.iter().map(|(_, _, b)| b.len()).sum();
+
+    // Phase 2: clean.
+    let items = partition_work(frozen, &cfg.cleaner);
+    report.cleaner_messages = items.len();
+    let results = pool.clean_all(items);
+
+    // Phase 3: apply cleaned locations.
+    let by_vol: BTreeMap<VolumeId, &Arc<Volume>> =
+        volumes.iter().map(|v| (v.id(), v)).collect();
+    for r in &results {
+        let vol = by_vol[&r.vol];
+        if let Some(inode) = vol.inode(r.file) {
+            inode.lock().apply_cleaned(&r.cleaned);
+        }
+    }
+    // All bucket commits and staged frees must reach the metafiles before
+    // we flush them, and every partially filled tetris must be completed
+    // so the CP's data is on disk before the superblock commit: buckets
+    // still sitting in the cache are returned unused, which finishes
+    // their tetrises (WAFL's CP-end flush of the partial write I/O).
+    flush_bucket_cache(alloc);
+
+    // Phase 4: metafile flush (bounded fix-point).
+    flush_metafiles(cfg, volumes, alloc, mf_locs, cp_id, &mut report);
+    // The metafile flush allocated through buckets of its own; complete
+    // those tetrises too.
+    flush_bucket_cache(alloc);
+
+    // Phase 5: superblock commit.
+    let image = DiskImage {
+        cp_id,
+        volumes: volumes
+            .iter()
+            .map(|v| VolumeImage {
+                id: v.id(),
+                aggr: v.aggr(),
+                vvbn_total: v.vvbn().total(),
+                files: v
+                    .file_ids()
+                    .into_iter()
+                    .map(|f| {
+                        let inode = v.inode(f).expect("listed file exists");
+                        let map = inode
+                            .lock()
+                            .block_map()
+                            .iter()
+                            .map(|(k, p)| (*k, *p))
+                            .collect();
+                        (f, map)
+                    })
+                    .collect(),
+                snapshots: v.snapshots().snapshot_images(),
+            })
+            .collect(),
+        metafile_locs: mf_locs.snapshot(),
+    };
+    sb.commit(image);
+    nvlog.commit_cp();
+    report
+}
+
+/// Complete all in-flight tetrises by returning every cached bucket
+/// unused. Their reserved VBNs are released (no metafile dirt), and each
+/// tetris's outstanding count reaches zero, sending the write I/O.
+fn flush_bucket_cache(alloc: &Arc<Allocator>) {
+    // `flush_cache` retires buckets (no Immediate-mode re-refill), so
+    // this terminates under either reinsertion policy.
+    alloc.flush_cache();
+}
+
+/// Phase 4: write-allocate and write every dirty metafile block.
+fn flush_metafiles(
+    cfg: &FsConfig,
+    volumes: &[Arc<Volume>],
+    alloc: &Arc<Allocator>,
+    mf_locs: &MetafileLocs,
+    cp_id: u64,
+    report: &mut CpReport,
+) {
+    /// Distinguished file-id namespace for metafile stamps ("META").
+    const MF_STAMP_NS: u64 = 0x4D45_5441;
+
+    let take_dirty = |volumes: &[Arc<Volume>]| -> Vec<(MetafileSrc, u64)> {
+        let mut out: Vec<(MetafileSrc, u64)> = alloc
+            .infra()
+            .aggmap()
+            .take_dirty_blocks()
+            .into_iter()
+            .map(|b| (MetafileSrc::Aggregate, b))
+            .collect();
+        for v in volumes {
+            out.extend(
+                v.vvbn()
+                    .take_dirty_blocks()
+                    .into_iter()
+                    .map(|b| (MetafileSrc::Volume(v.id()), b)),
+            );
+        }
+        out
+    };
+
+    let io = Arc::clone(alloc.infra().io());
+    let mut bucket = None;
+    let mut stage = alloc.new_stage();
+    for round in 0..cfg.metafile_fixpoint_max {
+        let dirty = take_dirty(volumes);
+        if dirty.is_empty() {
+            break;
+        }
+        report.fixpoint_rounds = round + 1;
+        let last_round = round + 1 == cfg.metafile_fixpoint_max;
+        for (src, block) in dirty {
+            let stamp_src = match src {
+                MetafileSrc::Aggregate => MF_STAMP_NS,
+                MetafileSrc::Volume(v) => MF_STAMP_NS ^ (1 + v.0 as u64),
+            };
+            let stamp = wafl_blockdev::stamp(stamp_src, block, cp_id);
+            let prev = mf_locs.get(src, block);
+            if last_round {
+                // Bound reached: write in place (or allocate once for a
+                // block that has never had a location, dropping the
+                // resulting bitmap dirt after the loop).
+                match prev {
+                    Some(vbn) => {
+                        // Blocks written via alloc_one reach disk through
+                        // the bucket's tetris at PUT; in-place rewrites
+                        // need a direct write.
+                        io.write_vbn(vbn, stamp);
+                        report.metafile_blocks_written += 1;
+                    }
+                    None => {
+                        if let Some(vbn) = alloc_one(alloc, &mut bucket, stamp) {
+                            mf_locs.set(src, block, vbn);
+                            report.metafile_blocks_written += 1;
+                        }
+                    }
+                }
+            } else {
+                // Copy-on-write: new location, free the old. The data
+                // itself reaches disk through the bucket's tetris.
+                if let Some(vbn) = alloc_one(alloc, &mut bucket, stamp) {
+                    if let Some(old) = mf_locs.set(src, block, vbn) {
+                        alloc.free_vbn(&mut stage, old);
+                    }
+                    report.metafile_blocks_written += 1;
+                }
+            }
+        }
+        // Settle this round's allocations so the next round sees the
+        // metafile dirt they produced — otherwise the fix-point
+        // terminates vacuously after one round and bitmap updates leak
+        // into the next CP.
+        if let Some(b) = bucket.take() {
+            alloc.put_bucket(b);
+        }
+        alloc.flush_stage(&mut stage);
+        alloc.drain();
+        if last_round {
+            // Drop residual dirt produced by the in-place round's
+            // first-time allocations.
+            let residual = take_dirty(volumes);
+            report.residual_dirty_dropped += residual.len();
+            return;
+        }
+    }
+}
+
+/// Allocate a single VBN through the bucket API (metafile cleaning uses
+/// the same allocator as user data).
+fn alloc_one(
+    alloc: &Arc<Allocator>,
+    bucket: &mut Option<alligator::Bucket>,
+    stamp: wafl_blockdev::BlockStamp,
+) -> Option<Vbn> {
+    loop {
+        if let Some(b) = bucket.as_mut() {
+            if let Some(v) = b.use_vbn(stamp) {
+                return Some(v);
+            }
+        }
+        if let Some(old) = bucket.take() {
+            alloc.put_bucket(old);
+        }
+        *bucket = Some(alloc.get_bucket()?);
+    }
+}

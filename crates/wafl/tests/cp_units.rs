@@ -1,0 +1,149 @@
+//! Focused tests for the CP-support structures: metafile locations, the
+//! superblock store, and CP report semantics driven through the public
+//! file-system API.
+
+use wafl::cp::MetafileSrc;
+use wafl::{
+    DiskImage, ExecMode, FileId, Filesystem, FsConfig, MetafileLocs, SuperblockStore, VolumeId,
+};
+use wafl_blockdev::{stamp, DriveKind, GeometryBuilder, Vbn};
+
+#[test]
+fn metafile_locs_set_get_and_previous() {
+    let m = MetafileLocs::new();
+    assert!(m.is_empty());
+    assert_eq!(m.get(MetafileSrc::Aggregate, 3), None);
+    assert_eq!(m.set(MetafileSrc::Aggregate, 3, Vbn(100)), None);
+    assert_eq!(
+        m.set(MetafileSrc::Aggregate, 3, Vbn(200)),
+        Some(Vbn(100)),
+        "returns the old location for freeing"
+    );
+    assert_eq!(m.get(MetafileSrc::Aggregate, 3), Some(Vbn(200)));
+    // Distinct sources do not collide.
+    m.set(MetafileSrc::Volume(VolumeId(1)), 3, Vbn(300));
+    assert_eq!(m.get(MetafileSrc::Aggregate, 3), Some(Vbn(200)));
+    assert_eq!(m.len(), 2);
+}
+
+#[test]
+fn metafile_locs_snapshot_restore_roundtrip() {
+    let m = MetafileLocs::new();
+    m.set(MetafileSrc::Aggregate, 0, Vbn(10));
+    m.set(MetafileSrc::Volume(VolumeId(2)), 7, Vbn(20));
+    let snap = m.snapshot();
+    let r = MetafileLocs::restore(&snap);
+    assert_eq!(r.get(MetafileSrc::Aggregate, 0), Some(Vbn(10)));
+    assert_eq!(r.get(MetafileSrc::Volume(VolumeId(2)), 7), Some(Vbn(20)));
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn superblock_store_is_atomic_replace() {
+    let sb = SuperblockStore::new();
+    assert!(sb.load().is_none());
+    sb.commit(DiskImage {
+        cp_id: 1,
+        volumes: vec![],
+        metafile_locs: vec![],
+    });
+    assert_eq!(sb.load().unwrap().cp_id, 1);
+    sb.commit(DiskImage {
+        cp_id: 2,
+        volumes: vec![],
+        metafile_locs: vec![],
+    });
+    assert_eq!(sb.load().unwrap().cp_id, 2);
+}
+
+fn fs() -> Filesystem {
+    Filesystem::new(
+        FsConfig::default(),
+        GeometryBuilder::new()
+            .aa_stripes(128)
+            .raid_group(3, 1, 8192)
+            .build(),
+        DriveKind::Ssd,
+        ExecMode::Inline,
+    )
+}
+
+#[test]
+fn cp_report_counts_are_consistent() {
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    for file in 0..10u64 {
+        f.create_file(VolumeId(0), FileId(file));
+        for fbn in 0..7 {
+            f.write(VolumeId(0), FileId(file), fbn, stamp(file, fbn, 1));
+        }
+    }
+    let r = f.run_cp();
+    assert_eq!(r.cp_id, 1);
+    assert_eq!(r.inodes_cleaned, 10);
+    assert_eq!(r.buffers_cleaned, 70);
+    assert!(r.cleaner_messages >= 1);
+    assert!(r.metafile_blocks_written >= 1, "bitmap updates must flush");
+    assert!(r.fixpoint_rounds >= 1);
+}
+
+#[test]
+fn cp_ids_increase_monotonically() {
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    f.create_file(VolumeId(0), FileId(1));
+    for i in 1..=4u64 {
+        f.write(VolumeId(0), FileId(1), 0, stamp(1, 0, i));
+        let r = f.run_cp();
+        assert_eq!(r.cp_id, i);
+    }
+}
+
+#[test]
+fn metafile_flush_converges_within_bound() {
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    f.create_file(VolumeId(0), FileId(1));
+    for fbn in 0..500 {
+        f.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, 1));
+    }
+    let r = f.run_cp();
+    assert!(
+        r.fixpoint_rounds <= f.config().metafile_fixpoint_max,
+        "fix-point respects the bound"
+    );
+    // The residual dirt dropped at the bound must stay tiny (a handful
+    // of self-referential bitmap blocks).
+    assert!(
+        r.residual_dirty_dropped <= 4,
+        "residual dirt bounded: {}",
+        r.residual_dirty_dropped
+    );
+}
+
+#[test]
+fn superblock_image_contains_every_committed_file() {
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    f.create_volume(VolumeId(1));
+    f.create_file(VolumeId(0), FileId(1));
+    f.create_file(VolumeId(1), FileId(9));
+    f.write(VolumeId(0), FileId(1), 0, 0xA);
+    f.write(VolumeId(1), FileId(9), 0, 0xB);
+    f.run_cp();
+    // Reach the image through crash recovery (the public path).
+    let r = f.crash_and_recover(ExecMode::Inline);
+    assert_eq!(r.read_persisted(VolumeId(0), FileId(1), 0), Some(0xA));
+    assert_eq!(r.read_persisted(VolumeId(1), FileId(9), 0), Some(0xB));
+}
+
+#[test]
+fn empty_files_survive_the_image() {
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    f.create_file(VolumeId(0), FileId(5)); // never written
+    f.run_cp();
+    let r = f.crash_and_recover(ExecMode::Inline);
+    let v = r.volume(VolumeId(0)).unwrap();
+    assert!(v.has_file(FileId(5)), "created-but-empty file persists");
+}

@@ -1,0 +1,234 @@
+//! Snapshot semantics: retained CP images share blocks with the active
+//! file system, overwrites must not free snapshot-referenced blocks, and
+//! snapshot deletion reclaims exactly the exclusively-owned blocks.
+
+use wafl::{ExecMode, FileId, Filesystem, FsConfig, VolumeId};
+use wafl_blockdev::{stamp, DriveKind, GeometryBuilder};
+
+fn fs() -> Filesystem {
+    Filesystem::new(
+        FsConfig::default(),
+        GeometryBuilder::new()
+            .aa_stripes(128)
+            .raid_group(3, 1, 16 * 1024)
+            .build(),
+        DriveKind::Ssd,
+        ExecMode::Inline,
+    )
+}
+
+#[test]
+fn snapshot_preserves_old_data_across_overwrites() {
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    f.create_file(VolumeId(0), FileId(1));
+    for fbn in 0..64 {
+        f.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, 1));
+    }
+    assert!(f.create_snapshot(VolumeId(0), "gen1"));
+    // Overwrite everything twice.
+    for generation in 2..=3u64 {
+        for fbn in 0..64 {
+            f.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, generation));
+        }
+        f.run_cp();
+    }
+    // Active sees generation 3; the snapshot still reads generation 1
+    // from the shared (never-overwritten-in-place) blocks.
+    for fbn in 0..64 {
+        assert_eq!(
+            f.read_persisted(VolumeId(0), FileId(1), fbn),
+            Some(stamp(1, fbn, 3))
+        );
+        assert_eq!(
+            f.read_snapshot(VolumeId(0), "gen1", FileId(1), fbn),
+            Some(stamp(1, fbn, 1)),
+            "snapshot data intact at fbn {fbn}"
+        );
+    }
+    f.verify_integrity().unwrap();
+}
+
+#[test]
+fn snapshot_blocks_are_not_freed_by_overwrites() {
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    f.create_file(VolumeId(0), FileId(1));
+    for fbn in 0..100 {
+        f.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, 1));
+    }
+    f.create_snapshot(VolumeId(0), "s");
+    let free_before = f.allocator().infra().aggmap().free_count();
+    // Overwrite all 100 blocks: new blocks allocated, old ones RETAINED
+    // by the snapshot (not freed).
+    for fbn in 0..100 {
+        f.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, 2));
+    }
+    f.run_cp();
+    let free_after = f.allocator().infra().aggmap().free_count();
+    let consumed = free_before - free_after;
+    assert!(
+        consumed >= 100,
+        "overwrite under a snapshot must consume ~100 new blocks (old ones \
+         retained): consumed {consumed}"
+    );
+    f.verify_integrity().unwrap();
+}
+
+#[test]
+fn delete_snapshot_reclaims_exclusive_blocks_only() {
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    f.create_file(VolumeId(0), FileId(1));
+    for fbn in 0..50 {
+        f.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, 1));
+    }
+    f.create_snapshot(VolumeId(0), "s");
+    // Overwrite half: those 25 old blocks become snapshot-exclusive.
+    for fbn in 0..25 {
+        f.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, 2));
+    }
+    f.run_cp();
+    let free_before = f.allocator().infra().aggmap().free_count();
+    let reclaimed = f.delete_snapshot(VolumeId(0), "s").unwrap();
+    f.allocator().drain();
+    assert_eq!(reclaimed, 25, "only the overwritten blocks were exclusive");
+    let free_after = f.allocator().infra().aggmap().free_count();
+    assert_eq!(free_after, free_before + 25);
+    // Active data unaffected.
+    assert_eq!(
+        f.read_persisted(VolumeId(0), FileId(1), 0),
+        Some(stamp(1, 0, 2))
+    );
+    assert_eq!(
+        f.read_persisted(VolumeId(0), FileId(1), 40),
+        Some(stamp(1, 40, 1))
+    );
+    f.run_cp();
+    f.verify_integrity().unwrap();
+}
+
+#[test]
+fn multiple_snapshots_share_blocks_safely() {
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    f.create_file(VolumeId(0), FileId(1));
+    f.write(VolumeId(0), FileId(1), 0, 0xA1);
+    f.create_snapshot(VolumeId(0), "s1");
+    f.create_snapshot(VolumeId(0), "s2"); // same block in both
+    f.write(VolumeId(0), FileId(1), 0, 0xA2);
+    f.run_cp();
+    // Deleting s1 must not free the block: s2 still references it.
+    assert_eq!(f.delete_snapshot(VolumeId(0), "s1"), Some(0));
+    assert_eq!(
+        f.read_snapshot(VolumeId(0), "s2", FileId(1), 0),
+        Some(0xA1),
+        "s2 still reads the shared block"
+    );
+    // Deleting s2 reclaims it.
+    assert_eq!(f.delete_snapshot(VolumeId(0), "s2"), Some(1));
+    f.allocator().drain();
+    f.run_cp();
+    f.verify_integrity().unwrap();
+}
+
+#[test]
+fn deleted_file_lives_on_in_snapshot_until_snapshot_dies() {
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    f.create_file(VolumeId(0), FileId(7));
+    for fbn in 0..10 {
+        f.write(VolumeId(0), FileId(7), fbn, stamp(7, fbn, 1));
+    }
+    f.create_snapshot(VolumeId(0), "keep");
+    let free_before = f.allocator().infra().aggmap().free_count();
+    assert!(f.delete_file(VolumeId(0), FileId(7)));
+    f.allocator().drain();
+    // Nothing freed: the snapshot holds every block.
+    assert_eq!(f.allocator().infra().aggmap().free_count(), free_before);
+    assert_eq!(f.read(VolumeId(0), FileId(7), 3), None, "active file gone");
+    assert_eq!(
+        f.read_snapshot(VolumeId(0), "keep", FileId(7), 3),
+        Some(stamp(7, 3, 1)),
+        "snapshot still serves the deleted file"
+    );
+    // Snapshot deletion finally reclaims the space.
+    assert_eq!(f.delete_snapshot(VolumeId(0), "keep"), Some(10));
+    f.allocator().drain();
+    assert_eq!(
+        f.allocator().infra().aggmap().free_count(),
+        free_before + 10
+    );
+    f.run_cp();
+    f.verify_integrity().unwrap();
+}
+
+#[test]
+fn snapshots_survive_crash_recovery() {
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    f.create_file(VolumeId(0), FileId(1));
+    for fbn in 0..20 {
+        f.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, 1));
+    }
+    f.create_snapshot(VolumeId(0), "durable");
+    for fbn in 0..20 {
+        f.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, 2));
+    }
+    f.run_cp();
+    let r = f.crash_and_recover(ExecMode::Inline);
+    // The snapshot came back with the image…
+    assert_eq!(
+        r.read_snapshot(VolumeId(0), "durable", FileId(1), 5),
+        Some(stamp(1, 5, 1))
+    );
+    // …and its blocks are protected from post-recovery allocation.
+    r.create_file(VolumeId(0), FileId(2));
+    for fbn in 0..200 {
+        r.write(VolumeId(0), FileId(2), fbn, stamp(2, fbn, 1));
+    }
+    r.run_cp();
+    assert_eq!(
+        r.read_snapshot(VolumeId(0), "durable", FileId(1), 5),
+        Some(stamp(1, 5, 1)),
+        "snapshot blocks never clobbered after recovery"
+    );
+    r.verify_integrity().unwrap();
+}
+
+#[test]
+fn duplicate_snapshot_names_rejected() {
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    f.create_file(VolumeId(0), FileId(1));
+    f.write(VolumeId(0), FileId(1), 0, 1);
+    assert!(f.create_snapshot(VolumeId(0), "x"));
+    assert!(!f.create_snapshot(VolumeId(0), "x"));
+    assert!(f.delete_snapshot(VolumeId(0), "missing").is_none());
+}
+
+#[test]
+fn truncate_under_snapshot_retains_blocks() {
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    f.create_file(VolumeId(0), FileId(1));
+    for fbn in 0..30 {
+        f.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, 1));
+    }
+    f.create_snapshot(VolumeId(0), "s");
+    let free_before = f.allocator().infra().aggmap().free_count();
+    f.truncate(VolumeId(0), FileId(1), 10);
+    f.allocator().drain();
+    assert_eq!(
+        f.allocator().infra().aggmap().free_count(),
+        free_before,
+        "truncated blocks belong to the snapshot, not the free pool"
+    );
+    assert_eq!(
+        f.read_snapshot(VolumeId(0), "s", FileId(1), 25),
+        Some(stamp(1, 25, 1))
+    );
+    assert_eq!(f.delete_snapshot(VolumeId(0), "s"), Some(20));
+    f.run_cp();
+    f.verify_integrity().unwrap();
+}

@@ -1,0 +1,24 @@
+//! # wafl-repro — workspace root
+//!
+//! This crate re-exports the workspace's public surface for convenience
+//! and hosts the runnable examples (`examples/`) and cross-crate
+//! integration tests (`tests/`).
+//!
+//! The reproduction implements *Scalable Write Allocation in the WAFL
+//! File System* (ICPP 2017). Start with:
+//!
+//! * [`wafl::Filesystem`] — the end-to-end file system (see
+//!   `examples/quickstart.rs`);
+//! * [`alligator`] — the White Alligator write allocator (the paper's
+//!   contribution);
+//! * [`wafl_simsrv`] — the many-core storage-server model that
+//!   regenerates the paper's figures.
+
+#![warn(missing_docs)]
+
+pub use alligator;
+pub use waffinity;
+pub use wafl;
+pub use wafl_blockdev;
+pub use wafl_metafile;
+pub use wafl_simsrv;

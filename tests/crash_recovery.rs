@@ -1,0 +1,164 @@
+//! Crash/recovery matrix: CP atomicity and NVRAM replay (§II-C;
+//! DESIGN.md §8.5).
+
+use wafl::{ExecMode, FileId, Filesystem, FsConfig, VolumeId};
+use wafl_blockdev::{stamp, DriveKind, GeometryBuilder};
+
+fn fs() -> Filesystem {
+    Filesystem::new(
+        FsConfig::default(),
+        GeometryBuilder::new()
+            .aa_stripes(128)
+            .raid_group(3, 1, 16 * 1024)
+            .build(),
+        DriveKind::Ssd,
+        ExecMode::Inline,
+    )
+}
+
+#[test]
+fn crash_with_no_committed_cp_replays_all_ops() {
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    f.create_file(VolumeId(0), FileId(1));
+    for fbn in 0..50 {
+        f.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, 1));
+    }
+    let r = f.crash_and_recover(ExecMode::Inline);
+    for fbn in 0..50 {
+        assert_eq!(r.read(VolumeId(0), FileId(1), fbn), Some(stamp(1, fbn, 1)));
+    }
+    r.run_cp();
+    r.verify_integrity().unwrap();
+}
+
+#[test]
+fn crash_between_cps_loses_nothing() {
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    f.create_file(VolumeId(0), FileId(1));
+    // Committed state.
+    for fbn in 0..100 {
+        f.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, 1));
+    }
+    f.run_cp();
+    // Acknowledged-only state: partial overwrites + a new file.
+    for fbn in 0..30 {
+        f.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, 2));
+    }
+    f.create_file(VolumeId(0), FileId(2));
+    f.write(VolumeId(0), FileId(2), 0, 0x42);
+
+    let r = f.crash_and_recover(ExecMode::Inline);
+    for fbn in 0..30 {
+        assert_eq!(r.read(VolumeId(0), FileId(1), fbn), Some(stamp(1, fbn, 2)));
+    }
+    for fbn in 30..100 {
+        assert_eq!(r.read(VolumeId(0), FileId(1), fbn), Some(stamp(1, fbn, 1)));
+    }
+    assert_eq!(r.read(VolumeId(0), FileId(2), 0), Some(0x42));
+    r.run_cp();
+    r.verify_integrity().unwrap();
+}
+
+#[test]
+fn repeated_crash_recover_cycles_converge() {
+    let mut current = fs();
+    current.create_volume(VolumeId(0));
+    current.create_file(VolumeId(0), FileId(1));
+    for cycle in 1..=6u64 {
+        for fbn in 0..40 {
+            current.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, cycle));
+        }
+        if cycle % 2 == 0 {
+            current.run_cp(); // even cycles commit before crashing
+        }
+        current = current.crash_and_recover(ExecMode::Inline);
+        for fbn in 0..40 {
+            assert_eq!(
+                current.read(VolumeId(0), FileId(1), fbn),
+                Some(stamp(1, fbn, cycle)),
+                "cycle {cycle} fbn {fbn}"
+            );
+        }
+    }
+    current.run_cp();
+    current.verify_integrity().unwrap();
+}
+
+#[test]
+fn recovery_frees_nothing_it_should_not() {
+    // After recovery, the free count must equal total minus exactly the
+    // blocks referenced by the recovered image.
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    f.create_file(VolumeId(0), FileId(1));
+    for fbn in 0..64 {
+        f.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, 1));
+    }
+    f.run_cp();
+    let r = f.crash_and_recover(ExecMode::Inline);
+    let total = r.io().geometry().total_vbns();
+    let free = r.allocator().infra().aggmap().free_count();
+    let used = total - free;
+    // 64 data blocks + metafile blocks (small).
+    assert!(used >= 64, "committed data blocks are adopted: used {used}");
+    assert!(used < 64 + 32, "no wild over-adoption: used {used}");
+    r.allocator().infra().aggmap().verify().unwrap();
+}
+
+#[test]
+fn post_recovery_writes_commit_with_pool_executor() {
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    f.create_file(VolumeId(0), FileId(1));
+    for fbn in 0..32 {
+        f.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, 1));
+    }
+    f.run_cp();
+    // Recover into a pool-backed instance and keep working.
+    let r = f.crash_and_recover(ExecMode::Pool(2));
+    for fbn in 32..64 {
+        r.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, 1));
+    }
+    r.run_cp();
+    for fbn in 0..64 {
+        assert_eq!(
+            r.read_persisted(VolumeId(0), FileId(1), fbn),
+            Some(stamp(1, fbn, 1))
+        );
+    }
+    r.verify_integrity().unwrap();
+}
+
+#[test]
+fn double_crash_without_intervening_cp_keeps_committed_image() {
+    // Regression: the superblock must survive recovery itself — a second
+    // crash before any post-recovery CP must still find the image.
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    f.create_file(VolumeId(0), FileId(1));
+    f.write(VolumeId(0), FileId(1), 0, 0x77);
+    f.run_cp();
+    let once = f.crash_and_recover(ExecMode::Inline);
+    let twice = once.crash_and_recover(ExecMode::Inline);
+    assert_eq!(twice.read(VolumeId(0), FileId(1), 0), Some(0x77));
+    assert_eq!(twice.read_persisted(VolumeId(0), FileId(1), 0), Some(0x77));
+    twice.verify_integrity().unwrap();
+}
+
+#[test]
+fn uncommitted_data_never_visible_via_read_persisted() {
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    f.create_file(VolumeId(0), FileId(1));
+    f.write(VolumeId(0), FileId(1), 0, 0xA);
+    f.run_cp();
+    f.write(VolumeId(0), FileId(1), 0, 0xB); // acknowledged, not committed
+    assert_eq!(f.read(VolumeId(0), FileId(1), 0), Some(0xB));
+    assert_eq!(
+        f.read_persisted(VolumeId(0), FileId(1), 0),
+        Some(0xA),
+        "the durable view lags until the next CP"
+    );
+}

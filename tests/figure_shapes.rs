@@ -1,0 +1,180 @@
+//! Figure-shape regression tests: quick simulator runs asserting the
+//! qualitative claims of every evaluation artifact (§V). The full-length
+//! reproductions live in the `wafl-bench` `fig*` binaries; these tests
+//! keep the shapes from regressing.
+
+use wafl_simsrv::scenario::{
+    batching_comparison, chunk_sweep, cleaner_thread_sweep, infra_comparison, knee_sweep,
+    permutation_sweep,
+};
+use wafl_simsrv::{CleanerSetting, SimConfig, Simulator, WorkloadKind};
+
+fn quick(workload: WorkloadKind) -> SimConfig {
+    let mut c = SimConfig::paper_platform(workload);
+    c.duration_ns = 400_000_000;
+    c.warmup_ns = 100_000_000;
+    c
+}
+
+#[test]
+fn fig4_shape_sequential_write() {
+    let rows = permutation_sweep(
+        &quick(WorkloadKind::sequential_write()),
+        CleanerSetting::dynamic_default(8),
+    );
+    let base = rows[0].result.throughput_ops;
+    let infra_only = rows[1].result.throughput_ops / base;
+    let cleaners_only = rows[2].result.throughput_ops / base;
+    let both = rows[3].result.throughput_ops / base;
+    // Paper: +7% / +82% / +274%.
+    assert!(infra_only < 1.25, "infra-only is a small gain: {infra_only:.2}");
+    assert!(
+        (1.5..2.6).contains(&cleaners_only),
+        "cleaners-only roughly doubles: {cleaners_only:.2}"
+    );
+    assert!(both > 3.0, "full parallelization ≳3×: {both:.2}");
+    assert!(both > cleaners_only + 0.5);
+    // Write allocation consumes several cores at full parallelization.
+    let full = &rows[3].result;
+    let wa = full.write_alloc_cores();
+    assert!((4.0..9.0).contains(&wa), "≈6 write-allocation cores: {wa:.2}");
+    assert!(full.total_cores() > 17.0, "system saturates");
+}
+
+#[test]
+fn fig5_shape_near_linear_then_saturation() {
+    let rows = cleaner_thread_sweep(
+        &quick(WorkloadKind::sequential_write()),
+        &[1, 2, 4, 6],
+    );
+    let t: Vec<f64> = rows.iter().map(|(_, r)| r.throughput_ops).collect();
+    assert!(t[1] > t[0] * 1.7, "2 cleaners ≈ 2×: {:.0} vs {:.0}", t[1], t[0]);
+    assert!(t[2] > t[1] * 1.5, "4 cleaners keep scaling");
+    // Saturation: 6 cleaners no better than 4 by much (CPU bound).
+    assert!(t[3] < t[2] * 1.15, "saturates near 4 cleaners");
+}
+
+#[test]
+fn fig6_shape_infra_cores_and_throughput() {
+    let (serial, parallel) = infra_comparison(&quick(WorkloadKind::sequential_write()), 4);
+    let s_cores = serial.usage.infra_cores(serial.measured_ns);
+    let p_cores = parallel.usage.infra_cores(parallel.measured_ns);
+    // Paper: 0.94 → 2.35 cores, +106% throughput.
+    assert!(s_cores <= 1.05, "serialized infra is capped at one core: {s_cores:.2}");
+    assert!(p_cores > 1.5, "parallel infra exceeds one core: {p_cores:.2}");
+    let gain = parallel.throughput_ops / serial.throughput_ops;
+    assert!((1.6..2.7).contains(&gain), "≈2× throughput: {gain:.2}");
+}
+
+#[test]
+fn fig7_shape_random_write_inversion() {
+    let rows = permutation_sweep(
+        &quick(WorkloadKind::random_write()),
+        CleanerSetting::dynamic_default(8),
+    );
+    let base = rows[0].result.throughput_ops;
+    let infra_only = rows[1].result.throughput_ops / base;
+    let cleaners_only = rows[2].result.throughput_ops / base;
+    let both = rows[3].result.throughput_ops / base;
+    // Paper: random write inverts — infra-only (+25%) > cleaners-only
+    // (+14%); both +50%.
+    assert!(
+        infra_only > cleaners_only,
+        "random write is infra-bound: infra {infra_only:.2} vs cleaners {cleaners_only:.2}"
+    );
+    assert!((1.2..2.2).contains(&both), "both ≈ +50..100%: {both:.2}");
+    // And the gain structure differs from sequential write: cleaners-only
+    // matters much less here.
+    assert!(cleaners_only < 1.25);
+}
+
+#[test]
+fn fig7_mechanism_random_frees_touch_many_metafile_blocks() {
+    let seq = Simulator::new(quick(WorkloadKind::sequential_write())).run();
+    let rand = Simulator::new(quick(WorkloadKind::random_write())).run();
+    let seq_per_stage = seq.free_mf_blocks as f64 / seq.refills.max(1) as f64;
+    let _ = seq_per_stage;
+    // Normalize by blocks written: metafile blocks per thousand frees.
+    let seq_rate = seq.free_mf_blocks as f64 / seq.blocks_written.max(1) as f64;
+    let rand_rate = rand.free_mf_blocks as f64 / rand.blocks_written.max(1) as f64;
+    assert!(
+        rand_rate > seq_rate * 20.0,
+        "random frees dirty ≫ more metafile blocks: seq {seq_rate:.4} vs rand {rand_rate:.4}"
+    );
+}
+
+#[test]
+fn fig8_shape_two_cleaners_beat_one_and_dynamic_matches_best() {
+    let mut cfg = quick(WorkloadKind::oltp());
+    cfg.costs.read_media_latency = 900_000;
+    let settings = vec![
+        ("1".to_string(), CleanerSetting::Fixed(1)),
+        ("2".to_string(), CleanerSetting::Fixed(2)),
+        ("4".to_string(), CleanerSetting::Fixed(4)),
+        ("dyn".to_string(), CleanerSetting::dynamic_default(4)),
+    ];
+    let rows = knee_sweep(&cfg, &settings, &[4, 8, 16, 32, 64]);
+    let one = rows[0].peak_throughput;
+    let two = rows[1].peak_throughput;
+    let four = rows[2].peak_throughput;
+    let dynamic = rows[3].peak_throughput;
+    assert!(two > one * 1.03, "second cleaner lifts peak: {one:.0} → {two:.0}");
+    assert!(four <= two * 1.02, "beyond two threads stops helping: {two:.0} vs {four:.0}");
+    assert!(
+        dynamic > two * 0.97,
+        "dynamic ≈ best static: {dynamic:.0} vs {two:.0}"
+    );
+}
+
+#[test]
+fn fig9_shape_latency_grows_past_knee_and_dynamic_tracks_best() {
+    let cfg = quick(WorkloadKind::sequential_write());
+    let settings = vec![
+        ("1".to_string(), CleanerSetting::Fixed(1)),
+        ("4".to_string(), CleanerSetting::Fixed(4)),
+        ("dyn".to_string(), CleanerSetting::dynamic_default(4)),
+    ];
+    let rows = knee_sweep(&cfg, &settings, &[4, 8, 16, 32]);
+    for r in &rows {
+        let lat: Vec<u64> = r.curve.iter().map(|p| p.latency_ns).collect();
+        assert!(
+            lat.last().unwrap() > lat.first().unwrap(),
+            "latency grows with load for setting {}",
+            r.setting
+        );
+    }
+    let peak1 = rows[0].peak_throughput;
+    let peak4 = rows[1].peak_throughput;
+    let peak_dyn = rows[2].peak_throughput;
+    assert!(peak4 > peak1 * 2.0, "4 cleaners ≫ 1 at peak");
+    assert!(peak_dyn > peak4 * 0.9, "dynamic near the best static peak");
+}
+
+#[test]
+fn batching_table_shape() {
+    let mut cfg = quick(WorkloadKind::nfs_mix());
+    cfg.costs.read_media_latency = 900_000;
+    let (on, off) = batching_comparison(&cfg);
+    assert!(
+        on.cleaner_messages < off.cleaner_messages,
+        "batching reduces messages"
+    );
+    assert!(
+        on.throughput_ops > off.throughput_ops,
+        "…and that translates to throughput: {} vs {}",
+        on.throughput_ops,
+        off.throughput_ops
+    );
+    assert!(on.latency.mean_ns <= off.latency.mean_ns);
+}
+
+#[test]
+fn chunk_ablation_shape() {
+    let rows = chunk_sweep(&quick(WorkloadKind::sequential_write()), &[1, 64]);
+    let t1 = rows[0].1.throughput_ops;
+    let t64 = rows[1].1.throughput_ops;
+    assert!(
+        t64 > t1 * 2.0,
+        "per-VBN allocation (chunk 1) collapses throughput: {t1:.0} vs {t64:.0}"
+    );
+}

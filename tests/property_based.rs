@@ -1,0 +1,239 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! full stack: random operation sequences must preserve the DESIGN.md §8
+//! invariants.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use wafl::{ExecMode, FileId, Filesystem, FsConfig, VolumeId};
+use wafl_blockdev::{stamp, DriveKind, GeometryBuilder, Vbn};
+use wafl_metafile::{ActiveMap, AggregateMap, LooseCounter};
+
+// ---------------------------------------------------------------------
+// ActiveMap: reservation/commit/free conservation under random schedules
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Reserve(u64),
+    Release(usize),
+    CommitFreeLater(usize),
+    FreeCommitted(usize),
+}
+
+fn map_ops() -> impl Strategy<Value = Vec<MapOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..512).prop_map(MapOp::Reserve),
+            (0usize..64).prop_map(MapOp::Release),
+            (0usize..64).prop_map(MapOp::CommitFreeLater),
+            (0usize..64).prop_map(MapOp::FreeCommitted),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn activemap_free_count_is_exact_under_any_schedule(ops in map_ops()) {
+        let map = ActiveMap::new(512);
+        let mut reserved: Vec<u64> = Vec::new();
+        let mut committed: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                MapOp::Reserve(idx) => {
+                    if map.reserve(idx).is_ok() {
+                        reserved.push(idx);
+                    }
+                }
+                MapOp::Release(i) => {
+                    if !reserved.is_empty() {
+                        let idx = reserved.swap_remove(i % reserved.len());
+                        map.release(idx).unwrap();
+                    }
+                }
+                MapOp::CommitFreeLater(i) => {
+                    if !reserved.is_empty() {
+                        let idx = reserved.swap_remove(i % reserved.len());
+                        map.commit_used(idx).unwrap();
+                        committed.push(idx);
+                    }
+                }
+                MapOp::FreeCommitted(i) => {
+                    if !committed.is_empty() {
+                        let idx = committed.swap_remove(i % committed.len());
+                        map.free(idx).unwrap();
+                    }
+                }
+            }
+            // The running free count is always exact.
+            prop_assert_eq!(map.free_count(), map.recount_free());
+        }
+        // Conservation: used bits == reserved + committed outstanding.
+        let outstanding = (reserved.len() + committed.len()) as u64;
+        prop_assert_eq!(map.free_count(), 512 - outstanding);
+    }
+
+    #[test]
+    fn reserve_scan_yields_sorted_unique_free_blocks(
+        start in 0u64..256,
+        len in 1u64..256,
+        max in 1usize..100,
+        presets in prop::collection::btree_set(0u64..256, 0..64),
+    ) {
+        let map = ActiveMap::new(256);
+        for &p in &presets {
+            map.reserve(p).unwrap();
+        }
+        let got = map.reserve_scan(start, start + len, max);
+        prop_assert!(got.len() <= max);
+        for w in got.windows(2) {
+            prop_assert!(w[0] < w[1], "ascending, unique");
+        }
+        for &idx in &got {
+            prop_assert!(idx >= start && idx < (start + len).min(256));
+            prop_assert!(!presets.contains(&idx), "never returns a used block");
+            prop_assert!(map.is_used(idx), "returned blocks are now reserved");
+        }
+    }
+
+    #[test]
+    fn loose_counter_reconciles_exactly(
+        deltas in prop::collection::vec(-100i64..100, 1..500),
+        threshold in 0i64..64,
+    ) {
+        let c = LooseCounter::new(0);
+        {
+            let mut t = c.token(threshold);
+            for &d in &deltas {
+                t.add(d);
+            }
+        } // drop flushes
+        prop_assert_eq!(c.value_loose(), deltas.iter().sum::<i64>());
+    }
+}
+
+// ---------------------------------------------------------------------
+// AggregateMap + allocator: random reserve/commit/free workloads
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn aggmap_invariants_under_random_bucket_traffic(
+        chunks in prop::collection::vec((0u32..2, 0u32..3, 1usize..48), 1..40),
+    ) {
+        let geo = Arc::new(
+            GeometryBuilder::new()
+                .aa_stripes(32)
+                .raid_group(3, 1, 512)
+                .raid_group(2, 1, 512)
+                .build(),
+        );
+        let am = AggregateMap::new(Arc::clone(&geo));
+        let mut live: Vec<Vbn> = Vec::new();
+        for (rg, drive, n) in chunks {
+            let rg = wafl_blockdev::RaidGroupId(rg % 2);
+            let width = geo.raid_group(rg).width();
+            let drive = drive % width;
+            if let Some(aa) = am.select_aa(rg) {
+                let dbns = geo.aa_dbn_range(aa);
+                let got = am.reserve_in_aa(aa, drive, dbns.start, n);
+                for (i, v) in got.into_iter().enumerate() {
+                    if i % 3 == 0 {
+                        am.release(v).unwrap();
+                    } else {
+                        am.commit_used(v).unwrap();
+                        live.push(v);
+                    }
+                }
+            }
+            // Periodically free some committed blocks.
+            while live.len() > 64 {
+                let v = live.swap_remove(live.len() / 2);
+                am.free(v).unwrap();
+            }
+        }
+        am.verify().unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Full stack: arbitrary write/overwrite/CP/crash schedules
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum FsOp {
+    Write { file: u8, fbn: u8 },
+    RunCp,
+    Crash,
+}
+
+fn fs_ops() -> impl Strategy<Value = Vec<FsOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            6 => (0u8..4, 0u8..32).prop_map(|(file, fbn)| FsOp::Write { file, fbn }),
+            1 => Just(FsOp::RunCp),
+            1 => Just(FsOp::Crash),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn filesystem_matches_oracle_under_random_schedules(ops in fs_ops()) {
+        let mut fs = Filesystem::new(
+            FsConfig::default(),
+            GeometryBuilder::new()
+                .aa_stripes(64)
+                .raid_group(3, 1, 4096)
+                .build(),
+            DriveKind::Ssd,
+            ExecMode::Inline,
+        );
+        fs.create_volume(VolumeId(0));
+        for f in 0..4u64 {
+            fs.create_file(VolumeId(0), FileId(f));
+        }
+        // Oracle: a plain map of acknowledged contents.
+        let mut oracle = std::collections::HashMap::new();
+        let mut version = 0u64;
+        for op in ops {
+            match op {
+                FsOp::Write { file, fbn } => {
+                    version += 1;
+                    let s = stamp(file as u64, fbn as u64, version);
+                    fs.write(VolumeId(0), FileId(file as u64), fbn as u64, s);
+                    oracle.insert((file, fbn), s);
+                }
+                FsOp::RunCp => {
+                    fs.run_cp();
+                }
+                FsOp::Crash => {
+                    fs = fs.crash_and_recover(ExecMode::Inline);
+                }
+            }
+            // Acknowledged data is always visible, through CPs and
+            // crashes alike.
+            for (&(file, fbn), &expect) in &oracle {
+                prop_assert_eq!(
+                    fs.read(VolumeId(0), FileId(file as u64), fbn as u64),
+                    Some(expect)
+                );
+            }
+        }
+        fs.run_cp();
+        fs.verify_integrity().unwrap();
+        for (&(file, fbn), &expect) in &oracle {
+            prop_assert_eq!(
+                fs.read_persisted(VolumeId(0), FileId(file as u64), fbn as u64),
+                Some(expect)
+            );
+        }
+    }
+}
