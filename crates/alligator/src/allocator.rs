@@ -500,7 +500,10 @@ mod tests {
         while b.use_vbn(3).is_some() {}
         a.put_bucket(b);
         a.drain();
-        assert!(pool.messages_in(Affinity::Serial) >= 2, "refill + commit in Serial");
+        assert!(
+            pool.messages_in(Affinity::Serial) >= 2,
+            "refill + commit in Serial"
+        );
         assert_eq!(pool.messages_in(Affinity::AggrVbnRange(0, 0)), 0);
     }
 }

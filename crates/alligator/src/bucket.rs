@@ -50,6 +50,7 @@ impl Bucket {
     ///
     /// # Panics
     /// Panics if `vbns` is empty or not ascending.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rg: RaidGroupId,
         drive_in_rg: u32,
@@ -175,9 +176,7 @@ impl Bucket {
 
     /// Are the VBNs fully contiguous (the §IV-C definition)?
     pub fn is_contiguous(&self) -> bool {
-        self.vbns
-            .windows(2)
-            .all(|w| w[1].0 == w[0].0 + 1)
+        self.vbns.windows(2).all(|w| w[1].0 == w[0].0 + 1)
     }
 
     /// Tear the bucket down for PUT: deposit recorded writes into the
@@ -198,6 +197,7 @@ impl Bucket {
             ..
         } = self;
         let io = tetris.deposit_and_complete(drive_in_rg, writes);
+        let io_error = matches!(io, Some(Err(_)));
         FinishedBucket {
             rg,
             drive_in_rg,
@@ -206,6 +206,7 @@ impl Bucket {
             consumed: vbns[..next].to_vec(),
             unused: vbns[next..].to_vec(),
             io_submitted: io.is_some(),
+            io_error,
             generation,
         }
     }
@@ -241,6 +242,9 @@ pub struct FinishedBucket {
     pub unused: Vec<Vbn>,
     /// Whether this PUT completed its tetris and submitted the RAID I/O.
     pub io_submitted: bool,
+    /// Whether the submitted RAID I/O failed terminally (only meaningful
+    /// when `io_submitted` is true).
+    pub io_error: bool,
     /// Refill generation.
     pub generation: u64,
 }
@@ -319,8 +323,9 @@ mod tests {
         assert_eq!(f.consumed, vec![Vbn(5), Vbn(6)]);
         assert_eq!(f.unused, vec![Vbn(7), Vbn(8)]);
         assert!(f.io_submitted, "last bucket of the tetris submits");
-        assert_eq!(engine.read_vbn(Vbn(5)), 0xaa);
-        assert_eq!(engine.read_vbn(Vbn(6)), 0xbb);
+        assert!(!f.io_error);
+        assert_eq!(engine.read_vbn(Vbn(5)).unwrap(), 0xaa);
+        assert_eq!(engine.read_vbn(Vbn(6)).unwrap(), 0xbb);
     }
 
     #[test]
@@ -343,7 +348,7 @@ mod tests {
         assert_eq!(b.base_dbn(), 0);
         b.use_vbn(0x42);
         b.finish();
-        assert_eq!(engine.read_vbn(Vbn(256)), 0x42);
+        assert_eq!(engine.read_vbn(Vbn(256)).unwrap(), 0x42);
     }
 
     #[test]

@@ -75,11 +75,7 @@ impl BucketCache {
         }
         let deadline = std::time::Instant::now() + timeout;
         loop {
-            if self
-                .available
-                .wait_until(&mut q, deadline)
-                .timed_out()
-            {
+            if self.available.wait_until(&mut q, deadline).timed_out() {
                 return q.pop_front();
             }
             if let Some(b) = q.pop_front() {
@@ -95,9 +91,7 @@ mod tests {
     use crate::stats::AllocStats;
     use crate::tetris::Tetris;
     use std::sync::Arc;
-    use wafl_blockdev::{
-        AaId, DriveId, DriveKind, GeometryBuilder, IoEngine, RaidGroupId, Vbn,
-    };
+    use wafl_blockdev::{AaId, DriveId, DriveKind, GeometryBuilder, IoEngine, RaidGroupId, Vbn};
 
     fn mk_bucket(start: u64) -> Bucket {
         let engine = Arc::new(IoEngine::new(
@@ -168,7 +162,8 @@ mod tests {
         for _ in 0..4 {
             let c = Arc::clone(&c);
             handles.push(std::thread::spawn(move || {
-                c.get_timeout(Duration::from_secs(5)).map(|b| b.start_vbn().0)
+                c.get_timeout(Duration::from_secs(5))
+                    .map(|b| b.start_vbn().0)
             }));
         }
         c.insert_all((0..4).map(|i| mk_bucket(i * 4)));

@@ -74,9 +74,12 @@ mod tests {
         let hits = Arc::new(AtomicU32::new(0));
         let h = Arc::clone(&hits);
         let e = InlineExecutor;
-        e.submit(Affinity::Serial, Box::new(move || {
-            h.fetch_add(1, Ordering::Relaxed);
-        }));
+        e.submit(
+            Affinity::Serial,
+            Box::new(move || {
+                h.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
         assert_eq!(hits.load(Ordering::Relaxed), 1);
         e.drain();
     }

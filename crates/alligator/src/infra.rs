@@ -166,12 +166,9 @@ impl Infrastructure {
                     if want == 0 {
                         continue;
                     }
-                    let got = self.aggmap.reserve_in_aa(
-                        aa,
-                        d as u32,
-                        cursor.next_dbn[d],
-                        want,
-                    );
+                    let got = self
+                        .aggmap
+                        .reserve_in_aa(aa, d as u32, cursor.next_dbn[d], want);
                     if let Some(last) = got.last() {
                         // Progress = one past the last reserved block.
                         let g_base = g.drive_vbn_range(d as u32).start;
@@ -183,9 +180,7 @@ impl Infrastructure {
                     }
                     per_drive[d].extend(got);
                 }
-                let filled = per_drive
-                    .iter()
-                    .all(|v| v.len() >= self.cfg.chunk_blocks);
+                let filled = per_drive.iter().all(|v| v.len() >= self.cfg.chunk_blocks);
                 let have_any = per_drive.iter().all(|v| !v.is_empty());
                 let aa_done = cursor.next_dbn.iter().all(|&n| n >= dbns.end);
                 if filled || (aa_done && have_any) {
@@ -429,7 +424,9 @@ mod tests {
         infra.refill_round(&cache);
         // All AAs equally free → AA 0 → buckets start at each drive's
         // VBN base.
-        let starts: Vec<u64> = (0..5).map(|_| cache.try_get().unwrap().start_vbn().0).collect();
+        let starts: Vec<u64> = (0..5)
+            .map(|_| cache.try_get().unwrap().start_vbn().0)
+            .collect();
         assert!(starts.contains(&0));
         assert!(starts.contains(&256));
         assert!(starts.contains(&512));

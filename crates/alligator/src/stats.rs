@@ -38,6 +38,10 @@ pub struct AllocStats {
     pub aa_switches: AtomicU64,
     /// Infrastructure messages executed (refill + commit + free-commit).
     pub infra_msgs: AtomicU64,
+    /// Tetris write I/Os that failed terminally (retries exhausted or too
+    /// many drives offline). The stamps of a failed I/O never reached
+    /// stable storage.
+    pub io_errors: AtomicU64,
 }
 
 impl AllocStats {
@@ -58,6 +62,7 @@ impl AllocStats {
             tetris_ios: self.tetris_ios.load(Ordering::Relaxed),
             aa_switches: self.aa_switches.load(Ordering::Relaxed),
             infra_msgs: self.infra_msgs.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -80,6 +85,7 @@ pub struct StatsSnapshot {
     pub tetris_ios: u64,
     pub aa_switches: u64,
     pub infra_msgs: u64,
+    pub io_errors: u64,
 }
 
 impl StatsSnapshot {

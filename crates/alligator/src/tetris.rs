@@ -24,7 +24,10 @@ use crate::stats::AllocStats;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use wafl_blockdev::{BlockStamp, IoEngine, IoResult, RaidGroupId, WriteIo, WriteSegment};
+use wafl_blockdev::{BlockStamp, IoEngine, IoError, IoResult, RaidGroupId, WriteIo, WriteSegment};
+
+/// One drive's deposited writes: `(drive_in_rg, [(dbn, stamp)])`.
+type DriveDeposit = (u32, Vec<(u64, BlockStamp)>);
 
 /// One in-flight tetris: collects per-drive block lists from its buckets
 /// and submits a single RAID write when the last bucket is done.
@@ -33,7 +36,7 @@ pub struct Tetris {
     /// Buckets that have not yet deposited and signaled completion.
     outstanding: AtomicUsize,
     /// Deposited per-drive lists: `(drive_in_rg, Vec<(dbn, stamp)>)`.
-    deposits: Mutex<Vec<(u32, Vec<(u64, BlockStamp)>)>>,
+    deposits: Mutex<Vec<DriveDeposit>>,
     io: Arc<IoEngine>,
     stats: Arc<AllocStats>,
     submitted: AtomicBool,
@@ -79,8 +82,10 @@ impl Tetris {
 
     /// Deposit a finished bucket's block list and decrement the
     /// outstanding count. When the count reaches zero, the write I/O is
-    /// constructed and sent to RAID. Returns the I/O result if this call
-    /// triggered submission.
+    /// constructed and sent to RAID. Returns the I/O outcome if this call
+    /// triggered submission; an `Err` means the write engine exhausted its
+    /// retries (e.g. too many failed drives) and the stamps did not reach
+    /// stable storage.
     ///
     /// `writes` may be empty (a bucket returned unused at CP end still
     /// participates in the countdown).
@@ -88,7 +93,7 @@ impl Tetris {
         &self,
         drive_in_rg: u32,
         writes: Vec<(u64, BlockStamp)>,
-    ) -> Option<IoResult> {
+    ) -> Option<Result<IoResult, IoError>> {
         if !writes.is_empty() {
             self.deposits.lock().push((drive_in_rg, writes));
         }
@@ -101,7 +106,7 @@ impl Tetris {
         }
     }
 
-    fn submit(&self) -> IoResult {
+    fn submit(&self) -> Result<IoResult, IoError> {
         let was = self.submitted.swap(true, Ordering::AcqRel);
         assert!(!was, "tetris submitted twice");
         let mut deposits = std::mem::take(&mut *self.deposits.lock());
@@ -131,7 +136,11 @@ impl Tetris {
             segments,
         };
         self.stats.tetris_ios.fetch_add(1, Ordering::Relaxed);
-        self.io.submit_write(&io)
+        let result = self.io.submit_write(&io);
+        if result.is_err() {
+            self.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        result
     }
 }
 
@@ -167,21 +176,20 @@ mod tests {
         let engine = io();
         let stats = Arc::new(AllocStats::default());
         let t = Tetris::new(RaidGroupId(0), 3, Arc::clone(&engine), Arc::clone(&stats));
-        assert!(t
-            .deposit_and_complete(0, vec![(0, 10), (1, 11)])
-            .is_none());
-        assert!(t
-            .deposit_and_complete(1, vec![(0, 20), (1, 21)])
-            .is_none());
+        assert!(t.deposit_and_complete(0, vec![(0, 10), (1, 11)]).is_none());
+        assert!(t.deposit_and_complete(1, vec![(0, 20), (1, 21)]).is_none());
         assert!(!t.is_submitted());
-        let r = t.deposit_and_complete(2, vec![(0, 30), (1, 31)]).unwrap();
+        let r = t
+            .deposit_and_complete(2, vec![(0, 30), (1, 31)])
+            .unwrap()
+            .unwrap();
         assert!(t.is_submitted());
         assert_eq!(r.blocks_written, 6);
         assert_eq!(r.parity_reads, 0, "aligned tetris is all full stripes");
         assert_eq!(engine.full_stripe_ratio(), Some(1.0));
         assert_eq!(stats.tetris_ios.load(Ordering::Relaxed), 1);
-        assert_eq!(engine.read_vbn(Vbn(0)), 10);
-        assert_eq!(engine.read_vbn(Vbn(256)), 20); // drive 1 base
+        assert_eq!(engine.read_vbn(Vbn(0)).unwrap(), 10);
+        assert_eq!(engine.read_vbn(Vbn(256)).unwrap(), 20); // drive 1 base
         engine.scrub().unwrap();
     }
 
@@ -191,7 +199,7 @@ mod tests {
         let stats = Arc::new(AllocStats::default());
         let t = Tetris::new(RaidGroupId(0), 2, engine, stats);
         assert!(t.deposit_and_complete(0, vec![(5, 99)]).is_none());
-        let r = t.deposit_and_complete(1, Vec::new()).unwrap();
+        let r = t.deposit_and_complete(1, Vec::new()).unwrap().unwrap();
         assert_eq!(r.blocks_written, 1);
         assert!(r.parity_reads > 0, "ragged tail pays parity reads");
     }
@@ -203,6 +211,7 @@ mod tests {
         let t = Tetris::new(RaidGroupId(0), 1, Arc::clone(&engine), stats);
         let r = t
             .deposit_and_complete(0, vec![(0, 1), (1, 2), (7, 3)])
+            .unwrap()
             .unwrap();
         assert_eq!(r.blocks_written, 3);
         // 2 drive writes: run [0,2) and run [7,8).
@@ -229,6 +238,22 @@ mod tests {
             .sum();
         assert_eq!(submitters, 1, "exactly one completer submits");
         assert_eq!(stats.tetris_ios.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unrecoverable_submission_is_reported_and_counted() {
+        let engine = io();
+        // Two data drives offline in a single-parity group: the write
+        // cannot be completed or reconstructed.
+        let rg = engine.raid_group(RaidGroupId(0));
+        rg.data_drives()[0].take_offline();
+        rg.data_drives()[1].take_offline();
+        let stats = Arc::new(AllocStats::default());
+        let t = Tetris::new(RaidGroupId(0), 1, engine, Arc::clone(&stats));
+        let r = t.deposit_and_complete(0, vec![(0, 7)]).unwrap();
+        assert!(r.is_err(), "double drive failure must surface as an error");
+        assert_eq!(stats.io_errors.load(Ordering::Relaxed), 1);
+        assert!(t.is_submitted());
     }
 
     #[test]

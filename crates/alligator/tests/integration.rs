@@ -7,10 +7,7 @@ use waffinity::{Affinity, Model, Topology, WaffinityPool};
 use wafl_blockdev::{DriveKind, GeometryBuilder, IoEngine, Vbn};
 use wafl_metafile::AggregateMap;
 
-fn stack(
-    cfg: AllocConfig,
-    blocks_per_drive: u64,
-) -> (Arc<Allocator>, Arc<IoEngine>) {
+fn stack(cfg: AllocConfig, blocks_per_drive: u64) -> (Arc<Allocator>, Arc<IoEngine>) {
     let geo = Arc::new(
         GeometryBuilder::new()
             .aa_stripes(64)
@@ -20,7 +17,14 @@ fn stack(
     let aggmap = Arc::new(AggregateMap::new(Arc::clone(&geo)));
     let io = Arc::new(IoEngine::new(geo, DriveKind::Ssd));
     let topo = Arc::new(Topology::symmetric(Model::Hierarchical, 1, 1, 4, 4));
-    let a = Allocator::new(cfg, aggmap, Arc::clone(&io), Arc::new(InlineExecutor), topo, 0);
+    let a = Allocator::new(
+        cfg,
+        aggmap,
+        Arc::clone(&io),
+        Arc::new(InlineExecutor),
+        topo,
+        0,
+    );
     (a, io)
 }
 
@@ -57,7 +61,7 @@ fn figure2_cycle_step_by_step() {
     assert_eq!(s.vbns_committed, 16);
     assert!(s.tetris_ios >= 1, "the round's write I/O was sent to RAID");
     for (i, v) in vbns.iter().enumerate() {
-        assert_eq!(io.read_vbn(*v), 0xD00D + i as u128);
+        assert_eq!(io.read_vbn(*v).unwrap(), 0xD00D + i as u128);
         assert!(alloc.infra().aggmap().is_used(*v));
     }
     alloc.infra().aggmap().verify().unwrap();
@@ -70,7 +74,9 @@ fn immediate_mode_full_cycle_is_functionally_correct() {
     let (alloc, io) = stack(cfg, 4096);
     let mut total = 0u64;
     for round in 0..20 {
-        let Some(mut b) = alloc.get_bucket() else { break };
+        let Some(mut b) = alloc.get_bucket() else {
+            break;
+        };
         while b.use_vbn(round as u128 + 1).is_some() {
             total += 1;
         }
@@ -134,7 +140,9 @@ fn parallel_infra_uses_multiple_range_affinities() {
         0,
     );
     for _ in 0..40 {
-        let Some(mut b) = alloc.get_bucket() else { break };
+        let Some(mut b) = alloc.get_bucket() else {
+            break;
+        };
         while b.use_vbn(1).is_some() {}
         alloc.put_bucket(b);
     }

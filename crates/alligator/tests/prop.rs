@@ -109,7 +109,7 @@ proptest! {
         // Data integrity: the media holds a nonzero stamp wherever we
         // wrote.
         for v in live.iter().take(20) {
-            prop_assert_ne!(io.read_vbn(*v), 0, "written block must be on media");
+            prop_assert_ne!(io.read_vbn(*v).unwrap(), 0, "written block must be on media");
         }
     }
 
@@ -125,10 +125,10 @@ proptest! {
             let Some(mut b) = alloc.get_bucket() else { break };
             prop_assert!(b.is_contiguous(), "fresh-AA buckets are contiguous");
             prop_assert!(b.len() <= chunk);
-            let drive = geo.locate(b.start_vbn()).drive;
+            let drive = geo.locate(b.start_vbn()).unwrap().drive;
             let mut prev: Option<Vbn> = None;
             while let Some(v) = b.use_vbn(1) {
-                prop_assert_eq!(geo.locate(v).drive, drive, "bucket stays on one drive");
+                prop_assert_eq!(geo.locate(v).unwrap().drive, drive, "bucket stays on one drive");
                 if let Some(p) = prev {
                     prop_assert_eq!(v.0, p.0 + 1, "USE yields consecutive VBNs");
                 }
@@ -154,7 +154,7 @@ proptest! {
                 let Some(mut b) = alloc.get_bucket() else { break };
                 let d = b.drive_in_rg() as usize;
                 while let Some(v) = b.use_vbn(2) {
-                    max_dbn[d] = max_dbn[d].max(geo.locate(v).dbn.0);
+                    max_dbn[d] = max_dbn[d].max(geo.locate(v).unwrap().dbn.0);
                 }
                 alloc.put_bucket(b);
             }

@@ -12,7 +12,11 @@ fn bench_reserve_scan(c: &mut Criterion) {
     for &fill in &[0u32, 50, 90] {
         // Pre-fill `fill`% of a 1M-bit map, scattered.
         let map = ActiveMap::new(1 << 20);
-        let step = if fill == 0 { u64::MAX } else { 100 / fill as u64 };
+        let step = if fill == 0 {
+            u64::MAX
+        } else {
+            100 / fill as u64
+        };
         if fill > 0 {
             let mut i = 0u64;
             while i < (1 << 20) {
@@ -21,21 +25,17 @@ fn bench_reserve_scan(c: &mut Criterion) {
             }
         }
         g.throughput(Throughput::Elements(64));
-        g.bench_with_input(
-            BenchmarkId::new("fill_pct", fill),
-            &fill,
-            |b, _| {
-                let mut cursor = 0u64;
-                b.iter(|| {
-                    let got = map.reserve_scan(cursor, 1 << 20, 64);
-                    // Release so the map state stays steady.
-                    for &v in &got {
-                        map.release(v).unwrap();
-                    }
-                    cursor = got.last().map(|v| v + 1).unwrap_or(0) % (1 << 19);
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("fill_pct", fill), &fill, |b, _| {
+            let mut cursor = 0u64;
+            b.iter(|| {
+                let got = map.reserve_scan(cursor, 1 << 20, 64);
+                // Release so the map state stays steady.
+                for &v in &got {
+                    map.release(v).unwrap();
+                }
+                cursor = got.last().map(|v| v + 1).unwrap_or(0) % (1 << 19);
+            });
+        });
     }
     g.finish();
 }
@@ -68,5 +68,10 @@ fn bench_dirty_tracking(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_reserve_scan, bench_aa_selection, bench_dirty_tracking);
+criterion_group!(
+    benches,
+    bench_reserve_scan,
+    bench_aa_selection,
+    bench_dirty_tracking
+);
 criterion_main!(benches);

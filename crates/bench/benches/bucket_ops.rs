@@ -3,10 +3,10 @@
 //! paper contrasts against; larger chunks amortize cache synchronization
 //! and bitmap scanning over more blocks.
 
+use alligator::{AllocConfig, Allocator, InlineExecutor};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::sync::Arc;
 use waffinity::{Model, Topology};
-use alligator::{AllocConfig, Allocator, InlineExecutor};
 use wafl_blockdev::{DriveKind, GeometryBuilder, IoEngine};
 use wafl_metafile::AggregateMap;
 

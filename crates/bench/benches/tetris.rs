@@ -1,9 +1,9 @@
 //! M5: tetris processing (§IV-E) — the synchronization-free USE path and
 //! full-stripe write-I/O construction.
 
+use alligator::{AllocStats, Tetris};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::sync::Arc;
-use alligator::{AllocStats, Tetris};
 use wafl_blockdev::{DriveKind, GeometryBuilder, IoEngine, RaidGroupId};
 
 fn engine(width: u32) -> Arc<IoEngine> {

@@ -22,7 +22,11 @@ fn main() {
         cfg.cleaners = CleanerSetting::dynamic_default(8);
         let r = Simulator::new(cfg).run();
         let b = *base.get_or_insert(r.throughput_ops);
-        t.row_measured(format!("throughput @{ranges} ranges"), r.throughput_ops, "ops/s");
+        t.row_measured(
+            format!("throughput @{ranges} ranges"),
+            r.throughput_ops,
+            "ops/s",
+        );
         t.row_measured(
             format!("gain vs 1 range @{ranges} ranges"),
             gain_pct(r.throughput_ops, b),

@@ -11,9 +11,9 @@
 use alligator::{AllocConfig, Allocator, InlineExecutor, ReinsertPolicy};
 use std::sync::Arc;
 use waffinity::{Model, Topology};
+use wafl_bench::emit;
 use wafl_blockdev::{DriveKind, GeometryBuilder, IoEngine};
 use wafl_metafile::AggregateMap;
-use wafl_bench::emit;
 use wafl_simsrv::FigureTable;
 
 fn run(policy: ReinsertPolicy) -> (f64, u64) {
@@ -28,7 +28,14 @@ fn run(policy: ReinsertPolicy) -> (f64, u64) {
     let topo = Arc::new(Topology::symmetric(Model::Hierarchical, 1, 1, 4, 4));
     let mut cfg = AllocConfig::with_chunk(64);
     cfg.reinsert = policy;
-    let alloc = Allocator::new(cfg, aggmap, Arc::clone(&io), Arc::new(InlineExecutor), topo, 0);
+    let alloc = Allocator::new(
+        cfg,
+        aggmap,
+        Arc::clone(&io),
+        Arc::new(InlineExecutor),
+        topo,
+        0,
+    );
 
     // A single cleaner consuming buckets fully, in GET order. Under the
     // collective policy every refill round shares one tetris, so complete
@@ -36,7 +43,9 @@ fn run(policy: ReinsertPolicy) -> (f64, u64) {
     // each bucket's write I/O covers a single drive.
     let mut stamp = 1u128;
     for _ in 0..200 {
-        let Some(mut b) = alloc.get_bucket() else { break };
+        let Some(mut b) = alloc.get_bucket() else {
+            break;
+        };
         while b.use_vbn(stamp).is_some() {
             stamp += 1;
         }

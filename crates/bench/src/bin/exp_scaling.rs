@@ -23,7 +23,11 @@ fn main() {
         cfg.total_buckets = 4 * cfg.drives as u64;
         let r = Simulator::new(cfg).run();
         let b = *base.get_or_insert(r.throughput_ops);
-        t.row_measured(format!("throughput @{cores} cores"), r.throughput_ops, "ops/s");
+        t.row_measured(
+            format!("throughput @{cores} cores"),
+            r.throughput_ops,
+            "ops/s",
+        );
         t.row_measured(
             format!("speedup vs 8 cores @{cores} cores"),
             r.throughput_ops / b,

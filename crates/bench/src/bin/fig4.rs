@@ -57,7 +57,12 @@ fn main() {
         full.write_alloc_cores(),
         "cores",
     );
-    t.row("total cores at full parallelization", 20.0, full.total_cores(), "cores");
+    t.row(
+        "total cores at full parallelization",
+        20.0,
+        full.total_cores(),
+        "cores",
+    );
     for r in &rows {
         t.row_measured(
             format!("throughput {} ", r.label()),

@@ -20,7 +20,11 @@ fn main() {
         "sequential write: throughput and cleaner cores vs cleaner-thread count",
     );
     for (n, r) in &rows {
-        t.row_measured(format!("throughput @{n} cleaners"), r.throughput_ops, "ops/s");
+        t.row_measured(
+            format!("throughput @{n} cleaners"),
+            r.throughput_ops,
+            "ops/s",
+        );
         t.row_measured(
             format!("gain @{n} cleaners"),
             gain_pct(r.throughput_ops, base),
@@ -39,6 +43,11 @@ fn main() {
     }
     // Shape checks the paper states: near-linear at low counts.
     let two = rows[1].1.throughput_ops;
-    t.row("2-thread speedup (near-linear ≈ 2.0×)", 2.0, two / base, "x");
+    t.row(
+        "2-thread speedup (near-linear ≈ 2.0×)",
+        2.0,
+        two / base,
+        "x",
+    );
     emit(&t);
 }

@@ -38,7 +38,12 @@ fn main() {
         "%",
     );
     let full = &rows[3].result;
-    t.row("total cores at full parallelization", 20.0, full.total_cores(), "cores");
+    t.row(
+        "total cores at full parallelization",
+        20.0,
+        full.total_cores(),
+        "cores",
+    );
     t.row_measured(
         "metafile blocks dirtied by frees (full parallel)",
         full.free_mf_blocks as f64,

@@ -29,10 +29,7 @@ fn main() {
     for r in &rows {
         for p in &r.curve {
             t.row_measured(
-                format!(
-                    "{} cleaners @{} clients: tput / latency",
-                    r.setting, p.load
-                ),
+                format!("{} cleaners @{} clients: tput / latency", r.setting, p.load),
                 p.throughput_ops,
                 format!("ops/s @ {:.2} ms", p.latency_ns as f64 / 1e6),
             );

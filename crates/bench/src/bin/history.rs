@@ -21,8 +21,14 @@ use wafl_simsrv::{CleanerSetting, FigureTable, Simulator, WorkloadKind};
 fn main() {
     let eras = [
         ("pre-Waffinity (serial WAFL)", Era::SerialWafl),
-        ("Classical Waffinity, serial cleaning (2006)", Era::ClassicalSerialCleaning),
-        ("Classical + 1 cleaner thread (2008)", Era::ClassicalCleanerThread),
+        (
+            "Classical Waffinity, serial cleaning (2006)",
+            Era::ClassicalSerialCleaning,
+        ),
+        (
+            "Classical + 1 cleaner thread (2008)",
+            Era::ClassicalCleanerThread,
+        ),
         ("White Alligator (2011)", Era::WhiteAlligator),
     ];
     let mut t = FigureTable::new(

@@ -14,11 +14,13 @@
 //! in practice; it exists to keep the substrate safe under arbitrary test
 //! harnesses.
 
+use crate::fault::{FaultDecision, FaultPlan, IoError, OpKind};
 use crate::geometry::{Dbn, DriveId};
 use crate::BlockStamp;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The kind of media behind a simulated drive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -91,6 +93,18 @@ pub struct Drive {
     /// DBN just past the end of the last write, for sequentiality detection.
     last_write_end: AtomicU64,
     busy_ns: AtomicU64,
+    // Fault machinery.
+    /// Injected fault schedule, if any (None = perfect media).
+    fault: RwLock<Option<Arc<FaultPlan>>>,
+    /// Per-drive op ordinal feeding the fault plan's deterministic draws.
+    op_counter: AtomicU64,
+    /// Set when the drive has been taken out of service (whole-drive
+    /// failure or exhausted-retry policy). Offline drives fail every I/O
+    /// until [`Drive::bring_online`].
+    offline: AtomicBool,
+    /// Consecutive exhausted-retry failures (reset on success); the RAID
+    /// layer's offlining policy reads this.
+    consecutive_failures: AtomicU32,
 }
 
 impl Drive {
@@ -108,6 +122,10 @@ impl Drive {
             blocks_read: AtomicU64::new(0),
             last_write_end: AtomicU64::new(u64::MAX),
             busy_ns: AtomicU64::new(0),
+            fault: RwLock::new(None),
+            op_counter: AtomicU64::new(0),
+            offline: AtomicBool::new(false),
+            consecutive_failures: AtomicU32::new(0),
         }
     }
 
@@ -134,48 +152,201 @@ impl Drive {
         self.model = model;
     }
 
+    /// Install (or clear) the fault-injection schedule for this drive.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.fault.write() = plan;
+    }
+
+    /// Is the drive out of service?
+    #[inline]
+    pub fn is_offline(&self) -> bool {
+        self.offline.load(Ordering::Acquire)
+    }
+
+    /// Take the drive out of service; every subsequent I/O fails with
+    /// [`IoError::DriveFailed`] until [`Drive::bring_online`].
+    pub fn take_offline(&self) {
+        self.offline.store(true, Ordering::Release);
+    }
+
+    /// Return the drive to service (after a rebuild) and reset its
+    /// failure streak.
+    pub fn bring_online(&self) {
+        self.offline.store(false, Ordering::Release);
+        self.consecutive_failures.store(0, Ordering::Release);
+    }
+
+    /// Consecutive exhausted-retry failures since the last success.
+    #[inline]
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures.load(Ordering::Acquire)
+    }
+
+    /// Record one exhausted-retry failure; returns the new streak length.
+    pub(crate) fn note_failure(&self) -> u32 {
+        self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Draw the fault decision for the next op of `kind`.
+    fn decide(&self, kind: OpKind) -> FaultDecision {
+        let op = self.op_counter.fetch_add(1, Ordering::Relaxed);
+        match &*self.fault.read() {
+            Some(plan) => plan.decide(self.id, op, kind),
+            None => FaultDecision::Ok,
+        }
+    }
+
     /// Write a contiguous run of stamps starting at `start`. Returns the
-    /// simulated service time.
-    ///
-    /// # Panics
-    /// Panics if the run exceeds the drive capacity.
-    pub fn write_run(&self, start: Dbn, stamps: &[BlockStamp]) -> u64 {
+    /// simulated service time, or the injected/structural error.
+    pub fn write_run(&self, start: Dbn, stamps: &[BlockStamp]) -> Result<u64, IoError> {
         let end = start.0 + stamps.len() as u64;
-        assert!(end <= self.blocks, "write beyond drive capacity");
+        if end > self.blocks {
+            return Err(IoError::Capacity {
+                drive: self.id,
+                dbn: start,
+                blocks: stamps.len() as u64,
+            });
+        }
+        if self.is_offline() {
+            return Err(IoError::DriveFailed { drive: self.id });
+        }
+        let mut extra_ns = 0;
+        match self.decide(OpKind::Write) {
+            FaultDecision::Ok => {}
+            FaultDecision::Slow { extra_ns: ns } => extra_ns = ns,
+            FaultDecision::DriveFailed => {
+                self.take_offline();
+                return Err(IoError::DriveFailed { drive: self.id });
+            }
+            FaultDecision::TransientError => {
+                return Err(IoError::Transient {
+                    drive: self.id,
+                    dbn: start,
+                })
+            }
+            FaultDecision::TornWrite => {
+                // Power-loss model: only a prefix of the run reaches
+                // media, then the op reports failure. A successful retry
+                // rewrites the full run, restoring consistency.
+                let torn = stamps.len() / 2;
+                let mut c = self.content.write();
+                c[start.0 as usize..start.0 as usize + torn].copy_from_slice(&stamps[..torn]);
+                return Err(IoError::Transient {
+                    drive: self.id,
+                    dbn: start,
+                });
+            }
+        }
         {
             let mut c = self.content.write();
             c[start.0 as usize..end as usize].copy_from_slice(stamps);
         }
+        self.consecutive_failures.store(0, Ordering::Release);
         let sequential = self.last_write_end.swap(end, Ordering::Relaxed) == start.0;
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.blocks_written
             .fetch_add(stamps.len() as u64, Ordering::Relaxed);
-        let ns = self.model.service_ns(stamps.len() as u64, sequential);
+        let ns = self.model.service_ns(stamps.len() as u64, sequential) + extra_ns;
         self.busy_ns.fetch_add(ns, Ordering::Relaxed);
-        ns
+        Ok(ns)
     }
 
-    /// Read one block's stamp. Returns `(stamp, service_ns)`.
-    pub fn read_block(&self, dbn: Dbn) -> (BlockStamp, u64) {
-        assert!(dbn.0 < self.blocks, "read beyond drive capacity");
+    /// Read one block's stamp. Returns `(stamp, service_ns)` or an error.
+    pub fn read_block(&self, dbn: Dbn) -> Result<(BlockStamp, u64), IoError> {
+        if dbn.0 >= self.blocks {
+            return Err(IoError::Capacity {
+                drive: self.id,
+                dbn,
+                blocks: 1,
+            });
+        }
+        if self.is_offline() {
+            return Err(IoError::DriveFailed { drive: self.id });
+        }
+        let mut extra_ns = 0;
+        match self.decide(OpKind::Read) {
+            FaultDecision::Ok | FaultDecision::TornWrite => {}
+            FaultDecision::Slow { extra_ns: ns } => extra_ns = ns,
+            FaultDecision::DriveFailed => {
+                self.take_offline();
+                return Err(IoError::DriveFailed { drive: self.id });
+            }
+            FaultDecision::TransientError => {
+                return Err(IoError::Transient {
+                    drive: self.id,
+                    dbn,
+                })
+            }
+        }
         let stamp = self.content.read()[dbn.0 as usize];
+        self.consecutive_failures.store(0, Ordering::Release);
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.blocks_read.fetch_add(1, Ordering::Relaxed);
-        let ns = self.model.service_ns(1, false);
+        let ns = self.model.service_ns(1, false) + extra_ns;
         self.busy_ns.fetch_add(ns, Ordering::Relaxed);
-        (stamp, ns)
+        Ok((stamp, ns))
     }
 
     /// Read a contiguous run of stamps (e.g., parity reconstruction).
-    pub fn read_run(&self, start: Dbn, len: u64) -> (Vec<BlockStamp>, u64) {
+    pub fn read_run(&self, start: Dbn, len: u64) -> Result<(Vec<BlockStamp>, u64), IoError> {
         let end = start.0 + len;
-        assert!(end <= self.blocks, "read beyond drive capacity");
+        if end > self.blocks {
+            return Err(IoError::Capacity {
+                drive: self.id,
+                dbn: start,
+                blocks: len,
+            });
+        }
+        if self.is_offline() {
+            return Err(IoError::DriveFailed { drive: self.id });
+        }
+        let mut extra_ns = 0;
+        match self.decide(OpKind::Read) {
+            FaultDecision::Ok | FaultDecision::TornWrite => {}
+            FaultDecision::Slow { extra_ns: ns } => extra_ns = ns,
+            FaultDecision::DriveFailed => {
+                self.take_offline();
+                return Err(IoError::DriveFailed { drive: self.id });
+            }
+            FaultDecision::TransientError => {
+                return Err(IoError::Transient {
+                    drive: self.id,
+                    dbn: start,
+                })
+            }
+        }
         let out = self.content.read()[start.0 as usize..end as usize].to_vec();
+        self.consecutive_failures.store(0, Ordering::Release);
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.blocks_read.fetch_add(len, Ordering::Relaxed);
-        let ns = self.model.service_ns(len, false);
+        let ns = self.model.service_ns(len, false) + extra_ns;
         self.busy_ns.fetch_add(ns, Ordering::Relaxed);
-        (out, ns)
+        Ok((out, ns))
+    }
+
+    /// Raw media peek for maintenance paths (scrub, reconstruction,
+    /// rebuild). Bypasses fault injection and statistics: it models the
+    /// RAID layer's privileged access to whatever is physically on the
+    /// platters, not a client I/O.
+    ///
+    /// # Panics
+    /// Panics if `dbn` is out of range (maintenance callers iterate the
+    /// geometry, so a violation is a programming error).
+    #[inline]
+    pub fn peek(&self, dbn: Dbn) -> BlockStamp {
+        self.content.read()[dbn.0 as usize]
+    }
+
+    /// Raw media write for maintenance paths (drive rebuild). Bypasses
+    /// fault injection, statistics, and the offline gate.
+    ///
+    /// # Panics
+    /// Panics if the run exceeds the drive capacity.
+    pub fn repair_write(&self, start: Dbn, stamps: &[BlockStamp]) {
+        let end = start.0 + stamps.len() as u64;
+        assert!(end <= self.blocks, "repair write beyond drive capacity");
+        let mut c = self.content.write();
+        c[start.0 as usize..end as usize].copy_from_slice(stamps);
     }
 
     /// Snapshot of the drive's statistics.
@@ -212,18 +383,22 @@ mod tests {
     #[test]
     fn write_then_read_roundtrips() {
         let d = Drive::new(DriveId(0), DriveKind::Ssd, 128);
-        d.write_run(Dbn(10), &[11, 12, 13]);
-        assert_eq!(d.read_block(Dbn(10)).0, 11);
-        assert_eq!(d.read_block(Dbn(12)).0, 13);
-        assert_eq!(d.read_block(Dbn(13)).0, 0, "unwritten block reads zero");
+        d.write_run(Dbn(10), &[11, 12, 13]).unwrap();
+        assert_eq!(d.read_block(Dbn(10)).unwrap().0, 11);
+        assert_eq!(d.read_block(Dbn(12)).unwrap().0, 13);
+        assert_eq!(
+            d.read_block(Dbn(13)).unwrap().0,
+            0,
+            "unwritten block reads zero"
+        );
     }
 
     #[test]
     fn sequential_writes_detected_for_hdd() {
         let d = Drive::new(DriveId(0), DriveKind::Hdd, 1024);
-        let first = d.write_run(Dbn(0), &[1; 8]);
-        let seq = d.write_run(Dbn(8), &[2; 8]);
-        let rand = d.write_run(Dbn(500), &[3; 8]);
+        let first = d.write_run(Dbn(0), &[1; 8]).unwrap();
+        let seq = d.write_run(Dbn(8), &[2; 8]).unwrap();
+        let rand = d.write_run(Dbn(500), &[3; 8]).unwrap();
         assert!(seq < first, "sequential follow-on skips the seek");
         assert!(rand > seq, "random write pays the seek again");
     }
@@ -231,18 +406,18 @@ mod tests {
     #[test]
     fn ssd_has_no_seek_penalty() {
         let d = Drive::new(DriveId(0), DriveKind::Ssd, 1024);
-        d.write_run(Dbn(0), &[1; 8]);
-        let seq = d.write_run(Dbn(8), &[2; 8]);
-        let rand = d.write_run(Dbn(500), &[3; 8]);
+        d.write_run(Dbn(0), &[1; 8]).unwrap();
+        let seq = d.write_run(Dbn(8), &[2; 8]).unwrap();
+        let rand = d.write_run(Dbn(500), &[3; 8]).unwrap();
         assert_eq!(seq, rand);
     }
 
     #[test]
     fn stats_accumulate() {
         let d = Drive::new(DriveId(0), DriveKind::Ssd, 64);
-        d.write_run(Dbn(0), &[1, 2]);
-        d.write_run(Dbn(2), &[3]);
-        d.read_block(Dbn(0));
+        d.write_run(Dbn(0), &[1, 2]).unwrap();
+        d.write_run(Dbn(2), &[3]).unwrap();
+        d.read_block(Dbn(0)).unwrap();
         let s = d.stats();
         assert_eq!(s.writes, 2);
         assert_eq!(s.blocks_written, 3);
@@ -252,10 +427,92 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "beyond drive capacity")]
-    fn overflow_write_panics() {
+    fn overflow_write_errors() {
         let d = Drive::new(DriveId(0), DriveKind::Ssd, 4);
-        d.write_run(Dbn(3), &[1, 2]);
+        assert_eq!(
+            d.write_run(Dbn(3), &[1, 2]),
+            Err(IoError::Capacity {
+                drive: DriveId(0),
+                dbn: Dbn(3),
+                blocks: 2,
+            })
+        );
+        assert!(matches!(
+            d.read_block(Dbn(4)),
+            Err(IoError::Capacity { .. })
+        ));
+    }
+
+    #[test]
+    fn offline_drive_fails_every_io_until_rebuilt() {
+        let d = Drive::new(DriveId(5), DriveKind::Ssd, 16);
+        d.write_run(Dbn(0), &[7]).unwrap();
+        d.take_offline();
+        assert_eq!(
+            d.write_run(Dbn(1), &[8]),
+            Err(IoError::DriveFailed { drive: DriveId(5) })
+        );
+        assert_eq!(
+            d.read_block(Dbn(0)),
+            Err(IoError::DriveFailed { drive: DriveId(5) })
+        );
+        // Maintenance access still sees the media.
+        assert_eq!(d.peek(Dbn(0)), 7);
+        d.repair_write(Dbn(1), &[8]);
+        d.bring_online();
+        assert_eq!(d.read_block(Dbn(1)).unwrap().0, 8);
+    }
+
+    #[test]
+    fn injected_drive_failure_takes_drive_offline() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let d = Drive::new(DriveId(2), DriveKind::Ssd, 16);
+        d.set_fault_plan(Some(Arc::new(FaultPlan::new(FaultSpec::drive_failure(
+            2, 1,
+        )))));
+        d.write_run(Dbn(0), &[1]).unwrap(); // op 0 precedes the failure
+        assert!(matches!(
+            d.write_run(Dbn(1), &[2]),
+            Err(IoError::DriveFailed { .. })
+        ));
+        assert!(d.is_offline());
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_and_errors() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let d = Drive::new(DriveId(0), DriveKind::Ssd, 64);
+        let spec = FaultSpec {
+            seed: 11,
+            torn_write_ppm: 1_000_000, // every write tears
+            ..FaultSpec::default()
+        };
+        d.set_fault_plan(Some(Arc::new(FaultPlan::new(spec))));
+        let err = d.write_run(Dbn(0), &[1, 2, 3, 4]).unwrap_err();
+        assert!(matches!(err, IoError::Transient { .. }));
+        assert_eq!(d.peek(Dbn(0)), 1, "prefix reached media");
+        assert_eq!(d.peek(Dbn(2)), 0, "tail lost");
+        // Clearing the plan and retrying rewrites the full run.
+        d.set_fault_plan(None);
+        d.write_run(Dbn(0), &[1, 2, 3, 4]).unwrap();
+        assert_eq!(d.peek(Dbn(3)), 4);
+    }
+
+    #[test]
+    fn latency_spike_charges_extra_service_time() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let quiet = Drive::new(DriveId(0), DriveKind::Ssd, 64);
+        let base = quiet.write_run(Dbn(0), &[1]).unwrap();
+        let d = Drive::new(DriveId(0), DriveKind::Ssd, 64);
+        let spec = FaultSpec {
+            seed: 3,
+            latency_spike_ppm: 1_000_000,
+            latency_spike_ns: 5_000_000,
+            ..FaultSpec::default()
+        };
+        d.set_fault_plan(Some(Arc::new(FaultPlan::new(spec))));
+        let spiked = d.write_run(Dbn(0), &[1]).unwrap();
+        assert_eq!(spiked, base + 5_000_000);
     }
 
     #[test]

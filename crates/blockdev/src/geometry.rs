@@ -16,6 +16,7 @@
 //!
 //! Parity drives carry no VBNs: they are not client-addressable.
 
+use crate::fault::IoError;
 use serde::{Deserialize, Serialize};
 
 /// Fixed simulated block size in bytes (WAFL uses 4 KiB blocks).
@@ -191,25 +192,26 @@ impl AggregateGeometry {
 
     /// Resolve a VBN to its physical location.
     ///
-    /// # Panics
-    /// Panics if `vbn` is out of range.
-    pub fn locate(&self, vbn: Vbn) -> BlockLoc {
+    /// Errors with [`IoError::OutOfRange`] when `vbn` is outside the
+    /// aggregate's address space.
+    pub fn locate(&self, vbn: Vbn) -> Result<BlockLoc, IoError> {
         let g = self
             .raid_groups
             .iter()
-            .find(|g| {
-                vbn.0 >= g.vbn_base && vbn.0 < g.vbn_base + g.data_blocks()
-            })
-            .unwrap_or_else(|| panic!("VBN {} out of aggregate range", vbn.0));
+            .find(|g| vbn.0 >= g.vbn_base && vbn.0 < g.vbn_base + g.data_blocks())
+            .ok_or(IoError::OutOfRange {
+                vbn,
+                total: self.total_vbns,
+            })?;
         let off = vbn.0 - g.vbn_base;
         let drive_in_rg = (off / g.blocks_per_drive) as u32;
         let dbn = Dbn(off % g.blocks_per_drive);
-        BlockLoc {
+        Ok(BlockLoc {
             rg: g.id,
             drive: g.data_drives[drive_in_rg as usize],
             drive_in_rg,
             dbn,
-        }
+        })
     }
 
     /// Inverse of [`locate`](Self::locate): the VBN at `(rg, drive_in_rg, dbn)`.
@@ -222,9 +224,14 @@ impl AggregateGeometry {
     }
 
     /// The stripe containing a VBN.
+    ///
+    /// # Panics
+    /// Panics if `vbn` is out of range (callers pass VBNs already
+    /// validated by the allocator; use [`Self::locate`] for fallible
+    /// resolution).
     #[inline]
     pub fn stripe_of(&self, vbn: Vbn) -> StripeId {
-        let loc = self.locate(vbn);
+        let loc = self.locate(vbn).expect("stripe_of: VBN out of range");
         StripeId {
             rg: loc.rg,
             dbn: loc.dbn,
@@ -289,7 +296,12 @@ impl GeometryBuilder {
     }
 
     /// Convenience: a single-RAID-group aggregate.
-    pub fn single_group(data: u32, parity: u32, blocks_per_drive: u64, aa_stripes: u64) -> AggregateGeometry {
+    pub fn single_group(
+        data: u32,
+        parity: u32,
+        blocks_per_drive: u64,
+        aa_stripes: u64,
+    ) -> AggregateGeometry {
         Self::new()
             .aa_stripes(aa_stripes)
             .raid_group(data, parity, blocks_per_drive)
@@ -301,13 +313,15 @@ impl GeometryBuilder {
     /// # Panics
     /// Panics if no RAID group was added.
     pub fn build(self) -> AggregateGeometry {
-        assert!(!self.groups.is_empty(), "aggregate needs at least one RAID group");
+        assert!(
+            !self.groups.is_empty(),
+            "aggregate needs at least one RAID group"
+        );
         let mut raid_groups = Vec::with_capacity(self.groups.len());
         let mut vbn_base = 0u64;
         let mut next_drive = 0u32;
         for (i, (data, parity, blocks)) in self.groups.iter().copied().enumerate() {
-            let data_drives: Vec<DriveId> =
-                (next_drive..next_drive + data).map(DriveId).collect();
+            let data_drives: Vec<DriveId> = (next_drive..next_drive + data).map(DriveId).collect();
             next_drive += data;
             raid_groups.push(RaidGroupGeometry {
                 id: RaidGroupId(i as u32),
@@ -356,7 +370,7 @@ mod tests {
     fn locate_roundtrips_with_vbn_at() {
         let geo = paper_fig3_geometry();
         for vbn in (0..geo.total_vbns()).step_by(97) {
-            let loc = geo.locate(Vbn(vbn));
+            let loc = geo.locate(Vbn(vbn)).unwrap();
             assert_eq!(geo.vbn_at(loc.rg, loc.drive_in_rg, loc.dbn), Vbn(vbn));
         }
     }
@@ -366,8 +380,8 @@ mod tests {
         // Bucket contiguity (§IV-C objective 2) depends on this.
         let geo = paper_fig3_geometry();
         for vbn in 0..1023u64 {
-            let a = geo.locate(Vbn(vbn));
-            let b = geo.locate(Vbn(vbn + 1));
+            let a = geo.locate(Vbn(vbn)).unwrap();
+            let b = geo.locate(Vbn(vbn + 1)).unwrap();
             assert_eq!(a.drive, b.drive);
             assert_eq!(b.dbn.0, a.dbn.0 + 1);
         }
@@ -391,7 +405,10 @@ mod tests {
     fn aa_arithmetic() {
         let geo = paper_fig3_geometry();
         assert_eq!(geo.aa_count(RaidGroupId(0)), 16); // 1024 / 64
-        let aa = AaId { rg: RaidGroupId(0), index: 3 };
+        let aa = AaId {
+            rg: RaidGroupId(0),
+            index: 3,
+        };
         assert_eq!(geo.aa_dbn_range(aa), 192..256);
         assert_eq!(geo.aa_of(geo.vbn_at(RaidGroupId(0), 1, Dbn(200))), aa);
     }
@@ -403,15 +420,25 @@ mod tests {
             .raid_group(2, 1, 250)
             .build();
         assert_eq!(geo.aa_count(RaidGroupId(0)), 3);
-        let last = AaId { rg: RaidGroupId(0), index: 2 };
+        let last = AaId {
+            rg: RaidGroupId(0),
+            index: 2,
+        };
         assert_eq!(geo.aa_dbn_range(last), 200..250);
     }
 
     #[test]
-    #[should_panic(expected = "out of aggregate range")]
-    fn locate_out_of_range_panics() {
+    fn locate_out_of_range_errors() {
         let geo = paper_fig3_geometry();
-        geo.locate(Vbn(geo.total_vbns()));
+        let err = geo.locate(Vbn(geo.total_vbns())).unwrap_err();
+        assert_eq!(
+            err,
+            IoError::OutOfRange {
+                vbn: Vbn(geo.total_vbns()),
+                total: geo.total_vbns(),
+            }
+        );
+        assert!(err.to_string().contains("out of aggregate range"));
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! written per drive, simulated busy time).
 
 use crate::drive::DriveKind;
-use crate::geometry::{AggregateGeometry, BlockLoc, RaidGroupId, Vbn};
+use crate::fault::{FaultPlan, FaultSpec, IoError, RetryPolicy};
+use crate::geometry::{AggregateGeometry, BlockLoc, DriveId, RaidGroupId, Vbn};
 use crate::raid::RaidGroup;
 use crate::BlockStamp;
 use serde::{Deserialize, Serialize};
@@ -95,11 +96,29 @@ pub struct IoSnapshot {
     pub service_ns: u64,
 }
 
+/// Aggregate-wide fault/degraded-mode counters, summed over RAID groups.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSnapshot {
+    /// Blocks served by XOR reconstruction instead of the home drive.
+    pub reconstructed_reads: u64,
+    /// Stripes written or read while one member was offline.
+    pub degraded_stripes: u64,
+    /// Data blocks whose media write was skipped (drive offline).
+    pub degraded_writes: u64,
+    /// Drive-op retries performed by the bounded-backoff policy.
+    pub io_retries: u64,
+    /// Drive-op errors observed (before retry resolution).
+    pub io_errors: u64,
+    /// Drives (data + parity) currently out of service.
+    pub drives_offline: u64,
+}
+
 /// The aggregate I/O engine: geometry + RAID groups + counters.
 pub struct IoEngine {
     geometry: Arc<AggregateGeometry>,
     groups: Vec<RaidGroup>,
     counters: IoCounters,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl IoEngine {
@@ -114,7 +133,42 @@ impl IoEngine {
             geometry,
             groups,
             counters: IoCounters::default(),
+            fault: None,
         }
+    }
+
+    /// Build an engine whose drives (data and parity) share a seeded
+    /// [`FaultPlan`], with the default [`RetryPolicy`].
+    pub fn with_faults(geometry: Arc<AggregateGeometry>, kind: DriveKind, spec: FaultSpec) -> Self {
+        Self::with_faults_and_policy(geometry, kind, spec, RetryPolicy::default())
+    }
+
+    /// Build a fault-injected engine with an explicit retry/offlining
+    /// policy.
+    pub fn with_faults_and_policy(
+        geometry: Arc<AggregateGeometry>,
+        kind: DriveKind,
+        spec: FaultSpec,
+        policy: RetryPolicy,
+    ) -> Self {
+        let mut engine = Self::new(geometry, kind);
+        let plan = Arc::new(FaultPlan::new(spec));
+        for g in &mut engine.groups {
+            g.set_retry_policy(policy);
+        }
+        for g in &engine.groups {
+            for d in g.data_drives().iter().chain(g.parity_drives()) {
+                d.set_fault_plan(Some(Arc::clone(&plan)));
+            }
+        }
+        engine.fault = Some(plan);
+        engine
+    }
+
+    /// The installed fault plan, if any.
+    #[inline]
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.as_ref()
     }
 
     /// The aggregate geometry.
@@ -141,8 +195,10 @@ impl IoEngine {
         &self.counters
     }
 
-    /// Submit a write I/O (a completed tetris).
-    pub fn submit_write(&self, io: &WriteIo) -> IoResult {
+    /// Submit a write I/O (a completed tetris). A single drive failure is
+    /// absorbed by the RAID layer's degraded mode; the error surfaces
+    /// only when the write is unrecoverable (or structurally invalid).
+    pub fn submit_write(&self, io: &WriteIo) -> Result<IoResult, IoError> {
         let g = &self.groups[io.rg.0 as usize];
         let width = g.width() as usize;
         let mut per_drive: Vec<BTreeMap<u64, BlockStamp>> = vec![BTreeMap::new(); width];
@@ -155,22 +211,28 @@ impl IoEngine {
                 blocks += 1;
             }
         }
-        let (service_ns, parity_reads) = g.write(&per_drive);
+        let (service_ns, parity_reads) = g.write(&per_drive)?;
         self.counters.write_ios.fetch_add(1, Ordering::Relaxed);
-        self.counters.blocks_written.fetch_add(blocks, Ordering::Relaxed);
-        self.counters.parity_reads.fetch_add(parity_reads, Ordering::Relaxed);
-        self.counters.service_ns.fetch_add(service_ns, Ordering::Relaxed);
-        IoResult {
+        self.counters
+            .blocks_written
+            .fetch_add(blocks, Ordering::Relaxed);
+        self.counters
+            .parity_reads
+            .fetch_add(parity_reads, Ordering::Relaxed);
+        self.counters
+            .service_ns
+            .fetch_add(service_ns, Ordering::Relaxed);
+        Ok(IoResult {
             service_ns,
             parity_reads,
             blocks_written: blocks,
-        }
+        })
     }
 
     /// Convenience: write a single block at a VBN (used by metafile flushes
     /// and the superblock path, which bypass tetris construction).
-    pub fn write_vbn(&self, vbn: Vbn, stamp: BlockStamp) -> IoResult {
-        let loc = self.geometry.locate(vbn);
+    pub fn write_vbn(&self, vbn: Vbn, stamp: BlockStamp) -> Result<IoResult, IoError> {
+        let loc = self.geometry.locate(vbn)?;
         self.submit_write(&WriteIo {
             rg: loc.rg,
             segments: vec![WriteSegment {
@@ -181,22 +243,60 @@ impl IoEngine {
         })
     }
 
-    /// Read the stamp stored at a VBN.
-    pub fn read_vbn(&self, vbn: Vbn) -> BlockStamp {
+    /// Read the stamp stored at a VBN, transparently served by
+    /// degraded-mode reconstruction when the home drive has failed.
+    pub fn read_vbn(&self, vbn: Vbn) -> Result<BlockStamp, IoError> {
         let BlockLoc {
-            rg, drive_in_rg, dbn, ..
-        } = self.geometry.locate(vbn);
-        self.groups[rg.0 as usize].data_drives()[drive_in_rg as usize]
-            .read_block(dbn)
-            .0
+            rg,
+            drive_in_rg,
+            dbn,
+            ..
+        } = self.geometry.locate(vbn)?;
+        Ok(self.groups[rg.0 as usize].read_block(drive_in_rg, dbn)?.0)
     }
 
-    /// Verify parity across the whole aggregate (scrub). Test helper.
+    /// Verify parity across the whole aggregate (scrub). Inspects raw
+    /// media, so it fails while a group is degraded and passes again
+    /// after [`IoEngine::rebuild_offline`].
     pub fn scrub(&self) -> Result<(), String> {
         for g in &self.groups {
             g.verify_parity(0, g.geometry().blocks_per_drive)?;
         }
         Ok(())
+    }
+
+    /// Rebuild every offline drive in the aggregate. Returns total
+    /// blocks rebuilt.
+    pub fn rebuild_offline(&self) -> u64 {
+        self.groups.iter().map(|g| g.rebuild_offline()).sum()
+    }
+
+    /// Ids of all drives (data and parity) currently out of service.
+    pub fn offline_drives(&self) -> Vec<DriveId> {
+        let mut out = Vec::new();
+        for g in &self.groups {
+            for d in g.data_drives().iter().chain(g.parity_drives()) {
+                if d.is_offline() {
+                    out.push(d.id());
+                }
+            }
+        }
+        out
+    }
+
+    /// Aggregate-wide fault/degraded-mode counters.
+    pub fn fault_snapshot(&self) -> FaultSnapshot {
+        let mut s = FaultSnapshot::default();
+        for g in &self.groups {
+            let c = g.counters();
+            s.reconstructed_reads += c.reconstructed_reads.load(Ordering::Relaxed);
+            s.degraded_stripes += c.degraded_stripes.load(Ordering::Relaxed);
+            s.degraded_writes += c.degraded_writes.load(Ordering::Relaxed);
+            s.io_retries += c.io_retries.load(Ordering::Relaxed);
+            s.io_errors += c.io_errors.load(Ordering::Relaxed);
+        }
+        s.drives_offline = self.offline_drives().len() as u64;
+        s
     }
 
     /// Fraction of stripes written full-stripe, aggregated over all groups.
@@ -224,6 +324,7 @@ impl std::fmt::Debug for IoEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultSpec;
     use crate::geometry::GeometryBuilder;
 
     fn engine() -> IoEngine {
@@ -240,9 +341,57 @@ mod tests {
     #[test]
     fn write_vbn_then_read_vbn() {
         let e = engine();
-        e.write_vbn(Vbn(1500), 0xabc);
-        assert_eq!(e.read_vbn(Vbn(1500)), 0xabc);
-        assert_eq!(e.read_vbn(Vbn(1501)), 0);
+        e.write_vbn(Vbn(1500), 0xabc).unwrap();
+        assert_eq!(e.read_vbn(Vbn(1500)).unwrap(), 0xabc);
+        assert_eq!(e.read_vbn(Vbn(1501)).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_range_vbn_errors() {
+        let e = engine();
+        let total = e.geometry().total_vbns();
+        assert!(matches!(
+            e.read_vbn(Vbn(total)),
+            Err(crate::fault::IoError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            e.write_vbn(Vbn(total + 5), 1),
+            Err(crate::fault::IoError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_drive_failure_served_degraded_then_rebuilt() {
+        let geo = Arc::new(
+            GeometryBuilder::new()
+                .aa_stripes(32)
+                .raid_group(3, 1, 512)
+                .build(),
+        );
+        // Drive 1 dies after 4 ops.
+        let e = IoEngine::with_faults(geo, DriveKind::Ssd, FaultSpec::drive_failure(1, 4));
+        for v in 0..40u64 {
+            for d in 0..3u64 {
+                e.write_vbn(Vbn(d * 512 + v), crate::stamp(d, v, 1))
+                    .unwrap();
+            }
+        }
+        assert_eq!(e.offline_drives(), vec![DriveId(1)]);
+        // Every block — including the dead drive's — reads back correct.
+        for v in 0..40u64 {
+            for d in 0..3u64 {
+                assert_eq!(e.read_vbn(Vbn(d * 512 + v)).unwrap(), crate::stamp(d, v, 1));
+            }
+        }
+        let s = e.fault_snapshot();
+        assert!(s.reconstructed_reads > 0);
+        assert!(s.degraded_writes > 0);
+        assert_eq!(s.drives_offline, 1);
+        // Scrub fails while degraded, passes after rebuild.
+        assert!(e.scrub().is_err());
+        assert!(e.rebuild_offline() > 0);
+        assert!(e.offline_drives().is_empty());
+        e.scrub().unwrap();
     }
 
     #[test]
@@ -259,7 +408,7 @@ mod tests {
                 })
                 .collect(),
         };
-        let r = e.submit_write(&io);
+        let r = e.submit_write(&io).unwrap();
         assert_eq!(r.parity_reads, 0);
         assert_eq!(r.blocks_written, 12);
         assert_eq!(e.full_stripe_ratio(), Some(1.0));
@@ -277,7 +426,7 @@ mod tests {
                 stamps: vec![7; 2],
             }],
         };
-        let r = e.submit_write(&io);
+        let r = e.submit_write(&io).unwrap();
         assert_eq!(r.parity_reads, 2); // the other drive, 2 stripes
         assert!(e.full_stripe_ratio().unwrap() < 1.0);
         e.scrub().unwrap();
@@ -286,8 +435,8 @@ mod tests {
     #[test]
     fn counters_accumulate_across_ios() {
         let e = engine();
-        e.write_vbn(Vbn(0), 1);
-        e.write_vbn(Vbn(700), 2);
+        e.write_vbn(Vbn(0), 1).unwrap();
+        e.write_vbn(Vbn(700), 2).unwrap();
         let s = e.counters().snapshot();
         assert_eq!(s.write_ios, 2);
         assert_eq!(s.blocks_written, 2);

@@ -37,16 +37,18 @@
 #![warn(rust_2018_idioms)]
 
 pub mod drive;
+pub mod fault;
 pub mod geometry;
 pub mod io;
 pub mod raid;
 
 pub use drive::{Drive, DriveKind, ServiceModel};
+pub use fault::{FaultDecision, FaultPlan, FaultSpec, IoError, OpKind, RetryPolicy};
 pub use geometry::{
     AaId, AggregateGeometry, BlockLoc, Dbn, DriveId, GeometryBuilder, RaidGroupGeometry,
     RaidGroupId, StripeId, Vbn, BLOCK_SIZE,
 };
-pub use io::{IoCounters, IoEngine, IoResult, WriteIo, WriteSegment};
+pub use io::{FaultSnapshot, IoCounters, IoEngine, IoResult, WriteIo, WriteSegment};
 pub use raid::{ParityModel, RaidGroup};
 
 /// A 128-bit block payload stamp.

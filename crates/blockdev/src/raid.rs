@@ -1,4 +1,4 @@
-//! RAID-group parity accounting.
+//! RAID-group parity accounting, degraded mode, and drive rebuild.
 //!
 //! White Alligator's first layout objective (§IV-D) is to *minimize reads
 //! required for RAID parity computation*: when a write covers an entire
@@ -11,15 +11,33 @@
 //! Parity is modeled as the XOR of the 128-bit block stamps, which is a
 //! faithful miniature of RAID-4/RAID-DP row parity and lets tests verify
 //! parity correctness after arbitrary write sequences.
+//!
+//! ## Fault handling
+//!
+//! Drive I/O is fallible (see [`crate::fault`]). The group applies a
+//! [`RetryPolicy`] at every drive op: transient errors are retried with
+//! exponential backoff charged to service time; a drive that keeps
+//! failing is taken **offline** and the group enters degraded mode for
+//! it. Degraded semantics follow real RAID-4:
+//!
+//! * **writes** targeting the offline drive skip the media but still
+//!   fold the intended stamps into row parity, so the lost drive's
+//!   logical contents remain reconstructable;
+//! * **reads** of the offline drive are served by XOR-reconstruction
+//!   from the surviving drives plus parity ([`RaidGroup::read_block`]);
+//! * [`RaidGroup::rebuild_drive`] reconstructs every block onto fresh
+//!   media and returns the drive to service, after which a raw-media
+//!   parity scrub passes again.
 
 use crate::drive::{Drive, DriveKind};
+use crate::fault::{IoError, RetryPolicy};
 use crate::geometry::{Dbn, DriveId, RaidGroupGeometry};
 use crate::BlockStamp;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Parity accounting counters for one RAID group.
+/// Parity and fault accounting counters for one RAID group.
 #[derive(Debug, Default)]
 pub struct ParityModel {
     /// Stripes written with full-stripe parity (no reads).
@@ -28,6 +46,17 @@ pub struct ParityModel {
     pub partial_stripe_writes: AtomicU64,
     /// Data blocks read back to recompute parity.
     pub parity_read_blocks: AtomicU64,
+    /// Blocks served by XOR reconstruction instead of the home drive.
+    pub reconstructed_reads: AtomicU64,
+    /// Stripes written or read while one member was offline.
+    pub degraded_stripes: AtomicU64,
+    /// Data blocks whose media write was skipped because the target
+    /// drive was offline (parity still reflects them).
+    pub degraded_writes: AtomicU64,
+    /// Drive-op retries performed by the bounded-backoff policy.
+    pub io_retries: AtomicU64,
+    /// Drive-op errors observed (before retry resolution).
+    pub io_errors: AtomicU64,
 }
 
 /// A RAID group: data drives, parity drive(s), and parity bookkeeping.
@@ -41,6 +70,7 @@ pub struct RaidGroup {
     /// same row parity in this model; diagonal parity is out of scope).
     parity: Vec<Arc<Drive>>,
     counters: ParityModel,
+    policy: RetryPolicy,
 }
 
 impl RaidGroup {
@@ -65,6 +95,7 @@ impl RaidGroup {
             data,
             parity,
             counters: ParityModel::default(),
+            policy: RetryPolicy::default(),
         }
     }
 
@@ -98,12 +129,128 @@ impl RaidGroup {
         self.data.len() as u32
     }
 
+    /// Replace the retry/offlining policy (default: [`RetryPolicy::default`]).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active retry/offlining policy.
+    #[inline]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Indexes (within the group) of offline data drives.
+    pub fn offline_data_drives(&self) -> Vec<u32> {
+        self.data
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_offline())
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Record a terminal (retries-exhausted or injected-fatal) failure
+    /// and apply the offlining policy.
+    fn note_terminal_failure(&self, drive: &Drive) {
+        if drive.is_offline() {
+            return; // injected whole-drive failure already offlined it
+        }
+        if drive.note_failure() >= self.policy.offline_after {
+            drive.take_offline();
+        }
+    }
+
+    /// Read one block through the retry policy. Backoff is charged to
+    /// the returned service time.
+    fn read_with_retries(&self, drive: &Drive, dbn: Dbn) -> Result<(BlockStamp, u64), IoError> {
+        let mut backoff_ns = 0u64;
+        for attempt in 0..=self.policy.max_retries {
+            match drive.read_block(dbn) {
+                Ok((stamp, ns)) => return Ok((stamp, ns + backoff_ns)),
+                Err(e @ IoError::Transient { .. }) => {
+                    self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                    if attempt == self.policy.max_retries {
+                        self.note_terminal_failure(drive);
+                        return Err(e);
+                    }
+                    self.counters.io_retries.fetch_add(1, Ordering::Relaxed);
+                    backoff_ns += self.policy.backoff_base_ns << attempt;
+                }
+                Err(e) => {
+                    self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+        }
+        unreachable!("retry loop always returns")
+    }
+
+    /// Write one run through the retry policy. Backoff is charged to the
+    /// returned service time.
+    fn write_with_retries(
+        &self,
+        drive: &Drive,
+        start: Dbn,
+        stamps: &[BlockStamp],
+    ) -> Result<u64, IoError> {
+        let mut backoff_ns = 0u64;
+        for attempt in 0..=self.policy.max_retries {
+            match drive.write_run(start, stamps) {
+                Ok(ns) => return Ok(ns + backoff_ns),
+                Err(e @ IoError::Transient { .. }) => {
+                    self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                    if attempt == self.policy.max_retries {
+                        self.note_terminal_failure(drive);
+                        return Err(e);
+                    }
+                    self.counters.io_retries.fetch_add(1, Ordering::Relaxed);
+                    backoff_ns += self.policy.backoff_base_ns << attempt;
+                }
+                Err(e) => {
+                    self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+        }
+        unreachable!("retry loop always returns")
+    }
+
+    /// Write a DBN→stamp map to one drive as maximal contiguous runs,
+    /// applying the retry policy per run. Returns accumulated service
+    /// time, or the first terminal error.
+    fn write_runs(&self, drive: &Drive, m: &BTreeMap<u64, BlockStamp>) -> Result<u64, IoError> {
+        let mut ns = 0u64;
+        let mut iter = m.iter().peekable();
+        while let Some((&start, &first)) = iter.next() {
+            let mut run = vec![first];
+            let mut next = start + 1;
+            while let Some(&(&d, &s)) = iter.peek() {
+                if d == next {
+                    run.push(s);
+                    next += 1;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            ns += self.write_with_retries(drive, Dbn(start), &run)?;
+        }
+        Ok(ns)
+    }
+
     /// Apply a write organized as per-drive block maps and maintain
     /// parity. `per_drive[i]` maps DBN → stamp for data drive `i` (index
     /// within the group). Returns `(service_ns, parity_reads)` where
     /// `service_ns` is the *maximum* over drives (drives work in
     /// parallel, the group completes when the slowest member does).
-    pub fn write(&self, per_drive: &[BTreeMap<u64, BlockStamp>]) -> (u64, u64) {
+    ///
+    /// A single failed data drive does not fail the write: its media
+    /// blocks are skipped but its intended stamps are folded into parity,
+    /// leaving them reconstructable (degraded mode). The write errors
+    /// only when reconstruction itself is impossible (a second failure in
+    /// a single-parity group) or on a structural error.
+    pub fn write(&self, per_drive: &[BTreeMap<u64, BlockStamp>]) -> Result<(u64, u64), IoError> {
         assert_eq!(per_drive.len(), self.data.len(), "one map per data drive");
 
         // Gather the set of stripes touched and whether each is full.
@@ -122,7 +269,9 @@ impl RaidGroup {
             let mut parity = 0u128;
             if covered == width {
                 // Full stripe: parity from new data only.
-                self.counters.full_stripe_writes.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .full_stripe_writes
+                    .fetch_add(1, Ordering::Relaxed);
                 for m in per_drive {
                     parity ^= m[&dbn];
                 }
@@ -135,7 +284,19 @@ impl RaidGroup {
                     match m.get(&dbn) {
                         Some(&s) => parity ^= s,
                         None => {
-                            let (old, _) = self.data[i].read_block(Dbn(dbn));
+                            let old = match self.read_with_retries(&self.data[i], Dbn(dbn)) {
+                                Ok((old, _)) => old,
+                                Err(_) => {
+                                    // Degraded read-modify-write: recover
+                                    // the untouched block's logical value
+                                    // from parity + surviving media.
+                                    self.ensure_reconstructable(i as u32)?;
+                                    self.counters
+                                        .reconstructed_reads
+                                        .fetch_add(1, Ordering::Relaxed);
+                                    self.reconstruct(i as u32, Dbn(dbn))
+                                }
+                            };
                             parity ^= old;
                             parity_reads += 1;
                         }
@@ -150,26 +311,140 @@ impl RaidGroup {
 
         // Issue per-drive writes as maximal contiguous runs; the group's
         // service time is the slowest drive (drives operate in parallel).
+        // A terminal per-drive failure degrades that drive instead of
+        // failing the I/O: parity above already encodes its stamps.
         let mut max_ns = 0u64;
         for (i, m) in per_drive.iter().enumerate() {
-            max_ns = max_ns.max(write_runs(&self.data[i], m));
+            if m.is_empty() {
+                continue;
+            }
+            match self.write_runs(&self.data[i], m) {
+                Ok(ns) => max_ns = max_ns.max(ns),
+                Err(IoError::Capacity { .. }) => {
+                    return Err(IoError::Capacity {
+                        drive: self.data[i].id(),
+                        dbn: Dbn(*m.keys().next().unwrap()),
+                        blocks: m.len() as u64,
+                    })
+                }
+                Err(_) => {
+                    // A write that exhausted its retries lost data on
+                    // that drive: take it out of service unconditionally
+                    // (stale media must never serve direct reads) and
+                    // rely on parity for its contents.
+                    self.data[i].take_offline();
+                    self.ensure_reconstructable(i as u32)?;
+                    self.counters
+                        .degraded_writes
+                        .fetch_add(m.len() as u64, Ordering::Relaxed);
+                    self.counters
+                        .degraded_stripes
+                        .fetch_add(m.len() as u64, Ordering::Relaxed);
+                }
+            }
         }
         for p in &self.parity {
-            max_ns = max_ns.max(write_runs(p, &parity_updates));
+            match self.write_runs(p, &parity_updates) {
+                Ok(ns) => max_ns = max_ns.max(ns),
+                Err(e @ IoError::Capacity { .. }) => return Err(e),
+                Err(_) => {
+                    // Lost parity: data writes above still landed, but a
+                    // concurrent data-drive failure would now be
+                    // unrecoverable. Take the parity drive offline (its
+                    // media is stale) and tolerate the loss as long as
+                    // every data drive is healthy.
+                    p.take_offline();
+                    if !self.offline_data_drives().is_empty() {
+                        return Err(IoError::Unrecoverable {
+                            detail: "parity and data drive failed in one group",
+                        });
+                    }
+                    self.counters
+                        .degraded_writes
+                        .fetch_add(parity_updates.len() as u64, Ordering::Relaxed);
+                }
+            }
         }
-        (max_ns, parity_reads)
+        Ok((max_ns, parity_reads))
+    }
+
+    /// Error unless the group can reconstruct `failed_drive_in_rg`: every
+    /// other data drive and the parity drive must be in service.
+    fn ensure_reconstructable(&self, failed_drive_in_rg: u32) -> Result<(), IoError> {
+        let others_ok = self
+            .data
+            .iter()
+            .enumerate()
+            .all(|(i, d)| i as u32 == failed_drive_in_rg || !d.is_offline());
+        let parity_ok = self.parity.first().is_some_and(|p| !p.is_offline());
+        if others_ok && parity_ok {
+            Ok(())
+        } else {
+            Err(IoError::Unrecoverable {
+                detail: "multiple drive failures in a single-parity group",
+            })
+        }
+    }
+
+    /// Read one data block, transparently falling back to degraded-mode
+    /// XOR reconstruction when the home drive has failed. Returns
+    /// `(stamp, service_ns)`.
+    pub fn read_block(&self, drive_in_rg: u32, dbn: Dbn) -> Result<(BlockStamp, u64), IoError> {
+        match self.read_with_retries(&self.data[drive_in_rg as usize], dbn) {
+            Ok(v) => Ok(v),
+            Err(IoError::Capacity { drive, dbn, blocks }) => {
+                Err(IoError::Capacity { drive, dbn, blocks })
+            }
+            Err(_) => self.degraded_read(drive_in_rg, dbn),
+        }
+    }
+
+    /// Serve a read of `drive_in_rg` by XOR of the surviving drives and
+    /// parity (the degraded-mode path). The survivors are read as real,
+    /// fault-injectable I/O.
+    fn degraded_read(&self, drive_in_rg: u32, dbn: Dbn) -> Result<(BlockStamp, u64), IoError> {
+        self.ensure_reconstructable(drive_in_rg)?;
+        let mut x = 0u128;
+        let mut max_ns = 0u64;
+        for (i, d) in self.data.iter().enumerate() {
+            if i as u32 == drive_in_rg {
+                continue;
+            }
+            let (s, ns) = self
+                .read_with_retries(d, dbn)
+                .map_err(|_| IoError::Unrecoverable {
+                    detail: "survivor read failed during reconstruction",
+                })?;
+            x ^= s;
+            max_ns = max_ns.max(ns);
+        }
+        let (p, ns) =
+            self.read_with_retries(&self.parity[0], dbn)
+                .map_err(|_| IoError::Unrecoverable {
+                    detail: "parity read failed during reconstruction",
+                })?;
+        x ^= p;
+        max_ns = max_ns.max(ns);
+        self.counters
+            .reconstructed_reads
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .degraded_stripes
+            .fetch_add(1, Ordering::Relaxed);
+        Ok((x, max_ns))
     }
 
     /// Verify that parity equals the XOR of data blocks for every stripe in
-    /// `[start, end)`. Test/scrub helper.
+    /// `[start, end)`, inspecting raw media (scrub is a maintenance path
+    /// and bypasses fault injection).
     pub fn verify_parity(&self, start: u64, end: u64) -> Result<(), String> {
         for dbn in start..end {
             let mut x = 0u128;
             for d in &self.data {
-                x ^= d.read_block(Dbn(dbn)).0;
+                x ^= d.peek(Dbn(dbn));
             }
             for p in &self.parity {
-                let got = p.read_block(Dbn(dbn)).0;
+                let got = p.peek(Dbn(dbn));
                 if got != x {
                     return Err(format!(
                         "parity mismatch at rg {:?} dbn {dbn}: expected {x:#x}, got {got:#x}",
@@ -181,39 +456,62 @@ impl RaidGroup {
         Ok(())
     }
 
-    /// Reconstruct a data block from the surviving drives + parity, as a
-    /// degraded-mode read would. Used by tests to show parity is real.
+    /// Reconstruct a data block from the surviving drives + parity via
+    /// raw media access (maintenance path: no fault injection, no
+    /// statistics). This is what [`RaidGroup::rebuild_drive`] and the
+    /// degraded read-modify-write fallback use.
     pub fn reconstruct(&self, failed_drive_in_rg: u32, dbn: Dbn) -> BlockStamp {
-        let mut x = self.parity[0].read_block(dbn).0;
+        let mut x = self.parity[0].peek(dbn);
         for (i, d) in self.data.iter().enumerate() {
             if i as u32 != failed_drive_in_rg {
-                x ^= d.read_block(dbn).0;
+                x ^= d.peek(dbn);
             }
         }
         x
     }
-}
 
-/// Write a DBN→stamp map to a drive as maximal contiguous runs; return the
-/// accumulated service time.
-fn write_runs(drive: &Drive, m: &BTreeMap<u64, BlockStamp>) -> u64 {
-    let mut ns = 0u64;
-    let mut iter = m.iter().peekable();
-    while let Some((&start, &first)) = iter.next() {
-        let mut run = vec![first];
-        let mut next = start + 1;
-        while let Some(&(&d, &s)) = iter.peek() {
-            if d == next {
-                run.push(s);
-                next += 1;
-                iter.next();
-            } else {
-                break;
+    /// Rebuild an offline data drive: reconstruct every block from
+    /// parity + survivors onto the drive's media and return it to
+    /// service. Returns the number of blocks rebuilt. After a rebuild,
+    /// [`RaidGroup::verify_parity`] passes again.
+    pub fn rebuild_drive(&self, drive_in_rg: u32) -> u64 {
+        let blocks = self.geom.blocks_per_drive;
+        let stamps: Vec<BlockStamp> = (0..blocks)
+            .map(|dbn| self.reconstruct(drive_in_rg, Dbn(dbn)))
+            .collect();
+        let drive = &self.data[drive_in_rg as usize];
+        drive.repair_write(Dbn(0), &stamps);
+        drive.bring_online();
+        blocks
+    }
+
+    /// Recompute a parity drive's media from the data drives and return
+    /// it to service. Returns the number of blocks rebuilt.
+    pub fn rebuild_parity(&self, parity_index: usize) -> u64 {
+        let blocks = self.geom.blocks_per_drive;
+        let stamps: Vec<BlockStamp> = (0..blocks)
+            .map(|dbn| self.data.iter().fold(0u128, |x, d| x ^ d.peek(Dbn(dbn))))
+            .collect();
+        let drive = &self.parity[parity_index];
+        drive.repair_write(Dbn(0), &stamps);
+        drive.bring_online();
+        blocks
+    }
+
+    /// Rebuild every offline member of the group (data drives first,
+    /// then parity). Returns total blocks rebuilt.
+    pub fn rebuild_offline(&self) -> u64 {
+        let mut rebuilt = 0;
+        for i in self.offline_data_drives() {
+            rebuilt += self.rebuild_drive(i);
+        }
+        for (i, p) in self.parity.iter().enumerate() {
+            if p.is_offline() {
+                rebuilt += self.rebuild_parity(i);
             }
         }
-        ns += drive.write_run(Dbn(start), &run);
+        rebuilt
     }
-    ns
 }
 
 impl std::fmt::Debug for RaidGroup {
@@ -222,6 +520,7 @@ impl std::fmt::Debug for RaidGroup {
             .field("id", &self.geom.id)
             .field("width", &self.width())
             .field("parity_drives", &self.parity.len())
+            .field("offline", &self.offline_data_drives())
             .finish()
     }
 }
@@ -229,6 +528,7 @@ impl std::fmt::Debug for RaidGroup {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, FaultSpec};
     use crate::geometry::{GeometryBuilder, RaidGroupId};
 
     fn rg(width: u32) -> RaidGroup {
@@ -247,10 +547,13 @@ mod tests {
             BTreeMap::from([(5u64, 0xb_u128)]),
             BTreeMap::from([(5u64, 0xc_u128)]),
         ];
-        let (_, reads) = g.write(&maps);
+        let (_, reads) = g.write(&maps).unwrap();
         assert_eq!(reads, 0);
         assert_eq!(g.counters().full_stripe_writes.load(Ordering::Relaxed), 1);
-        assert_eq!(g.counters().partial_stripe_writes.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            g.counters().partial_stripe_writes.load(Ordering::Relaxed),
+            0
+        );
         g.verify_parity(5, 6).unwrap();
     }
 
@@ -264,9 +567,12 @@ mod tests {
             BTreeMap::new(),
             BTreeMap::new(),
         ];
-        let (_, reads) = g.write(&maps);
+        let (_, reads) = g.write(&maps).unwrap();
         assert_eq!(reads, 2);
-        assert_eq!(g.counters().partial_stripe_writes.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            g.counters().partial_stripe_writes.load(Ordering::Relaxed),
+            1
+        );
         g.verify_parity(9, 10).unwrap();
     }
 
@@ -277,10 +583,10 @@ mod tests {
             BTreeMap::from([(0u64, 0x11_u128)]),
             BTreeMap::from([(0u64, 0x22_u128)]),
         ];
-        g.write(&w1);
+        g.write(&w1).unwrap();
         // Overwrite one side (partial stripe → read the other).
         let w2 = vec![BTreeMap::from([(0u64, 0x33_u128)]), BTreeMap::new()];
-        g.write(&w2);
+        g.write(&w2).unwrap();
         g.verify_parity(0, 1).unwrap();
     }
 
@@ -292,7 +598,7 @@ mod tests {
             BTreeMap::from([(7u64, 0xbeef_u128)]),
             BTreeMap::from([(7u64, 0xf00d_u128)]),
         ];
-        g.write(&maps);
+        g.write(&maps).unwrap();
         assert_eq!(g.reconstruct(1, Dbn(7)), 0xbeef);
     }
 
@@ -303,9 +609,12 @@ mod tests {
             BTreeMap::from([(0u64, 1u128), (1, 2), (2, 3)]),
             BTreeMap::from([(0u64, 4u128), (1, 5)]), // stripe 2 is partial
         ];
-        let (_, reads) = g.write(&maps);
+        let (_, reads) = g.write(&maps).unwrap();
         assert_eq!(g.counters().full_stripe_writes.load(Ordering::Relaxed), 2);
-        assert_eq!(g.counters().partial_stripe_writes.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            g.counters().partial_stripe_writes.load(Ordering::Relaxed),
+            1
+        );
         assert_eq!(reads, 1);
         g.verify_parity(0, 3).unwrap();
     }
@@ -314,9 +623,113 @@ mod tests {
     fn contiguous_runs_issue_one_drive_write() {
         let g = rg(1);
         let maps = vec![BTreeMap::from([(0u64, 1u128), (1, 2), (2, 3), (10, 4)])];
-        g.write(&maps);
+        g.write(&maps).unwrap();
         // 2 runs: [0..3) and [10..11).
         assert_eq!(g.data_drives()[0].stats().writes, 2);
         assert_eq!(g.data_drives()[0].stats().blocks_written, 4);
+    }
+
+    #[test]
+    fn transient_errors_are_retried_to_success() {
+        let g = rg(2);
+        // ~30 % transient write errors: with 3 retries the probability of
+        // a terminal failure per run is ~0.8 %, and the fixed seed below
+        // is verified to complete without one.
+        let spec = FaultSpec {
+            seed: 1234,
+            write_error_ppm: 300_000,
+            ..FaultSpec::default()
+        };
+        let plan = Arc::new(FaultPlan::new(spec));
+        for d in g.data_drives().iter().chain(g.parity_drives()) {
+            d.set_fault_plan(Some(Arc::clone(&plan)));
+        }
+        for dbn in 0..32u64 {
+            let maps = vec![
+                BTreeMap::from([(dbn, crate::stamp(0, dbn, 1))]),
+                BTreeMap::from([(dbn, crate::stamp(1, dbn, 1))]),
+            ];
+            g.write(&maps).unwrap();
+        }
+        assert!(
+            g.counters().io_retries.load(Ordering::Relaxed) > 0,
+            "expected retries at 30 % error rate"
+        );
+        assert!(g.offline_data_drives().is_empty());
+        g.verify_parity(0, 32).unwrap();
+    }
+
+    #[test]
+    fn failed_drive_degrades_then_rebuilds() {
+        let g = rg(3);
+        // Drive 1 dies after its first op.
+        let plan = Arc::new(FaultPlan::new(FaultSpec::drive_failure(1, 1)));
+        for d in g.data_drives().iter().chain(g.parity_drives()) {
+            d.set_fault_plan(Some(Arc::clone(&plan)));
+        }
+        // First write succeeds everywhere.
+        let w = |dbn: u64| {
+            vec![
+                BTreeMap::from([(dbn, crate::stamp(0, dbn, 1))]),
+                BTreeMap::from([(dbn, crate::stamp(1, dbn, 1))]),
+                BTreeMap::from([(dbn, crate::stamp(2, dbn, 1))]),
+            ]
+        };
+        g.write(&w(0)).unwrap();
+        // Second write hits the dead drive → degraded, not failed.
+        g.write(&w(1)).unwrap();
+        assert_eq!(g.offline_data_drives(), vec![1]);
+        assert!(g.counters().degraded_writes.load(Ordering::Relaxed) > 0);
+        // Degraded read returns the *intended* stamp via reconstruction.
+        let (s, _) = g.read_block(1, Dbn(1)).unwrap();
+        assert_eq!(s, crate::stamp(1, 1, 1));
+        assert!(g.counters().reconstructed_reads.load(Ordering::Relaxed) > 0);
+        // Raw media is stale, so the scrub fails while degraded...
+        assert!(g.verify_parity(1, 2).is_err());
+        // ...and passes again after a rebuild.
+        assert_eq!(g.rebuild_drive(1), 256);
+        assert!(g.offline_data_drives().is_empty());
+        g.verify_parity(0, 2).unwrap();
+        assert_eq!(g.read_block(1, Dbn(1)).unwrap().0, crate::stamp(1, 1, 1));
+    }
+
+    #[test]
+    fn degraded_partial_stripe_write_reconstructs_old_values() {
+        let g = rg(3);
+        let full = vec![
+            BTreeMap::from([(4u64, 0x10_u128)]),
+            BTreeMap::from([(4u64, 0x20_u128)]),
+            BTreeMap::from([(4u64, 0x30_u128)]),
+        ];
+        g.write(&full).unwrap();
+        g.data_drives()[2].take_offline();
+        // Partial write touching only drive 0: the untouched offline
+        // drive 2 must contribute its (reconstructed) old value to parity.
+        let partial = vec![
+            BTreeMap::from([(4u64, 0x40_u128)]),
+            BTreeMap::new(),
+            BTreeMap::new(),
+        ];
+        g.write(&partial).unwrap();
+        assert_eq!(g.read_block(2, Dbn(4)).unwrap().0, 0x30);
+        assert_eq!(g.read_block(1, Dbn(4)).unwrap().0, 0x20);
+        assert_eq!(g.read_block(0, Dbn(4)).unwrap().0, 0x40);
+    }
+
+    #[test]
+    fn double_failure_is_unrecoverable() {
+        let g = rg(3);
+        let maps = vec![
+            BTreeMap::from([(0u64, 1u128)]),
+            BTreeMap::from([(0u64, 2u128)]),
+            BTreeMap::from([(0u64, 3u128)]),
+        ];
+        g.write(&maps).unwrap();
+        g.data_drives()[0].take_offline();
+        g.data_drives()[1].take_offline();
+        assert!(matches!(
+            g.read_block(0, Dbn(0)),
+            Err(IoError::Unrecoverable { .. })
+        ));
     }
 }

@@ -37,7 +37,7 @@ fn tetris_shaped_io_across_both_groups() {
                 })
                 .collect(),
         };
-        let r = e.submit_write(&io);
+        let r = e.submit_write(&io).unwrap();
         assert_eq!(r.parity_reads, 0, "aligned tetris for rg {rg:?}");
         assert_eq!(r.blocks_written, width as u64 * 64);
     }
@@ -63,13 +63,16 @@ fn degraded_read_recovers_data_after_heavy_churn() {
                 })
                 .collect(),
         };
-        e.submit_write(&io);
+        e.submit_write(&io).unwrap();
     }
     // Any single drive's content is reconstructible from the rest.
     let g = e.raid_group(RaidGroupId(0));
     for failed in 0..4u32 {
         for dbn in 100..116 {
-            let original = g.data_drives()[failed as usize].read_block(Dbn(dbn)).0;
+            let original = g.data_drives()[failed as usize]
+                .read_block(Dbn(dbn))
+                .unwrap()
+                .0;
             assert_eq!(g.reconstruct(failed, Dbn(dbn)), original);
         }
     }
@@ -96,11 +99,11 @@ fn service_time_grows_with_blocks_and_randomness() {
 #[test]
 fn interleaved_group_writes_do_not_cross_talk() {
     let e = engine();
-    e.write_vbn(Vbn(0), 0xAAA); // rg0 drive0 dbn0
+    e.write_vbn(Vbn(0), 0xAAA).unwrap(); // rg0 drive0 dbn0
     let rg1_base = 4 * 2048;
-    e.write_vbn(Vbn(rg1_base as u64), 0xBBB); // rg1 drive0 dbn0
-    assert_eq!(e.read_vbn(Vbn(0)), 0xAAA);
-    assert_eq!(e.read_vbn(Vbn(rg1_base as u64)), 0xBBB);
+    e.write_vbn(Vbn(rg1_base as u64), 0xBBB).unwrap(); // rg1 drive0 dbn0
+    assert_eq!(e.read_vbn(Vbn(0)).unwrap(), 0xAAA);
+    assert_eq!(e.read_vbn(Vbn(rg1_base as u64)).unwrap(), 0xBBB);
     // Same DBN, different groups → independent parity.
     e.scrub().unwrap();
 }
@@ -121,7 +124,7 @@ fn raid_write_handles_interleaved_runs_and_holes() {
     for d in 1..4u64 {
         m1.insert(d, stamp(1, d, 1));
     }
-    let (ns, parity_reads) = g.write(&[m0, m1]);
+    let (ns, parity_reads) = g.write(&[m0, m1]).unwrap();
     assert!(ns > 0);
     // Full stripes: dbn 1, 2 (both drives). Partial: 0, 3, 10, 11.
     assert_eq!(
@@ -151,7 +154,7 @@ fn drive_stats_reflect_group_level_writes() {
             stamps: vec![1, 2, 3, 4],
         }],
     };
-    e.submit_write(&io);
+    e.submit_write(&io).unwrap();
     let g = e.raid_group(RaidGroupId(0));
     assert_eq!(g.data_drives()[2].stats().blocks_written, 4);
     assert_eq!(g.data_drives()[0].stats().blocks_written, 0);
@@ -165,11 +168,11 @@ fn geometry_equivalence_of_vbn_and_loc_views() {
     let geo = e.geometry();
     // Write through VBN view, read through loc view.
     let vbn = Vbn(3 * 2048 + 77); // rg0 drive3 dbn77
-    e.write_vbn(vbn, 0x77);
-    let loc = geo.locate(vbn);
+    e.write_vbn(vbn, 0x77).unwrap();
+    let loc = geo.locate(vbn).unwrap();
     assert_eq!(loc.rg, RaidGroupId(0));
     assert_eq!(loc.drive_in_rg, 3);
     assert_eq!(loc.dbn, Dbn(77));
     let drive = &e.raid_group(loc.rg).data_drives()[loc.drive_in_rg as usize];
-    assert_eq!(drive.read_block(loc.dbn).0, 0x77);
+    assert_eq!(drive.read_block(loc.dbn).unwrap().0, 0x77);
 }

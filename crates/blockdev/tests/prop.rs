@@ -2,7 +2,6 @@
 //! inputs.
 
 use proptest::prelude::*;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 use wafl_blockdev::{
     DriveKind, GeometryBuilder, IoEngine, RaidGroupId, Vbn, WriteIo, WriteSegment,
@@ -29,7 +28,7 @@ proptest! {
         prop_assert_eq!(geo.total_vbns(), groups as u64 * width as u64 * blocks);
         for p in probes {
             let vbn = Vbn(p % geo.total_vbns());
-            let loc = geo.locate(vbn);
+            let loc = geo.locate(vbn).unwrap();
             prop_assert_eq!(geo.vbn_at(loc.rg, loc.drive_in_rg, loc.dbn), vbn);
             prop_assert!(loc.dbn.0 < blocks);
             prop_assert!(loc.drive_in_rg < width);
@@ -52,7 +51,7 @@ proptest! {
         // Walk all VBNs (bounded by strategy ranges) and count per drive.
         let mut counts = std::collections::HashMap::new();
         for v in 0..geo.total_vbns() {
-            let loc = geo.locate(Vbn(v));
+            let loc = geo.locate(Vbn(v)).unwrap();
             *counts.entry(loc.drive).or_insert(0u64) += 1;
         }
         prop_assert_eq!(counts.len() as u64, groups as u64 * width as u64);
@@ -83,7 +82,7 @@ proptest! {
                     stamps: (0..len).map(|i| stamp ^ i as u128).collect(),
                 }],
             };
-            engine.submit_write(&io);
+            engine.submit_write(&io).unwrap();
         }
         engine.scrub().unwrap();
     }
@@ -110,11 +109,12 @@ proptest! {
                     stamps: vec![stamp],
                 }],
             };
-            engine.submit_write(&io);
+            engine.submit_write(&io).unwrap();
         }
         let rg = engine.raid_group(RaidGroupId(0));
         let original = rg.data_drives()[failed as usize]
             .read_block(wafl_blockdev::Dbn(probe))
+            .unwrap()
             .0;
         prop_assert_eq!(rg.reconstruct(failed, wafl_blockdev::Dbn(probe)), original);
     }

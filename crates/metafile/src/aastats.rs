@@ -146,8 +146,20 @@ mod tests {
         let g = geo();
         let s = AaStats::new_all_free(&g);
         assert_eq!(s.aa_count(RaidGroupId(0)), 4);
-        assert_eq!(s.free_in(AaId { rg: RaidGroupId(0), index: 0 }), 64 * 3);
-        assert_eq!(s.free_in(AaId { rg: RaidGroupId(1), index: 3 }), 64 * 2);
+        assert_eq!(
+            s.free_in(AaId {
+                rg: RaidGroupId(0),
+                index: 0
+            }),
+            64 * 3
+        );
+        assert_eq!(
+            s.free_in(AaId {
+                rg: RaidGroupId(1),
+                index: 3
+            }),
+            64 * 2
+        );
         assert_eq!(s.free_in_rg(RaidGroupId(0)), 256 * 3);
     }
 
@@ -158,13 +170,25 @@ mod tests {
         // All equal → index 0.
         assert_eq!(
             s.select_emptiest(RaidGroupId(0)),
-            Some(AaId { rg: RaidGroupId(0), index: 0 })
+            Some(AaId {
+                rg: RaidGroupId(0),
+                index: 0
+            })
         );
         // Drain AA0 a bit → AA1 wins.
-        s.on_reserve(AaId { rg: RaidGroupId(0), index: 0 }, 10);
+        s.on_reserve(
+            AaId {
+                rg: RaidGroupId(0),
+                index: 0,
+            },
+            10,
+        );
         assert_eq!(
             s.select_emptiest(RaidGroupId(0)),
-            Some(AaId { rg: RaidGroupId(0), index: 1 })
+            Some(AaId {
+                rg: RaidGroupId(0),
+                index: 1
+            })
         );
     }
 
@@ -175,8 +199,20 @@ mod tests {
             .raid_group(1, 1, 8)
             .build();
         let s = AaStats::new_all_free(&g);
-        s.on_reserve(AaId { rg: RaidGroupId(0), index: 0 }, 4);
-        s.on_reserve(AaId { rg: RaidGroupId(0), index: 1 }, 4);
+        s.on_reserve(
+            AaId {
+                rg: RaidGroupId(0),
+                index: 0,
+            },
+            4,
+        );
+        s.on_reserve(
+            AaId {
+                rg: RaidGroupId(0),
+                index: 1,
+            },
+            4,
+        );
         assert_eq!(s.select_emptiest(RaidGroupId(0)), None);
     }
 
@@ -184,7 +220,10 @@ mod tests {
     fn reserve_release_roundtrip() {
         let g = geo();
         let s = AaStats::new_all_free(&g);
-        let aa = AaId { rg: RaidGroupId(1), index: 2 };
+        let aa = AaId {
+            rg: RaidGroupId(1),
+            index: 2,
+        };
         s.on_reserve(aa, 30);
         assert_eq!(s.free_in(aa), 128 - 30);
         s.on_release(aa, 30);
@@ -197,7 +236,10 @@ mod tests {
         let s = AaStats::new_all_free(&g);
         // VBN on RG0, drive 1, dbn 100 → AA index 1.
         let vbn = g.vbn_at(RaidGroupId(0), 1, wafl_blockdev::Dbn(100));
-        let aa = AaId { rg: RaidGroupId(0), index: 1 };
+        let aa = AaId {
+            rg: RaidGroupId(0),
+            index: 1,
+        };
         s.on_reserve(aa, 5);
         s.on_free(&g, vbn);
         assert_eq!(s.free_in(aa), 64 * 3 - 4);

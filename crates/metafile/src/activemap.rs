@@ -108,7 +108,7 @@ impl ActiveMap {
         };
         // Mark the tail bits of the last word as "used" so scans never
         // yield indices ≥ nbits.
-        if nbits % 64 != 0 {
+        if !nbits.is_multiple_of(64) {
             let last = nwords - 1;
             let valid = nbits % 64;
             map.words[last].store(!0u64 << valid, Ordering::Relaxed);
@@ -319,7 +319,7 @@ impl ActiveMap {
             .map(|w| w.load(Ordering::Acquire).count_ones() as u64)
             .sum();
         // Subtract the padding bits that were pre-set in `new`.
-        if self.nbits % 64 != 0 {
+        if !self.nbits.is_multiple_of(64) {
             used -= 64 - (self.nbits % 64);
         }
         self.nbits - used

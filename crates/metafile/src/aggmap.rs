@@ -59,13 +59,7 @@ impl AggregateMap {
     /// from `from_dbn` (relative progress within the AA) downward. Returns
     /// the reserved VBNs in ascending order. This is the per-drive half of
     /// a bucket refill.
-    pub fn reserve_in_aa(
-        &self,
-        aa: AaId,
-        drive_in_rg: u32,
-        from_dbn: u64,
-        max: usize,
-    ) -> Vec<Vbn> {
+    pub fn reserve_in_aa(&self, aa: AaId, drive_in_rg: u32, from_dbn: u64, max: usize) -> Vec<Vbn> {
         let g = self.geo.raid_group(aa.rg);
         let dbns = self.geo.aa_dbn_range(aa);
         let start = dbns.start.max(from_dbn);
@@ -73,9 +67,7 @@ impl AggregateMap {
             return Vec::new();
         }
         let base = g.drive_vbn_range(drive_in_rg).start;
-        let got = self
-            .map
-            .reserve_scan(base + start, base + dbns.end, max);
+        let got = self.map.reserve_scan(base + start, base + dbns.end, max);
         if !got.is_empty() {
             self.aa.on_reserve(aa, got.len() as u64);
         }
@@ -166,7 +158,10 @@ mod tests {
     #[test]
     fn reserve_in_aa_yields_contiguous_drive_vbns() {
         let am = aggmap();
-        let aa = AaId { rg: RaidGroupId(0), index: 0 };
+        let aa = AaId {
+            rg: RaidGroupId(0),
+            index: 0,
+        };
         let vbns = am.reserve_in_aa(aa, 1, 0, 8);
         assert_eq!(vbns.len(), 8);
         // Drive 1 of RG0 starts at VBN 256; AA0 covers DBN [0,64).
@@ -181,7 +176,10 @@ mod tests {
     #[test]
     fn reserve_respects_aa_boundary() {
         let am = aggmap();
-        let aa = AaId { rg: RaidGroupId(0), index: 0 };
+        let aa = AaId {
+            rg: RaidGroupId(0),
+            index: 0,
+        };
         // Ask for more than the AA holds on one drive (64 stripes).
         let vbns = am.reserve_in_aa(aa, 0, 0, 1000);
         assert_eq!(vbns.len(), 64);
@@ -191,7 +189,10 @@ mod tests {
     #[test]
     fn reserve_from_progress_offset() {
         let am = aggmap();
-        let aa = AaId { rg: RaidGroupId(0), index: 2 }; // DBNs [128,192)
+        let aa = AaId {
+            rg: RaidGroupId(0),
+            index: 2,
+        }; // DBNs [128,192)
         let vbns = am.reserve_in_aa(aa, 0, 150, 4);
         assert_eq!(vbns[0], Vbn(150));
         let done = am.reserve_in_aa(aa, 0, 192, 4);
@@ -201,7 +202,10 @@ mod tests {
     #[test]
     fn commit_release_free_keep_consistency() {
         let am = aggmap();
-        let aa = AaId { rg: RaidGroupId(1), index: 0 };
+        let aa = AaId {
+            rg: RaidGroupId(1),
+            index: 0,
+        };
         let vbns = am.reserve_in_aa(aa, 0, 0, 10);
         for v in &vbns[..6] {
             am.commit_used(*v).unwrap();
@@ -213,10 +217,7 @@ mod tests {
             am.free(*v).unwrap();
         }
         am.verify().unwrap();
-        assert_eq!(
-            am.free_count(),
-            am.geometry().total_vbns() - 10 + 4 + 3
-        );
+        assert_eq!(am.free_count(), am.geometry().total_vbns() - 10 + 4 + 3);
         // 6 commits + 3 frees all landed in metafile block 0 of the map.
         assert_eq!(am.take_dirty_blocks().len(), 1);
     }
@@ -225,7 +226,10 @@ mod tests {
     fn freeing_credits_the_correct_aa() {
         let am = aggmap();
         let geo = Arc::clone(am.geometry());
-        let aa1 = AaId { rg: RaidGroupId(0), index: 1 };
+        let aa1 = AaId {
+            rg: RaidGroupId(0),
+            index: 1,
+        };
         let before = am.aa_stats().free_in(aa1);
         let vbn = geo.vbn_at(RaidGroupId(0), 2, Dbn(70)); // AA1
         am.active_map().reserve(vbn.0).unwrap();

@@ -139,6 +139,50 @@ impl Default for CostModel {
     }
 }
 
+/// Deterministic fault-injection knobs for the simulated media path,
+/// mirroring `wafl_blockdev::FaultSpec` at the discrete-event level.
+/// Rates are per-million-operations; draws come from a dedicated
+/// counter-based hash (seeded from [`SimConfig::seed`]) so enabling
+/// faults never perturbs workload randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability (ppm) that a read op hits a transient media error and
+    /// pays retry round-trips before completing.
+    pub read_error_ppm: u32,
+    /// Probability (ppm) that a write op's NVRAM-acknowledged media write
+    /// hits a transient error and pays retry round-trips.
+    pub write_error_ppm: u32,
+    /// Probability (ppm) of a latency spike (drive garbage collection,
+    /// link retrain) on any op.
+    pub latency_spike_ppm: u32,
+    /// Extra latency added by one spike, in nanoseconds.
+    pub latency_spike_ns: u64,
+    /// Bounded retry budget per faulted op; each retry costs one media
+    /// round-trip of added latency.
+    pub max_retries: u32,
+}
+
+impl Default for FaultConfig {
+    /// No injected faults; spike size and retry budget match the
+    /// blockdev layer's `RetryPolicy` defaults.
+    fn default() -> Self {
+        Self {
+            read_error_ppm: 0,
+            write_error_ppm: 0,
+            latency_spike_ppm: 0,
+            latency_spike_ns: 2_000_000,
+            max_retries: 3,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// True when no fault band is armed (the common fast path).
+    pub fn is_quiet(&self) -> bool {
+        self.read_error_ppm == 0 && self.write_error_ppm == 0 && self.latency_spike_ppm == 0
+    }
+}
+
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -197,6 +241,8 @@ pub struct SimConfig {
     pub warmup_ns: u64,
     /// Cost model.
     pub costs: CostModel,
+    /// Injected media faults (defaults to none).
+    pub faults: FaultConfig,
     /// RNG seed (workload randomness).
     pub seed: u64,
 }
@@ -228,7 +274,8 @@ impl SimConfig {
             duration_ns: 2_000_000_000,
             warmup_ns: 400_000_000,
             costs: CostModel::default(),
-            seed: 0x57A7_1C,
+            faults: FaultConfig::default(),
+            seed: 0x0057_A71C,
         }
     }
 }

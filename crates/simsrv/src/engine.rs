@@ -58,6 +58,10 @@ pub struct SimResult {
     pub free_mf_blocks: u64,
     /// Tuner activations + deactivations (0 for fixed settings).
     pub tuner_changes: u64,
+    /// Ops that hit an injected media fault (error or latency spike).
+    pub injected_faults: u64,
+    /// Retry round-trips paid by faulted ops.
+    pub fault_retries: u64,
 }
 
 impl SimResult {
@@ -81,9 +85,21 @@ enum InfraKind {
 
 #[derive(Debug, Clone, Copy)]
 enum Task {
-    Protocol { client: u32, op: OpShape, issued: u64 },
-    ClientMsg { client: u32, op: OpShape, issued: u64, aff: AffinityId },
-    Infra { kind: InfraKind, aff: AffinityId },
+    Protocol {
+        client: u32,
+        op: OpShape,
+        issued: u64,
+    },
+    ClientMsg {
+        client: u32,
+        op: OpShape,
+        issued: u64,
+        aff: AffinityId,
+    },
+    Infra {
+        kind: InfraKind,
+        aff: AffinityId,
+    },
     CleanerQuantum {
         cleaner: usize,
         bufs: u64,
@@ -186,6 +202,13 @@ struct Engine<'c> {
     cleaner_messages: u64,
     free_mf_blocks: u64,
     tuner_changes: u64,
+
+    // Fault injection. The ordinal is a dedicated counter hashed with the
+    // seed, so the fault stream is deterministic and independent of the
+    // workload RNG (enabling faults does not reshuffle op shapes).
+    fault_ordinal: u64,
+    injected_faults: u64,
+    fault_retries: u64,
 }
 
 impl<'c> Engine<'c> {
@@ -214,9 +237,7 @@ impl<'c> Engine<'c> {
         };
         let tuner = match (single_cleaner_era, cfg.cleaners) {
             (true, _) | (_, CleanerSetting::Fixed(_)) => None,
-            (false, CleanerSetting::Dynamic(c)) => {
-                Some(DynamicTuner::new(c, initial_cleaners))
-            }
+            (false, CleanerSetting::Dynamic(c)) => Some(DynamicTuner::new(c, initial_cleaners)),
         };
         Self {
             cfg,
@@ -259,6 +280,9 @@ impl<'c> Engine<'c> {
             cleaner_messages: 0,
             free_mf_blocks: 0,
             tuner_changes: 0,
+            fault_ordinal: 0,
+            injected_faults: 0,
+            fault_retries: 0,
         }
     }
 
@@ -310,9 +334,7 @@ impl<'c> Engine<'c> {
 
     fn on_issue(&mut self, client: u32) {
         let op = self.workload.next_op();
-        if op.write_blocks > 0
-            && self.committed_blocks + op.write_blocks > self.cfg.dirty_limit
-        {
+        if op.write_blocks > 0 && self.committed_blocks + op.write_blocks > self.cfg.dirty_limit {
             // Admission throttle: the write-allocation backpressure.
             self.admission_q.push_back((client, op, self.now));
             self.ensure_cleaning();
@@ -345,8 +367,7 @@ impl<'c> Engine<'c> {
         let interval = self.tuner.as_ref().unwrap().config().interval_ns;
         let window = (self.now - self.last_tick).max(1);
         let active = self.active_limit.max(1) as u64;
-        let util =
-            (self.cleaner_busy_tick as f64 / (window * active) as f64).clamp(0.0, 1.0);
+        let util = (self.cleaner_busy_tick as f64 / (window * active) as f64).clamp(0.0, 1.0);
         self.cleaner_busy_tick = 0;
         self.last_tick = self.now;
         let tuner = self.tuner.as_mut().unwrap();
@@ -373,13 +394,27 @@ impl<'c> Engine<'c> {
             Task::Protocol { client, op, issued } => {
                 let aff = self.client_affinity(client);
                 self.charge_protocol();
-                self.waff
-                    .enqueue(aff, Task::ClientMsg { client, op, issued, aff });
+                self.waff.enqueue(
+                    aff,
+                    Task::ClientMsg {
+                        client,
+                        op,
+                        issued,
+                        aff,
+                    },
+                );
             }
-            Task::ClientMsg { client, op, issued, aff } => {
+            Task::ClientMsg {
+                client,
+                op,
+                issued,
+                aff,
+            } => {
                 self.waff.complete(aff);
                 self.charge_client_msg(&op);
-                if op.write_blocks > 0 {
+                let is_write = op.write_blocks > 0;
+                let fault_extra = self.fault_extra_latency(is_write);
+                if is_write {
                     self.dirty += op.write_blocks;
                     self.pending_inodes += op.inodes_touched as f64;
                     if self.measuring() {
@@ -387,12 +422,12 @@ impl<'c> Engine<'c> {
                     }
                     self.ensure_cleaning();
                     self.schedule(
-                        self.now + self.cfg.costs.reply_latency,
+                        self.now + self.cfg.costs.reply_latency + fault_extra,
                         Event::Reply { client, issued },
                     );
                 } else {
                     self.schedule(
-                        self.now + self.cfg.costs.read_media_latency,
+                        self.now + self.cfg.costs.read_media_latency + fault_extra,
                         Event::Reply { client, issued },
                     );
                 }
@@ -406,9 +441,7 @@ impl<'c> Engine<'c> {
                         self.refill_outstanding -= 1;
                         self.refills += 1;
                         self.wake_waiting_cleaners();
-                        if self.bucket_cache < self.cfg.bucket_low_watermark
-                            && self.free_pool > 0
-                        {
+                        if self.bucket_cache < self.cfg.bucket_low_watermark && self.free_pool > 0 {
                             self.maybe_refill();
                         }
                     }
@@ -422,7 +455,13 @@ impl<'c> Engine<'c> {
                     InfraKind::CommitFrees { .. } => {}
                 }
             }
-            Task::CleanerQuantum { cleaner, bufs, inodes, msgs, via } => {
+            Task::CleanerQuantum {
+                cleaner,
+                bufs,
+                inodes,
+                msgs,
+                via,
+            } => {
                 if let Some(aff) = via {
                     self.waff.complete(aff);
                 }
@@ -441,7 +480,10 @@ impl<'c> Engine<'c> {
                     let aff = self.infra_affinity();
                     self.waff.enqueue(
                         aff,
-                        Task::Infra { kind: InfraKind::CommitUsed { vbns }, aff },
+                        Task::Infra {
+                            kind: InfraKind::CommitUsed { vbns },
+                            aff,
+                        },
                     );
                 }
                 // Stage the frees of overwritten blocks.
@@ -460,7 +502,10 @@ impl<'c> Engine<'c> {
                     self.waff.enqueue(
                         aff,
                         Task::Infra {
-                            kind: InfraKind::CommitFrees { frees: f, mf_blocks: mf },
+                            kind: InfraKind::CommitFrees {
+                                frees: f,
+                                mf_blocks: mf,
+                            },
                             aff,
                         },
                     );
@@ -587,8 +632,13 @@ impl<'c> Engine<'c> {
         self.free_pool -= take;
         self.refill_outstanding += 1;
         let aff = self.infra_affinity();
-        self.waff
-            .enqueue(aff, Task::Infra { kind: InfraKind::Refill { take }, aff });
+        self.waff.enqueue(
+            aff,
+            Task::Infra {
+                kind: InfraKind::Refill { take },
+                aff,
+            },
+        );
     }
 
     fn overwrite_fraction(&self) -> f64 {
@@ -618,9 +668,7 @@ impl<'c> Engine<'c> {
     /// threads; `Some(aff)` = as Waffinity messages in that affinity.
     fn cleaning_via(&self) -> Option<AffinityId> {
         match self.cfg.era {
-            Era::SerialWafl | Era::ClassicalSerialCleaning => {
-                Some(self.topo.id(Affinity::Serial))
-            }
+            Era::SerialWafl | Era::ClassicalSerialCleaning => Some(self.topo.id(Affinity::Serial)),
             Era::ClassicalCleanerThread | Era::WhiteAlligator => None,
         }
     }
@@ -671,7 +719,9 @@ impl<'c> Engine<'c> {
                         + mf_blocks * c.infra_per_mf_block
                 }
             },
-            Task::CleanerQuantum { bufs, inodes, msgs, .. } => {
+            Task::CleanerQuantum {
+                bufs, inodes, msgs, ..
+            } => {
                 let contention = 1.0
                     + c.cleaner_contention_factor * (self.active_limit.saturating_sub(1)) as f64;
                 let sync = (c.cleaner_bucket_sync as f64 * contention) as u64;
@@ -742,6 +792,46 @@ impl<'c> Engine<'c> {
         }
     }
 
+    /// Extra reply latency injected for this op by the fault model, and
+    /// counter bookkeeping. Mirrors `wafl_blockdev::FaultPlan::decide`:
+    /// a counter-based SplitMix64 draw keyed on (seed, ordinal, op kind),
+    /// banded into transient-error and latency-spike ranges. Transient
+    /// errors cost 1..=max_retries media round-trips (bounded retry with
+    /// backoff at the drive layer); spikes cost a flat `latency_spike_ns`.
+    fn fault_extra_latency(&mut self, is_write: bool) -> u64 {
+        let f = &self.cfg.faults;
+        if f.is_quiet() {
+            return 0;
+        }
+        self.fault_ordinal += 1;
+        let salt: u64 = if is_write { 0x57 } else { 0x52 };
+        let mut z = self
+            .cfg
+            .seed
+            .wrapping_add(self.fault_ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(salt);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let draw = z % 1_000_000;
+        let error_band = if is_write {
+            f.write_error_ppm as u64
+        } else {
+            f.read_error_ppm as u64
+        };
+        if draw < error_band {
+            self.injected_faults += 1;
+            let retries = 1 + z.rotate_right(17) % f.max_retries.max(1) as u64;
+            self.fault_retries += retries;
+            retries * self.cfg.costs.read_media_latency
+        } else if draw < error_band + f.latency_spike_ppm as u64 {
+            self.injected_faults += 1;
+            f.latency_spike_ns
+        } else {
+            0
+        }
+    }
+
     fn start_task(&mut self, task: Task) {
         debug_assert!(self.free_cores > 0);
         self.free_cores -= 1;
@@ -773,6 +863,8 @@ impl<'c> Engine<'c> {
             cleaner_messages: self.cleaner_messages,
             free_mf_blocks: self.free_mf_blocks,
             tuner_changes: self.tuner_changes,
+            injected_faults: self.injected_faults,
+            fault_retries: self.fault_retries,
         }
     }
 }
@@ -796,6 +888,39 @@ mod tests {
         let b = Simulator::new(cfg).run();
         assert!(a.ops_completed > 0);
         assert_eq!(a.ops_completed, b.ops_completed);
+        assert_eq!(a.latency.mean_ns, b.latency.mean_ns);
+    }
+
+    #[test]
+    fn injected_faults_add_latency_without_changing_workload() {
+        let quiet = base(WorkloadKind::sequential_write());
+        let mut noisy = quiet.clone();
+        noisy.faults.write_error_ppm = 50_000; // 5 % of writes retry
+        noisy.faults.latency_spike_ppm = 20_000;
+        noisy.faults.latency_spike_ns = 5_000_000;
+        let rq = Simulator::new(quiet).run();
+        let rn = Simulator::new(noisy).run();
+        assert_eq!(rq.injected_faults, 0);
+        assert_eq!(rq.fault_retries, 0);
+        assert!(
+            rn.injected_faults > 0,
+            "fault bands armed but nothing fired"
+        );
+        assert!(rn.fault_retries > 0, "error band should force retries");
+        // Faults only delay replies; the op mix is untouched, so the
+        // latency tail of the faulted run is strictly worse.
+        assert!(rn.latency.p99_ns > rq.latency.p99_ns);
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic() {
+        let mut cfg = base(WorkloadKind::oltp());
+        cfg.faults.read_error_ppm = 30_000;
+        cfg.faults.write_error_ppm = 30_000;
+        let a = Simulator::new(cfg.clone()).run();
+        let b = Simulator::new(cfg).run();
+        assert_eq!(a.injected_faults, b.injected_faults);
+        assert_eq!(a.fault_retries, b.fault_retries);
         assert_eq!(a.latency.mean_ns, b.latency.mean_ns);
     }
 

@@ -43,8 +43,9 @@ pub mod report;
 pub mod scenario;
 pub mod workload;
 
-pub use config::{CleanerSetting, CostModel, SimConfig};
+pub use config::{CleanerSetting, CostModel, FaultConfig, SimConfig};
 pub use engine::{SimResult, Simulator};
 pub use metrics::{knee_point, LatencyStats, LoadPoint};
 pub use report::{FigureRow, FigureTable};
+pub use scenario::{recovery_sweep, RecoveryRow};
 pub use workload::{Workload, WorkloadKind};

@@ -10,6 +10,8 @@ use crate::metrics::{knee_point, LoadPoint};
 use crate::workload::WorkloadKind;
 use alligator::InfraMode;
 use serde::{Deserialize, Serialize};
+use wafl::{CrashPoint, ExecMode, FileId, Filesystem, FsConfig, VolumeId};
+use wafl_blockdev::{stamp, DriveKind, FaultSnapshot, FaultSpec, GeometryBuilder, RetryPolicy};
 
 /// One permutation row of Figures 4 / 7.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -38,14 +40,15 @@ impl PermutationRow {
 /// parallel infrastructure}. `parallel` is the cleaner setting used when
 /// cleaners are parallel — the shipped system runs the dynamic tuner
 /// (§V-B), so [`CleanerSetting::dynamic_default`] is the faithful choice.
-pub fn permutation_sweep(
-    base: &SimConfig,
-    parallel: CleanerSetting,
-) -> Vec<PermutationRow> {
+pub fn permutation_sweep(base: &SimConfig, parallel: CleanerSetting) -> Vec<PermutationRow> {
     let mut rows = Vec::with_capacity(4);
     for (pc, pi) in [(false, false), (false, true), (true, false), (true, true)] {
         let mut cfg = base.clone();
-        cfg.cleaners = if pc { parallel } else { CleanerSetting::Fixed(1) };
+        cfg.cleaners = if pc {
+            parallel
+        } else {
+            CleanerSetting::Fixed(1)
+        };
         cfg.infra_mode = if pi {
             InfraMode::Parallel
         } else {
@@ -170,6 +173,191 @@ pub fn chunk_sweep(base: &SimConfig, chunks: &[u64]) -> Vec<(u64, SimResult)> {
         .collect()
 }
 
+// ----------------------------------------------------------------------
+// Recovery sweep (fault injection + crash/NVLog-replay, real-thread stack)
+// ----------------------------------------------------------------------
+
+/// One cell of the recovery sweep: a fault or crash scenario executed
+/// against the *real-thread* `wafl` stack (not the discrete-event model),
+/// turning §II-C's crash-consistency claim — "the contents of NVRAM from
+/// before the CP are replayed" — into a measured pass/fail row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryRow {
+    /// Scenario label ("crash@AfterClean", "drive-failure", …).
+    pub scenario: String,
+    /// NVLog ops replayed during recovery (0 for non-crash cells).
+    pub replayed_ops: u64,
+    /// Blocks whose persisted stamp was checked after recovery.
+    pub blocks_checked: u64,
+    /// Fault/degraded-mode counters at the end of the run.
+    pub faults: FaultSnapshot,
+    /// Blocks reconstructed onto replacement drives by the rebuild pass.
+    pub blocks_rebuilt: u64,
+    /// All checked blocks held the expected stamps and the final
+    /// `verify_integrity` (stamps + metafiles + raw-media parity scrub)
+    /// passed.
+    pub recovered: bool,
+}
+
+const SWEEP_FILES: u64 = 2;
+
+fn sweep_fs(kind: DriveKind) -> Filesystem {
+    sweep_fs_with(kind, FaultSpec::default())
+}
+
+fn sweep_fs_with(kind: DriveKind, spec: FaultSpec) -> Filesystem {
+    let cfg = FsConfig {
+        vvbn_per_volume: 1 << 14,
+        ..FsConfig::default()
+    };
+    let geometry = GeometryBuilder::new()
+        .aa_stripes(64)
+        .raid_group(3, 1, 2048)
+        .build();
+    let fs = if spec == FaultSpec::default() {
+        Filesystem::new(cfg, geometry, kind, ExecMode::Inline)
+    } else {
+        Filesystem::with_faults(
+            cfg,
+            geometry,
+            kind,
+            spec,
+            RetryPolicy::default(),
+            ExecMode::Inline,
+        )
+    };
+    fs.create_volume(VolumeId(0));
+    for f in 0..SWEEP_FILES {
+        fs.create_file(VolumeId(0), FileId(f));
+    }
+    fs
+}
+
+fn write_generation(fs: &Filesystem, blocks_per_file: u64, generation: u64) {
+    for f in 0..SWEEP_FILES {
+        for fbn in 0..blocks_per_file {
+            fs.write(VolumeId(0), FileId(f), fbn, stamp(f, fbn, generation));
+        }
+    }
+}
+
+/// Check every block's committed stamp; returns (blocks checked, all ok).
+fn check_generation(fs: &Filesystem, blocks_per_file: u64, generation: u64) -> (u64, bool) {
+    let mut checked = 0;
+    let mut ok = true;
+    for f in 0..SWEEP_FILES {
+        for fbn in 0..blocks_per_file {
+            checked += 1;
+            ok &= fs.read_persisted(VolumeId(0), FileId(f), fbn) == Some(stamp(f, fbn, generation));
+        }
+    }
+    (checked, ok)
+}
+
+/// The recovery sweep behind `exp_recovery` and EXPERIMENTS.md: one cell
+/// per mid-CP [`CrashPoint`] (crash, reboot, NVLog replay), plus a
+/// whole-drive-failure cell served in degraded mode and rebuilt, a
+/// transient-error cell absorbed by bounded retries, and a combined
+/// crash-while-degraded cell. Every cell ends with the full integrity
+/// check including the raw-media parity scrub.
+pub fn recovery_sweep(seed: u64, blocks_per_file: u64) -> Vec<RecoveryRow> {
+    let mut rows = Vec::new();
+
+    // Cells 1–4: crash at each CP phase, recover from the committed image
+    // plus an NVLog replay of acknowledged-but-uncommitted overwrites.
+    for at in CrashPoint::ALL {
+        let fs = sweep_fs(DriveKind::Ssd);
+        write_generation(&fs, blocks_per_file, 1);
+        fs.run_cp();
+        write_generation(&fs, blocks_per_file, 2);
+        let replayed_ops = fs.nvlog().replay_ops().len() as u64;
+        fs.run_cp_crash_at(at);
+        let rec = fs.crash_and_recover(ExecMode::Inline);
+        rec.run_cp();
+        let (blocks_checked, ok) = check_generation(&rec, blocks_per_file, 2);
+        rows.push(RecoveryRow {
+            scenario: format!("crash@{at:?}"),
+            replayed_ops,
+            blocks_checked,
+            faults: rec.io().fault_snapshot(),
+            blocks_rebuilt: 0,
+            recovered: ok && rec.verify_integrity().is_ok(),
+        });
+    }
+
+    // Cell 5: a whole drive dies mid-workload; the CP completes in
+    // degraded mode (parity folds the intended stamps), reads are served
+    // by XOR reconstruction, then the drive is rebuilt from parity.
+    {
+        let fail_after = 8 + seed % 8;
+        let fs = sweep_fs_with(DriveKind::Ssd, FaultSpec::drive_failure(1, fail_after));
+        write_generation(&fs, blocks_per_file, 1);
+        fs.run_cp();
+        let (blocks_checked, ok) = check_generation(&fs, blocks_per_file, 1);
+        let faults = fs.io().fault_snapshot();
+        let blocks_rebuilt = fs.io().rebuild_offline();
+        rows.push(RecoveryRow {
+            scenario: "drive-failure".into(),
+            replayed_ops: 0,
+            blocks_checked,
+            faults,
+            blocks_rebuilt,
+            recovered: ok && fs.verify_integrity().is_ok(),
+        });
+    }
+
+    // Cell 6: transient media errors at a high rate, fully absorbed by
+    // the bounded-backoff retry policy — no drive goes offline.
+    {
+        let spec = FaultSpec {
+            seed,
+            read_error_ppm: 20_000,
+            write_error_ppm: 20_000,
+            latency_spike_ppm: 5_000,
+            ..FaultSpec::default()
+        };
+        let fs = sweep_fs_with(DriveKind::Ssd, spec);
+        write_generation(&fs, blocks_per_file, 1);
+        fs.run_cp();
+        let (blocks_checked, ok) = check_generation(&fs, blocks_per_file, 1);
+        rows.push(RecoveryRow {
+            scenario: "transient-errors".into(),
+            replayed_ops: 0,
+            blocks_checked,
+            faults: fs.io().fault_snapshot(),
+            blocks_rebuilt: 0,
+            recovered: ok && fs.verify_integrity().is_ok(),
+        });
+    }
+
+    // Cell 7: the compound case — crash mid-CP while a drive is already
+    // offline; replay re-drives the lost CP in degraded mode, then the
+    // drive is rebuilt.
+    {
+        let fs = sweep_fs_with(DriveKind::Ssd, FaultSpec::drive_failure(2, 4));
+        write_generation(&fs, blocks_per_file, 1);
+        fs.run_cp();
+        write_generation(&fs, blocks_per_file, 2);
+        let replayed_ops = fs.nvlog().replay_ops().len() as u64;
+        fs.run_cp_crash_at(CrashPoint::AfterApply);
+        let rec = fs.crash_and_recover(ExecMode::Inline);
+        rec.run_cp();
+        let (blocks_checked, ok) = check_generation(&rec, blocks_per_file, 2);
+        let faults = rec.io().fault_snapshot();
+        let blocks_rebuilt = rec.io().rebuild_offline();
+        rows.push(RecoveryRow {
+            scenario: "crash-while-degraded".into(),
+            replayed_ops,
+            blocks_checked,
+            faults,
+            blocks_rebuilt,
+            recovered: ok && rec.verify_integrity().is_ok(),
+        });
+    }
+
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,8 +384,7 @@ mod tests {
 
     #[test]
     fn cleaner_sweep_is_monotonicish_then_saturates() {
-        let rows =
-            cleaner_thread_sweep(&quick(WorkloadKind::sequential_write()), &[1, 2, 4]);
+        let rows = cleaner_thread_sweep(&quick(WorkloadKind::sequential_write()), &[1, 2, 4]);
         assert!(rows[1].1.throughput_ops > rows[0].1.throughput_ops);
         assert!(rows[2].1.throughput_ops >= rows[1].1.throughput_ops * 0.95);
     }
@@ -207,6 +394,36 @@ mod tests {
         let cfg = quick(WorkloadKind::oltp());
         let curve = load_sweep(&cfg, &[2, 8, 64]);
         assert!(curve[2].latency_ns > curve[0].latency_ns);
+    }
+
+    #[test]
+    fn recovery_sweep_every_cell_recovers() {
+        let rows = recovery_sweep(0xFA17, 24);
+        assert_eq!(rows.len(), 7);
+        for row in &rows {
+            assert!(row.recovered, "cell {} did not recover", row.scenario);
+            assert!(row.blocks_checked > 0);
+        }
+        // Crash cells replayed the acknowledged-but-uncommitted overwrites.
+        for row in &rows[..4] {
+            assert!(row.replayed_ops > 0, "{} replayed nothing", row.scenario);
+        }
+        let degraded = &rows[4];
+        assert!(degraded.faults.reconstructed_reads > 0, "no XOR reads");
+        assert!(
+            degraded.faults.degraded_writes > 0,
+            "CP never went degraded"
+        );
+        assert!(degraded.blocks_rebuilt > 0, "rebuild did no work");
+        let transient = &rows[5];
+        assert!(transient.faults.io_retries > 0, "no retries absorbed");
+        assert_eq!(
+            transient.faults.drives_offline, 0,
+            "retries offlined a drive"
+        );
+        let compound = &rows[6];
+        assert!(compound.replayed_ops > 0);
+        assert!(compound.blocks_rebuilt > 0);
     }
 
     #[test]

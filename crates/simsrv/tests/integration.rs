@@ -3,9 +3,7 @@
 
 use wafl_simsrv::config::Era;
 use wafl_simsrv::scenario::{chunk_sweep, load_sweep};
-use wafl_simsrv::{
-    knee_point, CleanerSetting, SimConfig, Simulator, WorkloadKind,
-};
+use wafl_simsrv::{knee_point, CleanerSetting, SimConfig, Simulator, WorkloadKind};
 
 fn quick(w: WorkloadKind) -> SimConfig {
     let mut c = SimConfig::paper_platform(w);
@@ -37,7 +35,10 @@ fn different_seeds_differ_only_stochastically() {
     // Same config, different RNG: results close but (almost surely) not
     // byte-identical.
     let ratio = a.throughput_ops / b.throughput_ops;
-    assert!((0.9..1.1).contains(&ratio), "seeds shift results mildly: {ratio}");
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "seeds shift results mildly: {ratio}"
+    );
 }
 
 #[test]

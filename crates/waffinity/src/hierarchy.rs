@@ -138,9 +138,16 @@ impl Topology {
         ranges: u32,
     ) -> Self {
         let volume_aggr = (0..aggregates)
-            .flat_map(|a| std::iter::repeat(a).take(vols_per_aggr as usize))
+            .flat_map(|a| std::iter::repeat_n(a, vols_per_aggr as usize))
             .collect();
-        Self::new(model, aggregates, volume_aggr, stripes_per_volume, ranges, ranges)
+        Self::new(
+            model,
+            aggregates,
+            volume_aggr,
+            stripes_per_volume,
+            ranges,
+            ranges,
+        )
     }
 
     fn build_tree(&mut self) {
@@ -149,10 +156,10 @@ impl Topology {
         //   per aggregate: Aggregate, AggrVbn, AggrVbnRange*,
         //   per volume: Volume, VolumeLogical, Stripe*, VolumeVbn, VolVbnRange*.
         let push = |names: &mut Vec<Affinity>,
-                        parent: &mut Vec<u32>,
-                        depth: &mut Vec<u8>,
-                        name: Affinity,
-                        par: u32|
+                    parent: &mut Vec<u32>,
+                    depth: &mut Vec<u8>,
+                    name: Affinity,
+                    par: u32|
          -> u32 {
             let id = names.len() as u32;
             names.push(name);
@@ -165,12 +172,30 @@ impl Topology {
             id
         };
         let (mut names, mut parent, mut depth) = (Vec::new(), Vec::new(), Vec::new());
-        let serial = push(&mut names, &mut parent, &mut depth, Affinity::Serial, u32::MAX);
+        let serial = push(
+            &mut names,
+            &mut parent,
+            &mut depth,
+            Affinity::Serial,
+            u32::MAX,
+        );
         let mut aggr_ids = Vec::with_capacity(self.aggregates as usize);
         for a in 0..self.aggregates {
-            let ag = push(&mut names, &mut parent, &mut depth, Affinity::Aggregate(a), serial);
+            let ag = push(
+                &mut names,
+                &mut parent,
+                &mut depth,
+                Affinity::Aggregate(a),
+                serial,
+            );
             aggr_ids.push(ag);
-            let avbn = push(&mut names, &mut parent, &mut depth, Affinity::AggrVbn(a), ag);
+            let avbn = push(
+                &mut names,
+                &mut parent,
+                &mut depth,
+                Affinity::AggrVbn(a),
+                ag,
+            );
             for r in 0..self.ranges_per_aggregate {
                 push(
                     &mut names,
@@ -198,9 +223,21 @@ impl Topology {
                 vol,
             );
             for s in 0..self.stripes_per_volume {
-                push(&mut names, &mut parent, &mut depth, Affinity::Stripe(v, s), vl);
+                push(
+                    &mut names,
+                    &mut parent,
+                    &mut depth,
+                    Affinity::Stripe(v, s),
+                    vl,
+                );
             }
-            let vvbn = push(&mut names, &mut parent, &mut depth, Affinity::VolumeVbn(v), vol);
+            let vvbn = push(
+                &mut names,
+                &mut parent,
+                &mut depth,
+                Affinity::VolumeVbn(v),
+                vol,
+            );
             for r in 0..self.ranges_per_volume {
                 push(
                     &mut names,
@@ -497,8 +534,7 @@ mod tests {
             for b in 0..n {
                 let (a, b) = (AffinityId(a), AffinityId(b));
                 assert_eq!(t.conflicts(a, b), t.conflicts(b, a));
-                let expected =
-                    t.is_ancestor_or_self(a, b) || t.is_ancestor_or_self(b, a);
+                let expected = t.is_ancestor_or_self(a, b) || t.is_ancestor_or_self(b, a);
                 assert_eq!(t.conflicts(a, b), expected);
             }
         }
@@ -520,10 +556,7 @@ mod tests {
     #[test]
     fn classical_maps_non_stripe_work_to_serial() {
         let t = Topology::symmetric(Model::Classical, 1, 1, 8, 1);
-        assert_eq!(
-            t.classical_target(Affinity::VolumeVbn(0)),
-            Affinity::Serial
-        );
+        assert_eq!(t.classical_target(Affinity::VolumeVbn(0)), Affinity::Serial);
         assert_eq!(
             t.classical_target(Affinity::Stripe(0, 3)),
             Affinity::Stripe(0, 3)

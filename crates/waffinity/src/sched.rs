@@ -95,9 +95,8 @@ impl<M> Scheduler<M> {
         if self.queued == 0 {
             return false;
         }
-        (0..self.queues.len() as u32).any(|i| {
-            !self.queues[i as usize].is_empty() && self.state.can_run(AffinityId(i))
-        })
+        (0..self.queues.len() as u32)
+            .any(|i| !self.queues[i as usize].is_empty() && self.state.can_run(AffinityId(i)))
     }
 
     /// Mark a previously popped message finished, unblocking excluded

@@ -272,7 +272,11 @@ impl CleanerPool {
                     .expect("spawn cleaner")
             })
             .collect();
-        Self { shared, tx, workers }
+        Self {
+            shared,
+            tx,
+            workers,
+        }
     }
 
     /// Pool configuration.

@@ -149,6 +149,36 @@ impl SuperblockStore {
     }
 }
 
+/// A point inside the CP pipeline where an injected crash fires, for
+/// recovery testing. Every point precedes the superblock commit, so a
+/// crashed CP must be equivalent to *no* CP at all once the NVRAM log is
+/// replayed (§II-C: "If the system crashes before the superblock is
+/// written, the file system state from the most recently completed CP is
+/// loaded and all subsequent operations are replayed").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashPoint {
+    /// After the NVLog/inode freeze, before any cleaning.
+    AfterFreeze,
+    /// After cleaner messages ran (data blocks may be on media).
+    AfterClean,
+    /// After cleaned locations were installed in the inodes and the
+    /// in-flight tetrises were completed.
+    AfterApply,
+    /// After the metafile fix-point flush — one step short of the
+    /// superblock commit.
+    AfterMetafileFlush,
+}
+
+impl CrashPoint {
+    /// All crash points, in pipeline order.
+    pub const ALL: [CrashPoint; 4] = [
+        CrashPoint::AfterFreeze,
+        CrashPoint::AfterClean,
+        CrashPoint::AfterApply,
+        CrashPoint::AfterMetafileFlush,
+    ];
+}
+
 /// What one CP did (returned by [`run_cp`]).
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct CpReport {
@@ -182,6 +212,52 @@ pub fn run_cp(
     mf_locs: &MetafileLocs,
     sb: &SuperblockStore,
 ) -> CpReport {
+    run_cp_inner(cp_id, cfg, volumes, nvlog, alloc, pool, mf_locs, sb, None)
+        .expect("CP without an injected crash always commits")
+}
+
+/// [`run_cp`] with a crash injected at `crash_at`: the CP is abandoned at
+/// that point and `None` is returned. The superblock is *not* committed
+/// and the NVLog's in-flight half is *not* discarded, exactly as a real
+/// crash would leave them; the caller is expected to drop the instance
+/// and recover (e.g. [`crate::Filesystem::crash_and_recover`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_cp_crash_at(
+    cp_id: u64,
+    cfg: &FsConfig,
+    volumes: &[Arc<Volume>],
+    nvlog: &NvLog,
+    alloc: &Arc<Allocator>,
+    pool: &CleanerPool,
+    mf_locs: &MetafileLocs,
+    sb: &SuperblockStore,
+    crash_at: CrashPoint,
+) -> Option<CpReport> {
+    run_cp_inner(
+        cp_id,
+        cfg,
+        volumes,
+        nvlog,
+        alloc,
+        pool,
+        mf_locs,
+        sb,
+        Some(crash_at),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cp_inner(
+    cp_id: u64,
+    cfg: &FsConfig,
+    volumes: &[Arc<Volume>],
+    nvlog: &NvLog,
+    alloc: &Arc<Allocator>,
+    pool: &CleanerPool,
+    mf_locs: &MetafileLocs,
+    sb: &SuperblockStore,
+    crash_at: Option<CrashPoint>,
+) -> Option<CpReport> {
     let mut report = CpReport {
         cp_id,
         ..Default::default()
@@ -197,15 +273,20 @@ pub fn run_cp(
     }
     report.inodes_cleaned = frozen.len();
     report.buffers_cleaned = frozen.iter().map(|(_, _, b)| b.len()).sum();
+    if crash_at == Some(CrashPoint::AfterFreeze) {
+        return None;
+    }
 
     // Phase 2: clean.
     let items = partition_work(frozen, &cfg.cleaner);
     report.cleaner_messages = items.len();
     let results = pool.clean_all(items);
+    if crash_at == Some(CrashPoint::AfterClean) {
+        return None;
+    }
 
     // Phase 3: apply cleaned locations.
-    let by_vol: BTreeMap<VolumeId, &Arc<Volume>> =
-        volumes.iter().map(|v| (v.id(), v)).collect();
+    let by_vol: BTreeMap<VolumeId, &Arc<Volume>> = volumes.iter().map(|v| (v.id(), v)).collect();
     for r in &results {
         let vol = by_vol[&r.vol];
         if let Some(inode) = vol.inode(r.file) {
@@ -218,12 +299,18 @@ pub fn run_cp(
     // still sitting in the cache are returned unused, which finishes
     // their tetrises (WAFL's CP-end flush of the partial write I/O).
     flush_bucket_cache(alloc);
+    if crash_at == Some(CrashPoint::AfterApply) {
+        return None;
+    }
 
     // Phase 4: metafile flush (bounded fix-point).
     flush_metafiles(cfg, volumes, alloc, mf_locs, cp_id, &mut report);
     // The metafile flush allocated through buckets of its own; complete
     // those tetrises too.
     flush_bucket_cache(alloc);
+    if crash_at == Some(CrashPoint::AfterMetafileFlush) {
+        return None;
+    }
 
     // Phase 5: superblock commit.
     let image = DiskImage {
@@ -255,7 +342,7 @@ pub fn run_cp(
     };
     sb.commit(image);
     nvlog.commit_cp();
-    report
+    Some(report)
 }
 
 /// Complete all in-flight tetrises by returning every cached bucket
@@ -324,7 +411,13 @@ fn flush_metafiles(
                         // Blocks written via alloc_one reach disk through
                         // the bucket's tetris at PUT; in-place rewrites
                         // need a direct write.
-                        io.write_vbn(vbn, stamp);
+                        // An in-place metafile rewrite that fails
+                        // terminally (e.g. a double drive failure) leaves
+                        // the CP unable to meet its durability contract;
+                        // halt the aggregate rather than commit a
+                        // superblock rooting unwritten metadata.
+                        io.write_vbn(vbn, stamp)
+                            .expect("CP metafile in-place write failed unrecoverably");
                         report.metafile_blocks_written += 1;
                     }
                     None => {

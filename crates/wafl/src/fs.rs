@@ -23,7 +23,7 @@
 
 use crate::cleaner::CleanerPool;
 use crate::config::FsConfig;
-use crate::cp::{self, CpReport, DiskImage, MetafileLocs, SuperblockStore};
+use crate::cp::{self, CpReport, CrashPoint, DiskImage, MetafileLocs, SuperblockStore};
 use crate::inode::FileId;
 use crate::nvlog::{NvLog, Op};
 use crate::volume::{Volume, VolumeId};
@@ -33,7 +33,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use waffinity::{Model, Topology, WaffinityPool};
-use wafl_blockdev::{AggregateGeometry, BlockStamp, DriveKind, IoEngine};
+use wafl_blockdev::{AggregateGeometry, BlockStamp, DriveKind, FaultSpec, IoEngine, RetryPolicy};
 use wafl_metafile::AggregateMap;
 
 /// How infrastructure messages execute.
@@ -82,6 +82,27 @@ impl Filesystem {
         Self::assemble(cfg, io, aggmap, exec)
     }
 
+    /// Like [`Filesystem::new`], but with a deterministic fault-injection
+    /// plan and retry policy installed on every drive of the aggregate.
+    pub fn with_faults(
+        cfg: FsConfig,
+        geometry: AggregateGeometry,
+        kind: DriveKind,
+        spec: FaultSpec,
+        policy: RetryPolicy,
+        exec: ExecMode,
+    ) -> Self {
+        let geo = Arc::new(geometry);
+        let io = Arc::new(IoEngine::with_faults_and_policy(
+            Arc::clone(&geo),
+            kind,
+            spec,
+            policy,
+        ));
+        let aggmap = Arc::new(AggregateMap::new(geo));
+        Self::assemble(cfg, io, aggmap, exec)
+    }
+
     fn assemble(
         cfg: FsConfig,
         io: Arc<IoEngine>,
@@ -99,10 +120,7 @@ impl Filesystem {
             ExecMode::Inline => (Arc::new(InlineExecutor), None),
             ExecMode::Pool(threads) => {
                 let pool = Arc::new(WaffinityPool::new(Arc::clone(&topo), threads));
-                (
-                    Arc::new(PoolExecutor::new(Arc::clone(&pool))),
-                    Some(pool),
-                )
+                (Arc::new(PoolExecutor::new(Arc::clone(&pool))), Some(pool))
             }
         };
         Self::assemble_shared(cfg, io, aggmap, executor, topo, 0, waff_pool)
@@ -175,6 +193,11 @@ impl Filesystem {
     #[inline]
     pub fn nvlog(&self) -> &NvLog {
         &self.nvlog
+    }
+
+    /// The most recently committed superblock image, if any CP has run.
+    pub fn committed_image(&self) -> Option<Arc<DiskImage>> {
+        self.sb.load()
     }
 
     /// The Waffinity topology.
@@ -273,7 +296,9 @@ impl Filesystem {
     /// is durable (snapshot creation *is* a CP in WAFL). Returns `false`
     /// if the name exists or the volume does not.
     pub fn create_snapshot(&self, vol: VolumeId, name: &str) -> bool {
-        let Some(v) = self.volume(vol) else { return false };
+        let Some(v) = self.volume(vol) else {
+            return false;
+        };
         let report = self.run_cp();
         if !v.take_snapshot(name, report.cp_id) {
             return false;
@@ -293,7 +318,7 @@ impl Filesystem {
         let v = self.volume(vol)?;
         let snap = v.snapshots().get(snapshot)?;
         let ptr = snap.lookup(file, fbn)?;
-        Some(self.io.read_vbn(ptr.pvbn))
+        self.io.read_vbn(ptr.pvbn).ok()
     }
 
     /// Delete a snapshot, reclaiming blocks no other image references.
@@ -330,7 +355,7 @@ impl Filesystem {
         let v = self.volume(vol)?;
         let inode = v.inode(file)?;
         let ptr = inode.lock().lookup(fbn)?;
-        Some(self.io.read_vbn(ptr.pvbn))
+        self.io.read_vbn(ptr.pvbn).ok()
     }
 
     /// Run one consistency point.
@@ -347,6 +372,29 @@ impl Filesystem {
             &self.mf_locs,
             &self.sb,
         )
+    }
+
+    /// Run a consistency point that crashes at `at`: the CP is abandoned
+    /// before the superblock commit, leaving the media, the committed
+    /// image, and the NVRAM log exactly as a real mid-CP crash would.
+    /// The instance is then dead (its NVLog has a CP permanently in
+    /// flight); call [`Filesystem::crash_and_recover`] to get the
+    /// post-reboot file system.
+    pub fn run_cp_crash_at(&self, at: CrashPoint) {
+        let cp_id = self.cp_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let vols = self.volumes();
+        let r = cp::run_cp_crash_at(
+            cp_id,
+            &self.cfg,
+            &vols,
+            &self.nvlog,
+            &self.alloc,
+            &self.pool,
+            &self.mf_locs,
+            &self.sb,
+            at,
+        );
+        debug_assert!(r.is_none(), "an injected crash never commits");
     }
 
     /// Number of CPs run.
@@ -368,7 +416,9 @@ impl Filesystem {
                 let inode = v.inode(f).expect("listed file exists");
                 let inode = inode.lock();
                 for (fbn, ptr) in inode.block_map() {
-                    let got = self.io.read_vbn(ptr.pvbn);
+                    let got = self.io.read_vbn(ptr.pvbn).map_err(|e| {
+                        format!("read failed vol {:?} file {:?} fbn {fbn}: {e}", v.id(), f)
+                    })?;
                     if got != ptr.stamp {
                         return Err(format!(
                             "stamp mismatch vol {:?} file {:?} fbn {fbn}: disk {got:#x}, map {:#x}",
@@ -403,6 +453,34 @@ impl Filesystem {
     ) -> Filesystem {
         let aggmap = Arc::new(AggregateMap::new(Arc::clone(io.geometry())));
         let fs = Self::assemble(cfg, io, aggmap, exec);
+        fs.populate_from(image, ops);
+        fs
+    }
+
+    /// [`Filesystem::recover`] over a *shared* Waffinity topology — the
+    /// multi-aggregate recovery path used by
+    /// [`crate::StorageSystem::crash_and_recover`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn recover_shared(
+        cfg: FsConfig,
+        io: Arc<IoEngine>,
+        image: Option<&DiskImage>,
+        ops: &[Op],
+        executor: Arc<dyn Executor>,
+        topo: Arc<Topology>,
+        aggr: u32,
+        waff_pool: Option<Arc<WaffinityPool>>,
+    ) -> Filesystem {
+        let aggmap = Arc::new(AggregateMap::new(Arc::clone(io.geometry())));
+        let fs = Self::assemble_shared(cfg, io, aggmap, executor, topo, aggr, waff_pool);
+        fs.populate_from(image, ops);
+        fs
+    }
+
+    /// Restore committed state from `image` and replay `ops` into a
+    /// freshly assembled instance.
+    fn populate_from(&self, image: Option<&DiskImage>, ops: &[Op]) {
+        let fs = self;
         if let Some(img) = image {
             // The superblock lives on persistent storage: a recovered
             // instance must still root the same committed image, or a
@@ -508,7 +586,6 @@ impl Filesystem {
                 }
             }
         }
-        fs
     }
 }
 
@@ -745,7 +822,10 @@ mod tests {
         fs.run_cp();
         assert!(fs.truncate(VolumeId(0), FileId(1), 10));
         fs.allocator().drain();
-        assert_eq!(fs.read(VolumeId(0), FileId(1), 5), Some(wafl_blockdev::stamp(1, 5, 1)));
+        assert_eq!(
+            fs.read(VolumeId(0), FileId(1), 5),
+            Some(wafl_blockdev::stamp(1, 5, 1))
+        );
         assert_eq!(fs.read(VolumeId(0), FileId(1), 10), None);
         assert_eq!(fs.read(VolumeId(0), FileId(1), 31), None);
         fs.run_cp();
@@ -781,8 +861,15 @@ mod tests {
         fs.truncate(VolumeId(0), FileId(2), 5);
         let r = fs.crash_and_recover(ExecMode::Inline);
         assert_eq!(r.read(VolumeId(0), FileId(1), 0), None, "delete replayed");
-        assert_eq!(r.read(VolumeId(0), FileId(2), 3), Some(wafl_blockdev::stamp(2, 3, 1)));
-        assert_eq!(r.read(VolumeId(0), FileId(2), 10), None, "truncate replayed");
+        assert_eq!(
+            r.read(VolumeId(0), FileId(2), 3),
+            Some(wafl_blockdev::stamp(2, 3, 1))
+        );
+        assert_eq!(
+            r.read(VolumeId(0), FileId(2), 10),
+            None,
+            "truncate replayed"
+        );
         r.run_cp();
         r.verify_integrity().unwrap();
     }
@@ -819,6 +906,137 @@ mod tests {
         }
         fs.run_cp();
         fs.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn mid_cp_crash_recovers_equivalently_at_every_point() {
+        // A crash at ANY point before the superblock commit must be
+        // equivalent to no CP at all: the committed image plus NVLog
+        // replay reconstructs every acknowledged op (§II-C).
+        for at in CrashPoint::ALL {
+            let fs = fs(ExecMode::Inline);
+            fs.create_volume(VolumeId(0));
+            fs.create_file(VolumeId(0), FileId(1));
+            for fbn in 0..16 {
+                fs.write(VolumeId(0), FileId(1), fbn, wafl_blockdev::stamp(1, fbn, 1));
+            }
+            fs.run_cp();
+            // Acknowledged after the commit: overwrites + a new file.
+            for fbn in 0..16 {
+                fs.write(VolumeId(0), FileId(1), fbn, wafl_blockdev::stamp(1, fbn, 2));
+            }
+            fs.create_file(VolumeId(0), FileId(2));
+            fs.write(VolumeId(0), FileId(2), 0, wafl_blockdev::stamp(2, 0, 1));
+            fs.run_cp_crash_at(at);
+            let r = fs.crash_and_recover(ExecMode::Inline);
+            for fbn in 0..16 {
+                assert_eq!(
+                    r.read(VolumeId(0), FileId(1), fbn),
+                    Some(wafl_blockdev::stamp(1, fbn, 2)),
+                    "replayed overwrite lost at {at:?} fbn {fbn}"
+                );
+            }
+            assert_eq!(
+                r.read(VolumeId(0), FileId(2), 0),
+                Some(wafl_blockdev::stamp(2, 0, 1)),
+                "replayed create lost at {at:?}"
+            );
+            // The replayed state commits and verifies end to end,
+            // including the raw-media parity scrub.
+            r.run_cp();
+            for fbn in 0..16 {
+                assert_eq!(
+                    r.read_persisted(VolumeId(0), FileId(1), fbn),
+                    Some(wafl_blockdev::stamp(1, fbn, 2))
+                );
+            }
+            r.verify_integrity()
+                .unwrap_or_else(|e| panic!("verify failed after crash at {at:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn cp_completes_degraded_after_drive_failure_then_rebuilds() {
+        // One data drive dies mid-run; every CP still completes through
+        // parity-based degraded writes and reads, and the drive rebuilds.
+        let mut cfg = FsConfig::default();
+        cfg.vvbn_per_volume = 1 << 14;
+        let fs = Filesystem::with_faults(
+            cfg,
+            GeometryBuilder::new()
+                .aa_stripes(64)
+                .raid_group(3, 1, 2048)
+                .build(),
+            DriveKind::Ssd,
+            FaultSpec::drive_failure(1, 8),
+            RetryPolicy::default(),
+            ExecMode::Inline,
+        );
+        fs.create_volume(VolumeId(0));
+        fs.create_file(VolumeId(0), FileId(1));
+        for fbn in 0..200 {
+            fs.write(VolumeId(0), FileId(1), fbn, wafl_blockdev::stamp(1, fbn, 1));
+        }
+        fs.run_cp();
+        let snap = fs.io().fault_snapshot();
+        assert_eq!(snap.drives_offline, 1, "the targeted drive went offline");
+        // Every committed block reads back — a third of them through
+        // XOR reconstruction.
+        for fbn in 0..200 {
+            assert_eq!(
+                fs.read_persisted(VolumeId(0), FileId(1), fbn),
+                Some(wafl_blockdev::stamp(1, fbn, 1)),
+                "degraded read wrong at fbn {fbn}"
+            );
+        }
+        assert!(
+            fs.io().fault_snapshot().reconstructed_reads > 0,
+            "reads off the failed drive were reconstructed from parity"
+        );
+        // The raw media is inconsistent until the drive is rebuilt.
+        assert!(fs.verify_integrity().is_err(), "scrub fails while degraded");
+        assert!(fs.io().rebuild_offline() > 0);
+        fs.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn crash_while_degraded_recovers_via_replay_and_rebuild() {
+        // Compound fault: a drive failure AND a mid-CP crash. Recovery
+        // replays the NVLog over the degraded aggregate, the next CP
+        // completes degraded, and the rebuild restores parity.
+        let mut cfg = FsConfig::default();
+        cfg.vvbn_per_volume = 1 << 14;
+        let fs = Filesystem::with_faults(
+            cfg,
+            GeometryBuilder::new()
+                .aa_stripes(64)
+                .raid_group(3, 1, 2048)
+                .build(),
+            DriveKind::Ssd,
+            FaultSpec::drive_failure(2, 4),
+            RetryPolicy::default(),
+            ExecMode::Inline,
+        );
+        fs.create_volume(VolumeId(0));
+        fs.create_file(VolumeId(0), FileId(1));
+        for fbn in 0..64 {
+            fs.write(VolumeId(0), FileId(1), fbn, wafl_blockdev::stamp(1, fbn, 1));
+        }
+        fs.run_cp();
+        for fbn in 0..64 {
+            fs.write(VolumeId(0), FileId(1), fbn, wafl_blockdev::stamp(1, fbn, 2));
+        }
+        fs.run_cp_crash_at(CrashPoint::AfterMetafileFlush);
+        let r = fs.crash_and_recover(ExecMode::Inline);
+        r.run_cp();
+        for fbn in 0..64 {
+            assert_eq!(
+                r.read_persisted(VolumeId(0), FileId(1), fbn),
+                Some(wafl_blockdev::stamp(1, fbn, 2))
+            );
+        }
+        assert!(r.io().rebuild_offline() > 0, "the failed drive rebuilds");
+        r.verify_integrity().unwrap();
     }
 
     #[test]

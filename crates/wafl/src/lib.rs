@@ -55,7 +55,7 @@ pub mod vvbn;
 pub use buffer::DirtyBuffer;
 pub use cleaner::{CleanItem, CleanerConfig, CleanerPool};
 pub use config::FsConfig;
-pub use cp::{CpReport, DiskImage, MetafileLocs, SuperblockStore};
+pub use cp::{CpReport, CrashPoint, DiskImage, MetafileLocs, SuperblockStore};
 pub use fs::{ExecMode, Filesystem};
 pub use inode::{FileId, Inode};
 pub use nvlog::{NvLog, Op};

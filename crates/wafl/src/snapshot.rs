@@ -183,10 +183,14 @@ mod tests {
     #[test]
     fn iter_and_count() {
         let mut s = snap("a", 1, 5, 100);
-        s.files
-            .get_mut(&FileId(1))
-            .unwrap()
-            .insert(6, BlockPtr { vvbn: 7, pvbn: Vbn(101), stamp: 1 });
+        s.files.get_mut(&FileId(1)).unwrap().insert(
+            6,
+            BlockPtr {
+                vvbn: 7,
+                pvbn: Vbn(101),
+                stamp: 1,
+            },
+        );
         assert_eq!(s.block_count(), 2);
         let blocks: Vec<_> = s.iter_blocks().collect();
         assert_eq!(blocks.len(), 2);

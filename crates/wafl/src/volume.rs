@@ -318,10 +318,7 @@ mod tests {
         }
         assert_eq!(v.dirty_count(), 8);
         for f in 0..8u64 {
-            assert_eq!(
-                v.read(FileId(f), 42),
-                Some(wafl_blockdev::stamp(f, 42, 1))
-            );
+            assert_eq!(v.read(FileId(f), 42), Some(wafl_blockdev::stamp(f, 42, 1)));
         }
     }
 }

@@ -121,7 +121,9 @@ impl VvbnSpace {
 
     /// Commit a consumed VVBN (dirties the covering metafile block).
     pub fn commit(&self, vvbn: u64) {
-        self.map.commit_used(vvbn).expect("commit of unreserved VVBN");
+        self.map
+            .commit_used(vvbn)
+            .expect("commit of unreserved VVBN");
     }
 
     /// Release a chunk's unconsumed VVBNs.

@@ -33,7 +33,10 @@ fn main() {
         fs.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, 1));
     }
     let r = fs.run_cp();
-    println!("CP {} committed generation 1 ({} buffers)", r.cp_id, r.buffers_cleaned);
+    println!(
+        "CP {} committed generation 1 ({} buffers)",
+        r.cp_id, r.buffers_cleaned
+    );
 
     // Generation 2: acknowledged (in NVRAM) but NOT yet committed.
     for fbn in 0..64 {
@@ -72,7 +75,10 @@ fn main() {
     // The replayed ops commit durably on the next CP, and new allocation
     // never clobbers pre-crash committed blocks.
     let r = recovered.run_cp();
-    println!("post-recovery CP {} cleaned {} buffers", r.cp_id, r.buffers_cleaned);
+    println!(
+        "post-recovery CP {} cleaned {} buffers",
+        r.cp_id, r.buffers_cleaned
+    );
     assert_eq!(
         recovered.read_persisted(VolumeId(0), FileId(1), 10),
         Some(stamp(1, 10, 2))
@@ -81,13 +87,20 @@ fn main() {
         recovered.read_persisted(VolumeId(0), FileId(1), 100),
         Some(stamp(1, 100, 1))
     );
-    recovered.verify_integrity().expect("consistent after recovery");
+    recovered
+        .verify_integrity()
+        .expect("consistent after recovery");
 
     // Double crash: crash again right after recovery, before the CP's
     // log is re-committed… state must still be exact.
     let twice = recovered.crash_and_recover(ExecMode::Inline);
-    assert_eq!(twice.read(VolumeId(0), FileId(1), 10), Some(stamp(1, 10, 2)));
+    assert_eq!(
+        twice.read(VolumeId(0), FileId(1), 10),
+        Some(stamp(1, 10, 2))
+    );
     assert_eq!(twice.read(VolumeId(0), FileId(2), 0), Some(0xCAFE));
-    twice.verify_integrity().expect("consistent after double crash");
+    twice
+        .verify_integrity()
+        .expect("consistent after double crash");
     println!("double-crash recovery verified — done");
 }

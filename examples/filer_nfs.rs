@@ -54,12 +54,8 @@ fn main() {
     let (unbatched_msgs, buffers2, t_off) = run(false);
     assert_eq!(buffers, buffers2);
     println!("NFS-mix: {FILES} files × {ROUNDS} rounds, {buffers} buffers cleaned");
-    println!(
-        "  batching ON : {batched_msgs:>6} cleaner messages  ({t_on:.2?})"
-    );
-    println!(
-        "  batching OFF: {unbatched_msgs:>6} cleaner messages  ({t_off:.2?})"
-    );
+    println!("  batching ON : {batched_msgs:>6} cleaner messages  ({t_on:.2?})");
+    println!("  batching OFF: {unbatched_msgs:>6} cleaner messages  ({t_off:.2?})");
     println!(
         "  message reduction: {:.1}×",
         unbatched_msgs as f64 / batched_msgs as f64

@@ -104,7 +104,7 @@ fn main() {
             last_busy = busy;
             last_tick = Instant::now();
         }
-        if cps % 50 == 0 {
+        if cps.is_multiple_of(50) {
             println!(
                 "cp {:>4}: {} buffers, {} msgs, active cleaners {}",
                 report.cp_id,

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full CI gate: build, tests, lints, formatting. Run locally before
+# pushing; .github/workflows/ci.yml runs the same steps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo build --release ==="
+cargo build --release
+
+echo "=== cargo test -q (tier-1: root package) ==="
+cargo test -q
+
+echo "=== cargo test --workspace -q ==="
+cargo test --workspace -q
+
+echo "=== cargo clippy --all-targets -- -D warnings ==="
+cargo clippy --all-targets -- -D warnings
+
+echo "=== cargo fmt --check ==="
+cargo fmt --check
+
+echo "CI green."

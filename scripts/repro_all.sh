@@ -2,7 +2,7 @@
 # Regenerate every paper artifact + extensions. Results land in results/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-BINS="fig4 fig5 fig6 fig7 fig8 fig9 table_batching history exp_scaling exp_region_split ablation_chunk ablation_reinsert ablation_ranges"
+BINS="fig4 fig5 fig6 fig7 fig8 fig9 table_batching history exp_scaling exp_region_split exp_recovery ablation_chunk ablation_reinsert ablation_ranges"
 for b in $BINS; do
   echo "=== $b ==="
   cargo run --release -p wafl-bench --bin "$b"

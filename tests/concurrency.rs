@@ -88,7 +88,10 @@ fn concurrent_writers_with_back_to_back_cps() {
                 let got = fs.read(VolumeId(0), file, fbn).expect("block exists");
                 let max_gen = gens[w as usize] + 1;
                 let valid = (1..=max_gen).any(|g| got == stamp(file.0, fbn, g));
-                assert!(valid, "file {file:?} fbn {fbn} holds a stamp from no generation");
+                assert!(
+                    valid,
+                    "file {file:?} fbn {fbn} holds a stamp from no generation"
+                );
             }
         }
     }
@@ -170,7 +173,8 @@ fn dynamic_active_limit_changes_mid_flight() {
         for fbn in 0..500 {
             fs.write(VolumeId(0), FileId(1), fbn, stamp(1, fbn, round));
         }
-        fs.cleaner_pool().set_active_limit(((round % 4) + 1) as usize);
+        fs.cleaner_pool()
+            .set_active_limit(((round % 4) + 1) as usize);
         fs.run_cp();
     }
     fs.cleaner_pool().set_active_limit(4);

@@ -6,8 +6,10 @@ use wafl::{ExecMode, FileId, Filesystem, FsConfig, VolumeId};
 use wafl_blockdev::{stamp, DriveKind, GeometryBuilder};
 
 fn small_fs(exec: ExecMode) -> Filesystem {
-    let mut cfg = FsConfig::default();
-    cfg.vvbn_per_volume = 1 << 16;
+    let cfg = FsConfig {
+        vvbn_per_volume: 1 << 16,
+        ..FsConfig::default()
+    };
     Filesystem::new(
         cfg,
         GeometryBuilder::new()
@@ -138,7 +140,10 @@ fn full_stripe_ratio_high_for_sequential_load() {
     }
     fs.run_cp();
     let ratio = fs.io().full_stripe_ratio().unwrap();
-    assert!(ratio > 0.7, "sequential CP should be mostly full stripes: {ratio}");
+    assert!(
+        ratio > 0.7,
+        "sequential CP should be mostly full stripes: {ratio}"
+    );
     fs.io().scrub().unwrap();
 }
 

@@ -27,7 +27,10 @@ fn fig4_shape_sequential_write() {
     let cleaners_only = rows[2].result.throughput_ops / base;
     let both = rows[3].result.throughput_ops / base;
     // Paper: +7% / +82% / +274%.
-    assert!(infra_only < 1.25, "infra-only is a small gain: {infra_only:.2}");
+    assert!(
+        infra_only < 1.25,
+        "infra-only is a small gain: {infra_only:.2}"
+    );
     assert!(
         (1.5..2.6).contains(&cleaners_only),
         "cleaners-only roughly doubles: {cleaners_only:.2}"
@@ -37,18 +40,23 @@ fn fig4_shape_sequential_write() {
     // Write allocation consumes several cores at full parallelization.
     let full = &rows[3].result;
     let wa = full.write_alloc_cores();
-    assert!((4.0..9.0).contains(&wa), "≈6 write-allocation cores: {wa:.2}");
+    assert!(
+        (4.0..9.0).contains(&wa),
+        "≈6 write-allocation cores: {wa:.2}"
+    );
     assert!(full.total_cores() > 17.0, "system saturates");
 }
 
 #[test]
 fn fig5_shape_near_linear_then_saturation() {
-    let rows = cleaner_thread_sweep(
-        &quick(WorkloadKind::sequential_write()),
-        &[1, 2, 4, 6],
-    );
+    let rows = cleaner_thread_sweep(&quick(WorkloadKind::sequential_write()), &[1, 2, 4, 6]);
     let t: Vec<f64> = rows.iter().map(|(_, r)| r.throughput_ops).collect();
-    assert!(t[1] > t[0] * 1.7, "2 cleaners ≈ 2×: {:.0} vs {:.0}", t[1], t[0]);
+    assert!(
+        t[1] > t[0] * 1.7,
+        "2 cleaners ≈ 2×: {:.0} vs {:.0}",
+        t[1],
+        t[0]
+    );
     assert!(t[2] > t[1] * 1.5, "4 cleaners keep scaling");
     // Saturation: 6 cleaners no better than 4 by much (CPU bound).
     assert!(t[3] < t[2] * 1.15, "saturates near 4 cleaners");
@@ -60,8 +68,14 @@ fn fig6_shape_infra_cores_and_throughput() {
     let s_cores = serial.usage.infra_cores(serial.measured_ns);
     let p_cores = parallel.usage.infra_cores(parallel.measured_ns);
     // Paper: 0.94 → 2.35 cores, +106% throughput.
-    assert!(s_cores <= 1.05, "serialized infra is capped at one core: {s_cores:.2}");
-    assert!(p_cores > 1.5, "parallel infra exceeds one core: {p_cores:.2}");
+    assert!(
+        s_cores <= 1.05,
+        "serialized infra is capped at one core: {s_cores:.2}"
+    );
+    assert!(
+        p_cores > 1.5,
+        "parallel infra exceeds one core: {p_cores:.2}"
+    );
     let gain = parallel.throughput_ops / serial.throughput_ops;
     assert!((1.6..2.7).contains(&gain), "≈2× throughput: {gain:.2}");
 }
@@ -118,8 +132,14 @@ fn fig8_shape_two_cleaners_beat_one_and_dynamic_matches_best() {
     let two = rows[1].peak_throughput;
     let four = rows[2].peak_throughput;
     let dynamic = rows[3].peak_throughput;
-    assert!(two > one * 1.03, "second cleaner lifts peak: {one:.0} → {two:.0}");
-    assert!(four <= two * 1.02, "beyond two threads stops helping: {two:.0} vs {four:.0}");
+    assert!(
+        two > one * 1.03,
+        "second cleaner lifts peak: {one:.0} → {two:.0}"
+    );
+    assert!(
+        four <= two * 1.02,
+        "beyond two threads stops helping: {two:.0} vs {four:.0}"
+    );
     assert!(
         dynamic > two * 0.97,
         "dynamic ≈ best static: {dynamic:.0} vs {two:.0}"

