@@ -84,11 +84,19 @@ impl Allocator {
         aggr: u32,
     ) -> Arc<Self> {
         let stats = Arc::new(AllocStats::default());
+        // cache_shards == 0 → one shard per data drive, so every bucket
+        // built by a refill round has a dedicated queue and cleaners with
+        // distinct affinities never share a lock on the GET fast path.
+        let nshards = match cfg.cache_shards {
+            0 => aggmap.geometry().total_data_drives() as usize,
+            n => n,
+        };
+        let cache = Arc::new(BucketCache::with_shards(nshards, Arc::clone(&stats)));
         let infra = Infrastructure::new(cfg, aggmap, io, Arc::clone(&stats));
         Arc::new(Self {
             cfg,
             infra,
-            cache: Arc::new(BucketCache::new()),
+            cache,
             executor,
             topo,
             aggr,
@@ -161,10 +169,23 @@ impl Allocator {
     /// bucket cache. Triggers refills as needed and keeps the cache warm
     /// (low-watermark prefetch). Returns `None` when the aggregate is out
     /// of space.
+    ///
+    /// Equivalent to [`get_bucket_from(0)`](Self::get_bucket_from); paths
+    /// without a stable cleaner identity (CP-end allocation, tests) use
+    /// this and simply contend on shard 0 first.
     pub fn get_bucket(&self) -> Option<Bucket> {
+        self.get_bucket_from(0)
+    }
+
+    /// **GET** with shard affinity: cleaner `cleaner` pops from shard
+    /// `cleaner % nshards` first and work-steals from the other shards on
+    /// a miss, so concurrent cleaners with distinct indices take disjoint
+    /// locks on the common path (§IV-C's synchronization amortization,
+    /// divided per drive).
+    pub fn get_bucket_from(&self, cleaner: usize) -> Option<Bucket> {
         let mut stalled = false;
         loop {
-            if let Some(b) = self.cache.try_get() {
+            if let Some(b) = self.cache.try_get_from(cleaner) {
                 self.stats.gets.fetch_add(1, Ordering::Relaxed);
                 if self.cache.len() < self.cfg.low_watermark {
                     self.request_refill();
@@ -178,7 +199,10 @@ impl Allocator {
             self.request_refill();
             // Give the executor a chance to run the refill; the inline
             // executor has already completed it by now.
-            if let Some(b) = self.cache.get_timeout(Duration::from_millis(2)) {
+            if let Some(b) = self
+                .cache
+                .get_timeout_from(cleaner, Duration::from_millis(2))
+            {
                 self.stats.gets.fetch_add(1, Ordering::Relaxed);
                 return Some(b);
             }

@@ -8,92 +8,326 @@
 //! does not block" (§IV-D).
 //!
 //! GET is a single lock acquisition per *bucket* (i.e., per `chunk`
-//! VBNs), which is the synchronization amortization of §IV-C.
+//! VBNs), which is the synchronization amortization of §IV-C. This
+//! implementation goes one step further and **shards** the cache — one
+//! mutex+condvar FIFO per drive (keyed off [`Bucket::drive`]) — so that
+//! concurrent cleaners with distinct shard affinities do not even share
+//! that one lock:
+//!
+//! * cleaner *i* GETs from shard `i % nshards` first (its *affinity
+//!   shard*) and work-steals from the other shards on a miss — under the
+//!   *equal-progress pop rule*: home is taken only while no other shard
+//!   is fuller, so consumption stays balanced across drives (DESIGN.md
+//!   invariant 7) for any cleaner count;
+//! * a global [`AtomicUsize`] length keeps `len`/`is_empty` (the
+//!   starvation and low-watermark checks) lock-free;
+//! * [`BucketCache::insert_all`] holds every destination shard lock
+//!   simultaneously while appending, so a refill batch becomes visible
+//!   *collectively* — no getter can observe half a batch — preserving the
+//!   §IV-D equal-progress invariant across shards;
+//! * contention is observable: fast-path vs stolen pops, time spent on
+//!   contended shard mutexes, and blocked (parked) GETs all count into
+//!   [`AllocStats`].
+//!
+//! Construct with [`BucketCache::with_shards`]; [`BucketCache::new`]
+//! builds the single-shard (pre-sharding) layout, which doubles as the
+//! forced-single-lock baseline for the `exp_cache_contention` bench.
 
 use crate::bucket::Bucket;
-use parking_lot::{Condvar, Mutex};
+use crate::stats::AllocStats;
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
-use std::time::Duration;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// Lock-protected FIFO of available buckets.
+/// One shard: a lock-protected FIFO plus the condvar blocked getters
+/// park on and a count of those parked getters.
 #[derive(Debug, Default)]
-pub struct BucketCache {
+struct Shard {
     q: Mutex<VecDeque<Bucket>>,
     available: Condvar,
+    waiters: AtomicUsize,
+    /// Queue length, readable without the lock (maintained while holding
+    /// it). Drives the equal-progress pop rule in
+    /// [`BucketCache::try_get_from`].
+    fill: AtomicUsize,
+}
+
+/// Sharded, lock-protected FIFO of available buckets.
+#[derive(Debug)]
+pub struct BucketCache {
+    shards: Box<[Shard]>,
+    /// Total buckets across all shards (lock-free `len`/`is_empty`).
+    len: AtomicUsize,
+    /// Getters currently parked anywhere (gate for cross-shard wakeups).
+    waiters: AtomicUsize,
+    stats: Arc<AllocStats>,
+}
+
+impl Default for BucketCache {
+    fn default() -> Self {
+        Self::with_shards(1, Arc::new(AllocStats::default()))
+    }
 }
 
 impl BucketCache {
-    /// Empty cache.
+    /// Single-shard cache with private stats — the pre-sharding layout
+    /// (every GET funnels through one mutex). Kept for tests and as the
+    /// contention baseline.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Number of buckets currently available.
+    /// Cache with `nshards` shards (clamped to ≥ 1) recording contention
+    /// counters into `stats`. Buckets map to shards by drive id, so one
+    /// shard per data drive gives every refilled bucket of a round its
+    /// own queue.
+    pub fn with_shards(nshards: usize, stats: Arc<AllocStats>) -> Self {
+        let n = nshards.max(1);
+        Self {
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            len: AtomicUsize::new(0),
+            waiters: AtomicUsize::new(0),
+            stats,
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of buckets currently available (lock-free).
+    #[inline]
     pub fn len(&self) -> usize {
-        self.q.lock().len()
+        self.len.load(Ordering::Acquire)
     }
 
-    /// Is the cache empty (a GET would block)?
+    /// Is the cache empty (a GET would block)? Lock-free.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.q.lock().is_empty()
+        self.len() == 0
     }
 
-    /// Infrastructure side: insert one bucket.
+    /// The shard a bucket lives in.
+    #[inline]
+    fn shard_of(&self, b: &Bucket) -> usize {
+        b.drive().0 as usize % self.shards.len()
+    }
+
+    /// Lock a shard queue, timing only the contended (slow) path.
+    fn lock_shard<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, VecDeque<Bucket>> {
+        if let Some(g) = shard.q.try_lock() {
+            return g;
+        }
+        let t0 = Instant::now();
+        let g = shard.q.lock();
+        self.stats
+            .cache_lock_waits_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        g
+    }
+
+    /// Wake parked getters on every shard that has any. Inserts into one
+    /// shard must also wake getters parked on *other* shards (they can
+    /// steal); locking the waiter's shard before notifying closes the
+    /// check-then-park race. Only runs when someone is actually parked.
+    fn wake_parked(&self) {
+        if self.waiters.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        for shard in self.shards.iter() {
+            if shard.waiters.load(Ordering::Acquire) > 0 {
+                let _g = self.lock_shard(shard);
+                shard.available.notify_all();
+            }
+        }
+    }
+
+    /// Infrastructure side: insert one bucket into its drive's shard.
     pub fn insert(&self, b: Bucket) {
-        self.q.lock().push_back(b);
-        self.available.notify_one();
+        let shard = &self.shards[self.shard_of(&b)];
+        let mut q = self.lock_shard(shard);
+        q.push_back(b);
+        shard.fill.fetch_add(1, Ordering::Release);
+        self.len.fetch_add(1, Ordering::Release);
+        // Notify while holding the lock: a getter of this shard is either
+        // already parked (woken here) or has yet to take the lock (and
+        // will see the bucket).
+        shard.available.notify_one();
+        drop(q);
+        self.wake_parked();
     }
 
     /// Infrastructure side: insert a batch of buckets atomically — the
     /// collective reinsertion of §IV-D ("collectively put back into the
-    /// bucket cache").
+    /// bucket cache"). Every destination shard lock is held while the
+    /// batch is appended, so no GET can observe a partially visible
+    /// batch; each affected shard is then notified **once** (a single
+    /// `notify_all` under the lock, not one wakeup per bucket).
     pub fn insert_all(&self, buckets: impl IntoIterator<Item = Bucket>) {
-        let mut q = self.q.lock();
-        let mut n = 0;
+        let n = self.shards.len();
+        let mut per_shard: Vec<Vec<Bucket>> = (0..n).map(|_| Vec::new()).collect();
+        let mut total = 0usize;
         for b in buckets {
-            q.push_back(b);
-            n += 1;
+            per_shard[self.shard_of(&b)].push(b);
+            total += 1;
         }
-        drop(q);
-        for _ in 0..n {
-            self.available.notify_one();
+        if total == 0 {
+            return;
+        }
+        // Acquire in ascending shard order (the only multi-shard lock
+        // site, so ordering alone rules out deadlock).
+        let mut guards: Vec<(usize, MutexGuard<'_, VecDeque<Bucket>>)> = Vec::new();
+        for (s, batch) in per_shard.iter_mut().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let mut g = self.lock_shard(&self.shards[s]);
+            self.shards[s]
+                .fill
+                .fetch_add(batch.len(), Ordering::Release);
+            g.extend(batch.drain(..));
+            guards.push((s, g));
+        }
+        self.len.fetch_add(total, Ordering::Release);
+        for (s, _) in &guards {
+            self.shards[*s].available.notify_all();
+        }
+        drop(guards);
+        self.wake_parked();
+    }
+
+    /// Pop from one specific shard.
+    fn pop_shard(&self, s: usize) -> Option<Bucket> {
+        let mut q = self.lock_shard(&self.shards[s]);
+        let b = q.pop_front()?;
+        self.shards[s].fill.fetch_sub(1, Ordering::Release);
+        self.len.fetch_sub(1, Ordering::Release);
+        Some(b)
+    }
+
+    /// Count a successful pop as a home (fast-path) hit or a steal.
+    fn count_pop(&self, shard: usize, home: usize) {
+        if shard == home {
+            self.stats.cache_get_fast.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.cache_get_steal.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// Cleaner side: try to take a bucket without blocking.
-    pub fn try_get(&self) -> Option<Bucket> {
-        self.q.lock().pop_front()
-    }
-
-    /// Cleaner side: take a bucket, blocking up to `timeout`. Returns
-    /// `None` on timeout (callers treat that as "aggregate may be
-    /// exhausted; re-check and retry or give up").
-    pub fn get_timeout(&self, timeout: Duration) -> Option<Bucket> {
-        let mut q = self.q.lock();
-        if let Some(b) = q.pop_front() {
+    /// Cleaner side: try to take a bucket without blocking, starting at
+    /// the caller's affinity shard (`start % nshards`) and work-stealing
+    /// on a miss.
+    ///
+    /// **Equal-progress pop rule**: the home shard is taken only when no
+    /// other shard is fuller (ties keep home); otherwise the GET steals
+    /// from the fullest shard, nearest-after-home on ties. Refill rounds
+    /// deposit one bucket per drive (§IV-D), so consuming fullest-first
+    /// keeps per-drive consumption — and therefore per-drive fill
+    /// progress, DESIGN.md invariant 7 — balanced for *any* number of
+    /// cleaners: a lone cleaner degenerates to round-robin over drives,
+    /// while cleaners spread over balanced shards all pop their own
+    /// uncontended home.
+    pub fn try_get_from(&self, start: usize) -> Option<Bucket> {
+        let n = self.shards.len();
+        let home = start % n;
+        if self.is_empty() {
+            return None;
+        }
+        let mut target = home;
+        let mut best = self.shards[home].fill.load(Ordering::Acquire);
+        for d in 1..n {
+            let s = (home + d) % n;
+            let f = self.shards[s].fill.load(Ordering::Acquire);
+            if f > best {
+                best = f;
+                target = s;
+            }
+        }
+        if let Some(b) = self.pop_shard(target) {
+            self.count_pop(target, home);
             return Some(b);
         }
-        let deadline = std::time::Instant::now() + timeout;
-        loop {
-            if self.available.wait_until(&mut q, deadline).timed_out() {
-                return q.pop_front();
+        // Raced with other getters since the fill scan: fall back to a
+        // plain round-robin sweep so `None` still means "every shard was
+        // empty at probe time".
+        for d in 0..n {
+            let s = (home + d) % n;
+            if s == target {
+                continue;
             }
-            if let Some(b) = q.pop_front() {
+            if let Some(b) = self.pop_shard(s) {
+                self.count_pop(s, home);
                 return Some(b);
             }
         }
+        None
+    }
+
+    /// [`try_get_from`](Self::try_get_from) with affinity shard 0 (the
+    /// single-shard-era API, used by drain paths and tests).
+    pub fn try_get(&self) -> Option<Bucket> {
+        self.try_get_from(0)
+    }
+
+    /// Cleaner side: take a bucket, blocking up to `timeout`, with the
+    /// same affinity/steal order as [`try_get_from`](Self::try_get_from).
+    /// Returns `None` on timeout (callers treat that as "aggregate may be
+    /// exhausted; re-check and retry or give up").
+    ///
+    /// A blocked getter parks on its affinity shard's condvar; inserts
+    /// into *any* shard wake it (see [`Self::wake_parked`]), after which
+    /// it re-scans all shards.
+    pub fn get_timeout_from(&self, start: usize, timeout: Duration) -> Option<Bucket> {
+        if let Some(b) = self.try_get_from(start) {
+            return Some(b);
+        }
+        let shard = &self.shards[start % self.shards.len()];
+        let deadline = Instant::now() + timeout;
+        self.stats
+            .cache_blocked_gets
+            .fetch_add(1, Ordering::Relaxed);
+        // Register as a waiter *before* the re-scan: any insert that
+        // lands after the scan will see the registration and notify.
+        self.waiters.fetch_add(1, Ordering::AcqRel);
+        shard.waiters.fetch_add(1, Ordering::AcqRel);
+        let got = loop {
+            if let Some(b) = self.try_get_from(start) {
+                break Some(b);
+            }
+            let mut q = self.lock_shard(shard);
+            // Predicate re-check under the shard lock: an inserter bumps
+            // `len` before it takes this lock to notify, so either we see
+            // len > 0 here (and re-scan) or our park happens before its
+            // notify (and we are woken).
+            if self.len.load(Ordering::Acquire) == 0
+                && shard.available.wait_until(&mut q, deadline).timed_out()
+            {
+                drop(q);
+                break self.try_get_from(start);
+            }
+        };
+        shard.waiters.fetch_sub(1, Ordering::AcqRel);
+        self.waiters.fetch_sub(1, Ordering::AcqRel);
+        got
+    }
+
+    /// [`get_timeout_from`](Self::get_timeout_from) with affinity shard 0.
+    pub fn get_timeout(&self, timeout: Duration) -> Option<Bucket> {
+        self.get_timeout_from(0, timeout)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stats::AllocStats;
     use crate::tetris::Tetris;
-    use std::sync::Arc;
     use wafl_blockdev::{AaId, DriveId, DriveKind, GeometryBuilder, IoEngine, RaidGroupId, Vbn};
 
-    fn mk_bucket(start: u64) -> Bucket {
+    fn mk_bucket_on(drive: u32, start: u64) -> Bucket {
         let engine = Arc::new(IoEngine::new(
             Arc::new(
                 GeometryBuilder::new()
@@ -107,7 +341,7 @@ mod tests {
         Bucket::new(
             RaidGroupId(0),
             0,
-            DriveId(0),
+            DriveId(drive),
             AaId {
                 rg: RaidGroupId(0),
                 index: 0,
@@ -117,6 +351,15 @@ mod tests {
             t,
             0,
         )
+    }
+
+    fn mk_bucket(start: u64) -> Bucket {
+        mk_bucket_on(0, start)
+    }
+
+    fn sharded(n: usize) -> (BucketCache, Arc<AllocStats>) {
+        let stats = Arc::new(AllocStats::default());
+        (BucketCache::with_shards(n, Arc::clone(&stats)), stats)
     }
 
     #[test]
@@ -173,5 +416,116 @@ mod tests {
             .collect();
         got.sort_unstable();
         assert_eq!(got, vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn buckets_land_in_their_drives_shard() {
+        let (c, stats) = sharded(4);
+        // Drives 0..=3 → shards 0..=3; drives 4 and 5 wrap to shards 0 and 1.
+        for d in 0..6u32 {
+            c.insert(mk_bucket_on(d, u64::from(d) * 10));
+        }
+        assert_eq!(c.len(), 6);
+        // Shards 0 and 1 are tied for fullest (two buckets each), so the
+        // affinity GET from shard 1 keeps its home and sees drive 1's
+        // bucket first.
+        assert_eq!(c.try_get_from(1).unwrap().drive(), DriveId(1));
+        // Now shard 0 alone is fullest: the equal-progress rule steals
+        // drive 0's bucket rather than draining home down to empty.
+        assert_eq!(c.try_get_from(1).unwrap().drive(), DriveId(0));
+        assert_eq!(stats.cache_get_fast.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.cache_get_steal.load(Ordering::Relaxed), 1);
+        // Back in balance (one bucket each): home pops its second
+        // resident, the drive-5 bucket that wrapped onto shard 1.
+        assert_eq!(c.try_get_from(1).unwrap().drive(), DriveId(5));
+        assert_eq!(stats.cache_get_fast.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn miss_at_home_shard_steals_round_robin() {
+        let (c, stats) = sharded(4);
+        c.insert(mk_bucket_on(2, 20));
+        // Affinity shard 0 is empty → the GET must steal from shard 2.
+        let b = c.try_get_from(0).unwrap();
+        assert_eq!(b.drive(), DriveId(2));
+        assert_eq!(stats.cache_get_fast.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.cache_get_steal.load(Ordering::Relaxed), 1);
+        assert!(c.try_get_from(0).is_none());
+    }
+
+    #[test]
+    fn sharded_insert_all_is_collectively_visible() {
+        // The §IV-D invariant across shards: a getter never sees only
+        // part of a refill batch. With the batch spread over all shards
+        // and GETs racing the insert, every GET that returns Some must
+        // come after the *whole* batch is visible — so the first 8
+        // concurrent GETs drain exactly the 8 buckets.
+        for _ in 0..50 {
+            let (c, _) = sharded(8);
+            let c = Arc::new(c);
+            let mut handles = Vec::new();
+            for t in 0..8usize {
+                let c = Arc::clone(&c);
+                handles.push(std::thread::spawn(move || {
+                    c.get_timeout_from(t, Duration::from_secs(5)).is_some()
+                }));
+            }
+            c.insert_all((0..8).map(|d| mk_bucket_on(d, u64::from(d) * 100)));
+            assert!(handles.into_iter().all(|h| h.join().unwrap()));
+            assert!(c.is_empty());
+        }
+    }
+
+    #[test]
+    fn no_waiter_sleeps_while_cache_nonempty() {
+        // Regression for the insert_all wakeup storm: waiters homed on
+        // shards that receive *no* buckets must still wake and steal.
+        // Both waiters home on shard 3; the batch lands on shards 0..2.
+        let (c, _) = sharded(4);
+        let c = Arc::new(c);
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let got = c.get_timeout_from(3, Duration::from_secs(30));
+                (got.is_some(), t0.elapsed())
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        c.insert_all((0..3u32).map(|d| mk_bucket_on(d, u64::from(d) * 100)));
+        for h in handles {
+            let (got, waited) = h.join().unwrap();
+            assert!(got, "waiter must be woken cross-shard");
+            assert!(
+                waited < Duration::from_secs(5),
+                "waiter slept {waited:?} with a non-empty cache"
+            );
+        }
+        assert_eq!(c.len(), 1, "two of three buckets consumed");
+    }
+
+    #[test]
+    fn blocked_gets_are_counted() {
+        let (c, stats) = sharded(2);
+        assert!(c.get_timeout_from(0, Duration::from_millis(5)).is_none());
+        assert_eq!(stats.cache_blocked_gets.load(Ordering::Relaxed), 1);
+        c.insert(mk_bucket_on(0, 0));
+        assert!(c.try_get_from(0).is_some());
+        // Fast-path GETs never count as blocked.
+        assert_eq!(stats.cache_blocked_gets.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn len_is_consistent_across_shards() {
+        let (c, _) = sharded(3);
+        c.insert_all((0..9u32).map(|d| mk_bucket_on(d, u64::from(d) * 16)));
+        assert_eq!(c.len(), 9);
+        let mut n = 0;
+        while c.try_get_from(n).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 9);
+        assert!(c.is_empty());
     }
 }

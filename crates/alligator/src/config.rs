@@ -56,6 +56,11 @@ pub struct AllocConfig {
     /// full, the cleaner thread sends a message to the infrastructure to
     /// commit those frees to the metafiles").
     pub stage_capacity: usize,
+    /// Bucket-cache shard count. `0` (the default) sizes the cache at one
+    /// shard per data drive, so each refilled bucket of a round gets its
+    /// own queue; `1` forces the pre-sharding single-lock layout (the
+    /// `exp_cache_contention` baseline).
+    pub cache_shards: usize,
 }
 
 impl Default for AllocConfig {
@@ -67,6 +72,7 @@ impl Default for AllocConfig {
             infra_mode: InfraMode::Parallel,
             reinsert: ReinsertPolicy::Collective,
             stage_capacity: 256,
+            cache_shards: 0,
         }
     }
 }
@@ -84,6 +90,13 @@ impl AllocConfig {
     /// The serialized-infrastructure baseline of Figs 4/6/7.
     pub fn serial_infra(mut self) -> Self {
         self.infra_mode = InfraMode::Serial;
+        self
+    }
+
+    /// Force the single-lock (unsharded) bucket cache — the contention
+    /// baseline swept by `exp_cache_contention`.
+    pub fn single_lock_cache(mut self) -> Self {
+        self.cache_shards = 1;
         self
     }
 }

@@ -59,8 +59,8 @@ pub use allocator::Allocator;
 pub use bucket::Bucket;
 pub use cache::BucketCache;
 pub use config::{AllocConfig, InfraMode, ReinsertPolicy};
-pub use executor::{Executor, InlineExecutor, PoolExecutor};
+pub use executor::{Executor, InlineExecutor, InstrumentedExecutor, PoolExecutor};
 pub use infra::Infrastructure;
 pub use stage::Stage;
-pub use stats::AllocStats;
+pub use stats::{AllocStats, StatsSnapshot};
 pub use tetris::Tetris;

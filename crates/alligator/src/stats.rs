@@ -42,6 +42,19 @@ pub struct AllocStats {
     /// many drives offline). The stamps of a failed I/O never reached
     /// stable storage.
     pub io_errors: AtomicU64,
+    /// Cache pops satisfied by the getter's own (affinity) shard — the
+    /// uncontended fast path the sharded bucket cache is built around
+    /// (§IV-C's amortized synchronization, divided per drive).
+    pub cache_get_fast: AtomicU64,
+    /// Cache pops that missed the home shard and work-stole a bucket from
+    /// another shard.
+    pub cache_get_steal: AtomicU64,
+    /// Nanoseconds spent waiting for a contended shard mutex (fast-path
+    /// `try_lock` successes cost nothing and are not timed).
+    pub cache_lock_waits_ns: AtomicU64,
+    /// GETs that found every shard empty and parked on the shard condvar
+    /// (the §IV-D starvation case the refill pipeline is meant to avoid).
+    pub cache_blocked_gets: AtomicU64,
 }
 
 impl AllocStats {
@@ -63,6 +76,10 @@ impl AllocStats {
             aa_switches: self.aa_switches.load(Ordering::Relaxed),
             infra_msgs: self.infra_msgs.load(Ordering::Relaxed),
             io_errors: self.io_errors.load(Ordering::Relaxed),
+            cache_get_fast: self.cache_get_fast.load(Ordering::Relaxed),
+            cache_get_steal: self.cache_get_steal.load(Ordering::Relaxed),
+            cache_lock_waits_ns: self.cache_lock_waits_ns.load(Ordering::Relaxed),
+            cache_blocked_gets: self.cache_blocked_gets.load(Ordering::Relaxed),
         }
     }
 }
@@ -86,6 +103,10 @@ pub struct StatsSnapshot {
     pub aa_switches: u64,
     pub infra_msgs: u64,
     pub io_errors: u64,
+    pub cache_get_fast: u64,
+    pub cache_get_steal: u64,
+    pub cache_lock_waits_ns: u64,
+    pub cache_blocked_gets: u64,
 }
 
 impl StatsSnapshot {

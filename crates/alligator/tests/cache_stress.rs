@@ -1,0 +1,184 @@
+//! Sharded bucket-cache stress tests: N cleaner threads hammering M
+//! buckets across shards must never lose or duplicate a bucket — through
+//! the home-shard fast path, the work-steal path, and `get_timeout`
+//! expiry under scarcity.
+
+use alligator::{AllocConfig, AllocStats, BucketCache, Infrastructure};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+use wafl_blockdev::{DriveKind, GeometryBuilder, IoEngine};
+use wafl_metafile::AggregateMap;
+
+/// Build a sharded cache over `data_drives` drives and fill it with
+/// `rounds` collective refill rounds (one bucket per drive per round).
+/// Returns the cache, its stats, and the identity set of every bucket
+/// in circulation (start VBNs are unique per bucket).
+fn warm_cache(
+    data_drives: u32,
+    rounds: usize,
+) -> (Arc<BucketCache>, Arc<AllocStats>, HashSet<u64>) {
+    let geo = Arc::new(
+        GeometryBuilder::new()
+            .aa_stripes(64)
+            .raid_group(data_drives, 1, 65_536)
+            .build(),
+    );
+    let aggmap = Arc::new(AggregateMap::new(Arc::clone(&geo)));
+    let io = Arc::new(IoEngine::new(geo, DriveKind::Ssd));
+    let stats = Arc::new(AllocStats::default());
+    let cache = Arc::new(BucketCache::with_shards(
+        data_drives as usize,
+        Arc::clone(&stats),
+    ));
+    let infra = Infrastructure::new(AllocConfig::with_chunk(8), aggmap, io, Arc::clone(&stats));
+    for _ in 0..rounds {
+        assert_eq!(infra.refill_round(&cache), data_drives as usize);
+    }
+    // Drain once to learn every bucket's identity, then reinsert the
+    // whole population collectively (§IV-D).
+    let mut ids = HashSet::new();
+    let mut all = Vec::new();
+    while let Some(b) = cache.try_get() {
+        assert!(ids.insert(b.start_vbn().0), "refill produced a duplicate");
+        all.push(b);
+    }
+    assert_eq!(ids.len(), data_drives as usize * rounds);
+    cache.insert_all(all);
+    (cache, stats, ids)
+}
+
+#[test]
+fn stress_no_bucket_lost_or_duplicated() {
+    const THREADS: usize = 12;
+    const ITERS: usize = 600;
+    let (cache, stats, ids) = warm_cache(8, 3); // 24 buckets, 8 shards
+    let population = ids.len();
+
+    // Any bucket held by two threads at once trips this set.
+    let in_flight: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+    let successes = Arc::new(AtomicU64::new(0));
+    let timeouts = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|i| {
+            let cache = Arc::clone(&cache);
+            let in_flight = Arc::clone(&in_flight);
+            let successes = Arc::clone(&successes);
+            let timeouts = Arc::clone(&timeouts);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for iter in 0..ITERS {
+                    match cache.get_timeout_from(i, Duration::from_millis(20)) {
+                        Some(b) => {
+                            let id = b.start_vbn().0;
+                            assert!(
+                                in_flight.lock().unwrap().insert(id),
+                                "bucket {id} held by two threads at once"
+                            );
+                            if iter % 8 == i % 8 {
+                                // Hold across a reschedule so other
+                                // cleaners miss their home shard and
+                                // must steal.
+                                std::thread::yield_now();
+                            }
+                            assert!(in_flight.lock().unwrap().remove(&id));
+                            cache.insert(b);
+                            successes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            timeouts.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Conservation: every bucket is back in the cache, each exactly once.
+    assert_eq!(cache.len(), population);
+    let mut drained = HashSet::new();
+    while let Some(b) = cache.try_get() {
+        assert!(
+            drained.insert(b.start_vbn().0),
+            "bucket {} came back twice",
+            b.start_vbn().0
+        );
+    }
+    assert_eq!(drained, ids, "the surviving population changed");
+    assert!(cache.is_empty());
+
+    // Accounting: every successful GET hit exactly one of the fast or
+    // steal counters (the warm-up drain above also popped; include it).
+    let s = stats.snapshot();
+    let pops = successes.load(Ordering::Relaxed) + 2 * population as u64;
+    assert_eq!(s.cache_get_fast + s.cache_get_steal, pops);
+    assert!(
+        s.cache_get_steal > 0,
+        "12 threads over 8 shards never stole — steal path unexercised"
+    );
+    // 24 buckets among 12 threads: the cache never runs dry.
+    assert_eq!(timeouts.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn stress_get_timeout_expires_under_scarcity() {
+    const THREADS: usize = 6;
+    const ITERS: usize = 40;
+    let (cache, stats, ids) = warm_cache(2, 1); // 2 buckets, 6 threads
+
+    // An empty-adjacent cache still answers a bounded-time GET miss.
+    let successes = Arc::new(AtomicU64::new(0));
+    let timeouts = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|i| {
+            let cache = Arc::clone(&cache);
+            let successes = Arc::clone(&successes);
+            let timeouts = Arc::clone(&timeouts);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for _ in 0..ITERS {
+                    match cache.get_timeout_from(i, Duration::from_millis(1)) {
+                        Some(b) => {
+                            // Hold well past the other getters' timeout.
+                            std::thread::sleep(Duration::from_millis(3));
+                            cache.insert(b);
+                            successes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            timeouts.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert!(
+        timeouts.load(Ordering::Relaxed) > 0,
+        "6 threads over 2 long-held buckets must see expiries"
+    );
+    assert!(successes.load(Ordering::Relaxed) > 0);
+
+    // Expiries lose nothing: both buckets are back.
+    let mut drained = HashSet::new();
+    while let Some(b) = cache.try_get() {
+        drained.insert(b.start_vbn().0);
+    }
+    assert_eq!(drained, ids);
+    let s = stats.snapshot();
+    assert!(
+        s.cache_blocked_gets >= timeouts.load(Ordering::Relaxed),
+        "every expiry went through the blocked-GET path"
+    );
+}

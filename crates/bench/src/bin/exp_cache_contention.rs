@@ -1,0 +1,349 @@
+//! Perf-trajectory experiment — bucket-cache contention under cleaner
+//! scaling. The single-mutex cache serializes every GET (§IV-C's
+//! amortization argument cuts the *frequency* of synchronization, not
+//! its width); the sharded cache gives cleaner *i* an uncontended home
+//! shard. This bench sweeps cleaner threads 1→16 over both layouts in a
+//! GET-bound microbenchmark configuration and records GET throughput,
+//! home-shard hit rate, work-steals, and modeled lock-wait time.
+//!
+//! Outputs:
+//! - `BENCH_cache_contention.json` at the repo root (override the
+//!   directory with `WAFL_BENCH_ROOT`) — the machine-readable scaling
+//!   record the CI schema gate validates;
+//! - `results/exp_cache_contention.json` via the standard [`emit`] path.
+//!
+//! `--validate <path>` re-parses a previously written record and checks
+//! its schema and invariants (exit 1 on violation) so the trajectory
+//! file can't silently rot.
+
+use serde::{Deserialize, Serialize};
+use wafl_bench::{configure_duration, emit};
+use wafl_simsrv::{
+    CleanerSetting, CostModel, FigureTable, SimConfig, SimResult, Simulator, WorkloadKind,
+};
+
+/// Schema tag for `BENCH_cache_contention.json`.
+const SCHEMA: &str = "wafl.cache_contention.v1";
+
+/// Thread counts swept (the ISSUE's 1→16 range).
+const THREADS: [usize; 6] = [1, 2, 4, 8, 12, 16];
+
+/// Acceptance floor: sharded GET throughput vs single-lock at ≥ 8
+/// cleaner threads.
+const SPEEDUP_FLOOR: f64 = 1.5;
+
+/// One swept point of one cache layout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CurvePoint {
+    /// Cleaner threads at this point.
+    threads: u64,
+    /// Bucket GETs per second (home hits + steals over the window).
+    gets_per_sec: f64,
+    /// Client ops per second (context; the cache is the bottleneck).
+    ops_per_sec: f64,
+    /// Percentage of GETs served by the cleaner's home shard.
+    home_hit_pct: f64,
+    /// GETs that work-stole from another shard.
+    steals: u64,
+    /// Modeled time spent on contended shard locks, ms.
+    lock_wait_ms: f64,
+    /// GETs that found every shard empty.
+    blocked_gets: u64,
+}
+
+/// The full sweep for one cache layout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Curve {
+    /// Shard count of this layout (1 = the forced single-lock baseline).
+    shards: u64,
+    /// One point per entry of `threads`.
+    points: Vec<CurvePoint>,
+}
+
+/// The persisted record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ContentionDoc {
+    /// Schema tag (`wafl.cache_contention.v1`).
+    schema: String,
+    /// Producing binary.
+    bench: String,
+    /// True when run under `WAFL_BENCH_QUICK` (shorter windows; the
+    /// speedup floor is not enforced on quick records).
+    quick: bool,
+    /// Cleaner thread counts swept.
+    threads: Vec<u64>,
+    /// Per-drive sharded layout.
+    sharded: Curve,
+    /// Forced single-lock layout.
+    single_lock: Curve,
+    /// `sharded.gets_per_sec / single_lock.gets_per_sec` per point.
+    get_speedup: Vec<f64>,
+    /// Minimum speedup over the points with ≥ 8 threads.
+    min_speedup_at_8_plus_threads: f64,
+}
+
+/// GET-bound microbenchmark platform. The full-system configs keep the
+/// bucket cycle a small slice of cleaning (that is the point of §IV-C);
+/// to measure the *cache*, this config strips everything around it:
+/// tiny per-buffer work, small chunks (frequent GET/PUT), cheap client
+/// and infrastructure paths with wide core headroom, and a deep dirty
+/// backlog so cleaners never idle. The contention factor is raised to
+/// 0.12/sharer: in a GET-saturated loop there is no cleaning work to
+/// absorb the convoy, so each extra sharer costs proportionally more
+/// than under the full-path default of 0.06.
+fn microbench(threads: usize, single_lock: bool) -> SimConfig {
+    let mut cfg = SimConfig::paper_platform(WorkloadKind::sequential_write());
+    configure_duration(&mut cfg);
+    cfg.cores = 40;
+    cfg.clients = 128;
+    cfg.outstanding_per_client = 16;
+    cfg.cleaners = CleanerSetting::Fixed(threads);
+    cfg.chunk = 16;
+    cfg.drives = 16;
+    cfg.cache_shards = if single_lock { 1 } else { 0 };
+    cfg.stage_capacity = 4096;
+    cfg.dirty_limit = 100_000;
+    cfg.cp_trigger_blocks = 1_000;
+    cfg.bucket_low_watermark = 24;
+    cfg.total_buckets = 96;
+    cfg.costs = CostModel {
+        protocol_per_op: 500,
+        client_msg_fixed: 1_000,
+        client_msg_per_block: 100,
+        reply_latency: 10_000,
+        read_media_latency: 250_000,
+        cleaner_per_buffer: 200,
+        cleaner_bucket_sync: 16_000,
+        cleaner_contention_factor: 0.12,
+        cleaner_msg_overhead: 1_000,
+        cleaner_inode_overhead: 0,
+        infra_refill_fixed: 500,
+        infra_refill_per_vbn: 10,
+        infra_commit_fixed: 500,
+        infra_commit_per_vbn: 10,
+        infra_frees_fixed: 500,
+        infra_free_per_vbn: 10,
+        infra_per_mf_block: 100,
+    };
+    cfg
+}
+
+fn point(threads: usize, r: &SimResult) -> CurvePoint {
+    let pops = r.cache_get_fast + r.cache_get_steal;
+    let secs = r.measured_ns as f64 / 1e9;
+    CurvePoint {
+        threads: threads as u64,
+        gets_per_sec: pops as f64 / secs,
+        ops_per_sec: r.throughput_ops,
+        home_hit_pct: if pops > 0 {
+            100.0 * r.cache_get_fast as f64 / pops as f64
+        } else {
+            0.0
+        },
+        steals: r.cache_get_steal,
+        lock_wait_ms: r.cache_lock_waits_ns as f64 / 1e6,
+        blocked_gets: r.cache_blocked_gets,
+    }
+}
+
+/// Directory receiving `BENCH_cache_contention.json`: `WAFL_BENCH_ROOT`
+/// if set (the CI smoke run points it at a temp dir), else the repo
+/// root.
+fn bench_root() -> std::path::PathBuf {
+    match std::env::var_os("WAFL_BENCH_ROOT") {
+        Some(d) => d.into(),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    }
+}
+
+/// Schema/invariant check of a written record. Returns a description of
+/// the first violation.
+fn validate(doc: &ContentionDoc) -> Result<(), String> {
+    if doc.schema != SCHEMA {
+        return Err(format!("schema: expected {SCHEMA:?}, got {:?}", doc.schema));
+    }
+    if doc.threads.is_empty() {
+        return Err("threads: empty sweep".into());
+    }
+    if !doc.threads.windows(2).all(|w| w[0] < w[1]) {
+        return Err(format!(
+            "threads not strictly increasing: {:?}",
+            doc.threads
+        ));
+    }
+    if !doc.threads.iter().any(|&t| t >= 8) {
+        return Err("threads: no point at ≥ 8 (acceptance range uncovered)".into());
+    }
+    if doc.single_lock.shards != 1 {
+        return Err(format!("single_lock.shards = {}", doc.single_lock.shards));
+    }
+    if doc.sharded.shards < 2 {
+        return Err(format!("sharded.shards = {} (< 2)", doc.sharded.shards));
+    }
+    let n = doc.threads.len();
+    for (name, curve) in [("sharded", &doc.sharded), ("single_lock", &doc.single_lock)] {
+        if curve.points.len() != n {
+            return Err(format!(
+                "{name}: {} points, {n} threads",
+                curve.points.len()
+            ));
+        }
+        for (i, p) in curve.points.iter().enumerate() {
+            if p.threads != doc.threads[i] {
+                return Err(format!(
+                    "{name}[{i}]: threads {} ≠ {}",
+                    p.threads, doc.threads[i]
+                ));
+            }
+            if !p.gets_per_sec.is_finite() || p.gets_per_sec <= 0.0 {
+                return Err(format!("{name}[{i}]: gets_per_sec {}", p.gets_per_sec));
+            }
+        }
+    }
+    if doc.get_speedup.len() != n {
+        return Err(format!(
+            "get_speedup: {} entries, {n} threads",
+            doc.get_speedup.len()
+        ));
+    }
+    let mut min8 = f64::INFINITY;
+    for (i, &s) in doc.get_speedup.iter().enumerate() {
+        let expect = doc.sharded.points[i].gets_per_sec / doc.single_lock.points[i].gets_per_sec;
+        if !s.is_finite() || (s - expect).abs() > 1e-6 * expect.abs() {
+            return Err(format!(
+                "get_speedup[{i}] = {s} inconsistent with curves ({expect})"
+            ));
+        }
+        if doc.threads[i] >= 8 {
+            min8 = min8.min(s);
+        }
+    }
+    if (doc.min_speedup_at_8_plus_threads - min8).abs() > 1e-6 * min8.abs() {
+        return Err(format!(
+            "min_speedup_at_8_plus_threads = {} but curves give {min8}",
+            doc.min_speedup_at_8_plus_threads
+        ));
+    }
+    if !doc.quick && min8 < SPEEDUP_FLOOR {
+        return Err(format!(
+            "speedup floor: min {min8:.3}x at ≥ 8 threads < {SPEEDUP_FLOOR}x"
+        ));
+    }
+    Ok(())
+}
+
+fn run_validate(path: &str) -> ! {
+    let raw = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("exp_cache_contention: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc: ContentionDoc = match serde_json::from_str(&raw) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("exp_cache_contention: {path} does not parse as {SCHEMA}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(msg) = validate(&doc) {
+        eprintln!("exp_cache_contention: {path} invalid: {msg}");
+        std::process::exit(1);
+    }
+    println!(
+        "{path}: valid {SCHEMA} ({} points, min speedup at 8+ threads {:.2}x)",
+        doc.threads.len(),
+        doc.min_speedup_at_8_plus_threads
+    );
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--validate") {
+        match args.get(2) {
+            Some(path) => run_validate(path),
+            None => {
+                eprintln!("usage: exp_cache_contention [--validate <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let quick = std::env::var_os("WAFL_BENCH_QUICK").is_some();
+    let mut t = FigureTable::new(
+        "exp_cache_contention",
+        "bucket-cache GET throughput: per-drive shards vs single lock",
+    );
+    let mut sharded = Curve {
+        shards: microbench(1, false).drives as u64,
+        points: Vec::new(),
+    };
+    let mut single = Curve {
+        shards: 1,
+        points: Vec::new(),
+    };
+    let mut speedup = Vec::new();
+    let mut last: Option<(SimResult, SimResult)> = None;
+    for n in THREADS {
+        let rs = Simulator::new(microbench(n, false)).run();
+        let r1 = Simulator::new(microbench(n, true)).run();
+        let ps = point(n, &rs);
+        let p1 = point(n, &r1);
+        let s = ps.gets_per_sec / p1.gets_per_sec;
+        t.row_measured(
+            format!("GET/s sharded @{n} threads"),
+            ps.gets_per_sec,
+            "GET/s",
+        );
+        t.row_measured(
+            format!("GET/s single-lock @{n} threads"),
+            p1.gets_per_sec,
+            "GET/s",
+        );
+        t.row_measured(format!("GET speedup @{n} threads"), s, "x");
+        sharded.points.push(ps);
+        single.points.push(p1);
+        speedup.push(s);
+        last = Some((rs, r1));
+    }
+    // Contention-counter detail at the widest point.
+    if let Some((rs, r1)) = &last {
+        t.cache_rows("sharded @16", rs);
+        t.cache_rows("single-lock @16", r1);
+    }
+
+    let min8 = THREADS
+        .iter()
+        .zip(&speedup)
+        .filter(|(&n, _)| n >= 8)
+        .map(|(_, &s)| s)
+        .fold(f64::INFINITY, f64::min);
+    let doc = ContentionDoc {
+        schema: SCHEMA.to_string(),
+        bench: "exp_cache_contention".to_string(),
+        quick,
+        threads: THREADS.iter().map(|&n| n as u64).collect(),
+        sharded,
+        single_lock: single,
+        get_speedup: speedup,
+        min_speedup_at_8_plus_threads: min8,
+    };
+    if let Err(msg) = validate(&doc) {
+        eprintln!("exp_cache_contention: produced record fails validation: {msg}");
+        std::process::exit(1);
+    }
+
+    let root = bench_root();
+    let _ = std::fs::create_dir_all(&root);
+    let path = root.join("BENCH_cache_contention.json");
+    let json = serde_json::to_string_pretty(&doc).expect("doc serializes");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[saved {}]", path.display());
+    }
+    emit(&t);
+    println!("min GET speedup at ≥ 8 cleaner threads: {min8:.2}x (floor {SPEEDUP_FLOOR}x)");
+}

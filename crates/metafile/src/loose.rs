@@ -73,12 +73,13 @@ impl LooseCounter {
     /// Create a token that batches up to `threshold` magnitude before
     /// flushing. `threshold = 0` degenerates to strict (every update goes
     /// straight to the global — the pre-loose-accounting behaviour used as
-    /// the M4 baseline).
+    /// the M4 baseline). Negative thresholds batch by magnitude;
+    /// `i64::MIN` is fine (`unsigned_abs`, unlike `abs`, cannot overflow).
     pub fn token(self: &Arc<Self>, threshold: i64) -> LooseToken {
         LooseToken {
             counter: Arc::clone(self),
             staged: 0,
-            threshold: threshold.abs(),
+            threshold: threshold.unsigned_abs(),
         }
     }
 }
@@ -91,16 +92,24 @@ impl LooseCounter {
 pub struct LooseToken {
     counter: Arc<LooseCounter>,
     staged: i64,
-    threshold: i64,
+    threshold: u64,
 }
 
 impl LooseToken {
     /// Stage a delta; flushes automatically when the staged magnitude
-    /// reaches the threshold.
+    /// reaches the threshold. Staging never overflows: if the running sum
+    /// would wrap, the old stage is flushed first and `delta` starts a
+    /// fresh one, so no update is ever lost or distorted.
     #[inline]
     pub fn add(&mut self, delta: i64) {
-        self.staged += delta;
-        if self.staged.abs() >= self.threshold.max(1) || self.threshold == 0 {
+        let (sum, overflowed) = self.staged.overflowing_add(delta);
+        if overflowed {
+            self.flush();
+            self.staged = delta;
+        } else {
+            self.staged = sum;
+        }
+        if self.threshold == 0 || self.staged.unsigned_abs() >= self.threshold {
             self.flush();
         }
     }
@@ -207,6 +216,39 @@ mod tests {
         }
         // Per thread: 3334 negative, 6666 positive → +3332.
         assert_eq!(c.value_loose(), 8 * 3332);
+    }
+
+    #[test]
+    fn extreme_threshold_does_not_panic() {
+        // Regression: `threshold.abs()` panicked on i64::MIN. The token
+        // must treat it as its magnitude (2^63) and simply never flush
+        // early.
+        let c = LooseCounter::new(0);
+        let mut t = c.token(i64::MIN);
+        t.add(100);
+        assert_eq!(c.value_loose(), 0, "staged, threshold unreachable");
+        t.flush();
+        assert_eq!(c.value_loose(), 100);
+    }
+
+    #[test]
+    fn staged_sum_overflow_flushes_instead_of_wrapping() {
+        // Regression: `staged += delta` overflowed in debug builds. The
+        // running stage must flush and restart rather than wrap, losing
+        // nothing.
+        let c = LooseCounter::new(0);
+        let mut t = c.token(i64::MIN); // magnitude 2^63: never reached by
+                                       // any single staged sum below
+        t.add(i64::MAX);
+        assert_eq!(c.value_loose(), 0, "MAX stays staged");
+        t.add(1); // MAX + 1 would wrap: flush MAX first, then stage 1
+        assert_eq!(c.value_loose(), i64::MAX);
+        assert_eq!(t.staged(), 1);
+        t.add(-3); // staged -2
+        t.add(i64::MIN); // -2 + MIN would wrap: flush -2, stage MIN —
+                         // which hits the 2^63 threshold and flushes too
+        assert_eq!(c.value_loose(), -3, "MAX - 2 + MIN");
+        assert_eq!(t.staged(), 0);
     }
 
     #[test]

@@ -210,6 +210,11 @@ pub struct SimConfig {
     pub chunk: u64,
     /// Data drives contributing one bucket per refill round (§IV-D).
     pub drives: u32,
+    /// Bucket-cache shards. `0` = one shard per drive (the sharded
+    /// layout's natural topology); `1` = the single-lock cache every GET
+    /// funnels through. Pre-[`Era::WhiteAlligator`] eras always behave as
+    /// single-lock regardless of this setting.
+    pub cache_shards: u32,
     /// Free-stage capacity in VBNs (§IV-A).
     pub stage_capacity: u64,
     /// Dirty-buffer pool limit (admission throttle).
@@ -263,6 +268,7 @@ impl SimConfig {
             infra_ranges: 8,
             chunk: 64,
             drives: 12,
+            cache_shards: 0,
             stage_capacity: 256,
             dirty_limit: 1_024,
             cp_trigger_blocks: 256,

@@ -62,6 +62,16 @@ pub struct SimResult {
     pub injected_faults: u64,
     /// Retry round-trips paid by faulted ops.
     pub fault_retries: u64,
+    /// Bucket GETs satisfied by the cleaner's home cache shard.
+    pub cache_get_fast: u64,
+    /// Bucket GETs that work-stole from another shard.
+    pub cache_get_steal: u64,
+    /// Modeled time cleaners spent on contended shard locks (the extra
+    /// bucket-sync cost beyond the uncontended baseline).
+    pub cache_lock_waits_ns: u64,
+    /// Bucket GETs that found every shard empty (the §IV-D starvation
+    /// case; same events as `bucket_stalls`, named for the cache layer).
+    pub cache_blocked_gets: u64,
 }
 
 impl SimResult {
@@ -169,6 +179,13 @@ struct Engine<'c> {
 
     // Buckets / infra.
     bucket_cache: u64,
+    /// Per-shard split of `bucket_cache`. Refills land round-robin (one
+    /// bucket per drive spreads one per shard when shards track drives);
+    /// GETs pop the cleaner's home shard first and steal on a miss —
+    /// mirroring the real `BucketCache` topology under virtual time.
+    shard_buckets: Vec<u64>,
+    /// Round-robin cursor for refill inserts across shards.
+    shard_rr: usize,
     /// Buckets committed and awaiting a refill round (Figure 2's cycle).
     free_pool: u64,
     refill_outstanding: u32,
@@ -202,6 +219,9 @@ struct Engine<'c> {
     cleaner_messages: u64,
     free_mf_blocks: u64,
     tuner_changes: u64,
+    cache_get_fast: u64,
+    cache_get_steal: u64,
+    cache_lock_waits_ns: u64,
 
     // Fault injection. The ordinal is a dedicated counter hashed with the
     // seed, so the fault stream is deterministic and independent of the
@@ -239,6 +259,22 @@ impl<'c> Engine<'c> {
             (true, _) | (_, CleanerSetting::Fixed(_)) => None,
             (false, CleanerSetting::Dynamic(c)) => Some(DynamicTuner::new(c, initial_cleaners)),
         };
+        // Pre-sharding eras always funnel GETs through one lock; under
+        // White Alligator the shard count follows the config (0 = one
+        // shard per drive, the natural topology).
+        let nshards = if single_cleaner_era {
+            1
+        } else {
+            match cfg.cache_shards {
+                0 => cfg.drives.max(1) as usize,
+                n => n as usize,
+            }
+        };
+        let initial_cache = (2 * cfg.drives as u64).min(cfg.total_buckets);
+        let mut shard_buckets = vec![0u64; nshards];
+        for i in 0..initial_cache {
+            shard_buckets[i as usize % nshards] += 1;
+        }
         Self {
             cfg,
             now: 0,
@@ -256,7 +292,9 @@ impl<'c> Engine<'c> {
             committed_blocks: 0,
             pending_inodes: 0.0,
             admission_q: VecDeque::new(),
-            bucket_cache: (2 * cfg.drives as u64).min(cfg.total_buckets),
+            bucket_cache: initial_cache,
+            shard_buckets,
+            shard_rr: 0,
             free_pool: cfg.total_buckets.saturating_sub(2 * cfg.drives as u64),
             refill_outstanding: 0,
             range_rr: 0,
@@ -280,6 +318,9 @@ impl<'c> Engine<'c> {
             cleaner_messages: 0,
             free_mf_blocks: 0,
             tuner_changes: 0,
+            cache_get_fast: 0,
+            cache_get_steal: 0,
+            cache_lock_waits_ns: 0,
             fault_ordinal: 0,
             injected_faults: 0,
             fault_retries: 0,
@@ -437,7 +478,7 @@ impl<'c> Engine<'c> {
                 self.charge_infra(kind);
                 match kind {
                     InfraKind::Refill { take } => {
-                        self.bucket_cache += take;
+                        self.cache_insert(take);
                         self.refill_outstanding -= 1;
                         self.refills += 1;
                         self.wake_waiting_cleaners();
@@ -557,7 +598,7 @@ impl<'c> Engine<'c> {
                     self.maybe_refill();
                     continue;
                 }
-                self.bucket_cache -= 1;
+                self.cache_pop(i);
                 self.bucket_rem[i] = self.cfg.chunk;
             }
             self.start_quantum(i);
@@ -641,6 +682,52 @@ impl<'c> Engine<'c> {
         );
     }
 
+    /// Insert `n` refilled buckets round-robin across shards — one bucket
+    /// per drive lands one per shard when shards track drives (§IV-D's
+    /// collective refill keeps the shards balanced).
+    fn cache_insert(&mut self, n: u64) {
+        self.bucket_cache += n;
+        for _ in 0..n {
+            self.shard_rr = (self.shard_rr + 1) % self.shard_buckets.len();
+            self.shard_buckets[self.shard_rr] += 1;
+        }
+    }
+
+    /// Pop one bucket for cleaner `i` under the same equal-progress rule
+    /// as the real `BucketCache`: take the home shard `i % nshards` only
+    /// when no other shard is fuller (fast path), else steal from the
+    /// fullest shard, nearest-after-home on ties. The caller guarantees
+    /// `bucket_cache > 0`.
+    fn cache_pop(&mut self, i: usize) {
+        debug_assert!(self.bucket_cache > 0);
+        self.bucket_cache -= 1;
+        let n = self.shard_buckets.len();
+        let home = i % n;
+        let mut target = home;
+        let mut best = self.shard_buckets[home];
+        for d in 1..n {
+            let s = (home + d) % n;
+            if self.shard_buckets[s] > best {
+                best = self.shard_buckets[s];
+                target = s;
+            }
+        }
+        debug_assert!(best > 0, "bucket_cache > 0 but every shard empty");
+        self.shard_buckets[target] -= 1;
+        if target == home {
+            self.cache_get_fast += 1;
+        } else {
+            self.cache_get_steal += 1;
+        }
+    }
+
+    /// Cleaners that can contend on one shard lock: with the cache split
+    /// over `nshards` queues and affinity spreading cleaners across them,
+    /// at most ⌈active/nshards⌉ cleaners share a shard.
+    fn shard_sharers(&self) -> u64 {
+        (self.active_limit as u64).div_ceil(self.shard_buckets.len() as u64)
+    }
+
     fn overwrite_fraction(&self) -> f64 {
         match self.cfg.workload {
             crate::workload::WorkloadKind::NfsMix { .. } => 0.5,
@@ -722,11 +809,8 @@ impl<'c> Engine<'c> {
             Task::CleanerQuantum {
                 bufs, inodes, msgs, ..
             } => {
-                let contention = 1.0
-                    + c.cleaner_contention_factor * (self.active_limit.saturating_sub(1)) as f64;
-                let sync = (c.cleaner_bucket_sync as f64 * contention) as u64;
                 bufs * c.cleaner_per_buffer
-                    + sync
+                    + self.bucket_sync_cost()
                     + msgs * c.cleaner_msg_overhead
                     + inodes * c.cleaner_inode_overhead
             }
@@ -756,6 +840,18 @@ impl<'c> Engine<'c> {
         }
     }
 
+    /// GET + PUT synchronization per bucket cycle. Contention scales with
+    /// the cleaners *per shard lock*, not the total: sharding divides the
+    /// sharers, so 4 cleaners over 12 shards pay the uncontended cost
+    /// while the single-lock layout pays for all 4 (§V-B's "more threads
+    /// come with additional lock contention").
+    fn bucket_sync_cost(&self) -> u64 {
+        let c = &self.cfg.costs;
+        let contention =
+            1.0 + c.cleaner_contention_factor * self.shard_sharers().saturating_sub(1) as f64;
+        (c.cleaner_bucket_sync as f64 * contention) as u64
+    }
+
     fn charge_cleaner(&mut self, bufs: u64, inodes: u64, msgs: u64) {
         let cost = self.cost_of(&Task::CleanerQuantum {
             cleaner: 0,
@@ -767,6 +863,9 @@ impl<'c> Engine<'c> {
         self.cleaner_busy_tick += cost;
         if self.measuring() {
             self.usage.cleaner_ns += cost;
+            // The contention surcharge *is* the modeled shard-lock wait.
+            self.cache_lock_waits_ns +=
+                self.bucket_sync_cost() - self.cfg.costs.cleaner_bucket_sync;
         }
     }
 
@@ -865,6 +964,10 @@ impl<'c> Engine<'c> {
             tuner_changes: self.tuner_changes,
             injected_faults: self.injected_faults,
             fault_retries: self.fault_retries,
+            cache_get_fast: self.cache_get_fast,
+            cache_get_steal: self.cache_get_steal,
+            cache_lock_waits_ns: self.cache_lock_waits_ns,
+            cache_blocked_gets: self.bucket_stalls,
         }
     }
 }
@@ -1074,6 +1177,38 @@ mod tests {
             (0.95..1.05).contains(&ratio),
             "cleaner count is irrelevant before 2008: ratio {ratio:.3}"
         );
+    }
+
+    #[test]
+    fn sharded_cache_eliminates_modeled_lock_waits() {
+        // 8 cleaners over 12 per-drive shards: ⌈8/12⌉ = 1 sharer per
+        // lock → uncontended sync, affinity GETs dominate. Forcing one
+        // shard makes all 8 share a lock → contention surcharge.
+        let mut sharded = base(WorkloadKind::sequential_write());
+        sharded.cleaners = CleanerSetting::Fixed(8);
+        let mut single = sharded.clone();
+        single.cache_shards = 1;
+        let rs = Simulator::new(sharded).run();
+        let r1 = Simulator::new(single).run();
+        assert!(rs.cache_get_fast > 0, "home-shard pops happen");
+        assert_eq!(rs.cache_lock_waits_ns, 0, "one sharer per shard");
+        assert!(r1.cache_lock_waits_ns > 0, "single lock contends");
+        assert_eq!(
+            r1.cache_get_steal, 0,
+            "one shard has no steal path; every pop is 'home'"
+        );
+        assert!(rs.throughput_ops >= r1.throughput_ops);
+        assert_eq!(rs.cache_blocked_gets, rs.bucket_stalls);
+    }
+
+    #[test]
+    fn pre_white_alligator_eras_force_single_shard() {
+        let mut cfg = base(WorkloadKind::sequential_write());
+        cfg.era = Era::ClassicalCleanerThread;
+        cfg.cache_shards = 0; // would be 12 under White Alligator
+        let r = Simulator::new(cfg).run();
+        assert_eq!(r.cache_get_steal, 0, "single shard cannot steal");
+        assert!(r.cache_get_fast > 0);
     }
 
     #[test]

@@ -8,6 +8,10 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Default, Clone)]
 pub struct LatencyRecorder {
     samples: Vec<u64>,
+    /// Samples `[..sorted]` are already in order — `stats()` sorts once
+    /// and repeated calls (or calls after a few appended records) skip or
+    /// shrink the re-sort.
+    sorted: usize,
 }
 
 impl LatencyRecorder {
@@ -27,17 +31,44 @@ impl LatencyRecorder {
         self.samples.len()
     }
 
-    /// Summarize (sorts internally).
+    /// Summarize. Sorts at most the samples recorded since the last call
+    /// (already-sorted data is merged, not re-sorted).
     pub fn stats(&mut self) -> LatencyStats {
         if self.samples.is_empty() {
             return LatencyStats::default();
         }
-        self.samples.sort_unstable();
+        if self.sorted < self.samples.len() {
+            if self.sorted == 0 {
+                self.samples.sort_unstable();
+            } else {
+                // Sort only the new tail, then merge in place.
+                self.samples[self.sorted..].sort_unstable();
+                let tail = self.samples.split_off(self.sorted);
+                let mut merged = Vec::with_capacity(self.samples.len() + tail.len());
+                let (mut a, mut b) = (self.samples.iter().peekable(), tail.iter().peekable());
+                while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
+                    if x <= y {
+                        merged.push(x);
+                        a.next();
+                    } else {
+                        merged.push(y);
+                        b.next();
+                    }
+                }
+                merged.extend(a.copied());
+                merged.extend(b.copied());
+                self.samples = merged;
+            }
+            self.sorted = self.samples.len();
+        }
         let n = self.samples.len();
         let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        // Nearest-rank: the p-th percentile is the ceil(p·n)-th smallest
+        // sample (1-based), so p99 of 100 samples is the 99th value and
+        // p100 is the max — the floor((n-1)·p) variant returned the 98th.
         let pct = |p: f64| -> u64 {
-            let idx = ((n as f64 - 1.0) * p).floor() as usize;
-            self.samples[idx.min(n - 1)]
+            let rank = (p * n as f64).ceil() as usize;
+            self.samples[rank.clamp(1, n) - 1]
         };
         LatencyStats {
             count: n as u64,
@@ -151,6 +182,56 @@ mod tests {
         assert_eq!(s.p95_ns, 95_000);
         assert_eq!(s.max_ns, 100_000);
         assert_eq!(s.mean_ns, 50_500);
+    }
+
+    #[test]
+    fn p99_of_100_samples_is_the_99th_value() {
+        // Regression: floor nearest-rank returned the 98th.
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100u64 {
+            r.record(i * 1000);
+        }
+        assert_eq!(r.stats().p99_ns, 99_000);
+    }
+
+    #[test]
+    fn small_sample_percentiles_round_up() {
+        // Nearest-rank on n=10: p99 → ceil(9.9) = 10th value = max;
+        // p50 → ceil(5.0) = 5th value.
+        let mut r = LatencyRecorder::new();
+        for i in 1..=10u64 {
+            r.record(i);
+        }
+        let s = r.stats();
+        assert_eq!(s.p50_ns, 5);
+        assert_eq!(s.p99_ns, 10);
+        assert_eq!(s.p99_ns, s.max_ns);
+        // Single sample: every percentile is that sample.
+        let mut one = LatencyRecorder::new();
+        one.record(42);
+        let s = one.stats();
+        assert_eq!((s.p50_ns, s.p99_ns, s.max_ns), (42, 42, 42));
+    }
+
+    #[test]
+    fn repeated_stats_calls_are_stable_and_merge_new_samples() {
+        let mut r = LatencyRecorder::new();
+        // Record descending so the initial sort matters.
+        for i in (1..=50u64).rev() {
+            r.record(i * 1000);
+        }
+        let first = r.stats();
+        assert_eq!(r.stats(), first, "second call re-summarizes identically");
+        // Append out-of-order samples after a stats() call; the merge path
+        // must produce the same result as a fresh full sort.
+        for i in (51..=100u64).rev() {
+            r.record(i * 1000);
+        }
+        let merged = r.stats();
+        assert_eq!(merged.count, 100);
+        assert_eq!(merged.p50_ns, 50_000);
+        assert_eq!(merged.p99_ns, 99_000);
+        assert_eq!(merged.max_ns, 100_000);
     }
 
     #[test]

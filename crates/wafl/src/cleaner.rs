@@ -159,10 +159,16 @@ pub fn partition_work(
 /// overwritten blocks. `bucket` carries the cleaner's current bucket
 /// across jobs within one message.
 ///
+/// `cleaner` is the calling cleaner's index: GETs go to bucket-cache
+/// shard `cleaner % nshards` first, so concurrent cleaners take disjoint
+/// shard locks on the common path and only steal across shards when their
+/// home shard runs dry.
+///
 /// Returns `None` if the aggregate ran out of space mid-job (callers
 /// treat this as a fatal CP error).
 pub fn clean_job(
     alloc: &Allocator,
+    cleaner: usize,
     bucket: &mut Option<Bucket>,
     stage: &mut alligator::Stage,
     job: &CleanJob,
@@ -194,7 +200,7 @@ pub fn clean_job(
             if let Some(old) = bucket.take() {
                 alloc.put_bucket(old);
             }
-            *bucket = Some(alloc.get_bucket()?);
+            *bucket = Some(alloc.get_bucket_from(cleaner)?);
         };
         // Overwrite: free the previous locations.
         if let Some(old) = buf.old_pvbn {
@@ -399,6 +405,7 @@ fn worker(index: usize, shared: &PoolShared) {
                 for job in &item.jobs {
                     match clean_job(
                         &shared.alloc,
+                        index,
                         &mut bucket,
                         &mut stage,
                         job,
@@ -558,7 +565,7 @@ mod tests {
             file: FileId(1),
             buffers: dirty(8),
         };
-        let r = clean_job(&alloc, &mut bucket, &mut stage, &job, 16).unwrap();
+        let r = clean_job(&alloc, 0, &mut bucket, &mut stage, &job, 16).unwrap();
         assert_eq!(r.cleaned.len(), 8);
         for w in r.cleaned.windows(2) {
             assert_eq!(
@@ -578,7 +585,7 @@ mod tests {
             file: FileId(1),
             buffers: over,
         };
-        let r2 = clean_job(&alloc, &mut bucket, &mut stage, &job2, 16).unwrap();
+        let r2 = clean_job(&alloc, 0, &mut bucket, &mut stage, &job2, 16).unwrap();
         assert_eq!(r2.cleaned.len(), 8);
         assert_eq!(stage.len(), 8, "8 old PVBNs staged for freeing");
         if let Some(b) = bucket.take() {

@@ -968,7 +968,11 @@ mod tests {
                 .raid_group(3, 1, 2048)
                 .build(),
             DriveKind::Ssd,
-            FaultSpec::drive_failure(1, 8),
+            // The equal-progress bucket cache batches each drive's CP
+            // writes into a handful of long runs (one fault-plan op
+            // each), so trip the failure on the drive's third op to land
+            // mid-CP.
+            FaultSpec::drive_failure(1, 2),
             RetryPolicy::default(),
             ExecMode::Inline,
         );

@@ -19,4 +19,17 @@ cargo clippy --all-targets -- -D warnings
 echo "=== cargo fmt --check ==="
 cargo fmt --check
 
+echo "=== exp_cache_contention smoke (tiny config) + schema validation ==="
+# Quick sweep into a scratch dir so CI numbers never clobber the
+# committed trajectory record, then validate both the fresh record and
+# the committed one against the wafl.cache_contention.v1 schema.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+WAFL_BENCH_QUICK=1 WAFL_BENCH_ROOT="$SMOKE_DIR" WAFL_RESULTS_DIR="$SMOKE_DIR" \
+  cargo run --release -q -p wafl-bench --bin exp_cache_contention
+cargo run --release -q -p wafl-bench --bin exp_cache_contention -- \
+  --validate "$SMOKE_DIR/BENCH_cache_contention.json"
+cargo run --release -q -p wafl-bench --bin exp_cache_contention -- \
+  --validate BENCH_cache_contention.json
+
 echo "CI green."
