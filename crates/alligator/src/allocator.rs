@@ -24,7 +24,7 @@ use crate::executor::Executor;
 use crate::infra::Infrastructure;
 use crate::stage::Stage;
 use crate::stats::{AllocStats, StatsSnapshot};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use waffinity::{Affinity, Topology};
@@ -67,6 +67,10 @@ pub struct Allocator {
     aggr: u32,
     /// Deduplicates concurrent async refill requests.
     refill_inflight: Arc<AtomicBool>,
+    /// Rotates the affinity shard handed to identity-less GETs
+    /// ([`Allocator::get_bucket`]) so they spread over shards instead of
+    /// all contending on shard 0.
+    anon_rr: AtomicUsize,
     stats: Arc<AllocStats>,
 }
 
@@ -91,7 +95,11 @@ impl Allocator {
             0 => aggmap.geometry().total_data_drives() as usize,
             n => n,
         };
-        let cache = Arc::new(BucketCache::with_shards(nshards, Arc::clone(&stats)));
+        let cache = if cfg.cache_lockfree {
+            Arc::new(BucketCache::with_shards(nshards, Arc::clone(&stats)))
+        } else {
+            Arc::new(BucketCache::with_shards_mutex(nshards, Arc::clone(&stats)))
+        };
         let infra = Infrastructure::new(cfg, aggmap, io, Arc::clone(&stats));
         Arc::new(Self {
             cfg,
@@ -101,6 +109,7 @@ impl Allocator {
             topo,
             aggr,
             refill_inflight: Arc::new(AtomicBool::new(false)),
+            anon_rr: AtomicUsize::new(0),
             stats,
         })
     }
@@ -170,11 +179,12 @@ impl Allocator {
     /// (low-watermark prefetch). Returns `None` when the aggregate is out
     /// of space.
     ///
-    /// Equivalent to [`get_bucket_from(0)`](Self::get_bucket_from); paths
-    /// without a stable cleaner identity (CP-end allocation, tests) use
-    /// this and simply contend on shard 0 first.
+    /// Paths without a stable cleaner identity (CP-end allocation, tests)
+    /// use this; the affinity shard rotates with a relaxed counter so
+    /// anonymous GETs spread over all shards instead of convoying on
+    /// shard 0.
     pub fn get_bucket(&self) -> Option<Bucket> {
-        self.get_bucket_from(0)
+        self.get_bucket_from(self.anon_rr.fetch_add(1, Ordering::Relaxed))
     }
 
     /// **GET** with shard affinity: cleaner `cleaner` pops from shard
@@ -183,14 +193,30 @@ impl Allocator {
     /// locks on the common path (§IV-C's synchronization amortization,
     /// divided per drive).
     pub fn get_bucket_from(&self, cleaner: usize) -> Option<Bucket> {
+        self.get_bucket_many(cleaner, 1)
+            .map(|mut batch| batch.pop().expect("non-empty batch"))
+    }
+
+    /// Batched **GET**: acquire up to `max` buckets with a single cache
+    /// synchronization event (one CAS pop of the home shard's chain, or
+    /// one lock acquisition in the mutex layout) — §IV-C's amortization
+    /// applied to GET itself. Returns at least one bucket, or `None`
+    /// when the aggregate is out of space; a deep cleaner queue holds
+    /// the extras and returns unused ones via
+    /// [`requeue_bucket`](Self::requeue_bucket).
+    pub fn get_bucket_many(&self, cleaner: usize, max: usize) -> Option<Vec<Bucket>> {
+        let max = max.max(1);
         let mut stalled = false;
         loop {
-            if let Some(b) = self.cache.try_get_from(cleaner) {
-                self.stats.gets.fetch_add(1, Ordering::Relaxed);
+            let batch = self.cache.get_many_from(cleaner, max);
+            if !batch.is_empty() {
+                self.stats
+                    .gets
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
                 if self.cache.len() < self.cfg.low_watermark {
                     self.request_refill();
                 }
-                return Some(b);
+                return Some(batch);
             }
             if !stalled {
                 self.stats.get_stalls.fetch_add(1, Ordering::Relaxed);
@@ -204,7 +230,7 @@ impl Allocator {
                 .get_timeout_from(cleaner, Duration::from_millis(2))
             {
                 self.stats.gets.fetch_add(1, Ordering::Relaxed);
-                return Some(b);
+                return Some(vec![b]);
             }
             if self.infra.is_exhausted()
                 && !self.refill_inflight.load(Ordering::Acquire)
@@ -213,6 +239,18 @@ impl Allocator {
                 return None;
             }
         }
+    }
+
+    /// Return a bucket acquired by GET but never used: it re-enters the
+    /// cache untouched (reservations intact), with no commit and no
+    /// PUT accounting. This is how a cleaner hands back the unconsumed
+    /// tail of a [`get_bucket_many`](Self::get_bucket_many) batch.
+    pub fn requeue_bucket(&self, bucket: Bucket) {
+        debug_assert!(
+            bucket.consumed().is_empty(),
+            "requeue is only for untouched buckets; PUT partially used ones"
+        );
+        self.cache.insert(bucket);
     }
 
     /// **PUT** (step 5 of Figure 2): return a bucket. The bucket's
@@ -230,10 +268,17 @@ impl Allocator {
         let drive = bucket.drive_in_rg();
         let fin = bucket.finish();
         let infra = Arc::clone(&self.infra);
+        let stats = Arc::clone(&self.stats);
+        stats.commit_enqueued();
         match self.cfg.reinsert {
             crate::config::ReinsertPolicy::Collective => {
-                self.executor
-                    .submit(affinity, Box::new(move || infra.commit_bucket(fin)));
+                self.executor.submit(
+                    affinity,
+                    Box::new(move || {
+                        infra.commit_bucket(fin);
+                        stats.commit_dequeued();
+                    }),
+                );
             }
             crate::config::ReinsertPolicy::Immediate => {
                 // The ablation path: commit, then refill this drive's
@@ -243,6 +288,7 @@ impl Allocator {
                     affinity,
                     Box::new(move || {
                         infra.commit_bucket(fin);
+                        stats.commit_dequeued();
                         infra.refill_drive(rg, drive, &cache);
                     }),
                 );
@@ -265,8 +311,15 @@ impl Allocator {
         let affinity = self.infra_affinity(mf_block);
         let fin = bucket.finish();
         let infra = Arc::clone(&self.infra);
-        self.executor
-            .submit(affinity, Box::new(move || infra.commit_bucket(fin)));
+        let stats = Arc::clone(&self.stats);
+        stats.commit_enqueued();
+        self.executor.submit(
+            affinity,
+            Box::new(move || {
+                infra.commit_bucket(fin);
+                stats.commit_dequeued();
+            }),
+        );
     }
 
     /// Drain the bucket cache, retiring every bucket (completing all

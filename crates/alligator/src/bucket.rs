@@ -46,12 +46,15 @@ pub struct Bucket {
 
 impl Bucket {
     /// Construct a filled bucket. `drive_vbn_base` is the first VBN of the
-    /// owning drive (used to derive DBNs for the tetris).
+    /// owning drive (used to derive DBNs for the tetris). Buckets are
+    /// normally built by the refill infrastructure; this is public so
+    /// out-of-crate harnesses (the cache stress test, the wall-clock
+    /// contention bench) can exercise the cache with real buckets.
     ///
     /// # Panics
     /// Panics if `vbns` is empty or not ascending.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn new(
+    pub fn new(
         rg: RaidGroupId,
         drive_in_rg: u32,
         drive: DriveId,

@@ -1,4 +1,4 @@
-//! The bucket cache: the lock-protected list of available buckets.
+//! The bucket cache: the shared pool of available buckets.
 //!
 //! "These buckets are then enqueued … to a lock-protected list of
 //! available buckets called the bucket cache that is filled by the
@@ -7,57 +7,111 @@
 //! cache and keeps this list non-empty to ensure that the GET operation
 //! does not block" (§IV-D).
 //!
-//! GET is a single lock acquisition per *bucket* (i.e., per `chunk`
-//! VBNs), which is the synchronization amortization of §IV-C. This
-//! implementation goes one step further and **shards** the cache — one
-//! mutex+condvar FIFO per drive (keyed off [`Bucket::drive`]) — so that
-//! concurrent cleaners with distinct shard affinities do not even share
-//! that one lock:
+//! GET is a single synchronization event per *bucket* (i.e., per
+//! `chunk` VBNs) — the amortization of §IV-C. The cache is **sharded**
+//! per drive (keyed off [`Bucket::drive`]) and supports two shard
+//! layouts:
+//!
+//! * **Lock-free** (the default, [`BucketCache::with_shards`]): each
+//!   shard's hot path is a [`TreiberStack`] — `try_get_from` is a
+//!   single CAS pop with *no mutex* on the common path, following the
+//!   non-blocking allocator designs of Marotta et al. and
+//!   Blelloch & Wei. The shard mutex+condvar survives only for
+//!   [`BucketCache::get_timeout_from`] waiters, and one `publish`
+//!   mutex serializes collective refill publishes.
+//! * **Mutex** ([`BucketCache::with_shards_mutex`]): the previous
+//!   mutex+condvar FIFO per shard, kept as the measurable baseline for
+//!   `exp_cache_contention`.
+//!
+//! Shared behavior in both layouts:
 //!
 //! * cleaner *i* GETs from shard `i % nshards` first (its *affinity
-//!   shard*) and work-steals from the other shards on a miss — under the
-//!   *equal-progress pop rule*: home is taken only while no other shard
-//!   is fuller, so consumption stays balanced across drives (DESIGN.md
-//!   invariant 7) for any cleaner count;
+//!   shard*) and work-steals on a miss, keeping per-drive consumption
+//!   balanced (DESIGN.md invariant 7);
 //! * a global [`AtomicUsize`] length keeps `len`/`is_empty` (the
 //!   starvation and low-watermark checks) lock-free;
-//! * [`BucketCache::insert_all`] holds every destination shard lock
-//!   simultaneously while appending, so a refill batch becomes visible
-//!   *collectively* — no getter can observe half a batch — preserving the
-//!   §IV-D equal-progress invariant across shards;
-//! * contention is observable: fast-path vs stolen pops, time spent on
-//!   contended shard mutexes, and blocked (parked) GETs all count into
+//! * [`BucketCache::insert_all`] publishes a refill batch
+//!   *collectively* — no getter can observe half a batch (§IV-D);
+//! * contention is observable: fast-path vs stolen vs batched pops,
+//!   lock/gate wait time, and blocked GETs all count into
 //!   [`AllocStats`].
 //!
-//! Construct with [`BucketCache::with_shards`]; [`BucketCache::new`]
-//! builds the single-shard (pre-sharding) layout, which doubles as the
-//! forced-single-lock baseline for the `exp_cache_contention` bench.
+//! ### The lock-free equal-progress rule: an O(1) hint
+//!
+//! The mutex layout enforced equal progress by scanning every shard's
+//! fill on every GET — O(nshards) on the hot path. The lock-free
+//! layout replaces the scan with an **epoch-sampled fullest-shard
+//! hint**: a single `AtomicUsize` refreshed by each collective refill
+//! publish (one O(nshards) scan per *round*, not per GET), nudged by
+//! single inserts, and re-sampled after every steal. A GET compares
+//! only `fill[home]` against `fill[hint]` — O(1) — and steals from the
+//! hinted shard iff it is strictly fuller. The hint may be stale
+//! between refresh points, so equal progress is approximate at
+//! sub-round granularity; it re-converges at every refill round, which
+//! is exactly the granularity §IV-D's collective reinsertion cares
+//! about.
+//!
+//! ### Collective visibility without shard locks
+//!
+//! A CAS popper takes no locks, so `insert_all` cannot exclude it by
+//! holding them. Instead the cache uses a seqlock-style **gate**: the
+//! publisher flips a generation counter odd, pushes each shard's batch
+//! with a single `push_many` CAS, and flips it even. Poppers read the
+//! gate before and after their pop; a change means a publish
+//! overlapped, so they *undo* (push the bucket back) and retry. An
+//! unchanged even gate proves the pop did not run inside a publish
+//! window — the §IV-D guarantee with two unfenced loads on the fast
+//! path instead of a mutex.
+//!
+//! [`BucketCache::get_many_from`] pops up to `k` buckets from the home
+//! shard in **one** CAS (`pop_many`) or one lock acquisition,
+//! amortizing GET synchronization per *batch* the way §IV-C amortizes
+//! it per chunk.
+//!
+//! [`BucketCache::new`] builds the single-shard mutex layout — the
+//! pre-sharding baseline for tests and the `exp_cache_contention`
+//! single-lock curve.
 
 use crate::bucket::Bucket;
 use crate::stats::AllocStats;
+use crate::treiber::TreiberStack;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// One shard: a lock-protected FIFO plus the condvar blocked getters
-/// park on and a count of those parked getters.
+/// One shard. In the lock-free layout buckets live in `stack` and the
+/// mutex exists only as the condvar parking lock; in the mutex layout
+/// buckets live in `q` (FIFO) and `stack` stays empty.
 #[derive(Debug, Default)]
 struct Shard {
+    stack: TreiberStack<Bucket>,
     q: Mutex<VecDeque<Bucket>>,
     available: Condvar,
     waiters: AtomicUsize,
-    /// Queue length, readable without the lock (maintained while holding
-    /// it). Drives the equal-progress pop rule in
-    /// [`BucketCache::try_get_from`].
+    /// Shard population, readable without synchronization. Drives the
+    /// equal-progress rule (scan in the mutex layout, hint in the
+    /// lock-free one). Maintained pessimistically in the lock-free
+    /// layout: incremented *before* a push, decremented *after* a
+    /// successful pop, so it never underflows.
     fill: AtomicUsize,
 }
 
-/// Sharded, lock-protected FIFO of available buckets.
+/// Sharded pool of available buckets (lock-free or mutex layout).
 #[derive(Debug)]
 pub struct BucketCache {
     shards: Box<[Shard]>,
+    /// Lock-free Treiber layout? (false = mutex+VecDeque baseline)
+    lock_free: bool,
+    /// Seqlock generation for collective publishes: odd while an
+    /// `insert_all` batch is being pushed (lock-free layout only).
+    gate: AtomicU64,
+    /// Serializes collective publishers (the §IV-D barrier's surviving
+    /// mutex — never touched by GET).
+    publish: Mutex<()>,
+    /// Epoch-sampled fullest-shard hint (lock-free layout only).
+    hint: AtomicUsize,
     /// Total buckets across all shards (lock-free `len`/`is_empty`).
     len: AtomicUsize,
     /// Getters currently parked anywhere (gate for cross-shard wakeups).
@@ -67,30 +121,50 @@ pub struct BucketCache {
 
 impl Default for BucketCache {
     fn default() -> Self {
-        Self::with_shards(1, Arc::new(AllocStats::default()))
+        Self::new()
     }
 }
 
 impl BucketCache {
-    /// Single-shard cache with private stats — the pre-sharding layout
-    /// (every GET funnels through one mutex). Kept for tests and as the
-    /// contention baseline.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Cache with `nshards` shards (clamped to ≥ 1) recording contention
-    /// counters into `stats`. Buckets map to shards by drive id, so one
-    /// shard per data drive gives every refilled bucket of a round its
-    /// own queue.
-    pub fn with_shards(nshards: usize, stats: Arc<AllocStats>) -> Self {
+    fn with_layout(nshards: usize, lock_free: bool, stats: Arc<AllocStats>) -> Self {
         let n = nshards.max(1);
         Self {
             shards: (0..n).map(|_| Shard::default()).collect(),
+            lock_free,
+            gate: AtomicU64::new(0),
+            publish: Mutex::new(()),
+            hint: AtomicUsize::new(0),
             len: AtomicUsize::new(0),
             waiters: AtomicUsize::new(0),
             stats,
         }
+    }
+
+    /// Single-shard mutex cache with private stats — the pre-sharding
+    /// layout (every GET funnels through one mutex, FIFO order). Kept
+    /// for tests and as the contention baseline.
+    pub fn new() -> Self {
+        Self::with_layout(1, false, Arc::new(AllocStats::default()))
+    }
+
+    /// Lock-free cache with `nshards` Treiber-stack shards (clamped to
+    /// ≥ 1) recording contention counters into `stats`. Buckets map to
+    /// shards by drive id, so one shard per data drive gives every
+    /// refilled bucket of a round its own stack.
+    pub fn with_shards(nshards: usize, stats: Arc<AllocStats>) -> Self {
+        Self::with_layout(nshards, true, stats)
+    }
+
+    /// Mutex-sharded cache (one mutex+condvar FIFO per shard) — the
+    /// previous hot path, kept as a measurable baseline.
+    pub fn with_shards_mutex(nshards: usize, stats: Arc<AllocStats>) -> Self {
+        Self::with_layout(nshards, false, stats)
+    }
+
+    /// Does GET take the lock-free CAS path?
+    #[inline]
+    pub fn is_lock_free(&self) -> bool {
+        self.lock_free
     }
 
     /// Number of shards.
@@ -102,13 +176,19 @@ impl BucketCache {
     /// Number of buckets currently available (lock-free).
     #[inline]
     pub fn len(&self) -> usize {
-        self.len.load(Ordering::Acquire)
+        self.len.load(Ordering::SeqCst)
     }
 
     /// Is the cache empty (a GET would block)? Lock-free.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// CAS retries paid on the Treiber stacks so far — the lock-free
+    /// layout's contention meter (0 in the mutex layout).
+    pub fn cas_retries(&self) -> u64 {
+        self.shards.iter().map(|s| s.stack.retries()).sum()
     }
 
     /// The shard a bucket lives in.
@@ -130,16 +210,65 @@ impl BucketCache {
         g
     }
 
+    /// Wait out any in-progress collective publish and return the (even)
+    /// gate generation. Free when no publish is running: one load.
+    /// Stall time counts into `cache_lock_waits_ns` — it is this
+    /// layout's residual "lock wait".
+    fn gate_enter(&self) -> u64 {
+        let g = self.gate.load(Ordering::Acquire);
+        if g & 1 == 0 {
+            return g;
+        }
+        let t0 = Instant::now();
+        let mut spins = 0u32;
+        loop {
+            let g = self.gate.load(Ordering::Acquire);
+            if g & 1 == 0 {
+                self.stats
+                    .cache_lock_waits_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                return g;
+            }
+            spins += 1;
+            if spins < 32 {
+                std::hint::spin_loop();
+            } else {
+                // Publishes are short but this may be a single-core box:
+                // let the publisher run.
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Re-sample the fullest shard into the hint: one O(nshards) scan,
+    /// paid per refill round / steal instead of per GET.
+    fn refresh_hint(&self) {
+        let mut best_s = 0usize;
+        let mut best = 0usize;
+        for (s, shard) in self.shards.iter().enumerate() {
+            let f = shard.fill.load(Ordering::Acquire);
+            if f > best {
+                best = f;
+                best_s = s;
+            }
+        }
+        self.hint.store(best_s, Ordering::Relaxed);
+    }
+
     /// Wake parked getters on every shard that has any. Inserts into one
     /// shard must also wake getters parked on *other* shards (they can
     /// steal); locking the waiter's shard before notifying closes the
     /// check-then-park race. Only runs when someone is actually parked.
+    /// SeqCst pairs with the waiter's registration: if this load misses
+    /// a registration, that waiter's later `len` re-check (also SeqCst,
+    /// after registering) is ordered after our pre-insert `len` bump and
+    /// sees the bucket instead of parking.
     fn wake_parked(&self) {
-        if self.waiters.load(Ordering::Acquire) == 0 {
+        if self.waiters.load(Ordering::SeqCst) == 0 {
             return;
         }
         for shard in self.shards.iter() {
-            if shard.waiters.load(Ordering::Acquire) > 0 {
+            if shard.waiters.load(Ordering::SeqCst) > 0 {
                 let _g = self.lock_shard(shard);
                 shard.available.notify_all();
             }
@@ -148,11 +277,19 @@ impl BucketCache {
 
     /// Infrastructure side: insert one bucket into its drive's shard.
     pub fn insert(&self, b: Bucket) {
+        if self.lock_free {
+            self.insert_lf(b);
+        } else {
+            self.insert_mutex(b);
+        }
+    }
+
+    fn insert_mutex(&self, b: Bucket) {
         let shard = &self.shards[self.shard_of(&b)];
         let mut q = self.lock_shard(shard);
         q.push_back(b);
         shard.fill.fetch_add(1, Ordering::Release);
-        self.len.fetch_add(1, Ordering::Release);
+        self.len.fetch_add(1, Ordering::SeqCst);
         // Notify while holding the lock: a getter of this shard is either
         // already parked (woken here) or has yet to take the lock (and
         // will see the bucket).
@@ -161,12 +298,32 @@ impl BucketCache {
         self.wake_parked();
     }
 
+    fn insert_lf(&self, b: Bucket) {
+        let s = self.shard_of(&b);
+        let shard = &self.shards[s];
+        // len before fill before push: a getter that saw len > 0 may
+        // sweep shards before the push lands and miss — that is a
+        // transient try-get miss, not a protocol violation (timeout
+        // getters re-scan). The reverse order could underflow `fill`.
+        self.len.fetch_add(1, Ordering::SeqCst);
+        let f = shard.fill.fetch_add(1, Ordering::AcqRel) + 1;
+        let key = b.generation();
+        shard.stack.push_keyed(b, key);
+        // O(1) hint nudge: adopt this shard if it now looks fullest.
+        let h = self.hint.load(Ordering::Relaxed) % self.shards.len();
+        if s != h && f > self.shards[h].fill.load(Ordering::Acquire) {
+            self.hint.store(s, Ordering::Relaxed);
+        }
+        self.wake_parked();
+    }
+
     /// Infrastructure side: insert a batch of buckets atomically — the
     /// collective reinsertion of §IV-D ("collectively put back into the
-    /// bucket cache"). Every destination shard lock is held while the
-    /// batch is appended, so no GET can observe a partially visible
-    /// batch; each affected shard is then notified **once** (a single
-    /// `notify_all` under the lock, not one wakeup per bucket).
+    /// bucket cache"). No GET can observe a partially visible batch: the
+    /// mutex layout holds every destination shard lock while appending;
+    /// the lock-free layout publishes inside an odd gate window that
+    /// poppers detect and retry across. Each affected shard is notified
+    /// **once**, not once per bucket.
     pub fn insert_all(&self, buckets: impl IntoIterator<Item = Bucket>) {
         let n = self.shards.len();
         let mut per_shard: Vec<Vec<Bucket>> = (0..n).map(|_| Vec::new()).collect();
@@ -178,6 +335,15 @@ impl BucketCache {
         if total == 0 {
             return;
         }
+        if self.lock_free {
+            self.insert_all_lf(per_shard, total);
+        } else {
+            self.insert_all_mutex(per_shard, total);
+        }
+        self.wake_parked();
+    }
+
+    fn insert_all_mutex(&self, mut per_shard: Vec<Vec<Bucket>>, total: usize) {
         // Acquire in ascending shard order (the only multi-shard lock
         // site, so ordering alone rules out deadlock).
         let mut guards: Vec<(usize, MutexGuard<'_, VecDeque<Bucket>>)> = Vec::new();
@@ -192,21 +358,77 @@ impl BucketCache {
             g.extend(batch.drain(..));
             guards.push((s, g));
         }
-        self.len.fetch_add(total, Ordering::Release);
+        self.len.fetch_add(total, Ordering::SeqCst);
         for (s, _) in &guards {
             self.shards[*s].available.notify_all();
         }
-        drop(guards);
-        self.wake_parked();
     }
 
-    /// Pop from one specific shard.
+    fn insert_all_lf(&self, per_shard: Vec<Vec<Bucket>>, total: usize) {
+        // Publishers serialize on `publish` — the one mutex the §IV-D
+        // barrier keeps, never touched by GET. The gate (odd while the
+        // batch lands) makes concurrent CAS poppers retry, so the batch
+        // becomes visible collectively.
+        let _p = self.publish.lock();
+        let g = self.gate.fetch_add(1, Ordering::AcqRel);
+        debug_assert_eq!(g & 1, 0, "publisher found the gate already odd");
+        self.len.fetch_add(total, Ordering::SeqCst);
+        for (s, batch) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            self.shards[s].fill.fetch_add(batch.len(), Ordering::AcqRel);
+            // Re-publish any older leftovers *on top* of the new batch:
+            // raw LIFO would bury the previous round's unconsumed bucket
+            // under this one, and a buried bucket that never gets popped
+            // leaves its round's tetris permanently partial — the exact
+            // fill-progress skew §IV-D's collective reinsertion exists
+            // to prevent. Publishers are serialized on `publish` and
+            // undo-pushers wait for an even gate, so the drain is stable;
+            // leftovers are at most a round deep, and one CAS publishes
+            // the whole reordered chain.
+            let older = self.shards[s].stack.pop_many(usize::MAX);
+            self.shards[s]
+                .stack
+                .push_many_keyed(older.into_iter().chain(batch).map(|b| {
+                    let key = b.generation();
+                    (b, key)
+                }));
+        }
+        // The refill round's epoch sample: one scan per round keeps the
+        // hint honest without any per-GET scan.
+        self.refresh_hint();
+        self.gate.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Pop from one specific shard (mutex layout).
     fn pop_shard(&self, s: usize) -> Option<Bucket> {
         let mut q = self.lock_shard(&self.shards[s]);
         let b = q.pop_front()?;
         self.shards[s].fill.fetch_sub(1, Ordering::Release);
-        self.len.fetch_sub(1, Ordering::Release);
+        self.len.fetch_sub(1, Ordering::SeqCst);
         Some(b)
+    }
+
+    /// CAS-pop from one specific shard (lock-free layout).
+    fn pop_lf(&self, s: usize) -> Option<Bucket> {
+        let b = self.shards[s].stack.pop()?;
+        self.shards[s].fill.fetch_sub(1, Ordering::AcqRel);
+        self.len.fetch_sub(1, Ordering::SeqCst);
+        Some(b)
+    }
+
+    /// Undo a CAS pop that raced a collective publish: the bucket goes
+    /// back onto the shard it came from. Waits for the publish window to
+    /// close first so the undo lands *on top of* the published batch —
+    /// the undone bucket is older than the batch, and older buckets must
+    /// pop first (see `insert_all_lf`).
+    fn unpop_lf(&self, s: usize, b: Bucket) {
+        self.gate_enter();
+        self.len.fetch_add(1, Ordering::SeqCst);
+        self.shards[s].fill.fetch_add(1, Ordering::AcqRel);
+        let key = b.generation();
+        self.shards[s].stack.push_keyed(b, key);
     }
 
     /// Count a successful pop as a home (fast-path) hit or a steal.
@@ -223,15 +445,23 @@ impl BucketCache {
     /// on a miss.
     ///
     /// **Equal-progress pop rule**: the home shard is taken only when no
-    /// other shard is fuller (ties keep home); otherwise the GET steals
-    /// from the fullest shard, nearest-after-home on ties. Refill rounds
-    /// deposit one bucket per drive (§IV-D), so consuming fullest-first
-    /// keeps per-drive consumption — and therefore per-drive fill
-    /// progress, DESIGN.md invariant 7 — balanced for *any* number of
-    /// cleaners: a lone cleaner degenerates to round-robin over drives,
-    /// while cleaners spread over balanced shards all pop their own
-    /// uncontended home.
+    /// fuller shard is known; otherwise the GET steals from the fullest.
+    /// Refill rounds deposit one bucket per drive (§IV-D), so consuming
+    /// fullest-first keeps per-drive consumption — and therefore
+    /// per-drive fill progress, DESIGN.md invariant 7 — balanced for
+    /// *any* number of cleaners. The mutex layout learns "fullest" from
+    /// a per-GET O(nshards) scan; the lock-free layout from the O(1)
+    /// epoch-sampled hint (see module docs) and is a single CAS on the
+    /// common path.
     pub fn try_get_from(&self, start: usize) -> Option<Bucket> {
+        if self.lock_free {
+            self.try_get_lf(start)
+        } else {
+            self.try_get_mutex(start)
+        }
+    }
+
+    fn try_get_mutex(&self, start: usize) -> Option<Bucket> {
         let n = self.shards.len();
         let home = start % n;
         if self.is_empty() {
@@ -267,10 +497,190 @@ impl BucketCache {
         None
     }
 
+    fn try_get_lf(&self, start: usize) -> Option<Bucket> {
+        let n = self.shards.len();
+        let home = start % n;
+        loop {
+            let g1 = self.gate_enter();
+            if self.len.load(Ordering::SeqCst) == 0 {
+                // Re-read the gate so "None" is still a collective
+                // statement: no publish overlapped the emptiness probe.
+                if self.gate.load(Ordering::Acquire) == g1 {
+                    return None;
+                }
+                continue;
+            }
+            // O(1) target choice: home, unless the hinted shard is
+            // strictly fuller (the epoch-sampled equal-progress rule).
+            let hint = self.hint.load(Ordering::Relaxed) % n;
+            let target = if hint != home
+                && self.shards[hint].fill.load(Ordering::Acquire)
+                    > self.shards[home].fill.load(Ordering::Acquire)
+            {
+                hint
+            } else {
+                home
+            };
+            let mut from = target;
+            let mut got = self.pop_lf(target);
+            if got.is_none() {
+                // Miss (hint stale, or home and hint both drained): fall
+                // off the fast path to a fullest-first scan + sweep.
+                let mut t2 = home;
+                let mut best = 0usize;
+                for d in 0..n {
+                    let s = (home + d) % n;
+                    let f = self.shards[s].fill.load(Ordering::Acquire);
+                    if f > best {
+                        best = f;
+                        t2 = s;
+                    }
+                }
+                if t2 != target {
+                    if let Some(b) = self.pop_lf(t2) {
+                        from = t2;
+                        got = Some(b);
+                    }
+                }
+                if got.is_none() {
+                    for d in 0..n {
+                        let s = (home + d) % n;
+                        if s == target || s == t2 {
+                            continue;
+                        }
+                        if let Some(b) = self.pop_lf(s) {
+                            from = s;
+                            got = Some(b);
+                            break;
+                        }
+                    }
+                }
+            }
+            if self.gate.load(Ordering::Acquire) != g1 {
+                // A collective publish overlapped: this pop may have
+                // observed half a batch. Undo and retry (§IV-D).
+                if let Some(b) = got.take() {
+                    self.unpop_lf(from, b);
+                }
+                continue;
+            }
+            return got.inspect(|_| {
+                self.count_pop(from, home);
+                if from != home {
+                    // Steals mean the hint led us off home: re-sample it
+                    // (O(nshards), but only on the steal path).
+                    self.refresh_hint();
+                }
+            });
+        }
+    }
+
     /// [`try_get_from`](Self::try_get_from) with affinity shard 0 (the
     /// single-shard-era API, used by drain paths and tests).
     pub fn try_get(&self) -> Option<Bucket> {
         self.try_get_from(0)
+    }
+
+    /// Batched GET: pop up to `max` buckets from the affinity shard with
+    /// **one** synchronization event — a single `pop_many` CAS
+    /// (lock-free) or one lock acquisition (mutex) — amortizing GET cost
+    /// per batch as §IV-C amortizes it per chunk. Falls back to a
+    /// single steal-capable [`try_get_from`](Self::try_get_from) when
+    /// the home shard is dry, so the result is non-empty whenever the
+    /// cache has buckets anywhere. Never blocks.
+    ///
+    /// Batches deliberately come from home only: stealing k buckets at
+    /// once would defeat the equal-progress rule, while home batches
+    /// just consume the caller's own per-drive deposits a round early.
+    /// A batch also never crosses a **refill-round boundary** (bucket
+    /// generations): mixing round N+1 buckets into a batch while round
+    /// N is still outstanding would delay — or, at stream end, forfeit —
+    /// round N's tetris completion, turning its whole round of stripes
+    /// partial. With one shard per drive each round deposits one bucket
+    /// per shard, so home batches only exceed 1 when shards are coarser
+    /// than drives.
+    pub fn get_many_from(&self, start: usize, max: usize) -> Vec<Bucket> {
+        let n = self.shards.len();
+        let home = start % n;
+        if max > 1 {
+            if self.lock_free {
+                loop {
+                    let g1 = self.gate_enter();
+                    // Equal progress still outranks batching: when the
+                    // hinted shard is strictly fuller than home, a home
+                    // batch would let this cleaner's drive race ahead
+                    // while the backlogged drive's older rounds rot, so
+                    // fall through to the steal-capable single GET.
+                    let hint = self.hint.load(Ordering::Relaxed) % n;
+                    if hint != home
+                        && self.shards[hint].fill.load(Ordering::Acquire)
+                            > self.shards[home].fill.load(Ordering::Acquire)
+                    {
+                        break;
+                    }
+                    let got = self.shards[home].stack.pop_many_same_key(max);
+                    if got.is_empty() {
+                        break;
+                    }
+                    let k = got.len();
+                    self.shards[home].fill.fetch_sub(k, Ordering::AcqRel);
+                    self.len.fetch_sub(k, Ordering::SeqCst);
+                    if self.gate.load(Ordering::Acquire) != g1 {
+                        // Raced a collective publish: wait it out, put the
+                        // chain back on top (one CAS, order preserved) and
+                        // retry.
+                        self.gate_enter();
+                        self.len.fetch_add(k, Ordering::SeqCst);
+                        self.shards[home].fill.fetch_add(k, Ordering::AcqRel);
+                        self.shards[home]
+                            .stack
+                            .push_many_keyed(got.into_iter().map(|b| {
+                                let key = b.generation();
+                                (b, key)
+                            }));
+                        continue;
+                    }
+                    self.stats
+                        .cache_get_fast
+                        .fetch_add(k as u64, Ordering::Relaxed);
+                    self.stats
+                        .cache_get_batched
+                        .fetch_add((k - 1) as u64, Ordering::Relaxed);
+                    return got;
+                }
+            } else {
+                // Same equal-progress guard as the lock-free branch,
+                // via this layout's per-GET fill scan.
+                let home_fill = self.shards[home].fill.load(Ordering::Acquire);
+                let fuller = (0..n)
+                    .any(|s| s != home && self.shards[s].fill.load(Ordering::Acquire) > home_fill);
+                if fuller {
+                    return self.try_get_from(start).into_iter().collect();
+                }
+                let mut q = self.lock_shard(&self.shards[home]);
+                let mut k = 0usize;
+                if let Some(front) = q.front() {
+                    let gen0 = front.generation();
+                    while k < max.min(q.len()) && q[k].generation() == gen0 {
+                        k += 1;
+                    }
+                }
+                if k > 0 {
+                    let got: Vec<Bucket> = q.drain(..k).collect();
+                    self.shards[home].fill.fetch_sub(k, Ordering::Release);
+                    self.len.fetch_sub(k, Ordering::SeqCst);
+                    drop(q);
+                    self.stats
+                        .cache_get_fast
+                        .fetch_add(k as u64, Ordering::Relaxed);
+                    self.stats
+                        .cache_get_batched
+                        .fetch_add((k - 1) as u64, Ordering::Relaxed);
+                    return got;
+                }
+            }
+        }
+        self.try_get_from(start).into_iter().collect()
     }
 
     /// Cleaner side: take a bucket, blocking up to `timeout`, with the
@@ -280,7 +690,8 @@ impl BucketCache {
     ///
     /// A blocked getter parks on its affinity shard's condvar; inserts
     /// into *any* shard wake it (see [`Self::wake_parked`]), after which
-    /// it re-scans all shards.
+    /// it re-scans all shards. This is the one place the lock-free
+    /// layout still touches the shard mutex — the blocking slow path.
     pub fn get_timeout_from(&self, start: usize, timeout: Duration) -> Option<Bucket> {
         if let Some(b) = self.try_get_from(start) {
             return Some(b);
@@ -291,27 +702,28 @@ impl BucketCache {
             .cache_blocked_gets
             .fetch_add(1, Ordering::Relaxed);
         // Register as a waiter *before* the re-scan: any insert that
-        // lands after the scan will see the registration and notify.
-        self.waiters.fetch_add(1, Ordering::AcqRel);
-        shard.waiters.fetch_add(1, Ordering::AcqRel);
+        // lands after the scan will see the registration and notify
+        // (SeqCst pairs with `wake_parked`'s check).
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        shard.waiters.fetch_add(1, Ordering::SeqCst);
         let got = loop {
             if let Some(b) = self.try_get_from(start) {
                 break Some(b);
             }
             let mut q = self.lock_shard(shard);
             // Predicate re-check under the shard lock: an inserter bumps
-            // `len` before it takes this lock to notify, so either we see
-            // len > 0 here (and re-scan) or our park happens before its
-            // notify (and we are woken).
-            if self.len.load(Ordering::Acquire) == 0
+            // `len` before it notifies, so either we see len > 0 here
+            // (and re-scan) or our park happens before its notify (and
+            // we are woken).
+            if self.len.load(Ordering::SeqCst) == 0
                 && shard.available.wait_until(&mut q, deadline).timed_out()
             {
                 drop(q);
                 break self.try_get_from(start);
             }
         };
-        shard.waiters.fetch_sub(1, Ordering::AcqRel);
-        self.waiters.fetch_sub(1, Ordering::AcqRel);
+        shard.waiters.fetch_sub(1, Ordering::SeqCst);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
         got
     }
 
@@ -328,6 +740,10 @@ mod tests {
     use wafl_blockdev::{AaId, DriveId, DriveKind, GeometryBuilder, IoEngine, RaidGroupId, Vbn};
 
     fn mk_bucket_on(drive: u32, start: u64) -> Bucket {
+        mk_bucket_gen(drive, start, 0)
+    }
+
+    fn mk_bucket_gen(drive: u32, start: u64, generation: u64) -> Bucket {
         let engine = Arc::new(IoEngine::new(
             Arc::new(
                 GeometryBuilder::new()
@@ -349,7 +765,7 @@ mod tests {
             (start..start + 4).map(Vbn).collect(),
             0,
             t,
-            0,
+            generation,
         )
     }
 
@@ -357,19 +773,38 @@ mod tests {
         mk_bucket_on(0, start)
     }
 
+    /// Lock-free layout (the default GET path).
     fn sharded(n: usize) -> (BucketCache, Arc<AllocStats>) {
         let stats = Arc::new(AllocStats::default());
         (BucketCache::with_shards(n, Arc::clone(&stats)), stats)
     }
 
+    /// Mutex baseline layout.
+    fn sharded_mutex(n: usize) -> (BucketCache, Arc<AllocStats>) {
+        let stats = Arc::new(AllocStats::default());
+        (BucketCache::with_shards_mutex(n, Arc::clone(&stats)), stats)
+    }
+
     #[test]
     fn fifo_order() {
         let c = BucketCache::new();
+        assert!(!c.is_lock_free(), "new() keeps the single-mutex layout");
         c.insert(mk_bucket(0));
         c.insert(mk_bucket(100));
         assert_eq!(c.len(), 2);
         assert_eq!(c.try_get().unwrap().start_vbn(), Vbn(0));
         assert_eq!(c.try_get().unwrap().start_vbn(), Vbn(100));
+        assert!(c.try_get().is_none());
+    }
+
+    #[test]
+    fn lock_free_shard_is_lifo() {
+        let (c, _) = sharded(1);
+        assert!(c.is_lock_free());
+        c.insert(mk_bucket(0));
+        c.insert(mk_bucket(100));
+        assert_eq!(c.try_get().unwrap().start_vbn(), Vbn(100));
+        assert_eq!(c.try_get().unwrap().start_vbn(), Vbn(0));
         assert!(c.try_get().is_none());
     }
 
@@ -399,6 +834,20 @@ mod tests {
     }
 
     #[test]
+    fn lock_free_blocked_get_wakes_on_insert() {
+        let (c, _) = sharded(4);
+        let c = Arc::new(c);
+        let c2 = Arc::clone(&c);
+        // Waiter homed on shard 3; bucket lands on shard 1 — the wake
+        // must cross shards even with no mutex on the insert path.
+        let h = std::thread::spawn(move || c2.get_timeout_from(3, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        c.insert(mk_bucket_on(1, 7));
+        let got = h.join().unwrap();
+        assert_eq!(got.unwrap().start_vbn(), Vbn(7));
+    }
+
+    #[test]
     fn concurrent_getters_each_receive_distinct_buckets() {
         let c = Arc::new(BucketCache::new());
         let mut handles = Vec::new();
@@ -419,8 +868,8 @@ mod tests {
     }
 
     #[test]
-    fn buckets_land_in_their_drives_shard() {
-        let (c, stats) = sharded(4);
+    fn mutex_buckets_land_in_their_drives_shard() {
+        let (c, stats) = sharded_mutex(4);
         // Drives 0..=3 → shards 0..=3; drives 4 and 5 wrap to shards 0 and 1.
         for d in 0..6u32 {
             c.insert(mk_bucket_on(d, u64::from(d) * 10));
@@ -428,7 +877,7 @@ mod tests {
         assert_eq!(c.len(), 6);
         // Shards 0 and 1 are tied for fullest (two buckets each), so the
         // affinity GET from shard 1 keeps its home and sees drive 1's
-        // bucket first.
+        // bucket first (FIFO).
         assert_eq!(c.try_get_from(1).unwrap().drive(), DriveId(1));
         // Now shard 0 alone is fullest: the equal-progress rule steals
         // drive 0's bucket rather than draining home down to empty.
@@ -442,15 +891,111 @@ mod tests {
     }
 
     #[test]
-    fn miss_at_home_shard_steals_round_robin() {
+    fn lock_free_hint_steers_steals() {
         let (c, stats) = sharded(4);
-        c.insert(mk_bucket_on(2, 20));
-        // Affinity shard 0 is empty → the GET must steal from shard 2.
-        let b = c.try_get_from(0).unwrap();
-        assert_eq!(b.drive(), DriveId(2));
-        assert_eq!(stats.cache_get_fast.load(Ordering::Relaxed), 0);
+        assert!(c.is_lock_free());
+        // Same population as the mutex test: shards 0 and 1 hold two
+        // buckets each (drives 0/4 and 1/5), shards 2 and 3 one each.
+        for d in 0..6u32 {
+            c.insert(mk_bucket_on(d, u64::from(d) * 10));
+        }
+        assert_eq!(c.len(), 6);
+        // Hint points at shard 0 (tied fullest, not strictly fuller than
+        // home 1): home keeps its pop and LIFO yields drive 5's bucket.
+        assert_eq!(c.try_get_from(1).unwrap().drive(), DriveId(5));
+        // Shard 0 (two buckets) is now strictly fuller than home 1 (one):
+        // the O(1) hint steers a steal — top of shard 0 is drive 4.
+        assert_eq!(c.try_get_from(1).unwrap().drive(), DriveId(4));
+        assert_eq!(stats.cache_get_fast.load(Ordering::Relaxed), 1);
         assert_eq!(stats.cache_get_steal.load(Ordering::Relaxed), 1);
-        assert!(c.try_get_from(0).is_none());
+        // Balance restored (one bucket per shard): home pops drive 1.
+        assert_eq!(c.try_get_from(1).unwrap().drive(), DriveId(1));
+        assert_eq!(stats.cache_get_fast.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn miss_at_home_shard_steals_round_robin() {
+        for (c, stats) in [sharded(4), sharded_mutex(4)] {
+            c.insert(mk_bucket_on(2, 20));
+            // Affinity shard 0 is empty → the GET must steal from shard 2.
+            let b = c.try_get_from(0).unwrap();
+            assert_eq!(b.drive(), DriveId(2));
+            assert_eq!(stats.cache_get_fast.load(Ordering::Relaxed), 0);
+            assert_eq!(stats.cache_get_steal.load(Ordering::Relaxed), 1);
+            assert!(c.try_get_from(0).is_none());
+        }
+    }
+
+    #[test]
+    fn get_many_pops_a_batch_from_home_in_one_acquisition() {
+        for (c, stats) in [sharded(4), sharded_mutex(4)] {
+            // Home shard 1 holds drives 1 and 5; shard 2 holds drive 2.
+            for d in [1u32, 5, 2] {
+                c.insert(mk_bucket_on(d, u64::from(d) * 10));
+            }
+            let got = c.get_many_from(1, 8);
+            assert_eq!(got.len(), 2, "batch drains home, never steals");
+            assert!(got.iter().all(|b| b.drive().0 % 4 == 1));
+            assert_eq!(stats.cache_get_fast.load(Ordering::Relaxed), 2);
+            assert_eq!(stats.cache_get_batched.load(Ordering::Relaxed), 1);
+            // Home now dry: the batched GET degrades to a single steal.
+            let fallback = c.get_many_from(1, 8);
+            assert_eq!(fallback.len(), 1);
+            assert_eq!(fallback[0].drive(), DriveId(2));
+            assert_eq!(stats.cache_get_steal.load(Ordering::Relaxed), 1);
+            assert!(c.get_many_from(1, 8).is_empty());
+            assert!(c.is_empty());
+        }
+    }
+
+    #[test]
+    fn get_many_of_one_is_a_plain_get() {
+        let (c, stats) = sharded(2);
+        c.insert(mk_bucket_on(0, 0));
+        let got = c.get_many_from(0, 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(stats.cache_get_batched.load(Ordering::Relaxed), 0);
+        assert!(c.get_many_from(0, 0).is_empty());
+    }
+
+    #[test]
+    fn refill_rounds_pop_oldest_first_in_both_layouts() {
+        // Two collective rounds land before anything is consumed (the
+        // refill pipeline ran ahead). Consumption must drain round 1
+        // completely before touching round 2 — otherwise round 1's
+        // tetris is left permanently partial. The lock-free layout gets
+        // this by re-publishing leftovers on top (LIFO alone would pop
+        // round 2 first); the mutex layout by FIFO order.
+        for lock_free in [true, false] {
+            let stats = Arc::new(AllocStats::default());
+            let c = BucketCache::with_layout(2, lock_free, stats);
+            c.insert_all((0..2).map(|d| mk_bucket_gen(d, u64::from(d) * 10, 1)));
+            c.insert_all((0..2).map(|d| mk_bucket_gen(d, 100 + u64::from(d) * 10, 2)));
+            let mut gens = Vec::new();
+            for s in [0usize, 1, 0, 1] {
+                gens.push(c.try_get_from(s).unwrap().generation());
+            }
+            assert_eq!(gens, vec![1, 1, 2, 2], "round 1 drains before round 2");
+        }
+    }
+
+    #[test]
+    fn get_many_never_crosses_a_refill_round() {
+        // Single shard, two rounds of two buckets each: a batch of 8 must
+        // stop at the round boundary and deliver round 1 only.
+        for lock_free in [true, false] {
+            let stats = Arc::new(AllocStats::default());
+            let c = BucketCache::with_layout(1, lock_free, Arc::clone(&stats));
+            c.insert_all((0..2).map(|d| mk_bucket_gen(d, u64::from(d) * 10, 1)));
+            c.insert_all((0..2).map(|d| mk_bucket_gen(d, 100 + u64::from(d) * 10, 2)));
+            let first = c.get_many_from(0, 8);
+            assert_eq!(first.len(), 2, "batch stops at the round boundary");
+            assert!(first.iter().all(|b| b.generation() == 1));
+            let second = c.get_many_from(0, 8);
+            assert_eq!(second.len(), 2);
+            assert!(second.iter().all(|b| b.generation() == 2));
+            assert!(c.is_empty());
+        }
     }
 
     #[test]
@@ -459,20 +1004,23 @@ mod tests {
         // part of a refill batch. With the batch spread over all shards
         // and GETs racing the insert, every GET that returns Some must
         // come after the *whole* batch is visible — so the first 8
-        // concurrent GETs drain exactly the 8 buckets.
-        for _ in 0..50 {
-            let (c, _) = sharded(8);
-            let c = Arc::new(c);
-            let mut handles = Vec::new();
-            for t in 0..8usize {
-                let c = Arc::clone(&c);
-                handles.push(std::thread::spawn(move || {
-                    c.get_timeout_from(t, Duration::from_secs(5)).is_some()
-                }));
+        // concurrent GETs drain exactly the 8 buckets. Exercised in both
+        // layouts (gate vs multi-lock).
+        for lock_free in [true, false] {
+            for _ in 0..50 {
+                let stats = Arc::new(AllocStats::default());
+                let c = Arc::new(BucketCache::with_layout(8, lock_free, stats));
+                let mut handles = Vec::new();
+                for t in 0..8usize {
+                    let c = Arc::clone(&c);
+                    handles.push(std::thread::spawn(move || {
+                        c.get_timeout_from(t, Duration::from_secs(5)).is_some()
+                    }));
+                }
+                c.insert_all((0..8).map(|d| mk_bucket_on(d, u64::from(d) * 100)));
+                assert!(handles.into_iter().all(|h| h.join().unwrap()));
+                assert!(c.is_empty());
             }
-            c.insert_all((0..8).map(|d| mk_bucket_on(d, u64::from(d) * 100)));
-            assert!(handles.into_iter().all(|h| h.join().unwrap()));
-            assert!(c.is_empty());
         }
     }
 
@@ -518,14 +1066,15 @@ mod tests {
 
     #[test]
     fn len_is_consistent_across_shards() {
-        let (c, _) = sharded(3);
-        c.insert_all((0..9u32).map(|d| mk_bucket_on(d, u64::from(d) * 16)));
-        assert_eq!(c.len(), 9);
-        let mut n = 0;
-        while c.try_get_from(n).is_some() {
-            n += 1;
+        for (c, _) in [sharded(3), sharded_mutex(3)] {
+            c.insert_all((0..9u32).map(|d| mk_bucket_on(d, u64::from(d) * 16)));
+            assert_eq!(c.len(), 9);
+            let mut n = 0;
+            while c.try_get_from(n).is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 9);
+            assert!(c.is_empty());
         }
-        assert_eq!(n, 9);
-        assert!(c.is_empty());
     }
 }

@@ -61,6 +61,11 @@ pub struct AllocConfig {
     /// own queue; `1` forces the pre-sharding single-lock layout (the
     /// `exp_cache_contention` baseline).
     pub cache_shards: usize,
+    /// Lock-free (Treiber-stack) shard hot path? `true` (the default)
+    /// makes GET a single CAS pop with the shard mutex demoted to the
+    /// blocking slow path; `false` keeps the mutex+condvar FIFO shards
+    /// as a measurable baseline (`mutex_cache()`).
+    pub cache_lockfree: bool,
 }
 
 impl Default for AllocConfig {
@@ -73,6 +78,7 @@ impl Default for AllocConfig {
             reinsert: ReinsertPolicy::Collective,
             stage_capacity: 256,
             cache_shards: 0,
+            cache_lockfree: true,
         }
     }
 }
@@ -97,6 +103,14 @@ impl AllocConfig {
     /// baseline swept by `exp_cache_contention`.
     pub fn single_lock_cache(mut self) -> Self {
         self.cache_shards = 1;
+        self.cache_lockfree = false;
+        self
+    }
+
+    /// Keep the mutex+condvar sharded bucket cache (the PR-2 layout) —
+    /// the lock-free hot path's comparison baseline.
+    pub fn mutex_cache(mut self) -> Self {
+        self.cache_lockfree = false;
         self
     }
 }

@@ -326,8 +326,11 @@ impl Infrastructure {
     }
 
     /// Step 6 of Figure 2: process a returned bucket — commit consumed
-    /// VBNs to the metafiles, release unconsumed reservations.
+    /// VBNs to the metafiles, release unconsumed reservations. Wall time
+    /// spent here accumulates into `commit_batch_ns` so the PUT-side
+    /// commit funnel is measurable alongside the convoy gauge.
     pub fn commit_bucket(&self, fin: FinishedBucket) {
+        let t0 = std::time::Instant::now();
         self.stats.infra_msgs.fetch_add(1, Ordering::Relaxed);
         for v in &fin.consumed {
             self.aggmap
@@ -345,6 +348,9 @@ impl Infrastructure {
         self.stats
             .vbns_released
             .fetch_add(fin.unused.len() as u64, Ordering::Relaxed);
+        self.stats
+            .commit_batch_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Commit a stage of frees to the metafiles (§IV-A's free path).

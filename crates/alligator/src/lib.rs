@@ -54,6 +54,7 @@ pub mod infra;
 pub mod stage;
 pub mod stats;
 pub mod tetris;
+pub mod treiber;
 
 pub use allocator::Allocator;
 pub use bucket::Bucket;
@@ -64,3 +65,4 @@ pub use infra::Infrastructure;
 pub use stage::Stage;
 pub use stats::{AllocStats, StatsSnapshot};
 pub use tetris::Tetris;
+pub use treiber::TreiberStack;

@@ -55,6 +55,22 @@ pub struct AllocStats {
     /// GETs that found every shard empty and parked on the shard condvar
     /// (the §IV-D starvation case the refill pipeline is meant to avoid).
     pub cache_blocked_gets: AtomicU64,
+    /// Buckets delivered *beyond the first* by batched `get_many` pops —
+    /// each one is a GET whose synchronization was amortized into the
+    /// batch's single CAS/lock acquisition (§IV-C applied to GET).
+    pub cache_get_batched: AtomicU64,
+    /// PUT-side convoy gauge: commit messages submitted but not yet
+    /// executed, right now. Not part of the snapshot (it is a level, not
+    /// a counter); feeds the `put_commit_queue_len` high-water mark.
+    pub put_commit_outstanding: AtomicU64,
+    /// High-water mark of the commit queue: the deepest backlog of
+    /// submitted-but-unexecuted PUT commits observed. Measures the
+    /// used-queue/commit funnel before it gets optimized.
+    pub put_commit_queue_len: AtomicU64,
+    /// Nanoseconds the infrastructure spent inside `commit_bucket`
+    /// (metafile updates + release of unconsumed VBNs) — the per-PUT
+    /// commit cost whose queueing the convoy gauge watches.
+    pub commit_batch_ns: AtomicU64,
 }
 
 impl AllocStats {
@@ -80,7 +96,22 @@ impl AllocStats {
             cache_get_steal: self.cache_get_steal.load(Ordering::Relaxed),
             cache_lock_waits_ns: self.cache_lock_waits_ns.load(Ordering::Relaxed),
             cache_blocked_gets: self.cache_blocked_gets.load(Ordering::Relaxed),
+            cache_get_batched: self.cache_get_batched.load(Ordering::Relaxed),
+            put_commit_queue_len: self.put_commit_queue_len.load(Ordering::Relaxed),
+            commit_batch_ns: self.commit_batch_ns.load(Ordering::Relaxed),
         }
+    }
+
+    /// Record one PUT commit entering the infrastructure queue,
+    /// maintaining the convoy high-water mark.
+    pub fn commit_enqueued(&self) {
+        let depth = self.put_commit_outstanding.fetch_add(1, Ordering::AcqRel) + 1;
+        self.put_commit_queue_len.fetch_max(depth, Ordering::AcqRel);
+    }
+
+    /// Record one PUT commit leaving the queue (executed).
+    pub fn commit_dequeued(&self) {
+        self.put_commit_outstanding.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -107,6 +138,9 @@ pub struct StatsSnapshot {
     pub cache_get_steal: u64,
     pub cache_lock_waits_ns: u64,
     pub cache_blocked_gets: u64,
+    pub cache_get_batched: u64,
+    pub put_commit_queue_len: u64,
+    pub commit_batch_ns: u64,
 }
 
 impl StatsSnapshot {

@@ -1,0 +1,550 @@
+//! A lock-free Treiber stack with tagged indices — the bucket cache's
+//! GET fast path.
+//!
+//! The classic Treiber stack CASes a head pointer; its classic failure
+//! mode is **ABA**: a popper reads head `A` and `A.next == B`, stalls,
+//! and meanwhile other threads pop `A` and `B`, then push `A` back. The
+//! stale popper's CAS on `A` now succeeds and installs the long-gone
+//! `B` as head. This implementation closes ABA the way the non-blocking
+//! allocator literature does (Marotta et al.; Blelloch & Wei): nodes
+//! live in an **append-only arena** addressed by index, and the head
+//! word packs `(tag32, index32)` where the tag increments on **every**
+//! successful head CAS. A stale CAS therefore always fails — the tag
+//! has moved — regardless of which node sits on top.
+//!
+//! Because the tag changes on every push *and* pop, a successful CAS
+//! also proves the stack was untouched between the read and the CAS.
+//! That makes **multi-node operations single-CAS atomic**:
+//!
+//! * [`TreiberStack::pop_many`] walks up to `k` nodes from the head and
+//!   detaches the whole chain with one CAS (the batched `get_many`
+//!   amortization of §IV-C);
+//! * [`TreiberStack::push_many`] links a batch into a private chain and
+//!   publishes it with one CAS, so a refill batch lands on a shard
+//!   atomically (§IV-D collective visibility, per shard).
+//!
+//! The arena grows in doubling chunks behind `AtomicPtr`s, so node
+//! addresses never move and a stale `next` read can never dereference
+//! freed memory — it is caught by the tag CAS instead. Nodes are
+//! recycled through an internal free list (same tagged-CAS discipline).
+
+use std::cell::UnsafeCell;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+
+/// Sentinel index: "no node".
+const NIL: u32 = u32::MAX;
+/// Size of the first arena chunk; chunk `c` holds `CHUNK0 << c` nodes.
+const CHUNK0: usize = 32;
+/// Number of chunk slots; total capacity `CHUNK0 * (2^NCHUNKS - 1)`
+/// (≈ one billion nodes — far beyond any bucket population).
+const NCHUNKS: usize = 25;
+
+#[inline]
+fn pack(tag: u32, idx: u32) -> u64 {
+    (u64::from(tag) << 32) | u64::from(idx)
+}
+
+#[inline]
+fn idx_of(word: u64) -> u32 {
+    word as u32
+}
+
+#[inline]
+fn tag_of(word: u64) -> u32 {
+    (word >> 32) as u32
+}
+
+/// Map a node index to its (chunk, offset) coordinates.
+#[inline]
+fn chunk_of(idx: u32) -> (usize, usize) {
+    let n = idx as usize / CHUNK0 + 1;
+    let c = (usize::BITS - 1 - n.leading_zeros()) as usize;
+    let base = CHUNK0 * ((1usize << c) - 1);
+    (c, idx as usize - base)
+}
+
+struct Node<T> {
+    /// Index of the node below this one (in the stack or the free list).
+    next: AtomicU32,
+    /// The payload. Written/taken only by the node's exclusive owner:
+    /// the pusher before the publish CAS, the popper after winning the
+    /// detach CAS.
+    item: UnsafeCell<Option<T>>,
+    /// Batch key stamped by `push_keyed`/`push_many_keyed` before the
+    /// publish CAS. `pop_many_same_key` walks it speculatively; any
+    /// stale read is discarded when the tag CAS fails, so a batch
+    /// never mixes keys. The bucket cache keys by refill generation to
+    /// keep one GET batch within one refill round (§IV-D equal
+    /// progress).
+    key: AtomicU64,
+}
+
+/// An ABA-safe lock-free stack of `T`.
+///
+/// All operations are non-blocking CAS loops; there is no mutex
+/// anywhere. `pop_many`/`push_many` move whole chains with a single
+/// head CAS.
+pub struct TreiberStack<T> {
+    /// Packed `(tag, index)` of the top node. The tag increments on
+    /// every successful CAS, defeating ABA.
+    head: AtomicU64,
+    /// Packed `(tag, index)` of the free-node list.
+    free: AtomicU64,
+    /// Next never-used node index.
+    next_fresh: AtomicU32,
+    /// Doubling arena chunks (chunk `c` holds `CHUNK0 << c` nodes).
+    chunks: [AtomicPtr<Node<T>>; NCHUNKS],
+    /// CAS retries observed (head and free-list loops) — the stack's
+    /// contention meter.
+    retries: AtomicU64,
+}
+
+// SAFETY: `T` crosses threads through the stack; the `UnsafeCell` is
+// only touched by the exclusive owner of a detached node (see `Node`).
+unsafe impl<T: Send> Send for TreiberStack<T> {}
+unsafe impl<T: Send> Sync for TreiberStack<T> {}
+
+impl<T> Default for TreiberStack<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TreiberStack<T> {
+    /// New empty stack (no arena allocated until the first push).
+    pub fn new() -> Self {
+        Self {
+            head: AtomicU64::new(pack(0, NIL)),
+            free: AtomicU64::new(pack(0, NIL)),
+            next_fresh: AtomicU32::new(0),
+            chunks: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// CAS retries paid so far on the head and free-list loops — a
+    /// direct measure of pop/push contention.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Is the stack empty right now? (Advisory under concurrency.)
+    pub fn is_empty(&self) -> bool {
+        idx_of(self.head.load(Ordering::Acquire)) == NIL
+    }
+
+    /// Dereference a node index. The index must have been allocated
+    /// (all indices ever stored in `head`/`free`/`next` are).
+    #[inline]
+    fn node(&self, idx: u32) -> &Node<T> {
+        let (c, off) = chunk_of(idx);
+        let base = self.chunks[c].load(Ordering::Acquire);
+        debug_assert!(!base.is_null(), "node index {idx} in unallocated chunk");
+        unsafe { &*base.add(off) }
+    }
+
+    /// Make sure the chunk containing `idx` exists. Lock-free: racers
+    /// both allocate and the CAS loser frees its copy.
+    fn ensure_chunk(&self, idx: u32) {
+        let (c, _) = chunk_of(idx);
+        assert!(c < NCHUNKS, "TreiberStack arena exhausted");
+        if !self.chunks[c].load(Ordering::Acquire).is_null() {
+            return;
+        }
+        let size = CHUNK0 << c;
+        let mut nodes: Vec<Node<T>> = Vec::with_capacity(size);
+        for _ in 0..size {
+            nodes.push(Node {
+                next: AtomicU32::new(NIL),
+                item: UnsafeCell::new(None),
+                key: AtomicU64::new(0),
+            });
+        }
+        let raw = Box::into_raw(nodes.into_boxed_slice()) as *mut Node<T>;
+        if self.chunks[c]
+            .compare_exchange(ptr::null_mut(), raw, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            // Lost the install race; reconstitute and drop our copy.
+            unsafe { drop(Box::from_raw(ptr::slice_from_raw_parts_mut(raw, size))) };
+        }
+    }
+
+    /// Take a node off the free list, or mint a fresh one.
+    fn alloc_node(&self) -> u32 {
+        loop {
+            let f = self.free.load(Ordering::Acquire);
+            let idx = idx_of(f);
+            if idx == NIL {
+                break;
+            }
+            let next = self.node(idx).next.load(Ordering::Acquire);
+            if self
+                .free
+                .compare_exchange(
+                    f,
+                    pack(tag_of(f).wrapping_add(1), next),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return idx;
+            }
+            self.retries.fetch_add(1, Ordering::Relaxed);
+        }
+        let idx = self.next_fresh.fetch_add(1, Ordering::Relaxed);
+        assert!(idx != NIL, "TreiberStack node indices exhausted");
+        self.ensure_chunk(idx);
+        idx
+    }
+
+    /// Return a detached node to the free list.
+    fn release_node(&self, idx: u32) {
+        let node = self.node(idx);
+        loop {
+            let f = self.free.load(Ordering::Acquire);
+            node.next.store(idx_of(f), Ordering::Release);
+            if self
+                .free
+                .compare_exchange(
+                    f,
+                    pack(tag_of(f).wrapping_add(1), idx),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return;
+            }
+            self.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Publish the privately linked chain `first..=last` (already joined
+    /// via `next`) with one CAS.
+    fn attach(&self, first: u32, last: u32) {
+        loop {
+            let h = self.head.load(Ordering::Acquire);
+            self.node(last).next.store(idx_of(h), Ordering::Release);
+            if self
+                .head
+                .compare_exchange(
+                    h,
+                    pack(tag_of(h).wrapping_add(1), first),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return;
+            }
+            self.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Push one item (one CAS on the uncontended path).
+    pub fn push(&self, item: T) {
+        self.push_keyed(item, 0);
+    }
+
+    /// Push one item stamped with a batch `key` (see
+    /// [`TreiberStack::pop_many_same_key`]).
+    pub fn push_keyed(&self, item: T, key: u64) {
+        let idx = self.alloc_node();
+        // SAFETY: the node is detached — we are its only owner.
+        unsafe { *self.node(idx).item.get() = Some(item) };
+        self.node(idx).key.store(key, Ordering::Release);
+        self.attach(idx, idx);
+    }
+
+    /// Push a batch, publishing it **atomically** (one CAS): a
+    /// concurrent popper sees either none of the batch or all of it.
+    /// Items pop back out in iteration order (first item on top).
+    /// Returns the batch size.
+    pub fn push_many(&self, items: impl IntoIterator<Item = T>) -> usize {
+        self.push_many_keyed(items.into_iter().map(|i| (i, 0)))
+    }
+
+    /// [`TreiberStack::push_many`] with a per-item batch key.
+    pub fn push_many_keyed(&self, items: impl IntoIterator<Item = (T, u64)>) -> usize {
+        let mut first = NIL;
+        let mut prev = NIL;
+        let mut count = 0usize;
+        for (item, key) in items {
+            let idx = self.alloc_node();
+            // SAFETY: detached node, exclusively owned.
+            unsafe { *self.node(idx).item.get() = Some(item) };
+            self.node(idx).key.store(key, Ordering::Release);
+            if first == NIL {
+                first = idx;
+            } else {
+                self.node(prev).next.store(idx, Ordering::Release);
+            }
+            prev = idx;
+            count += 1;
+        }
+        if first != NIL {
+            self.attach(first, prev);
+        }
+        count
+    }
+
+    /// Pop the top item (one CAS on the uncontended path).
+    pub fn pop(&self) -> Option<T> {
+        loop {
+            let h = self.head.load(Ordering::Acquire);
+            let idx = idx_of(h);
+            if idx == NIL {
+                return None;
+            }
+            let node = self.node(idx);
+            let next = node.next.load(Ordering::Acquire);
+            if self
+                .head
+                .compare_exchange(
+                    h,
+                    pack(tag_of(h).wrapping_add(1), next),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                // SAFETY: the tag CAS transferred exclusive ownership.
+                let item = unsafe { (*node.item.get()).take() };
+                debug_assert!(item.is_some(), "popped a node with no item");
+                self.release_node(idx);
+                return item;
+            }
+            self.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Pop up to `max` items with **one CAS**: the whole chain detaches
+    /// atomically, so a batch costs the same synchronization as a
+    /// single pop (§IV-C's amortization, applied to GET itself).
+    ///
+    /// The walk reads `next` links that concurrent operations may be
+    /// recycling; any such interference bumps the head tag and fails
+    /// the CAS, so a successful detach proves the chain was exactly the
+    /// stack's top-`k` at CAS time. Returns top-first order.
+    pub fn pop_many(&self, max: usize) -> Vec<T> {
+        self.pop_chain(max, false)
+    }
+
+    /// [`TreiberStack::pop_many`], additionally bounded to nodes sharing
+    /// the top node's batch key: the walk stops before the first node
+    /// whose key differs. The bucket cache keys nodes by refill
+    /// generation, so a batched GET can never straddle two refill
+    /// rounds — consuming round N+1's buckets while round N is still
+    /// outstanding would leave round N's tetris permanently partial
+    /// (the §IV-D equal-progress invariant, applied to batched pops).
+    pub fn pop_many_same_key(&self, max: usize) -> Vec<T> {
+        self.pop_chain(max, true)
+    }
+
+    fn pop_chain(&self, max: usize, same_key: bool) -> Vec<T> {
+        if max == 0 {
+            return Vec::new();
+        }
+        loop {
+            let h = self.head.load(Ordering::Acquire);
+            if idx_of(h) == NIL {
+                return Vec::new();
+            }
+            // Speculative walk: keys/links may be mutated by concurrent
+            // recycling, but any interference bumps the head tag and
+            // fails the CAS below, discarding whatever was read.
+            let key0 = self.node(idx_of(h)).key.load(Ordering::Acquire);
+            let mut indices = Vec::with_capacity(max.min(16));
+            indices.push(idx_of(h));
+            while indices.len() < max {
+                let nx = self
+                    .node(*indices.last().unwrap())
+                    .next
+                    .load(Ordering::Acquire);
+                if nx == NIL {
+                    break;
+                }
+                if same_key && self.node(nx).key.load(Ordering::Acquire) != key0 {
+                    break;
+                }
+                indices.push(nx);
+            }
+            let after = self
+                .node(*indices.last().unwrap())
+                .next
+                .load(Ordering::Acquire);
+            if self
+                .head
+                .compare_exchange(
+                    h,
+                    pack(tag_of(h).wrapping_add(1), after),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            // SAFETY: tag unchanged across the CAS ⇒ no head CAS
+            // interleaved ⇒ the walked chain is the authentic top-k and
+            // now exclusively ours.
+            let mut out = Vec::with_capacity(indices.len());
+            for idx in indices {
+                let item = unsafe { (*self.node(idx).item.get()).take() };
+                debug_assert!(item.is_some(), "pop_many chain node with no item");
+                if let Some(item) = item {
+                    out.push(item);
+                }
+                self.release_node(idx);
+            }
+            return out;
+        }
+    }
+}
+
+impl<T> Drop for TreiberStack<T> {
+    fn drop(&mut self) {
+        let fresh = *self.next_fresh.get_mut();
+        for idx in 0..fresh {
+            let (c, off) = chunk_of(idx);
+            let base = *self.chunks[c].get_mut();
+            if base.is_null() {
+                continue;
+            }
+            // SAFETY: &mut self — no concurrent access; drop any item
+            // still parked in the node.
+            unsafe { (*(*base.add(off)).item.get()).take() };
+        }
+        for (c, chunk) in self.chunks.iter_mut().enumerate() {
+            let base = *chunk.get_mut();
+            if !base.is_null() {
+                let size = CHUNK0 << c;
+                unsafe { drop(Box::from_raw(ptr::slice_from_raw_parts_mut(base, size))) };
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for TreiberStack<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TreiberStack")
+            .field("empty", &self.is_empty())
+            .field("retries", &self.retries())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn chunk_coordinates_partition_the_index_space() {
+        // Every index maps into exactly one in-bounds chunk slot, and
+        // consecutive indices tile chunks without gaps.
+        let mut prev = (0usize, usize::MAX);
+        for idx in 0..100_000u32 {
+            let (c, off) = chunk_of(idx);
+            assert!(off < CHUNK0 << c, "idx {idx} offset {off} out of chunk {c}");
+            if c == prev.0 {
+                assert_eq!(off, prev.1.wrapping_add(1));
+            } else {
+                assert_eq!(c, prev.0 + 1);
+                assert_eq!(off, 0);
+            }
+            prev = (c, off);
+        }
+    }
+
+    #[test]
+    fn lifo_order_and_reuse() {
+        let s = TreiberStack::new();
+        s.push(1u64);
+        s.push(2);
+        s.push(3);
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), Some(2));
+        s.push(9); // reuses a freed node
+        assert_eq!(s.pop(), Some(9));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn push_many_pops_in_batch_order() {
+        let s = TreiberStack::new();
+        assert_eq!(s.push_many([10u64, 20, 30]), 3);
+        assert_eq!(s.pop(), Some(10), "first item of the batch is on top");
+        assert_eq!(s.pop(), Some(20));
+        assert_eq!(s.pop(), Some(30));
+    }
+
+    #[test]
+    fn pop_many_detaches_the_top_chain() {
+        let s = TreiberStack::new();
+        for i in 0..5u64 {
+            s.push(i);
+        }
+        assert_eq!(s.pop_many(3), vec![4, 3, 2]);
+        assert_eq!(s.pop_many(99), vec![1, 0], "short chain still drains");
+        assert!(s.pop_many(4).is_empty());
+        assert!(s.pop_many(0).is_empty());
+    }
+
+    #[test]
+    fn pop_many_same_key_stops_at_batch_boundary() {
+        let s = TreiberStack::new();
+        assert_eq!(s.push_many_keyed([(1u64, 7), (2, 7)]), 2);
+        s.push_keyed(3, 8);
+        s.push_keyed(4, 8);
+        // Top-down the stack is [4(k8), 3(k8), 1(k7), 2(k7)].
+        assert_eq!(s.pop_many_same_key(10), vec![4, 3], "stops before key 7");
+        assert_eq!(s.pop_many_same_key(1), vec![1], "max still caps the batch");
+        assert_eq!(s.pop_many_same_key(10), vec![2]);
+        assert!(s.pop_many_same_key(10).is_empty());
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves_items() {
+        const THREADS: usize = 8;
+        const PER: u64 = 2_000;
+        let s = Arc::new(TreiberStack::new());
+        let handles: Vec<_> = (0..THREADS as u64)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut kept = Vec::new();
+                    for i in 0..PER {
+                        s.push(t * PER + i);
+                        if i % 3 == 0 {
+                            if let Some(v) = s.pop() {
+                                kept.push(v);
+                            }
+                        }
+                    }
+                    kept
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        while let Some(v) = s.pop() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(
+            all.len(),
+            THREADS * PER as usize,
+            "no item lost or duplicated"
+        );
+    }
+}

@@ -1,23 +1,32 @@
 //! Sharded bucket-cache stress tests: N cleaner threads hammering M
 //! buckets across shards must never lose or duplicate a bucket — through
-//! the home-shard fast path, the work-steal path, and `get_timeout`
-//! expiry under scarcity.
+//! the home-shard fast path (a lock-free CAS pop on the default layout),
+//! the work-steal path, batched `get_many` pops, concurrent collective
+//! `insert_all` rounds, and `get_timeout` expiry under scarcity. Every
+//! scenario runs against both layouts: the Treiber-stack hot path and
+//! the mutex+condvar baseline (`with_shards_mutex`).
+//!
+//! CI runs this file with `-C debug-assertions=on` so the cache's and
+//! Treiber stack's internal invariant checks (fill accounting, arena
+//! bounds, tag monotonicity) are armed during the hammering.
 
-use alligator::{AllocConfig, AllocStats, BucketCache, Infrastructure};
+use alligator::{AllocConfig, AllocStats, BucketCache, Infrastructure, TreiberStack};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Duration;
 use wafl_blockdev::{DriveKind, GeometryBuilder, IoEngine};
 use wafl_metafile::AggregateMap;
 
-/// Build a sharded cache over `data_drives` drives and fill it with
-/// `rounds` collective refill rounds (one bucket per drive per round).
-/// Returns the cache, its stats, and the identity set of every bucket
-/// in circulation (start VBNs are unique per bucket).
+/// Build a cache with `shards` shards over `data_drives` drives and fill
+/// it with `rounds` collective refill rounds (one bucket per drive per
+/// round). Returns the cache, its stats, and the identity set of every
+/// bucket in circulation (start VBNs are unique per bucket).
 fn warm_cache(
     data_drives: u32,
     rounds: usize,
+    shards: usize,
+    lockfree: bool,
 ) -> (Arc<BucketCache>, Arc<AllocStats>, HashSet<u64>) {
     let geo = Arc::new(
         GeometryBuilder::new()
@@ -28,10 +37,12 @@ fn warm_cache(
     let aggmap = Arc::new(AggregateMap::new(Arc::clone(&geo)));
     let io = Arc::new(IoEngine::new(geo, DriveKind::Ssd));
     let stats = Arc::new(AllocStats::default());
-    let cache = Arc::new(BucketCache::with_shards(
-        data_drives as usize,
-        Arc::clone(&stats),
-    ));
+    let cache = Arc::new(if lockfree {
+        BucketCache::with_shards(shards, Arc::clone(&stats))
+    } else {
+        BucketCache::with_shards_mutex(shards, Arc::clone(&stats))
+    });
+    assert_eq!(cache.is_lock_free(), lockfree);
     let infra = Infrastructure::new(AllocConfig::with_chunk(8), aggmap, io, Arc::clone(&stats));
     for _ in 0..rounds {
         assert_eq!(infra.refill_round(&cache), data_drives as usize);
@@ -49,11 +60,12 @@ fn warm_cache(
     (cache, stats, ids)
 }
 
-#[test]
-fn stress_no_bucket_lost_or_duplicated() {
+/// N threads GET (home fast path + steals), hold, and reinsert; no
+/// bucket may be lost, duplicated, or held by two threads at once.
+fn no_bucket_lost_or_duplicated(lockfree: bool) {
     const THREADS: usize = 12;
     const ITERS: usize = 600;
-    let (cache, stats, ids) = warm_cache(8, 3); // 24 buckets, 8 shards
+    let (cache, stats, ids) = warm_cache(8, 3, 8, lockfree); // 24 buckets, 8 shards
     let population = ids.len();
 
     // Any bucket held by two threads at once trips this set.
@@ -127,10 +139,192 @@ fn stress_no_bucket_lost_or_duplicated() {
 }
 
 #[test]
+fn stress_no_bucket_lost_or_duplicated_lockfree() {
+    no_bucket_lost_or_duplicated(true);
+}
+
+#[test]
+fn stress_no_bucket_lost_or_duplicated_mutex() {
+    no_bucket_lost_or_duplicated(false);
+}
+
+/// Getters run batched `get_many` pops while a publisher keeps feeding
+/// retired buckets back through collective `insert_all` rounds — the
+/// §IV-D visibility barrier runs concurrently with lock-free pops, and
+/// nothing may be lost or duplicated across the gate.
+fn concurrent_insert_all_preserves_population(lockfree: bool) {
+    const GETTERS: usize = 6;
+    const DRIVES: u32 = 8;
+    const ROUNDS: usize = 2;
+    const TARGET_ROUNDS: u64 = 120;
+    let (cache, stats, ids) = warm_cache(DRIVES, ROUNDS, DRIVES as usize, lockfree);
+
+    // Workers retire what they pop here; the publisher re-publishes it
+    // in drive-sized collective rounds.
+    let retired: Arc<Mutex<Vec<alligator::Bucket>>> = Arc::new(Mutex::new(Vec::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let rounds_published = Arc::new(AtomicU64::new(0));
+    let in_flight: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+
+    let publisher = {
+        let cache = Arc::clone(&cache);
+        let retired = Arc::clone(&retired);
+        let stop = Arc::clone(&stop);
+        let rounds_published = Arc::clone(&rounds_published);
+        std::thread::spawn(move || loop {
+            let batch: Vec<_> = {
+                let mut r = retired.lock().unwrap();
+                if r.len() >= DRIVES as usize {
+                    r.drain(..DRIVES as usize).collect()
+                } else if stop.load(Ordering::Relaxed) {
+                    r.drain(..).collect()
+                } else {
+                    drop(r);
+                    std::thread::yield_now();
+                    continue;
+                }
+            };
+            let done = stop.load(Ordering::Relaxed) && batch.is_empty();
+            if !batch.is_empty() {
+                cache.insert_all(batch);
+                rounds_published.fetch_add(1, Ordering::Relaxed);
+            }
+            if done {
+                break;
+            }
+        })
+    };
+
+    let getters: Vec<_> = (0..GETTERS)
+        .map(|i| {
+            let cache = Arc::clone(&cache);
+            let retired = Arc::clone(&retired);
+            let stop = Arc::clone(&stop);
+            let rounds_published = Arc::clone(&rounds_published);
+            let in_flight = Arc::clone(&in_flight);
+            std::thread::spawn(move || {
+                while rounds_published.load(Ordering::Relaxed) < TARGET_ROUNDS
+                    && !stop.load(Ordering::Relaxed)
+                {
+                    let got = cache.get_many_from(i, 3);
+                    if got.is_empty() {
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    {
+                        let mut f = in_flight.lock().unwrap();
+                        for b in &got {
+                            assert!(
+                                f.insert(b.start_vbn().0),
+                                "bucket {} held twice",
+                                b.start_vbn().0
+                            );
+                        }
+                    }
+                    {
+                        let mut f = in_flight.lock().unwrap();
+                        for b in &got {
+                            assert!(f.remove(&b.start_vbn().0));
+                        }
+                    }
+                    retired.lock().unwrap().extend(got);
+                }
+            })
+        })
+        .collect();
+    for h in getters {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    publisher.join().unwrap();
+
+    // Conservation across every concurrent insert_all round.
+    assert_eq!(cache.len(), ids.len());
+    let mut drained = HashSet::new();
+    while let Some(b) = cache.try_get() {
+        assert!(
+            drained.insert(b.start_vbn().0),
+            "bucket {} came back twice",
+            b.start_vbn().0
+        );
+    }
+    assert_eq!(drained, ids, "the surviving population changed");
+    let s = stats.snapshot();
+    assert!(
+        s.cache_get_fast + s.cache_get_steal > 0,
+        "getters never popped"
+    );
+}
+
+#[test]
+fn stress_concurrent_insert_all_lockfree() {
+    concurrent_insert_all_preserves_population(true);
+}
+
+#[test]
+fn stress_concurrent_insert_all_mutex() {
+    concurrent_insert_all_preserves_population(false);
+}
+
+/// Batched pops on a deep single shard: `get_many` must return whole
+/// buckets exactly once each and actually batch (one synchronization
+/// hands out several same-generation buckets).
+fn batched_get_many_conserves(lockfree: bool) {
+    const THREADS: usize = 4;
+    const DRIVES: u32 = 8;
+    let (cache, stats, ids) = warm_cache(DRIVES, 1, 1, lockfree); // 8 buckets, one shard
+    let population = ids.len();
+
+    let held: Arc<Mutex<Vec<alligator::Bucket>>> = Arc::new(Mutex::new(Vec::new()));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|i| {
+            let cache = Arc::clone(&cache);
+            let held = Arc::clone(&held);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                loop {
+                    let got = cache.get_many_from(i, 3);
+                    if got.is_empty() {
+                        break;
+                    }
+                    held.lock().unwrap().extend(got);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert!(cache.is_empty());
+    let held = Arc::try_unwrap(held).unwrap().into_inner().unwrap();
+    assert_eq!(held.len(), population, "buckets lost or duplicated");
+    let drained: HashSet<u64> = held.iter().map(|b| b.start_vbn().0).collect();
+    assert_eq!(drained, ids);
+    let s = stats.snapshot();
+    assert!(
+        s.cache_get_batched > 0,
+        "a deep single shard of one generation must yield batches"
+    );
+}
+
+#[test]
+fn stress_batched_get_many_conserves_lockfree() {
+    batched_get_many_conserves(true);
+}
+
+#[test]
+fn stress_batched_get_many_conserves_mutex() {
+    batched_get_many_conserves(false);
+}
+
+#[test]
 fn stress_get_timeout_expires_under_scarcity() {
     const THREADS: usize = 6;
     const ITERS: usize = 40;
-    let (cache, stats, ids) = warm_cache(2, 1); // 2 buckets, 6 threads
+    let (cache, stats, ids) = warm_cache(2, 1, 2, true); // 2 buckets, 6 threads
 
     // An empty-adjacent cache still answers a bounded-time GET miss.
     let successes = Arc::new(AtomicU64::new(0));
@@ -181,4 +375,62 @@ fn stress_get_timeout_expires_under_scarcity() {
         s.cache_blocked_gets >= timeouts.load(Ordering::Relaxed),
         "every expiry went through the blocked-GET path"
     );
+}
+
+/// ABA regression on the raw Treiber stack: threads race pop/push-back
+/// cycles designed to recycle nodes under each other's CAS windows (pop
+/// A, pop B, push A back — the classic ABA shape). The tagged head and
+/// per-pop tag bump must keep the element multiset intact; under
+/// `debug-assertions` the arena's internal checks are armed too.
+#[test]
+fn stress_treiber_aba_regression() {
+    const THREADS: usize = 8;
+    const ITERS: usize = 2_000;
+    const POPULATION: u64 = 16;
+    let stack = Arc::new(TreiberStack::new());
+    for v in 0..POPULATION {
+        stack.push(v);
+    }
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|i| {
+            let stack = Arc::clone(&stack);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for iter in 0..ITERS {
+                    // Alternate single pops with two-pop/reordered-push
+                    // cycles so a slow thread's stale head snapshot sees
+                    // the same node address reappear with new contents.
+                    if (iter + i) % 3 == 0 {
+                        let a = stack.pop();
+                        let b = stack.pop();
+                        if let Some(a) = a {
+                            stack.push(a);
+                        }
+                        if let Some(b) = b {
+                            stack.push(b);
+                        }
+                    } else {
+                        let got = stack.pop_many(2);
+                        if iter % 2 == 0 {
+                            std::thread::yield_now();
+                        }
+                        stack.push_many(got);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut survivors: Vec<u64> = std::iter::from_fn(|| stack.pop()).collect();
+    survivors.sort_unstable();
+    assert_eq!(
+        survivors,
+        (0..POPULATION).collect::<Vec<_>>(),
+        "ABA recycling corrupted the stack"
+    );
+    assert!(stack.is_empty());
 }

@@ -1,16 +1,28 @@
 //! Perf-trajectory experiment — bucket-cache contention under cleaner
 //! scaling. The single-mutex cache serializes every GET (§IV-C's
 //! amortization argument cuts the *frequency* of synchronization, not
-//! its width); the sharded cache gives cleaner *i* an uncontended home
-//! shard. This bench sweeps cleaner threads 1→16 over both layouts in a
-//! GET-bound microbenchmark configuration and records GET throughput,
-//! home-shard hit rate, work-steals, and modeled lock-wait time.
+//! its width); sharding gives cleaner *i* an uncontended home shard; the
+//! lock-free Treiber hot path then removes the mutex from the common
+//! GET entirely (one CAS pop plus the O(1) fullest-shard hint). This
+//! bench sweeps cleaner threads 1→16 over four layouts in a GET-bound
+//! microbenchmark configuration:
+//!
+//! - `single_lock`   — one mutex shard, every GET funnels through it;
+//! - `mutex_sharded` — per-drive mutex+condvar shards (the PR-2 layout);
+//! - `lockfree`      — per-drive Treiber shards, `get_many(1)`;
+//! - `lockfree_get8` — per-drive Treiber shards, batched `get_many(8)`.
 //!
 //! Outputs:
 //! - `BENCH_cache_contention.json` at the repo root (override the
 //!   directory with `WAFL_BENCH_ROOT`) — the machine-readable scaling
 //!   record the CI schema gate validates;
 //! - `results/exp_cache_contention.json` via the standard [`emit`] path.
+//!
+//! A second, machine-tagged record (`real_thread`) measures the *real*
+//! `alligator::BucketCache` with OS threads hammering GET/recycle on
+//! both layouts. It is wall-clock and machine-dependent, so it carries
+//! no perf gate and is `null` on single-core machines (the sweep needs
+//! real parallelism to mean anything).
 //!
 //! `--validate <path>` re-parses a previously written record and checks
 //! its schema and invariants (exit 1 on violation) so the trajectory
@@ -23,14 +35,23 @@ use wafl_simsrv::{
 };
 
 /// Schema tag for `BENCH_cache_contention.json`.
-const SCHEMA: &str = "wafl.cache_contention.v1";
+const SCHEMA: &str = "wafl.cache_contention.v2";
 
 /// Thread counts swept (the ISSUE's 1→16 range).
 const THREADS: [usize; 6] = [1, 2, 4, 8, 12, 16];
 
-/// Acceptance floor: sharded GET throughput vs single-lock at ≥ 8
-/// cleaner threads.
-const SPEEDUP_FLOOR: f64 = 1.5;
+/// Acceptance floor: lock-free GET throughput vs the single lock at
+/// ≥ 8 cleaner threads.
+const SINGLE_LOCK_FLOOR: f64 = 1.5;
+
+/// The lock-free layout may never lose to the mutex shards at any swept
+/// thread count (small tolerance for integer-truncation noise in the
+/// cost model).
+const MUTEX_FLOOR: f64 = 0.999;
+
+/// Batched `get_many(8)` must stay within 5% of `get_many(1)` — batching
+/// amortizes synchronization and must never tank throughput.
+const GET8_SANITY: f64 = 0.95;
 
 /// One swept point of one cache layout.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -45,10 +66,12 @@ struct CurvePoint {
     home_hit_pct: f64,
     /// GETs that work-stole from another shard.
     steals: u64,
-    /// Modeled time spent on contended shard locks, ms.
+    /// Modeled time spent on contended shard sync, ms.
     lock_wait_ms: f64,
     /// GETs that found every shard empty.
     blocked_gets: u64,
+    /// Extra buckets (beyond the first) granted by batched pops.
+    batched_extras: u64,
 }
 
 /// The full sweep for one cache layout.
@@ -56,30 +79,93 @@ struct CurvePoint {
 struct Curve {
     /// Shard count of this layout (1 = the forced single-lock baseline).
     shards: u64,
+    /// Treiber-stack (CAS) hot path vs mutex shards.
+    lockfree: bool,
+    /// `get_many` batch bound used by this layout.
+    get_batch: u64,
     /// One point per entry of `threads`.
     points: Vec<CurvePoint>,
+}
+
+/// One point of the wall-clock sweep over the real `BucketCache`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RealThreadPoint {
+    /// OS threads hammering the cache.
+    threads: u64,
+    /// GET/recycle cycles per second, Treiber layout.
+    lockfree_gets_per_sec: f64,
+    /// GET/recycle cycles per second, mutex-shard layout.
+    mutex_gets_per_sec: f64,
+    /// `lockfree / mutex` (informational; machine-dependent, ungated).
+    speedup: f64,
+}
+
+/// Machine-tagged wall-clock record (no perf gate; `null` when the
+/// machine cannot run ≥ 2 threads in parallel).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RealThreadRecord {
+    /// `available_parallelism()` of the producing machine.
+    cpus: u64,
+    /// One point per swept thread count.
+    points: Vec<RealThreadPoint>,
 }
 
 /// The persisted record.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct ContentionDoc {
-    /// Schema tag (`wafl.cache_contention.v1`).
+    /// Schema tag (`wafl.cache_contention.v2`).
     schema: String,
     /// Producing binary.
     bench: String,
-    /// True when run under `WAFL_BENCH_QUICK` (shorter windows; the
-    /// speedup floor is not enforced on quick records).
+    /// True when run under `WAFL_BENCH_QUICK` (shorter windows; perf
+    /// floors are not enforced on quick records).
     quick: bool,
     /// Cleaner thread counts swept.
     threads: Vec<u64>,
-    /// Per-drive sharded layout.
-    sharded: Curve,
     /// Forced single-lock layout.
     single_lock: Curve,
-    /// `sharded.gets_per_sec / single_lock.gets_per_sec` per point.
-    get_speedup: Vec<f64>,
-    /// Minimum speedup over the points with ≥ 8 threads.
-    min_speedup_at_8_plus_threads: f64,
+    /// Per-drive mutex+condvar shards.
+    mutex_sharded: Curve,
+    /// Per-drive Treiber shards, `get_many(1)`.
+    lockfree: Curve,
+    /// Per-drive Treiber shards, batched `get_many(8)`.
+    lockfree_get8: Curve,
+    /// `lockfree.gets_per_sec / mutex_sharded.gets_per_sec` per point.
+    speedup_lockfree_vs_mutex: Vec<f64>,
+    /// `lockfree.gets_per_sec / single_lock.gets_per_sec` per point.
+    speedup_lockfree_vs_single_lock: Vec<f64>,
+    /// Minimum lockfree-vs-mutex speedup over the points ≥ 8 threads.
+    min_vs_mutex_at_8_plus_threads: f64,
+    /// Minimum lockfree-vs-single-lock speedup over the points ≥ 8
+    /// threads.
+    min_vs_single_lock_at_8_plus_threads: f64,
+    /// Wall-clock sweep over the real cache, or `null` on single-core
+    /// machines.
+    real_thread: Option<RealThreadRecord>,
+}
+
+/// Cache layouts swept by the simulated record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Layout {
+    SingleLock,
+    MutexSharded,
+    LockFree,
+    LockFreeGet8,
+}
+
+impl Layout {
+    fn single_shard(self) -> bool {
+        self == Layout::SingleLock
+    }
+    fn lockfree(self) -> bool {
+        matches!(self, Layout::LockFree | Layout::LockFreeGet8)
+    }
+    fn get_batch(self) -> u64 {
+        match self {
+            Layout::LockFreeGet8 => 8,
+            _ => 1,
+        }
+    }
 }
 
 /// GET-bound microbenchmark platform. The full-system configs keep the
@@ -87,11 +173,13 @@ struct ContentionDoc {
 /// to measure the *cache*, this config strips everything around it:
 /// tiny per-buffer work, small chunks (frequent GET/PUT), cheap client
 /// and infrastructure paths with wide core headroom, and a deep dirty
-/// backlog so cleaners never idle. The contention factor is raised to
-/// 0.12/sharer: in a GET-saturated loop there is no cleaning work to
-/// absorb the convoy, so each extra sharer costs proportionally more
-/// than under the full-path default of 0.06.
-fn microbench(threads: usize, single_lock: bool) -> SimConfig {
+/// backlog so cleaners never idle. The contention factors are raised
+/// (0.12/sharer mutex, 0.04/sharer CAS): in a GET-saturated loop there
+/// is no cleaning work to absorb the convoy, so each extra sharer costs
+/// proportionally more than under the full-path defaults. The CAS:mutex
+/// base-cost ratio (6 µs : 16 µs) matches the default model's
+/// 1.5 µs : 4 µs.
+fn microbench(threads: usize, layout: Layout) -> SimConfig {
     let mut cfg = SimConfig::paper_platform(WorkloadKind::sequential_write());
     configure_duration(&mut cfg);
     cfg.cores = 40;
@@ -100,7 +188,9 @@ fn microbench(threads: usize, single_lock: bool) -> SimConfig {
     cfg.cleaners = CleanerSetting::Fixed(threads);
     cfg.chunk = 16;
     cfg.drives = 16;
-    cfg.cache_shards = if single_lock { 1 } else { 0 };
+    cfg.cache_shards = if layout.single_shard() { 1 } else { 0 };
+    cfg.cache_lockfree = layout.lockfree();
+    cfg.cache_get_batch = layout.get_batch();
     cfg.stage_capacity = 4096;
     cfg.dirty_limit = 100_000;
     cfg.cp_trigger_blocks = 1_000;
@@ -115,6 +205,8 @@ fn microbench(threads: usize, single_lock: bool) -> SimConfig {
         cleaner_per_buffer: 200,
         cleaner_bucket_sync: 16_000,
         cleaner_contention_factor: 0.12,
+        cleaner_cas_sync: 6_000,
+        cas_contention_factor: 0.04,
         cleaner_msg_overhead: 1_000,
         cleaner_inode_overhead: 0,
         infra_refill_fixed: 500,
@@ -143,7 +235,28 @@ fn point(threads: usize, r: &SimResult) -> CurvePoint {
         steals: r.cache_get_steal,
         lock_wait_ms: r.cache_lock_waits_ns as f64 / 1e6,
         blocked_gets: r.cache_blocked_gets,
+        batched_extras: r.cache_get_batched,
     }
+}
+
+fn sweep(layout: Layout) -> (Curve, Vec<SimResult>) {
+    let mut results = Vec::new();
+    let mut curve = Curve {
+        shards: if layout.single_shard() {
+            1
+        } else {
+            microbench(1, layout).drives as u64
+        },
+        lockfree: layout.lockfree(),
+        get_batch: layout.get_batch(),
+        points: Vec::new(),
+    };
+    for n in THREADS {
+        let r = Simulator::new(microbench(n, layout)).run();
+        curve.points.push(point(n, &r));
+        results.push(r);
+    }
+    (curve, results)
 }
 
 /// Directory receiving `BENCH_cache_contention.json`: `WAFL_BENCH_ROOT`
@@ -154,6 +267,146 @@ fn bench_root() -> std::path::PathBuf {
         Some(d) => d.into(),
         None => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."),
     }
+}
+
+/// Wall-clock sweep over the real `alligator::BucketCache`: OS threads
+/// GET a bucket from their home shard and immediately recycle it, so
+/// the loop body is exactly the synchronization under test (CAS pop +
+/// keyed push vs mutex lock/unlock). Skipped (→ `None`) when the
+/// machine cannot run two threads in parallel — an oversubscribed
+/// single-core sweep measures the scheduler, not the cache.
+mod real_thread {
+    use super::{RealThreadPoint, RealThreadRecord};
+    use alligator::{stats::AllocStats, Bucket, BucketCache, Tetris};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use wafl_blockdev::{AaId, DriveId, DriveKind, GeometryBuilder, IoEngine, RaidGroupId, Vbn};
+
+    const NSHARDS: usize = 8;
+    const BUCKETS_PER_SHARD: usize = 4;
+    const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+    fn mk_bucket(drive: u32, start: u64) -> Bucket {
+        let engine = Arc::new(IoEngine::new(
+            Arc::new(
+                GeometryBuilder::new()
+                    .aa_stripes(32)
+                    .raid_group(1, 1, 4096)
+                    .build(),
+            ),
+            DriveKind::Ssd,
+        ));
+        let t = Tetris::new(RaidGroupId(0), 1, engine, Arc::new(AllocStats::default()));
+        Bucket::new(
+            RaidGroupId(0),
+            0,
+            DriveId(drive),
+            AaId {
+                rg: RaidGroupId(0),
+                index: 0,
+            },
+            (start..start + 4).map(Vbn).collect(),
+            0,
+            t,
+            0,
+        )
+    }
+
+    /// GET/recycle cycles per second with `threads` workers on one
+    /// layout.
+    fn run_layout(lockfree: bool, threads: usize, window: Duration) -> f64 {
+        let stats = Arc::new(AllocStats::default());
+        let cache = Arc::new(if lockfree {
+            BucketCache::with_shards(NSHARDS, stats)
+        } else {
+            BucketCache::with_shards_mutex(NSHARDS, stats)
+        });
+        cache.insert_all(
+            (0..NSHARDS * BUCKETS_PER_SHARD)
+                .map(|i| mk_bucket((i % NSHARDS) as u32, i as u64 * 64)),
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let total = Arc::new(AtomicU64::new(0));
+        let start = Instant::now();
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let cache = Arc::clone(&cache);
+                let stop = Arc::clone(&stop);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    let mut local = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        match cache.try_get_from(i) {
+                            Some(b) => {
+                                local += 1;
+                                cache.insert(b);
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    total.fetch_add(local, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            let _ = h.join();
+        }
+        let secs = start.elapsed().as_secs_f64();
+        total.load(Ordering::Relaxed) as f64 / secs
+    }
+
+    pub fn measure(quick: bool) -> Option<RealThreadRecord> {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cpus < 2 {
+            eprintln!(
+                "note: available_parallelism = {cpus}; real-thread sweep skipped \
+                 (real_thread: null)"
+            );
+            return None;
+        }
+        let window = Duration::from_millis(if quick { 30 } else { 150 });
+        let points = SWEEP
+            .iter()
+            .map(|&t| {
+                let lf = run_layout(true, t, window);
+                let mx = run_layout(false, t, window);
+                RealThreadPoint {
+                    threads: t as u64,
+                    lockfree_gets_per_sec: lf,
+                    mutex_gets_per_sec: mx,
+                    speedup: if mx > 0.0 { lf / mx } else { f64::INFINITY },
+                }
+            })
+            .collect();
+        Some(RealThreadRecord {
+            cpus: cpus as u64,
+            points,
+        })
+    }
+}
+
+/// Per-point speedup of curve `a` over curve `b`, plus the minimum over
+/// points at ≥ 8 threads.
+fn speedups(a: &Curve, b: &Curve) -> (Vec<f64>, f64) {
+    let v: Vec<f64> = a
+        .points
+        .iter()
+        .zip(&b.points)
+        .map(|(pa, pb)| pa.gets_per_sec / pb.gets_per_sec)
+        .collect();
+    let min8 = a
+        .points
+        .iter()
+        .zip(&v)
+        .filter(|(p, _)| p.threads >= 8)
+        .map(|(_, &s)| s)
+        .fold(f64::INFINITY, f64::min);
+    (v, min8)
 }
 
 /// Schema/invariant check of a written record. Returns a description of
@@ -174,14 +427,23 @@ fn validate(doc: &ContentionDoc) -> Result<(), String> {
     if !doc.threads.iter().any(|&t| t >= 8) {
         return Err("threads: no point at ≥ 8 (acceptance range uncovered)".into());
     }
-    if doc.single_lock.shards != 1 {
-        return Err(format!("single_lock.shards = {}", doc.single_lock.shards));
-    }
-    if doc.sharded.shards < 2 {
-        return Err(format!("sharded.shards = {} (< 2)", doc.sharded.shards));
-    }
+    let layouts = [
+        ("single_lock", &doc.single_lock, 1u64, false, 1u64),
+        ("mutex_sharded", &doc.mutex_sharded, 2, false, 1),
+        ("lockfree", &doc.lockfree, 2, true, 1),
+        ("lockfree_get8", &doc.lockfree_get8, 2, true, 8),
+    ];
     let n = doc.threads.len();
-    for (name, curve) in [("sharded", &doc.sharded), ("single_lock", &doc.single_lock)] {
+    for (name, curve, min_shards, lockfree, batch) in layouts {
+        if (min_shards == 1 && curve.shards != 1) || curve.shards < min_shards {
+            return Err(format!("{name}.shards = {}", curve.shards));
+        }
+        if curve.lockfree != lockfree {
+            return Err(format!("{name}.lockfree = {}", curve.lockfree));
+        }
+        if curve.get_batch != batch {
+            return Err(format!("{name}.get_batch = {}", curve.get_batch));
+        }
         if curve.points.len() != n {
             return Err(format!(
                 "{name}: {} points, {n} threads",
@@ -200,34 +462,98 @@ fn validate(doc: &ContentionDoc) -> Result<(), String> {
             }
         }
     }
-    if doc.get_speedup.len() != n {
+    for (name, v, a, b) in [
+        (
+            "speedup_lockfree_vs_mutex",
+            &doc.speedup_lockfree_vs_mutex,
+            &doc.lockfree,
+            &doc.mutex_sharded,
+        ),
+        (
+            "speedup_lockfree_vs_single_lock",
+            &doc.speedup_lockfree_vs_single_lock,
+            &doc.lockfree,
+            &doc.single_lock,
+        ),
+    ] {
+        if v.len() != n {
+            return Err(format!("{name}: {} entries, {n} threads", v.len()));
+        }
+        for (i, &s) in v.iter().enumerate() {
+            let expect = a.points[i].gets_per_sec / b.points[i].gets_per_sec;
+            if !s.is_finite() || (s - expect).abs() > 1e-6 * expect.abs() {
+                return Err(format!(
+                    "{name}[{i}] = {s} inconsistent with curves ({expect})"
+                ));
+            }
+        }
+    }
+    let (_, min_mutex) = speedups(&doc.lockfree, &doc.mutex_sharded);
+    let (_, min_single) = speedups(&doc.lockfree, &doc.single_lock);
+    if (doc.min_vs_mutex_at_8_plus_threads - min_mutex).abs() > 1e-6 * min_mutex.abs() {
         return Err(format!(
-            "get_speedup: {} entries, {n} threads",
-            doc.get_speedup.len()
+            "min_vs_mutex_at_8_plus_threads = {} but curves give {min_mutex}",
+            doc.min_vs_mutex_at_8_plus_threads
         ));
     }
-    let mut min8 = f64::INFINITY;
-    for (i, &s) in doc.get_speedup.iter().enumerate() {
-        let expect = doc.sharded.points[i].gets_per_sec / doc.single_lock.points[i].gets_per_sec;
-        if !s.is_finite() || (s - expect).abs() > 1e-6 * expect.abs() {
+    if (doc.min_vs_single_lock_at_8_plus_threads - min_single).abs() > 1e-6 * min_single.abs() {
+        return Err(format!(
+            "min_vs_single_lock_at_8_plus_threads = {} but curves give {min_single}",
+            doc.min_vs_single_lock_at_8_plus_threads
+        ));
+    }
+    if let Some(rt) = &doc.real_thread {
+        if rt.cpus < 2 {
+            return Err(format!("real_thread.cpus = {} (< 2 must be null)", rt.cpus));
+        }
+        if rt.points.is_empty() {
+            return Err("real_thread: empty sweep".into());
+        }
+        for (i, p) in rt.points.iter().enumerate() {
+            if !p.lockfree_gets_per_sec.is_finite()
+                || p.lockfree_gets_per_sec <= 0.0
+                || !p.mutex_gets_per_sec.is_finite()
+                || p.mutex_gets_per_sec <= 0.0
+            {
+                return Err(format!("real_thread[{i}]: non-positive rate"));
+            }
+        }
+    }
+    if !doc.quick {
+        for (i, &s) in doc.speedup_lockfree_vs_mutex.iter().enumerate() {
+            if s < MUTEX_FLOOR {
+                return Err(format!(
+                    "lockfree loses to mutex shards at {} threads: {s:.3}x < {MUTEX_FLOOR}x",
+                    doc.threads[i]
+                ));
+            }
+            if doc.threads[i] >= 8 && s <= 1.0 {
+                return Err(format!(
+                    "lockfree not strictly faster at {} threads: {s:.3}x",
+                    doc.threads[i]
+                ));
+            }
+        }
+        if min_single < SINGLE_LOCK_FLOOR {
             return Err(format!(
-                "get_speedup[{i}] = {s} inconsistent with curves ({expect})"
+                "speedup floor: min {min_single:.3}x vs single lock at ≥ 8 threads \
+                 < {SINGLE_LOCK_FLOOR}x"
             ));
         }
-        if doc.threads[i] >= 8 {
-            min8 = min8.min(s);
+        for (i, (p8, p1)) in doc
+            .lockfree_get8
+            .points
+            .iter()
+            .zip(&doc.lockfree.points)
+            .enumerate()
+        {
+            if p8.gets_per_sec < GET8_SANITY * p1.gets_per_sec {
+                return Err(format!(
+                    "get_many(8) tanks throughput at {} threads: {:.0} vs {:.0} GET/s",
+                    doc.threads[i], p8.gets_per_sec, p1.gets_per_sec
+                ));
+            }
         }
-    }
-    if (doc.min_speedup_at_8_plus_threads - min8).abs() > 1e-6 * min8.abs() {
-        return Err(format!(
-            "min_speedup_at_8_plus_threads = {} but curves give {min8}",
-            doc.min_speedup_at_8_plus_threads
-        ));
-    }
-    if !doc.quick && min8 < SPEEDUP_FLOOR {
-        return Err(format!(
-            "speedup floor: min {min8:.3}x at ≥ 8 threads < {SPEEDUP_FLOOR}x"
-        ));
     }
     Ok(())
 }
@@ -252,9 +578,15 @@ fn run_validate(path: &str) -> ! {
         std::process::exit(1);
     }
     println!(
-        "{path}: valid {SCHEMA} ({} points, min speedup at 8+ threads {:.2}x)",
+        "{path}: valid {SCHEMA} ({} points, min speedup at 8+ threads: \
+         {:.2}x vs mutex, {:.2}x vs single lock, real_thread: {})",
         doc.threads.len(),
-        doc.min_speedup_at_8_plus_threads
+        doc.min_vs_mutex_at_8_plus_threads,
+        doc.min_vs_single_lock_at_8_plus_threads,
+        match &doc.real_thread {
+            Some(rt) => format!("{} cpus", rt.cpus),
+            None => "null".to_string(),
+        }
     );
     std::process::exit(0);
 }
@@ -274,61 +606,71 @@ fn main() {
     let quick = std::env::var_os("WAFL_BENCH_QUICK").is_some();
     let mut t = FigureTable::new(
         "exp_cache_contention",
-        "bucket-cache GET throughput: per-drive shards vs single lock",
+        "bucket-cache GET throughput: lock-free vs mutex shards vs single lock",
     );
-    let mut sharded = Curve {
-        shards: microbench(1, false).drives as u64,
-        points: Vec::new(),
-    };
-    let mut single = Curve {
-        shards: 1,
-        points: Vec::new(),
-    };
-    let mut speedup = Vec::new();
-    let mut last: Option<(SimResult, SimResult)> = None;
-    for n in THREADS {
-        let rs = Simulator::new(microbench(n, false)).run();
-        let r1 = Simulator::new(microbench(n, true)).run();
-        let ps = point(n, &rs);
-        let p1 = point(n, &r1);
-        let s = ps.gets_per_sec / p1.gets_per_sec;
+    let (single, _) = sweep(Layout::SingleLock);
+    let (mutex_sharded, r_mutex) = sweep(Layout::MutexSharded);
+    let (lockfree, r_lf) = sweep(Layout::LockFree);
+    let (lockfree_get8, _) = sweep(Layout::LockFreeGet8);
+
+    for (i, &n) in THREADS.iter().enumerate() {
         t.row_measured(
-            format!("GET/s sharded @{n} threads"),
-            ps.gets_per_sec,
+            format!("GET/s lock-free @{n} threads"),
+            lockfree.points[i].gets_per_sec,
+            "GET/s",
+        );
+        t.row_measured(
+            format!("GET/s mutex-sharded @{n} threads"),
+            mutex_sharded.points[i].gets_per_sec,
             "GET/s",
         );
         t.row_measured(
             format!("GET/s single-lock @{n} threads"),
-            p1.gets_per_sec,
+            single.points[i].gets_per_sec,
             "GET/s",
         );
-        t.row_measured(format!("GET speedup @{n} threads"), s, "x");
-        sharded.points.push(ps);
-        single.points.push(p1);
-        speedup.push(s);
-        last = Some((rs, r1));
+        t.row_measured(
+            format!("GET/s lock-free get_many(8) @{n} threads"),
+            lockfree_get8.points[i].gets_per_sec,
+            "GET/s",
+        );
     }
     // Contention-counter detail at the widest point.
-    if let Some((rs, r1)) = &last {
-        t.cache_rows("sharded @16", rs);
-        t.cache_rows("single-lock @16", r1);
+    if let (Some(rl), Some(rm)) = (r_lf.last(), r_mutex.last()) {
+        t.cache_rows("lock-free @16", rl);
+        t.cache_rows("mutex-sharded @16", rm);
     }
 
-    let min8 = THREADS
-        .iter()
-        .zip(&speedup)
-        .filter(|(&n, _)| n >= 8)
-        .map(|(_, &s)| s)
-        .fold(f64::INFINITY, f64::min);
+    let (speedup_mutex, min_mutex) = speedups(&lockfree, &mutex_sharded);
+    let (speedup_single, min_single) = speedups(&lockfree, &single);
+    for (i, &n) in THREADS.iter().enumerate() {
+        t.row_measured(
+            format!("lock-free speedup vs mutex @{n} threads"),
+            speedup_mutex[i],
+            "x",
+        );
+        t.row_measured(
+            format!("lock-free speedup vs single-lock @{n} threads"),
+            speedup_single[i],
+            "x",
+        );
+    }
+
+    let real = real_thread::measure(quick);
     let doc = ContentionDoc {
         schema: SCHEMA.to_string(),
         bench: "exp_cache_contention".to_string(),
         quick,
         threads: THREADS.iter().map(|&n| n as u64).collect(),
-        sharded,
         single_lock: single,
-        get_speedup: speedup,
-        min_speedup_at_8_plus_threads: min8,
+        mutex_sharded,
+        lockfree,
+        lockfree_get8,
+        speedup_lockfree_vs_mutex: speedup_mutex,
+        speedup_lockfree_vs_single_lock: speedup_single,
+        min_vs_mutex_at_8_plus_threads: min_mutex,
+        min_vs_single_lock_at_8_plus_threads: min_single,
+        real_thread: real,
     };
     if let Err(msg) = validate(&doc) {
         eprintln!("exp_cache_contention: produced record fails validation: {msg}");
@@ -345,5 +687,8 @@ fn main() {
         println!("[saved {}]", path.display());
     }
     emit(&t);
-    println!("min GET speedup at ≥ 8 cleaner threads: {min8:.2}x (floor {SPEEDUP_FLOOR}x)");
+    println!(
+        "min GET speedup at ≥ 8 cleaner threads: {min_mutex:.2}x vs mutex shards \
+         (floor {MUTEX_FLOOR}x), {min_single:.2}x vs single lock (floor {SINGLE_LOCK_FLOOR}x)"
+    );
 }

@@ -123,6 +123,21 @@ impl FigureTable {
                 r.cache_blocked_gets as f64,
                 "count",
             )
+            .row_measured(
+                format!("{label_prefix} batched GET extra buckets"),
+                r.cache_get_batched as f64,
+                "count",
+            )
+            .row_measured(
+                format!("{label_prefix} PUT commit queue high-water"),
+                r.put_commit_queue_len as f64,
+                "count",
+            )
+            .row_measured(
+                format!("{label_prefix} used-bucket commit time"),
+                r.commit_batch_ns as f64 / 1e6,
+                "ms",
+            )
     }
 }
 
@@ -164,12 +179,18 @@ mod tests {
             cache_get_steal: 25,
             cache_lock_waits_ns: 3_000_000,
             cache_blocked_gets: 2,
+            cache_get_batched: 30,
+            put_commit_queue_len: 5,
+            commit_batch_ns: 2_000_000,
         };
         let mut t = FigureTable::new("cache", "contention");
         t.cache_rows("sharded", &r);
-        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.rows.len(), 7);
         assert!((t.rows[0].measured - 75.0).abs() < 1e-9, "75% home hits");
         assert!((t.rows[2].measured - 3.0).abs() < 1e-9, "3 ms lock wait");
+        assert!((t.rows[4].measured - 30.0).abs() < 1e-9, "batched extras");
+        assert!((t.rows[5].measured - 5.0).abs() < 1e-9, "commit high-water");
+        assert!((t.rows[6].measured - 2.0).abs() < 1e-9, "2 ms commit time");
         // Zero pops must not divide by zero.
         r.cache_get_fast = 0;
         r.cache_get_steal = 0;

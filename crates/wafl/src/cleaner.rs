@@ -29,6 +29,7 @@ use alligator::{Allocator, Bucket};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -52,6 +53,12 @@ pub struct CleanerConfig {
     pub region_size: usize,
     /// VVBNs reserved per chunk by a cleaner (volume-side bucket analog).
     pub vvbn_chunk: usize,
+    /// Buckets acquired per GET batch: a cleaner pops up to this many
+    /// buckets from its home shard in one cache synchronization event
+    /// ([`Allocator::get_bucket_many`]) and feeds later jobs from the
+    /// prefetched tail — §IV-C's amortization applied to GET itself.
+    /// `1` disables batching (every bucket pays its own CAS/lock).
+    pub get_batch: usize,
 }
 
 impl Default for CleanerConfig {
@@ -64,6 +71,7 @@ impl Default for CleanerConfig {
             region_split_threshold: 512,
             region_size: 256,
             vvbn_chunk: 64,
+            get_batch: 4,
         }
     }
 }
@@ -154,22 +162,77 @@ pub fn partition_work(
     items
 }
 
+/// A cleaner's bucket state across the jobs of one message: the bucket
+/// currently being consumed plus the prefetched tail of the last batched
+/// GET. Create one per message, run jobs through [`clean_job`], and call
+/// [`CleanerCtx::finish`] at message end to PUT the in-hand bucket and
+/// requeue untouched prefetched ones.
+#[derive(Debug)]
+pub struct CleanerCtx {
+    /// This cleaner's index (bucket-cache shard affinity).
+    pub cleaner: usize,
+    /// Buckets per GET batch ([`CleanerConfig::get_batch`]).
+    pub get_batch: usize,
+    /// The bucket VBNs are currently drawn from.
+    pub bucket: Option<Bucket>,
+    /// Untouched buckets from the last batched GET, consumed before the
+    /// next cache round-trip.
+    pub prefetch: VecDeque<Bucket>,
+}
+
+impl CleanerCtx {
+    /// Context for cleaner `cleaner` batching `get_batch` buckets per GET.
+    pub fn new(cleaner: usize, get_batch: usize) -> Self {
+        Self {
+            cleaner,
+            get_batch: get_batch.max(1),
+            bucket: None,
+            prefetch: VecDeque::new(),
+        }
+    }
+
+    /// Make `bucket` non-empty: take from the prefetch queue, or GET a
+    /// fresh batch. Returns `None` when the aggregate is out of space.
+    fn refill(&mut self, alloc: &Allocator) -> Option<()> {
+        if let Some(b) = self.prefetch.pop_front() {
+            self.bucket = Some(b);
+            return Some(());
+        }
+        let mut batch = alloc.get_bucket_many(self.cleaner, self.get_batch)?;
+        let first = batch.remove(0);
+        self.prefetch.extend(batch);
+        self.bucket = Some(first);
+        Some(())
+    }
+
+    /// Message-end settlement: PUT the bucket in hand (its USEs must
+    /// commit) and hand untouched prefetched buckets back to the cache.
+    pub fn finish(&mut self, alloc: &Allocator) {
+        if let Some(b) = self.bucket.take() {
+            alloc.put_bucket(b);
+        }
+        for b in self.prefetch.drain(..) {
+            alloc.requeue_bucket(b);
+        }
+    }
+}
+
 /// Clean one job: assign a VVBN and a PVBN to every dirty buffer, record
 /// the buffer into the allocator's tetris (via USE), and stage frees of
-/// overwritten blocks. `bucket` carries the cleaner's current bucket
-/// across jobs within one message.
+/// overwritten blocks. `ctx` carries the cleaner's bucket (and batched-GET
+/// prefetch queue) across jobs within one message.
 ///
-/// `cleaner` is the calling cleaner's index: GETs go to bucket-cache
+/// `ctx.cleaner` is the calling cleaner's index: GETs go to bucket-cache
 /// shard `cleaner % nshards` first, so concurrent cleaners take disjoint
-/// shard locks on the common path and only steal across shards when their
-/// home shard runs dry.
+/// shard hot paths on the common case and only steal across shards when
+/// their home shard runs dry.
 ///
 /// Returns `None` if the aggregate ran out of space mid-job (callers
-/// treat this as a fatal CP error).
+/// treat this as a fatal CP error; `ctx` can still be `finish`ed to
+/// settle buckets it holds).
 pub fn clean_job(
     alloc: &Allocator,
-    cleaner: usize,
-    bucket: &mut Option<Bucket>,
+    ctx: &mut CleanerCtx,
     stage: &mut alligator::Stage,
     job: &CleanJob,
     vvbn_chunk: usize,
@@ -190,17 +253,17 @@ pub fn clean_job(
             )?);
         };
         job.vol.vvbn().commit(vvbn);
-        // Physical VBN from the bucket (GET a fresh one as needed).
+        // Physical VBN from the bucket (prefetched or freshly GOT).
         let pvbn = loop {
-            if let Some(b) = bucket.as_mut() {
+            if let Some(b) = ctx.bucket.as_mut() {
                 if let Some(v) = b.use_vbn(buf.stamp) {
                     break v;
                 }
             }
-            if let Some(old) = bucket.take() {
+            if let Some(old) = ctx.bucket.take() {
                 alloc.put_bucket(old);
             }
-            *bucket = Some(alloc.get_bucket_from(cleaner)?);
+            ctx.refill(alloc)?;
         };
         // Overwrite: free the previous locations.
         if let Some(old) = buf.old_pvbn {
@@ -398,15 +461,14 @@ fn worker(index: usize, shared: &PoolShared) {
         match msg {
             Msg::Item { item, reply } => {
                 let t0 = std::time::Instant::now();
-                let mut bucket = None;
+                let mut ctx = CleanerCtx::new(index, shared.cfg.get_batch);
                 let mut stage = shared.alloc.new_stage();
                 let mut results = Vec::with_capacity(item.jobs.len());
                 let mut failed = false;
                 for job in &item.jobs {
                     match clean_job(
                         &shared.alloc,
-                        index,
-                        &mut bucket,
+                        &mut ctx,
                         &mut stage,
                         job,
                         shared.cfg.vvbn_chunk,
@@ -418,10 +480,9 @@ fn worker(index: usize, shared: &PoolShared) {
                         }
                     }
                 }
-                // PUT the bucket and flush the stage at message end.
-                if let Some(b) = bucket.take() {
-                    shared.alloc.put_bucket(b);
-                }
+                // PUT the bucket, requeue unused prefetches, flush the
+                // stage at message end.
+                ctx.finish(&shared.alloc);
                 shared.alloc.flush_stage(&mut stage);
                 shared
                     .busy_ns
@@ -558,14 +619,14 @@ mod tests {
     fn clean_job_assigns_contiguous_vbns_and_frees_old() {
         let alloc = mk_alloc();
         let v = vol();
-        let mut bucket = None;
+        let mut ctx = CleanerCtx::new(0, 4);
         let mut stage = alloc.new_stage();
         let job = CleanJob {
             vol: Arc::clone(&v),
             file: FileId(1),
             buffers: dirty(8),
         };
-        let r = clean_job(&alloc, 0, &mut bucket, &mut stage, &job, 16).unwrap();
+        let r = clean_job(&alloc, &mut ctx, &mut stage, &job, 16).unwrap();
         assert_eq!(r.cleaned.len(), 8);
         for w in r.cleaned.windows(2) {
             assert_eq!(
@@ -585,15 +646,65 @@ mod tests {
             file: FileId(1),
             buffers: over,
         };
-        let r2 = clean_job(&alloc, 0, &mut bucket, &mut stage, &job2, 16).unwrap();
+        let r2 = clean_job(&alloc, &mut ctx, &mut stage, &job2, 16).unwrap();
         assert_eq!(r2.cleaned.len(), 8);
         assert_eq!(stage.len(), 8, "8 old PVBNs staged for freeing");
-        if let Some(b) = bucket.take() {
-            alloc.put_bucket(b);
-        }
+        ctx.finish(&alloc);
         alloc.flush_stage(&mut stage);
         alloc.drain();
         alloc.infra().aggmap().verify().unwrap();
+    }
+
+    #[test]
+    fn batched_get_prefetches_and_requeues_leftovers() {
+        // Single-shard cache so one refill round (3 buckets, one per
+        // drive) lands in one stack and a get_batch=4 GET can amortize.
+        let geo = Arc::new(
+            GeometryBuilder::new()
+                .aa_stripes(64)
+                .raid_group(3, 1, 4096)
+                .build(),
+        );
+        let aggmap = Arc::new(AggregateMap::new(Arc::clone(&geo)));
+        let io = Arc::new(IoEngine::new(geo, DriveKind::Ssd));
+        let topo = Arc::new(Topology::symmetric(Model::Hierarchical, 1, 1, 4, 4));
+        let mut cfg = AllocConfig::with_chunk(64);
+        cfg.cache_shards = 1;
+        let alloc = Allocator::new(cfg, aggmap, io, Arc::new(InlineExecutor), topo, 0);
+        let v = vol();
+        let mut ctx = CleanerCtx::new(0, 4);
+        let mut stage = alloc.new_stage();
+        // Warm the cache first (inline executor: the round lands
+        // synchronously) so the first GET takes the batched fast path
+        // instead of the empty-cache stall path, which hands out a
+        // single bucket.
+        alloc.request_refill();
+        let job = CleanJob {
+            vol: Arc::clone(&v),
+            file: FileId(1),
+            buffers: dirty(8),
+        };
+        clean_job(&alloc, &mut ctx, &mut stage, &job, 16).unwrap();
+        let s = alloc.stats();
+        assert!(
+            s.cache_get_batched >= 2,
+            "one GET batch delivered the whole refill round (got {})",
+            s.cache_get_batched
+        );
+        let prefetched = ctx.prefetch.len();
+        assert_eq!(prefetched, 2, "bucket in hand + 2 prefetched");
+        let len_before = alloc.cache().len();
+        ctx.finish(&alloc);
+        assert_eq!(
+            alloc.cache().len(),
+            len_before + prefetched,
+            "untouched prefetched buckets requeued"
+        );
+        alloc.flush_stage(&mut stage);
+        alloc.flush_cache();
+        alloc.drain();
+        alloc.infra().aggmap().verify().unwrap();
+        alloc.stats().check_conservation(0).unwrap();
     }
 
     #[test]

@@ -13,6 +13,14 @@ cargo test -q
 echo "=== cargo test --workspace -q ==="
 cargo test --workspace -q
 
+echo "=== lock-free cache stress under debug assertions ==="
+# The Treiber-stack hot path's internal invariants (tag monotonicity,
+# arena bounds, fill accounting) are debug_assert!s; arm them while the
+# stress suite hammers CAS pops, steals, batched GETs, and concurrent
+# collective inserts.
+RUSTFLAGS="-C debug-assertions=on" \
+  cargo test --release -q -p alligator --test cache_stress
+
 echo "=== cargo clippy --all-targets -- -D warnings ==="
 cargo clippy --all-targets -- -D warnings
 
@@ -22,7 +30,7 @@ cargo fmt --check
 echo "=== exp_cache_contention smoke (tiny config) + schema validation ==="
 # Quick sweep into a scratch dir so CI numbers never clobber the
 # committed trajectory record, then validate both the fresh record and
-# the committed one against the wafl.cache_contention.v1 schema.
+# the committed one against the wafl.cache_contention.v2 schema.
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 WAFL_BENCH_QUICK=1 WAFL_BENCH_ROOT="$SMOKE_DIR" WAFL_RESULTS_DIR="$SMOKE_DIR" \
