@@ -155,6 +155,7 @@ impl Allocator {
     pub fn request_refill(&self) {
         if self
             .refill_inflight
+            // ordering: AcqRel CAS claims the single-refiller slot; failure Acquire sees the winner's refill.
             .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
             .is_err()
         {
@@ -169,6 +170,7 @@ impl Allocator {
             affinity,
             Box::new(move || {
                 infra.refill_round(&cache);
+                // ordering: Release — publishes the refilled cache before reopening the slot.
                 inflight.store(false, Ordering::Release);
             }),
         );
@@ -184,6 +186,7 @@ impl Allocator {
     /// anonymous GETs spread over all shards instead of convoying on
     /// shard 0.
     pub fn get_bucket(&self) -> Option<Bucket> {
+        // ordering: statistics counter; staleness is acceptable.
         self.get_bucket_from(self.anon_rr.fetch_add(1, Ordering::Relaxed))
     }
 
@@ -212,6 +215,7 @@ impl Allocator {
             if !batch.is_empty() {
                 self.stats
                     .gets
+                    // ordering: statistics counter; staleness is acceptable.
                     .fetch_add(batch.len() as u64, Ordering::Relaxed);
                 if self.cache.len() < self.cfg.low_watermark {
                     self.request_refill();
@@ -219,6 +223,7 @@ impl Allocator {
                 return Some(batch);
             }
             if !stalled {
+                // ordering: statistics counter; staleness is acceptable.
                 self.stats.get_stalls.fetch_add(1, Ordering::Relaxed);
                 stalled = true;
             }
@@ -229,10 +234,12 @@ impl Allocator {
                 .cache
                 .get_timeout_from(cleaner, Duration::from_millis(2))
             {
+                // ordering: statistics counter; staleness is acceptable.
                 self.stats.gets.fetch_add(1, Ordering::Relaxed);
                 return Some(vec![b]);
             }
             if self.infra.is_exhausted()
+                // ordering: Acquire — pairs with the Release reopen; a clear slot implies the refill is visible.
                 && !self.refill_inflight.load(Ordering::Acquire)
                 && self.cache.is_empty()
             {
@@ -258,9 +265,11 @@ impl Allocator {
     /// RAID I/O), and a commit message is sent to the infrastructure to
     /// update the metafiles (step 6).
     pub fn put_bucket(&self, bucket: Bucket) {
+        // ordering: statistics counter; staleness is acceptable.
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
         self.stats
             .uses
+            // ordering: statistics counter; staleness is acceptable.
             .fetch_add(bucket.consumed().len() as u64, Ordering::Relaxed);
         let mf_block = bucket.start_vbn().0 / BITS_PER_MF_BLOCK;
         let affinity = self.infra_affinity(mf_block);
@@ -303,9 +312,11 @@ impl Allocator {
     /// a plain [`put_bucket`](Self::put_bucket) loop over the cache would
     /// refill forever.
     pub fn retire_bucket(&self, bucket: Bucket) {
+        // ordering: statistics counter; staleness is acceptable.
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
         self.stats
             .uses
+            // ordering: statistics counter; staleness is acceptable.
             .fetch_add(bucket.consumed().len() as u64, Ordering::Relaxed);
         let mf_block = bucket.start_vbn().0 / BITS_PER_MF_BLOCK;
         let affinity = self.infra_affinity(mf_block);

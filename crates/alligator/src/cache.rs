@@ -18,7 +18,8 @@
 //!   non-blocking allocator designs of Marotta et al. and
 //!   Blelloch & Wei. The shard mutex+condvar survives only for
 //!   [`BucketCache::get_timeout_from`] waiters, and one `publish`
-//!   mutex serializes collective refill publishes.
+//!   mutex serializes collective refill publishes (plus the rare
+//!   undo/re-push paths — see below).
 //! * **Mutex** ([`BucketCache::with_shards_mutex`]): the previous
 //!   mutex+condvar FIFO per shard, kept as the measurable baseline for
 //!   `exp_cache_contention`.
@@ -63,6 +64,22 @@
 //! window — the §IV-D guarantee with two unfenced loads on the fast
 //! path instead of a mutex.
 //!
+//! ### Oldest-round-first and the undo paths
+//!
+//! `insert_all_lf` re-publishes any unconsumed older buckets *on top*
+//! of the new batch so the oldest refill round always pops first — a
+//! buried old bucket would leave its round's tetris permanently
+//! partial. Every path that pushes an **already-published** bucket back
+//! onto a shard (`unpop_lf`, the `get_many_from` undo) and every
+//! single-bucket insert therefore serializes with publishers on the
+//! `publish` mutex: a bare "wait for an even gate, then push" would be
+//! check-then-act — a publisher could begin (and drain the shard)
+//! between the gate check and the push, landing the new batch on top of
+//! the older bucket. This burial race is model-checked in
+//! `crates/mc/tests/cache_invariants.rs` (the oldest-round-first
+//! invariant fails within a few hundred schedules if the undo paths are
+//! reverted to gate-polling).
+//!
 //! [`BucketCache::get_many_from`] pops up to `k` buckets from the home
 //! shard in **one** CAS (`pop_many`) or one lock acquisition,
 //! amortizing GET synchronization per *batch* the way §IV-C amortizes
@@ -71,13 +88,17 @@
 //! [`BucketCache::new`] builds the single-shard mutex layout — the
 //! pre-sharding baseline for tests and the `exp_cache_contention`
 //! single-lock curve.
+//!
+//! All synchronization comes through [`crate::sync`], so `--features
+//! mc` routes every atomic access, lock, and condvar wait below through
+//! the model checker's controlled scheduler.
 
 use crate::bucket::Bucket;
 use crate::stats::AllocStats;
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{Condvar, Mutex, MutexGuard};
 use crate::treiber::TreiberStack;
-use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -107,8 +128,9 @@ pub struct BucketCache {
     /// Seqlock generation for collective publishes: odd while an
     /// `insert_all` batch is being pushed (lock-free layout only).
     gate: AtomicU64,
-    /// Serializes collective publishers (the §IV-D barrier's surviving
-    /// mutex — never touched by GET).
+    /// Serializes collective publishers — and the undo/single-insert
+    /// paths that push already-published buckets (see module docs) —
+    /// never touched by the GET fast path.
     publish: Mutex<()>,
     /// Epoch-sampled fullest-shard hint (lock-free layout only).
     hint: AtomicUsize,
@@ -176,6 +198,9 @@ impl BucketCache {
     /// Number of buckets currently available (lock-free).
     #[inline]
     pub fn len(&self) -> usize {
+        // ordering: SeqCst — participates in the waiter protocol's total
+        // order (see `wake_parked` / `get_timeout_from`): an inserter's
+        // len bump and a waiter's registration must not both be missed.
         self.len.load(Ordering::SeqCst)
     }
 
@@ -206,6 +231,24 @@ impl BucketCache {
         let g = shard.q.lock();
         self.stats
             .cache_lock_waits_ns
+            // ordering: statistics counter; staleness is acceptable.
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        g
+    }
+
+    /// Take the publish mutex, timing only the contended (slow) path.
+    /// Held by collective publishers for the whole gate-odd window and
+    /// by the undo / single-insert paths around their push (see module
+    /// docs: serialization is what keeps older buckets on top).
+    fn lock_publish(&self) -> MutexGuard<'_, ()> {
+        if let Some(g) = self.publish.try_lock() {
+            return g;
+        }
+        let t0 = Instant::now();
+        let g = self.publish.lock();
+        self.stats
+            .cache_lock_waits_ns
+            // ordering: statistics counter; staleness is acceptable.
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         g
     }
@@ -215,6 +258,9 @@ impl BucketCache {
     /// Stall time counts into `cache_lock_waits_ns` — it is this
     /// layout's residual "lock wait".
     fn gate_enter(&self) -> u64 {
+        // ordering: Acquire pairs with the publisher's closing AcqRel
+        // `fetch_add` — an even gate implies the whole batch (and the
+        // len/fill updates before it) is visible.
         let g = self.gate.load(Ordering::Acquire);
         if g & 1 == 0 {
             return g;
@@ -222,20 +268,23 @@ impl BucketCache {
         let t0 = Instant::now();
         let mut spins = 0u32;
         loop {
+            // ordering: Acquire — as above; each retry must see the
+            // publisher's writes once the gate goes even.
             let g = self.gate.load(Ordering::Acquire);
             if g & 1 == 0 {
                 self.stats
                     .cache_lock_waits_ns
+                    // ordering: statistics counter; staleness is OK.
                     .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 return g;
             }
             spins += 1;
             if spins < 32 {
-                std::hint::spin_loop();
+                crate::sync::hint::spin_loop();
             } else {
                 // Publishes are short but this may be a single-core box:
                 // let the publisher run.
-                std::thread::yield_now();
+                crate::sync::hint::yield_now();
             }
         }
     }
@@ -246,12 +295,18 @@ impl BucketCache {
         let mut best_s = 0usize;
         let mut best = 0usize;
         for (s, shard) in self.shards.iter().enumerate() {
+            // ordering: Acquire pairs with the AcqRel fill updates on the
+            // insert/pop paths; the hint tolerates staleness by design
+            // (it is re-sampled every round) but should not see fills
+            // from before the buckets they count became poppable.
             let f = shard.fill.load(Ordering::Acquire);
             if f > best {
                 best = f;
                 best_s = s;
             }
         }
+        // ordering: Relaxed — the hint is advisory; a stale hint only
+        // costs one extra fill comparison on the GET path.
         self.hint.store(best_s, Ordering::Relaxed);
     }
 
@@ -264,10 +319,15 @@ impl BucketCache {
     /// after registering) is ordered after our pre-insert `len` bump and
     /// sees the bucket instead of parking.
     fn wake_parked(&self) {
+        // ordering: SeqCst — single total order with the waiter's
+        // registration and len re-check (see doc comment above); Acquire
+        // here could miss a registration whose len re-check also missed
+        // our insert.
         if self.waiters.load(Ordering::SeqCst) == 0 {
             return;
         }
         for shard in self.shards.iter() {
+            // ordering: SeqCst — same protocol as the global counter.
             if shard.waiters.load(Ordering::SeqCst) > 0 {
                 let _g = self.lock_shard(shard);
                 shard.available.notify_all();
@@ -288,7 +348,10 @@ impl BucketCache {
         let shard = &self.shards[self.shard_of(&b)];
         let mut q = self.lock_shard(shard);
         q.push_back(b);
+        // ordering: Release — fill counts published buckets; readers pair
+        // with Acquire in the fill scans.
         shard.fill.fetch_add(1, Ordering::Release);
+        // ordering: SeqCst — waiter protocol (see `wake_parked`).
         self.len.fetch_add(1, Ordering::SeqCst);
         // Notify while holding the lock: a getter of this shard is either
         // already parked (woken here) or has yet to take the lock (and
@@ -301,17 +364,31 @@ impl BucketCache {
     fn insert_lf(&self, b: Bucket) {
         let s = self.shard_of(&b);
         let shard = &self.shards[s];
+        // Serialize with collective publishers: a push landing between a
+        // publisher's leftover drain and its `push_many` would be buried
+        // under the new batch — fatal if this bucket is from an older
+        // round (see module docs, "Oldest-round-first and the undo
+        // paths"). Single inserts are infrastructure-side, so this mutex
+        // is off the GET fast path.
+        let p = self.lock_publish();
         // len before fill before push: a getter that saw len > 0 may
         // sweep shards before the push lands and miss — that is a
         // transient try-get miss, not a protocol violation (timeout
         // getters re-scan). The reverse order could underflow `fill`.
+        // ordering: SeqCst — waiter protocol (see `wake_parked`).
         self.len.fetch_add(1, Ordering::SeqCst);
+        // ordering: AcqRel — fill is read by concurrent equal-progress
+        // scans (Acquire) and updated from multiple insert/pop paths.
         let f = shard.fill.fetch_add(1, Ordering::AcqRel) + 1;
         let key = b.generation();
         shard.stack.push_keyed(b, key);
+        drop(p);
         // O(1) hint nudge: adopt this shard if it now looks fullest.
+        // ordering: Relaxed — the hint is advisory (see `refresh_hint`).
         let h = self.hint.load(Ordering::Relaxed) % self.shards.len();
+        // ordering: Acquire — fill read for the equal-progress compare.
         if s != h && f > self.shards[h].fill.load(Ordering::Acquire) {
+            // ordering: Relaxed — advisory hint store.
             self.hint.store(s, Ordering::Relaxed);
         }
         self.wake_parked();
@@ -354,10 +431,12 @@ impl BucketCache {
             let mut g = self.lock_shard(&self.shards[s]);
             self.shards[s]
                 .fill
+                // ordering: Release — pairs with the Acquire fill scans.
                 .fetch_add(batch.len(), Ordering::Release);
             g.extend(batch.drain(..));
             guards.push((s, g));
         }
+        // ordering: SeqCst — waiter protocol (see `wake_parked`).
         self.len.fetch_add(total, Ordering::SeqCst);
         for (s, _) in &guards {
             self.shards[*s].available.notify_all();
@@ -365,28 +444,32 @@ impl BucketCache {
     }
 
     fn insert_all_lf(&self, per_shard: Vec<Vec<Bucket>>, total: usize) {
-        // Publishers serialize on `publish` — the one mutex the §IV-D
-        // barrier keeps, never touched by GET. The gate (odd while the
-        // batch lands) makes concurrent CAS poppers retry, so the batch
-        // becomes visible collectively.
-        let _p = self.publish.lock();
+        // Publishers serialize on `publish` — also held by the undo and
+        // single-insert paths, so the drain below observes a stable
+        // stack. The gate (odd while the batch lands) makes concurrent
+        // CAS poppers retry, so the batch becomes visible collectively.
+        let _p = self.lock_publish();
+        // ordering: AcqRel — opening fence of the publish window: poppers
+        // that Acquire-load an odd gate know a publish is in flight.
         let g = self.gate.fetch_add(1, Ordering::AcqRel);
         debug_assert_eq!(g & 1, 0, "publisher found the gate already odd");
+        // ordering: SeqCst — waiter protocol (see `wake_parked`).
         self.len.fetch_add(total, Ordering::SeqCst);
         for (s, batch) in per_shard.into_iter().enumerate() {
             if batch.is_empty() {
                 continue;
             }
+            // ordering: AcqRel — fill update paired with Acquire scans.
             self.shards[s].fill.fetch_add(batch.len(), Ordering::AcqRel);
             // Re-publish any older leftovers *on top* of the new batch:
             // raw LIFO would bury the previous round's unconsumed bucket
             // under this one, and a buried bucket that never gets popped
             // leaves its round's tetris permanently partial — the exact
             // fill-progress skew §IV-D's collective reinsertion exists
-            // to prevent. Publishers are serialized on `publish` and
-            // undo-pushers wait for an even gate, so the drain is stable;
-            // leftovers are at most a round deep, and one CAS publishes
-            // the whole reordered chain.
+            // to prevent. Publishers, undo-pushers, and single inserts
+            // all hold `publish`, so the drain is stable; leftovers are
+            // at most a round deep, and one CAS publishes the whole
+            // reordered chain.
             let older = self.shards[s].stack.pop_many(usize::MAX);
             self.shards[s]
                 .stack
@@ -398,6 +481,8 @@ impl BucketCache {
         // The refill round's epoch sample: one scan per round keeps the
         // hint honest without any per-GET scan.
         self.refresh_hint();
+        // ordering: AcqRel — closing fence: Release publishes the batch
+        // to poppers whose even-gate Acquire load pairs with this.
         self.gate.fetch_add(1, Ordering::AcqRel);
     }
 
@@ -405,7 +490,9 @@ impl BucketCache {
     fn pop_shard(&self, s: usize) -> Option<Bucket> {
         let mut q = self.lock_shard(&self.shards[s]);
         let b = q.pop_front()?;
+        // ordering: Release — pairs with the Acquire fill scans.
         self.shards[s].fill.fetch_sub(1, Ordering::Release);
+        // ordering: SeqCst — waiter protocol (see `wake_parked`).
         self.len.fetch_sub(1, Ordering::SeqCst);
         Some(b)
     }
@@ -413,29 +500,43 @@ impl BucketCache {
     /// CAS-pop from one specific shard (lock-free layout).
     fn pop_lf(&self, s: usize) -> Option<Bucket> {
         let b = self.shards[s].stack.pop()?;
+        // ordering: AcqRel — fill update paired with Acquire scans.
         self.shards[s].fill.fetch_sub(1, Ordering::AcqRel);
+        // ordering: SeqCst — waiter protocol (see `wake_parked`).
         self.len.fetch_sub(1, Ordering::SeqCst);
         Some(b)
     }
 
     /// Undo a CAS pop that raced a collective publish: the bucket goes
-    /// back onto the shard it came from. Waits for the publish window to
-    /// close first so the undo lands *on top of* the published batch —
-    /// the undone bucket is older than the batch, and older buckets must
-    /// pop first (see `insert_all_lf`).
+    /// back onto the shard it came from, **on top of** the published
+    /// batch — the undone bucket is older than the batch, and older
+    /// buckets must pop first (see `insert_all_lf`). Holding `publish`
+    /// (not merely polling the gate) is what makes "on top" reliable: a
+    /// publisher cannot start its drain+republish between our check and
+    /// our push and bury this bucket under the new batch.
     fn unpop_lf(&self, s: usize, b: Bucket) {
-        self.gate_enter();
+        let p = self.lock_publish();
+        // ordering: SeqCst — waiter protocol (see `wake_parked`).
         self.len.fetch_add(1, Ordering::SeqCst);
+        // ordering: AcqRel — fill update paired with Acquire scans.
         self.shards[s].fill.fetch_add(1, Ordering::AcqRel);
         let key = b.generation();
         self.shards[s].stack.push_keyed(b, key);
+        drop(p);
+        // The transient pop may have shown a waiter an empty cache right
+        // before it parked; with several undoing getters in flight the
+        // publisher's own wake can land inside that window, so the undo
+        // must re-issue the wakeup itself.
+        self.wake_parked();
     }
 
     /// Count a successful pop as a home (fast-path) hit or a steal.
     fn count_pop(&self, shard: usize, home: usize) {
         if shard == home {
+            // ordering: statistics counter; staleness is acceptable.
             self.stats.cache_get_fast.fetch_add(1, Ordering::Relaxed);
         } else {
+            // ordering: statistics counter; staleness is acceptable.
             self.stats.cache_get_steal.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -468,9 +569,11 @@ impl BucketCache {
             return None;
         }
         let mut target = home;
+        // ordering: Acquire — fill scan pairs with Release fill updates.
         let mut best = self.shards[home].fill.load(Ordering::Acquire);
         for d in 1..n {
             let s = (home + d) % n;
+            // ordering: Acquire — as above.
             let f = self.shards[s].fill.load(Ordering::Acquire);
             if f > best {
                 best = f;
@@ -502,9 +605,12 @@ impl BucketCache {
         let home = start % n;
         loop {
             let g1 = self.gate_enter();
+            // ordering: SeqCst — waiter-protocol len read (see `len`).
             if self.len.load(Ordering::SeqCst) == 0 {
                 // Re-read the gate so "None" is still a collective
                 // statement: no publish overlapped the emptiness probe.
+                // ordering: Acquire — pairs with the publisher's gate
+                // increments (see `gate_enter`).
                 if self.gate.load(Ordering::Acquire) == g1 {
                     return None;
                 }
@@ -512,8 +618,12 @@ impl BucketCache {
             }
             // O(1) target choice: home, unless the hinted shard is
             // strictly fuller (the epoch-sampled equal-progress rule).
+            // ordering: Relaxed — the hint is advisory (see
+            // `refresh_hint`); a stale read costs one comparison.
             let hint = self.hint.load(Ordering::Relaxed) % n;
             let target = if hint != home
+                // ordering: Acquire (×2) — fill compare pairs with the
+                // Release/AcqRel fill updates.
                 && self.shards[hint].fill.load(Ordering::Acquire)
                     > self.shards[home].fill.load(Ordering::Acquire)
             {
@@ -530,6 +640,7 @@ impl BucketCache {
                 let mut best = 0usize;
                 for d in 0..n {
                     let s = (home + d) % n;
+                    // ordering: Acquire — fill scan (see above).
                     let f = self.shards[s].fill.load(Ordering::Acquire);
                     if f > best {
                         best = f;
@@ -556,6 +667,8 @@ impl BucketCache {
                     }
                 }
             }
+            // ordering: Acquire — the seqlock read-side validation; pairs
+            // with the publisher's gate increments.
             if self.gate.load(Ordering::Acquire) != g1 {
                 // A collective publish overlapped: this pop may have
                 // observed half a batch. Undo and retry (§IV-D).
@@ -611,8 +724,11 @@ impl BucketCache {
                     // batch would let this cleaner's drive race ahead
                     // while the backlogged drive's older rounds rot, so
                     // fall through to the steal-capable single GET.
+                    // ordering: Relaxed — advisory hint read.
                     let hint = self.hint.load(Ordering::Relaxed) % n;
                     if hint != home
+                        // ordering: Acquire (×2) — fill compare (see
+                        // `try_get_lf`).
                         && self.shards[hint].fill.load(Ordering::Acquire)
                             > self.shards[home].fill.load(Ordering::Acquire)
                     {
@@ -623,14 +739,21 @@ impl BucketCache {
                         break;
                     }
                     let k = got.len();
+                    // ordering: AcqRel — fill update (see `pop_lf`).
                     self.shards[home].fill.fetch_sub(k, Ordering::AcqRel);
+                    // ordering: SeqCst — waiter protocol (see `len`).
                     self.len.fetch_sub(k, Ordering::SeqCst);
+                    // ordering: Acquire — seqlock read-side validation
+                    // (see `try_get_lf`).
                     if self.gate.load(Ordering::Acquire) != g1 {
-                        // Raced a collective publish: wait it out, put the
-                        // chain back on top (one CAS, order preserved) and
-                        // retry.
-                        self.gate_enter();
+                        // Raced a collective publish: put the chain back
+                        // on top (one CAS, order preserved, serialized
+                        // with publishers — see `unpop_lf` for why the
+                        // mutex and not the gate) and retry.
+                        let p = self.lock_publish();
+                        // ordering: SeqCst — waiter protocol (see `len`).
                         self.len.fetch_add(k, Ordering::SeqCst);
+                        // ordering: AcqRel — fill update (see `pop_lf`).
                         self.shards[home].fill.fetch_add(k, Ordering::AcqRel);
                         self.shards[home]
                             .stack
@@ -638,21 +761,29 @@ impl BucketCache {
                                 let key = b.generation();
                                 (b, key)
                             }));
+                        drop(p);
+                        // Same lost-wakeup window as `unpop_lf`: the
+                        // transient pop may have parked a waiter.
+                        self.wake_parked();
                         continue;
                     }
                     self.stats
                         .cache_get_fast
+                        // ordering: statistics counter.
                         .fetch_add(k as u64, Ordering::Relaxed);
                     self.stats
                         .cache_get_batched
+                        // ordering: statistics counter.
                         .fetch_add((k - 1) as u64, Ordering::Relaxed);
                     return got;
                 }
             } else {
                 // Same equal-progress guard as the lock-free branch,
                 // via this layout's per-GET fill scan.
+                // ordering: Acquire — fill scan (see `try_get_mutex`).
                 let home_fill = self.shards[home].fill.load(Ordering::Acquire);
                 let fuller = (0..n)
+                    // ordering: Acquire — fill scan (see `try_get_mutex`).
                     .any(|s| s != home && self.shards[s].fill.load(Ordering::Acquire) > home_fill);
                 if fuller {
                     return self.try_get_from(start).into_iter().collect();
@@ -667,14 +798,18 @@ impl BucketCache {
                 }
                 if k > 0 {
                     let got: Vec<Bucket> = q.drain(..k).collect();
+                    // ordering: Release — fill update (see `pop_shard`).
                     self.shards[home].fill.fetch_sub(k, Ordering::Release);
+                    // ordering: SeqCst — waiter protocol (see `len`).
                     self.len.fetch_sub(k, Ordering::SeqCst);
                     drop(q);
                     self.stats
                         .cache_get_fast
+                        // ordering: statistics counter.
                         .fetch_add(k as u64, Ordering::Relaxed);
                     self.stats
                         .cache_get_batched
+                        // ordering: statistics counter.
                         .fetch_add((k - 1) as u64, Ordering::Relaxed);
                     return got;
                 }
@@ -700,12 +835,17 @@ impl BucketCache {
         let deadline = Instant::now() + timeout;
         self.stats
             .cache_blocked_gets
+            // ordering: statistics counter; staleness is acceptable.
             .fetch_add(1, Ordering::Relaxed);
         // Register as a waiter *before* the re-scan: any insert that
         // lands after the scan will see the registration and notify
         // (SeqCst pairs with `wake_parked`'s check).
+        // ordering: SeqCst (×2) — waiter registration; must be in a
+        // single total order with `wake_parked`'s waiter loads and the
+        // inserter's len bump so that either the inserter sees us or our
+        // re-check below sees its bucket.
         self.waiters.fetch_add(1, Ordering::SeqCst);
-        shard.waiters.fetch_add(1, Ordering::SeqCst);
+        shard.waiters.fetch_add(1, Ordering::SeqCst); // ordering: see above
         let got = loop {
             if let Some(b) = self.try_get_from(start) {
                 break Some(b);
@@ -715,6 +855,7 @@ impl BucketCache {
             // `len` before it notifies, so either we see len > 0 here
             // (and re-scan) or our park happens before its notify (and
             // we are woken).
+            // ordering: SeqCst — the waiter-protocol len re-check.
             if self.len.load(Ordering::SeqCst) == 0
                 && shard.available.wait_until(&mut q, deadline).timed_out()
             {
@@ -722,8 +863,9 @@ impl BucketCache {
                 break self.try_get_from(start);
             }
         };
+        // ordering: SeqCst (×2) — deregistration, same protocol.
         shard.waiters.fetch_sub(1, Ordering::SeqCst);
-        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        self.waiters.fetch_sub(1, Ordering::SeqCst); // ordering: see above
         got
     }
 
@@ -882,11 +1024,14 @@ mod tests {
         // Now shard 0 alone is fullest: the equal-progress rule steals
         // drive 0's bucket rather than draining home down to empty.
         assert_eq!(c.try_get_from(1).unwrap().drive(), DriveId(0));
+        // ordering: test-only stats reads.
         assert_eq!(stats.cache_get_fast.load(Ordering::Relaxed), 1);
+        // ordering: test-only stats read.
         assert_eq!(stats.cache_get_steal.load(Ordering::Relaxed), 1);
         // Back in balance (one bucket each): home pops its second
         // resident, the drive-5 bucket that wrapped onto shard 1.
         assert_eq!(c.try_get_from(1).unwrap().drive(), DriveId(5));
+        // ordering: test-only stats read.
         assert_eq!(stats.cache_get_fast.load(Ordering::Relaxed), 2);
     }
 
@@ -906,10 +1051,13 @@ mod tests {
         // Shard 0 (two buckets) is now strictly fuller than home 1 (one):
         // the O(1) hint steers a steal — top of shard 0 is drive 4.
         assert_eq!(c.try_get_from(1).unwrap().drive(), DriveId(4));
+        // ordering: test-only stats reads.
         assert_eq!(stats.cache_get_fast.load(Ordering::Relaxed), 1);
+        // ordering: test-only stats read.
         assert_eq!(stats.cache_get_steal.load(Ordering::Relaxed), 1);
         // Balance restored (one bucket per shard): home pops drive 1.
         assert_eq!(c.try_get_from(1).unwrap().drive(), DriveId(1));
+        // ordering: test-only stats read.
         assert_eq!(stats.cache_get_fast.load(Ordering::Relaxed), 2);
     }
 
@@ -920,7 +1068,9 @@ mod tests {
             // Affinity shard 0 is empty → the GET must steal from shard 2.
             let b = c.try_get_from(0).unwrap();
             assert_eq!(b.drive(), DriveId(2));
+            // ordering: test-only stats reads.
             assert_eq!(stats.cache_get_fast.load(Ordering::Relaxed), 0);
+            // ordering: test-only stats read.
             assert_eq!(stats.cache_get_steal.load(Ordering::Relaxed), 1);
             assert!(c.try_get_from(0).is_none());
         }
@@ -936,12 +1086,16 @@ mod tests {
             let got = c.get_many_from(1, 8);
             assert_eq!(got.len(), 2, "batch drains home, never steals");
             assert!(got.iter().all(|b| b.drive().0 % 4 == 1));
+            // ordering: test-only stats reads.
             assert_eq!(stats.cache_get_fast.load(Ordering::Relaxed), 2);
+            // ordering: test-only stats read.
             assert_eq!(stats.cache_get_batched.load(Ordering::Relaxed), 1);
             // Home now dry: the batched GET degrades to a single steal.
             let fallback = c.get_many_from(1, 8);
             assert_eq!(fallback.len(), 1);
             assert_eq!(fallback[0].drive(), DriveId(2));
+            // ordering: test-only stats read.
+            // ordering: test-only stats read.
             assert_eq!(stats.cache_get_steal.load(Ordering::Relaxed), 1);
             assert!(c.get_many_from(1, 8).is_empty());
             assert!(c.is_empty());
@@ -954,6 +1108,7 @@ mod tests {
         c.insert(mk_bucket_on(0, 0));
         let got = c.get_many_from(0, 1);
         assert_eq!(got.len(), 1);
+        // ordering: test-only stats read.
         assert_eq!(stats.cache_get_batched.load(Ordering::Relaxed), 0);
         assert!(c.get_many_from(0, 0).is_empty());
     }
@@ -1057,10 +1212,12 @@ mod tests {
     fn blocked_gets_are_counted() {
         let (c, stats) = sharded(2);
         assert!(c.get_timeout_from(0, Duration::from_millis(5)).is_none());
+        // ordering: test-only stats read.
         assert_eq!(stats.cache_blocked_gets.load(Ordering::Relaxed), 1);
         c.insert(mk_bucket_on(0, 0));
         assert!(c.try_get_from(0).is_some());
         // Fast-path GETs never count as blocked.
+        // ordering: test-only stats read.
         assert_eq!(stats.cache_blocked_gets.load(Ordering::Relaxed), 1);
     }
 

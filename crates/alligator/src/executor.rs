@@ -87,11 +87,13 @@ impl<E: Executor> InstrumentedExecutor<E> {
 
     /// Messages submitted so far.
     pub fn submitted(&self) -> u64 {
+        // ordering: statistics counter; staleness is acceptable.
         self.submitted.load(Ordering::Relaxed)
     }
 
     /// Messages whose bodies have finished running.
     pub fn completed(&self) -> u64 {
+        // ordering: statistics counter; staleness is acceptable.
         self.completed.load(Ordering::Relaxed)
     }
 
@@ -103,12 +105,14 @@ impl<E: Executor> InstrumentedExecutor<E> {
 
 impl<E: Executor + 'static> Executor for Arc<InstrumentedExecutor<E>> {
     fn submit(&self, a: Affinity, f: Box<dyn FnOnce() + Send>) {
+        // ordering: statistics counter; staleness is acceptable.
         self.submitted.fetch_add(1, Ordering::Relaxed);
         let me = Arc::clone(self);
         self.inner.submit(
             a,
             Box::new(move || {
                 f();
+                // ordering: statistics counter; staleness is acceptable.
                 me.completed.fetch_add(1, Ordering::Relaxed);
             }),
         );
@@ -133,9 +137,11 @@ mod tests {
         e.submit(
             Affinity::Serial,
             Box::new(move || {
+                // ordering: statistics counter; staleness is acceptable.
                 h.fetch_add(1, Ordering::Relaxed);
             }),
         );
+        // ordering: test readback.
         assert_eq!(hits.load(Ordering::Relaxed), 1);
         e.drain();
     }
@@ -149,11 +155,13 @@ mod tests {
             e.submit(
                 Affinity::Serial,
                 Box::new(move || {
+                    // ordering: statistics counter; staleness is acceptable.
                     h.fetch_add(1, Ordering::Relaxed);
                 }),
             );
         }
         e.drain();
+        // ordering: test readback.
         assert_eq!(hits.load(Ordering::Relaxed), 3);
         assert_eq!(e.submitted(), 3);
         assert_eq!(e.completed(), 3);
@@ -170,11 +178,13 @@ mod tests {
             e.submit(
                 Affinity::AggrVbnRange(0, i % 2),
                 Box::new(move || {
+                    // ordering: statistics counter; staleness is acceptable.
                     h.fetch_add(1, Ordering::Relaxed);
                 }),
             );
         }
         e.drain();
+        // ordering: test readback.
         assert_eq!(hits.load(Ordering::Relaxed), 10);
     }
 }

@@ -110,6 +110,7 @@ impl Infrastructure {
     /// Did the last refill round find no space anywhere?
     #[inline]
     pub fn is_exhausted(&self) -> bool {
+        // ordering: Acquire — pairs with the Release stores of the fill outcome.
         self.exhausted.load(Ordering::Acquire)
     }
 
@@ -121,8 +122,11 @@ impl Infrastructure {
     /// Runs as an infrastructure message; callers route it through the
     /// configured executor/affinity (see [`crate::Allocator`]).
     pub fn refill_round(&self, cache: &BucketCache) -> usize {
+        // ordering: statistics counter; staleness is acceptable.
         self.stats.infra_msgs.fetch_add(1, Ordering::Relaxed);
+        // ordering: statistics counter; staleness is acceptable.
         self.stats.refill_rounds.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed RMW gives unique generations; round ordering comes from the publish path, not this counter.
         let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
         let geo = Arc::clone(self.aggmap.geometry());
         let mut cursors = self.cursors.lock();
@@ -147,6 +151,7 @@ impl Infrastructure {
                     Some(aa) => aa,
                     None => match self.aggmap.select_aa(g.id) {
                         Some(aa) => {
+                            // ordering: statistics counter; staleness is acceptable.
                             self.stats.aa_switches.fetch_add(1, Ordering::Relaxed);
                             let dbns = geo.aa_dbn_range(aa);
                             cursor.aa = Some(aa);
@@ -205,6 +210,7 @@ impl Infrastructure {
             }
             self.stats
                 .vbns_reserved
+                // ordering: statistics counter; staleness is acceptable.
                 .fetch_add(reserved, Ordering::Relaxed);
             let nonempty = per_drive.iter().filter(|v| !v.is_empty()).count();
             let tetris = Tetris::new(
@@ -228,6 +234,7 @@ impl Infrastructure {
                     Arc::clone(&tetris),
                     generation,
                 );
+                // ordering: statistics counter; staleness is acceptable.
                 self.stats.buckets_filled.fetch_add(1, Ordering::Relaxed);
                 built += 1;
                 match self.cfg.reinsert {
@@ -241,6 +248,7 @@ impl Infrastructure {
             cache.insert_all(all_buckets);
         }
         self.exhausted
+            // ordering: Release — publishes the fill outcome this flag summarizes.
             .store(built == 0 && cache.is_empty(), Ordering::Release);
         built
     }
@@ -252,7 +260,9 @@ impl Infrastructure {
     /// drives drift apart and stripes are never complete. Returns `true`
     /// if a bucket was built.
     pub fn refill_drive(&self, rg: RaidGroupId, drive_in_rg: u32, cache: &BucketCache) -> bool {
+        // ordering: statistics counter; staleness is acceptable.
         self.stats.infra_msgs.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed RMW gives unique generations; round ordering comes from the publish path, not this counter.
         let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
         let geo = Arc::clone(self.aggmap.geometry());
         let g = geo.raid_group(rg);
@@ -264,6 +274,7 @@ impl Infrastructure {
                 Some(aa) => aa,
                 None => match self.aggmap.select_aa(rg) {
                     Some(aa) => {
+                        // ordering: statistics counter; staleness is acceptable.
                         self.stats.aa_switches.fetch_add(1, Ordering::Relaxed);
                         let dbns = geo.aa_dbn_range(aa);
                         cursor.aa = Some(aa);
@@ -307,7 +318,9 @@ impl Infrastructure {
         }
         self.stats
             .vbns_reserved
+            // ordering: statistics counter; staleness is acceptable.
             .fetch_add(vbns.len() as u64, Ordering::Relaxed);
+        // ordering: statistics counter; staleness is acceptable.
         self.stats.buckets_filled.fetch_add(1, Ordering::Relaxed);
         let tetris = Tetris::new(rg, 1, Arc::clone(&self.io), Arc::clone(&self.stats));
         let aa = geo.aa_of(vbns[0]);
@@ -331,6 +344,7 @@ impl Infrastructure {
     /// commit funnel is measurable alongside the convoy gauge.
     pub fn commit_bucket(&self, fin: FinishedBucket) {
         let t0 = std::time::Instant::now();
+        // ordering: statistics counter; staleness is acceptable.
         self.stats.infra_msgs.fetch_add(1, Ordering::Relaxed);
         for v in &fin.consumed {
             self.aggmap
@@ -344,25 +358,32 @@ impl Infrastructure {
         }
         self.stats
             .vbns_committed
+            // ordering: statistics counter; staleness is acceptable.
             .fetch_add(fin.consumed.len() as u64, Ordering::Relaxed);
         self.stats
             .vbns_released
+            // ordering: statistics counter; staleness is acceptable.
             .fetch_add(fin.unused.len() as u64, Ordering::Relaxed);
         self.stats
             .commit_batch_ns
+            // ordering: statistics counter; staleness is acceptable.
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Commit a stage of frees to the metafiles (§IV-A's free path).
     pub fn commit_frees(&self, vbns: Vec<Vbn>) {
+        // ordering: statistics counter; staleness is acceptable.
         self.stats.infra_msgs.fetch_add(1, Ordering::Relaxed);
+        // ordering: statistics counter; staleness is acceptable.
         self.stats.stage_commits.fetch_add(1, Ordering::Relaxed);
         for v in &vbns {
             self.aggmap.free(*v).expect("double free");
         }
         self.stats
             .vbns_freed
+            // ordering: statistics counter; staleness is acceptable.
             .fetch_add(vbns.len() as u64, Ordering::Relaxed);
+        // ordering: Release — reopen only after the new free space is published.
         self.exhausted.store(false, Ordering::Release);
     }
 
@@ -438,7 +459,9 @@ mod tests {
             .collect();
         drives.sort_unstable();
         assert_eq!(drives, vec![0, 1, 2, 3, 4]);
+        // ordering: test readback.
         assert_eq!(stats.cache_get_fast.load(Ordering::Relaxed), 5);
+        // ordering: test readback.
         assert_eq!(stats.cache_get_steal.load(Ordering::Relaxed), 0);
     }
 
@@ -477,9 +500,11 @@ mod tests {
     fn aa_switch_when_exhausted() {
         let (infra, cache) = setup(64); // one AA per refill (64 stripes)
         infra.refill_round(&cache);
+        // ordering: statistics counter; staleness is acceptable.
         let before = infra.stats().aa_switches.load(Ordering::Relaxed);
         while cache.try_get().is_some() {}
         infra.refill_round(&cache);
+        // ordering: statistics counter; staleness is acceptable.
         let after = infra.stats().aa_switches.load(Ordering::Relaxed);
         assert!(after > before, "second refill had to select a new AA");
         // AA selection prefers untouched AAs (most free).

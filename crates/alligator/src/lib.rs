@@ -53,6 +53,7 @@ pub mod executor;
 pub mod infra;
 pub mod stage;
 pub mod stats;
+pub mod sync;
 pub mod tetris;
 pub mod treiber;
 

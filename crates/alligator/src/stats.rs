@@ -77,27 +77,49 @@ impl AllocStats {
     /// Plain-value snapshot for reporting.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
+            // ordering: statistics counter; staleness is acceptable.
             gets: self.gets.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             get_stalls: self.get_stalls.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             uses: self.uses.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             puts: self.puts.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             refill_rounds: self.refill_rounds.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             buckets_filled: self.buckets_filled.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             vbns_reserved: self.vbns_reserved.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             vbns_committed: self.vbns_committed.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             vbns_released: self.vbns_released.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             vbns_freed: self.vbns_freed.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             stage_commits: self.stage_commits.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             tetris_ios: self.tetris_ios.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             aa_switches: self.aa_switches.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             infra_msgs: self.infra_msgs.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             io_errors: self.io_errors.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             cache_get_fast: self.cache_get_fast.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             cache_get_steal: self.cache_get_steal.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             cache_lock_waits_ns: self.cache_lock_waits_ns.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             cache_blocked_gets: self.cache_blocked_gets.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             cache_get_batched: self.cache_get_batched.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             put_commit_queue_len: self.put_commit_queue_len.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             commit_batch_ns: self.commit_batch_ns.load(Ordering::Relaxed),
         }
     }
@@ -105,12 +127,15 @@ impl AllocStats {
     /// Record one PUT commit entering the infrastructure queue,
     /// maintaining the convoy high-water mark.
     pub fn commit_enqueued(&self) {
+        // ordering: AcqRel keeps the outstanding gauge and its high-water mark mutually consistent.
         let depth = self.put_commit_outstanding.fetch_add(1, Ordering::AcqRel) + 1;
+        // ordering: AcqRel — see the gauge increment above.
         self.put_commit_queue_len.fetch_max(depth, Ordering::AcqRel);
     }
 
     /// Record one PUT commit leaving the queue (executed).
     pub fn commit_dequeued(&self) {
+        // ordering: AcqRel — pairs with the gauge increment.
         self.put_commit_outstanding.fetch_sub(1, Ordering::AcqRel);
     }
 }
@@ -166,7 +191,9 @@ mod tests {
     #[test]
     fn snapshot_copies_values() {
         let s = AllocStats::default();
+        // ordering: statistics counter; staleness is acceptable.
         s.gets.store(3, Ordering::Relaxed);
+        // ordering: statistics counter; staleness is acceptable.
         s.uses.store(17, Ordering::Relaxed);
         let snap = s.snapshot();
         assert_eq!(snap.gets, 3);

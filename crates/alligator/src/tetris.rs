@@ -71,12 +71,14 @@ impl Tetris {
     /// Buckets still outstanding.
     #[inline]
     pub fn outstanding(&self) -> usize {
+        // ordering: Acquire — pairs with completion's AcqRel decrement; zero implies all I/O effects are visible.
         self.outstanding.load(Ordering::Acquire)
     }
 
     /// Has the write I/O been sent?
     #[inline]
     pub fn is_submitted(&self) -> bool {
+        // ordering: Acquire — pairs with the AcqRel swap in submit.
         self.submitted.load(Ordering::Acquire)
     }
 
@@ -97,6 +99,7 @@ impl Tetris {
         if !writes.is_empty() {
             self.deposits.lock().push((drive_in_rg, writes));
         }
+        // ordering: AcqRel — releases this I/O's effects to whoever observes the count drop.
         let prev = self.outstanding.fetch_sub(1, Ordering::AcqRel);
         assert!(prev > 0, "tetris completed more buckets than outstanding");
         if prev == 1 {
@@ -107,6 +110,7 @@ impl Tetris {
     }
 
     fn submit(&self) -> Result<IoResult, IoError> {
+        // ordering: AcqRel — one-shot submit guard; the winner's setup is released to later observers.
         let was = self.submitted.swap(true, Ordering::AcqRel);
         assert!(!was, "tetris submitted twice");
         let mut deposits = std::mem::take(&mut *self.deposits.lock());
@@ -135,9 +139,11 @@ impl Tetris {
             rg: self.rg,
             segments,
         };
+        // ordering: statistics counter; staleness is acceptable.
         self.stats.tetris_ios.fetch_add(1, Ordering::Relaxed);
         let result = self.io.submit_write(&io);
         if result.is_err() {
+            // ordering: statistics counter; staleness is acceptable.
             self.stats.io_errors.fetch_add(1, Ordering::Relaxed);
         }
         result
@@ -187,6 +193,7 @@ mod tests {
         assert_eq!(r.blocks_written, 6);
         assert_eq!(r.parity_reads, 0, "aligned tetris is all full stripes");
         assert_eq!(engine.full_stripe_ratio(), Some(1.0));
+        // ordering: test readback.
         assert_eq!(stats.tetris_ios.load(Ordering::Relaxed), 1);
         assert_eq!(engine.read_vbn(Vbn(0)).unwrap(), 10);
         assert_eq!(engine.read_vbn(Vbn(256)).unwrap(), 20); // drive 1 base
@@ -237,6 +244,7 @@ mod tests {
             .map(|h| h.join().unwrap() as usize)
             .sum();
         assert_eq!(submitters, 1, "exactly one completer submits");
+        // ordering: test readback.
         assert_eq!(stats.tetris_ios.load(Ordering::Relaxed), 1);
     }
 
@@ -252,6 +260,7 @@ mod tests {
         let t = Tetris::new(RaidGroupId(0), 1, engine, Arc::clone(&stats));
         let r = t.deposit_and_complete(0, vec![(0, 7)]).unwrap();
         assert!(r.is_err(), "double drive failure must surface as an error");
+        // ordering: test readback.
         assert_eq!(stats.io_errors.load(Ordering::Relaxed), 1);
         assert!(t.is_submitted());
     }

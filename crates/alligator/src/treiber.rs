@@ -27,10 +27,17 @@
 //! addresses never move and a stale `next` read can never dereference
 //! freed memory — it is caught by the tag CAS instead. Nodes are
 //! recycled through an internal free list (same tagged-CAS discipline).
+//!
+//! All synchronization comes through [`crate::sync`], so under
+//! `--features mc` every access below is a model-checker yield point;
+//! `crates/mc/tests/treiber_invariants.rs` model-checks conservation,
+//! LIFO batching, and the ABA defense over all interleavings. The
+//! happens-before contract these orderings implement is documented in
+//! DESIGN.md §"Memory-ordering contract".
 
-use std::cell::UnsafeCell;
+use crate::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+use crate::sync::cell::UnsafeCell;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
 
 /// Sentinel index: "no node".
 const NIL: u32 = u32::MAX;
@@ -103,6 +110,8 @@ pub struct TreiberStack<T> {
 // SAFETY: `T` crosses threads through the stack; the `UnsafeCell` is
 // only touched by the exclusive owner of a detached node (see `Node`).
 unsafe impl<T: Send> Send for TreiberStack<T> {}
+// SAFETY: as above — shared references only perform CAS-mediated access;
+// payload cells are reached only with exclusive node ownership.
 unsafe impl<T: Send> Sync for TreiberStack<T> {}
 
 impl<T> Default for TreiberStack<T> {
@@ -126,11 +135,14 @@ impl<T> TreiberStack<T> {
     /// CAS retries paid so far on the head and free-list loops — a
     /// direct measure of pop/push contention.
     pub fn retries(&self) -> u64 {
+        // ordering: statistics counter; staleness is acceptable.
         self.retries.load(Ordering::Relaxed)
     }
 
     /// Is the stack empty right now? (Advisory under concurrency.)
     pub fn is_empty(&self) -> bool {
+        // ordering: Acquire pairs with the AcqRel publish CAS in
+        // `attach`, so a non-NIL head implies the node is initialized.
         idx_of(self.head.load(Ordering::Acquire)) == NIL
     }
 
@@ -139,8 +151,13 @@ impl<T> TreiberStack<T> {
     #[inline]
     fn node(&self, idx: u32) -> &Node<T> {
         let (c, off) = chunk_of(idx);
+        // ordering: Acquire pairs with the AcqRel chunk-install CAS in
+        // `ensure_chunk`, so the pointed-to nodes are fully constructed.
         let base = self.chunks[c].load(Ordering::Acquire);
         debug_assert!(!base.is_null(), "node index {idx} in unallocated chunk");
+        // SAFETY: `idx` was handed out by `alloc_node`, which called
+        // `ensure_chunk` first; chunks are append-only and never freed
+        // before Drop, so `base` is valid and `off` is in bounds.
         unsafe { &*base.add(off) }
     }
 
@@ -149,6 +166,8 @@ impl<T> TreiberStack<T> {
     fn ensure_chunk(&self, idx: u32) {
         let (c, _) = chunk_of(idx);
         assert!(c < NCHUNKS, "TreiberStack arena exhausted");
+        // ordering: Acquire pairs with the install CAS below so an
+        // already-installed chunk's contents are visible.
         if !self.chunks[c].load(Ordering::Acquire).is_null() {
             return;
         }
@@ -163,10 +182,15 @@ impl<T> TreiberStack<T> {
         }
         let raw = Box::into_raw(nodes.into_boxed_slice()) as *mut Node<T>;
         if self.chunks[c]
+            // ordering: AcqRel — Release publishes the constructed nodes
+            // to `node()`'s Acquire load; Acquire on failure observes the
+            // winner's install before we free our copy.
             .compare_exchange(ptr::null_mut(), raw, Ordering::AcqRel, Ordering::Acquire)
             .is_err()
         {
             // Lost the install race; reconstitute and drop our copy.
+            // SAFETY: `raw` came from `Box::into_raw` of a `size`-length
+            // boxed slice we still exclusively own (the CAS rejected it).
             unsafe { drop(Box::from_raw(ptr::slice_from_raw_parts_mut(raw, size))) };
         }
     }
@@ -174,14 +198,22 @@ impl<T> TreiberStack<T> {
     /// Take a node off the free list, or mint a fresh one.
     fn alloc_node(&self) -> u32 {
         loop {
+            // ordering: Acquire pairs with the free-list AcqRel CAS in
+            // `release_node`, making the released node's writes visible.
             let f = self.free.load(Ordering::Acquire);
             let idx = idx_of(f);
             if idx == NIL {
                 break;
             }
+            // ordering: Acquire — the link was Release-stored by
+            // `release_node` before its publish CAS.
             let next = self.node(idx).next.load(Ordering::Acquire);
             if self
                 .free
+                // ordering: AcqRel — Acquire synchronizes with the
+                // releasing thread (its item take happens-before our
+                // reuse); Release orders our detach for the next CAS.
+                // The tag bump defeats free-list ABA.
                 .compare_exchange(
                     f,
                     pack(tag_of(f).wrapping_add(1), next),
@@ -192,8 +224,11 @@ impl<T> TreiberStack<T> {
             {
                 return idx;
             }
+            // ordering: statistics counter; no synchronization needed.
             self.retries.fetch_add(1, Ordering::Relaxed);
         }
+        // ordering: Relaxed — only atomicity is needed to mint a unique
+        // index; `ensure_chunk` below synchronizes the storage itself.
         let idx = self.next_fresh.fetch_add(1, Ordering::Relaxed);
         assert!(idx != NIL, "TreiberStack node indices exhausted");
         self.ensure_chunk(idx);
@@ -204,10 +239,17 @@ impl<T> TreiberStack<T> {
     fn release_node(&self, idx: u32) {
         let node = self.node(idx);
         loop {
+            // ordering: Acquire pairs with the AcqRel CAS below run by
+            // concurrent free-list users.
             let f = self.free.load(Ordering::Acquire);
+            // ordering: Release — the link must be visible before the
+            // CAS publishes this node as the free head.
             node.next.store(idx_of(f), Ordering::Release);
             if self
                 .free
+                // ordering: AcqRel — Release publishes our item `take`
+                // (in the popper) before the node can be reused; tag bump
+                // defeats ABA. Acquire on the failure path refreshes `f`.
                 .compare_exchange(
                     f,
                     pack(tag_of(f).wrapping_add(1), idx),
@@ -218,6 +260,7 @@ impl<T> TreiberStack<T> {
             {
                 return;
             }
+            // ordering: statistics counter; no synchronization needed.
             self.retries.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -226,10 +269,17 @@ impl<T> TreiberStack<T> {
     /// via `next`) with one CAS.
     fn attach(&self, first: u32, last: u32) {
         loop {
+            // ordering: Acquire pairs with the AcqRel head CAS of
+            // concurrent push/pop so the observed top node is valid.
             let h = self.head.load(Ordering::Acquire);
+            // ordering: Release — the tail link must be visible before
+            // the publish CAS makes the chain reachable.
             self.node(last).next.store(idx_of(h), Ordering::Release);
             if self
                 .head
+                // ordering: AcqRel — Release publishes the chain's items,
+                // keys, and links to poppers (the stack's core
+                // happens-before edge); tag bump defeats ABA.
                 .compare_exchange(
                     h,
                     pack(tag_of(h).wrapping_add(1), first),
@@ -240,6 +290,7 @@ impl<T> TreiberStack<T> {
             {
                 return;
             }
+            // ordering: statistics counter; no synchronization needed.
             self.retries.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -253,8 +304,12 @@ impl<T> TreiberStack<T> {
     /// [`TreiberStack::pop_many_same_key`]).
     pub fn push_keyed(&self, item: T, key: u64) {
         let idx = self.alloc_node();
-        // SAFETY: the node is detached — we are its only owner.
-        unsafe { *self.node(idx).item.get() = Some(item) };
+        // SAFETY: the node is detached — we are its only owner until the
+        // `attach` publish CAS below.
+        self.node(idx).item.with_mut(|p| unsafe { *p = Some(item) });
+        // ordering: Release — the key stamp must be visible before
+        // `attach` publishes the node (speculative key walks may read
+        // it as soon as the head CAS lands).
         self.node(idx).key.store(key, Ordering::Release);
         self.attach(idx, idx);
     }
@@ -274,12 +329,16 @@ impl<T> TreiberStack<T> {
         let mut count = 0usize;
         for (item, key) in items {
             let idx = self.alloc_node();
-            // SAFETY: detached node, exclusively owned.
-            unsafe { *self.node(idx).item.get() = Some(item) };
+            // SAFETY: detached node, exclusively owned until `attach`.
+            self.node(idx).item.with_mut(|p| unsafe { *p = Some(item) });
+            // ordering: Release — stamp visible before the publish CAS
+            // (see `push_keyed`).
             self.node(idx).key.store(key, Ordering::Release);
             if first == NIL {
                 first = idx;
             } else {
+                // ordering: Release — private chain link, published
+                // wholesale by `attach`'s CAS.
                 self.node(prev).next.store(idx, Ordering::Release);
             }
             prev = idx;
@@ -294,15 +353,24 @@ impl<T> TreiberStack<T> {
     /// Pop the top item (one CAS on the uncontended path).
     pub fn pop(&self) -> Option<T> {
         loop {
+            // ordering: Acquire pairs with `attach`'s AcqRel publish CAS:
+            // a non-NIL head implies its item/key/next writes are visible.
             let h = self.head.load(Ordering::Acquire);
             let idx = idx_of(h);
             if idx == NIL {
                 return None;
             }
             let node = self.node(idx);
+            // ordering: Acquire — the link was Release-stored before the
+            // node became reachable; a stale value is discarded by the
+            // tag CAS below.
             let next = node.next.load(Ordering::Acquire);
             if self
                 .head
+                // ordering: AcqRel — Acquire takes ownership of the
+                // detached node (pusher's writes happen-before our take);
+                // Release orders the detach for the next head reader;
+                // tag bump defeats ABA.
                 .compare_exchange(
                     h,
                     pack(tag_of(h).wrapping_add(1), next),
@@ -312,11 +380,12 @@ impl<T> TreiberStack<T> {
                 .is_ok()
             {
                 // SAFETY: the tag CAS transferred exclusive ownership.
-                let item = unsafe { (*node.item.get()).take() };
+                let item = node.item.with_mut(|p| unsafe { (*p).take() });
                 debug_assert!(item.is_some(), "popped a node with no item");
                 self.release_node(idx);
                 return item;
             }
+            // ordering: statistics counter; no synchronization needed.
             self.retries.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -349,6 +418,8 @@ impl<T> TreiberStack<T> {
             return Vec::new();
         }
         loop {
+            // ordering: Acquire pairs with `attach`'s publish CAS (see
+            // `pop`).
             let h = self.head.load(Ordering::Acquire);
             if idx_of(h) == NIL {
                 return Vec::new();
@@ -356,6 +427,8 @@ impl<T> TreiberStack<T> {
             // Speculative walk: keys/links may be mutated by concurrent
             // recycling, but any interference bumps the head tag and
             // fails the CAS below, discarding whatever was read.
+            // ordering: Acquire — stamped with Release before publish;
+            // stale reads are discarded by the tag CAS.
             let key0 = self.node(idx_of(h)).key.load(Ordering::Acquire);
             let mut indices = Vec::with_capacity(max.min(16));
             indices.push(idx_of(h));
@@ -363,10 +436,13 @@ impl<T> TreiberStack<T> {
                 let nx = self
                     .node(*indices.last().unwrap())
                     .next
+                    // ordering: Acquire — speculative link read; stale
+                    // values are discarded by the tag CAS.
                     .load(Ordering::Acquire);
                 if nx == NIL {
                     break;
                 }
+                // ordering: Acquire — speculative key read (see `key0`).
                 if same_key && self.node(nx).key.load(Ordering::Acquire) != key0 {
                     break;
                 }
@@ -375,9 +451,14 @@ impl<T> TreiberStack<T> {
             let after = self
                 .node(*indices.last().unwrap())
                 .next
+                // ordering: Acquire — speculative link read; validated by
+                // the tag CAS.
                 .load(Ordering::Acquire);
             if self
                 .head
+                // ordering: AcqRel — same contract as `pop`'s CAS: the
+                // tag bump proves the walked chain was the authentic
+                // top-k and transfers its exclusive ownership.
                 .compare_exchange(
                     h,
                     pack(tag_of(h).wrapping_add(1), after),
@@ -386,15 +467,16 @@ impl<T> TreiberStack<T> {
                 )
                 .is_err()
             {
+                // ordering: statistics counter; no synchronization needed.
                 self.retries.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            // SAFETY: tag unchanged across the CAS ⇒ no head CAS
-            // interleaved ⇒ the walked chain is the authentic top-k and
-            // now exclusively ours.
             let mut out = Vec::with_capacity(indices.len());
             for idx in indices {
-                let item = unsafe { (*self.node(idx).item.get()).take() };
+                // SAFETY: tag unchanged across the CAS ⇒ no head CAS
+                // interleaved ⇒ the walked chain is the authentic top-k
+                // and now exclusively ours.
+                let item = self.node(idx).item.with_mut(|p| unsafe { (*p).take() });
                 debug_assert!(item.is_some(), "pop_many chain node with no item");
                 if let Some(item) = item {
                     out.push(item);
@@ -423,6 +505,9 @@ impl<T> Drop for TreiberStack<T> {
             let base = *chunk.get_mut();
             if !base.is_null() {
                 let size = CHUNK0 << c;
+                // SAFETY: `base` came from `Box::into_raw` of a
+                // `size`-length boxed slice in `ensure_chunk`; &mut self
+                // guarantees nobody else can still reach it.
                 unsafe { drop(Box::from_raw(ptr::slice_from_raw_parts_mut(base, size))) };
             }
         }

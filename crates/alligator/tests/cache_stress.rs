@@ -98,9 +98,11 @@ fn no_bucket_lost_or_duplicated(lockfree: bool) {
                             }
                             assert!(in_flight.lock().unwrap().remove(&id));
                             cache.insert(b);
+                            // ordering: statistics counter; staleness is acceptable.
                             successes.fetch_add(1, Ordering::Relaxed);
                         }
                         None => {
+                            // ordering: statistics counter; staleness is acceptable.
                             timeouts.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -128,6 +130,7 @@ fn no_bucket_lost_or_duplicated(lockfree: bool) {
     // Accounting: every successful GET hit exactly one of the fast or
     // steal counters (the warm-up drain above also popped; include it).
     let s = stats.snapshot();
+    // ordering: statistics counter; staleness is acceptable.
     let pops = successes.load(Ordering::Relaxed) + 2 * population as u64;
     assert_eq!(s.cache_get_fast + s.cache_get_steal, pops);
     assert!(
@@ -135,6 +138,7 @@ fn no_bucket_lost_or_duplicated(lockfree: bool) {
         "12 threads over 8 shards never stole — steal path unexercised"
     );
     // 24 buckets among 12 threads: the cache never runs dry.
+    // ordering: test readback.
     assert_eq!(timeouts.load(Ordering::Relaxed), 0);
 }
 
@@ -176,6 +180,7 @@ fn concurrent_insert_all_preserves_population(lockfree: bool) {
                 let mut r = retired.lock().unwrap();
                 if r.len() >= DRIVES as usize {
                     r.drain(..DRIVES as usize).collect()
+                // ordering: shutdown flag; no data is published through it.
                 } else if stop.load(Ordering::Relaxed) {
                     r.drain(..).collect()
                 } else {
@@ -184,9 +189,11 @@ fn concurrent_insert_all_preserves_population(lockfree: bool) {
                     continue;
                 }
             };
+            // ordering: shutdown flag; no data is published through it.
             let done = stop.load(Ordering::Relaxed) && batch.is_empty();
             if !batch.is_empty() {
                 cache.insert_all(batch);
+                // ordering: statistics counter; staleness is acceptable.
                 rounds_published.fetch_add(1, Ordering::Relaxed);
             }
             if done {
@@ -203,7 +210,9 @@ fn concurrent_insert_all_preserves_population(lockfree: bool) {
             let rounds_published = Arc::clone(&rounds_published);
             let in_flight = Arc::clone(&in_flight);
             std::thread::spawn(move || {
+                // ordering: statistics counter; staleness is acceptable.
                 while rounds_published.load(Ordering::Relaxed) < TARGET_ROUNDS
+                    // ordering: shutdown flag; no data is published through it.
                     && !stop.load(Ordering::Relaxed)
                 {
                     let got = cache.get_many_from(i, 3);
@@ -235,6 +244,7 @@ fn concurrent_insert_all_preserves_population(lockfree: bool) {
     for h in getters {
         h.join().unwrap();
     }
+    // ordering: shutdown flag; no data is published through it.
     stop.store(true, Ordering::Relaxed);
     publisher.join().unwrap();
 
@@ -344,9 +354,11 @@ fn stress_get_timeout_expires_under_scarcity() {
                             // Hold well past the other getters' timeout.
                             std::thread::sleep(Duration::from_millis(3));
                             cache.insert(b);
+                            // ordering: statistics counter; staleness is acceptable.
                             successes.fetch_add(1, Ordering::Relaxed);
                         }
                         None => {
+                            // ordering: statistics counter; staleness is acceptable.
                             timeouts.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -359,9 +371,11 @@ fn stress_get_timeout_expires_under_scarcity() {
     }
 
     assert!(
+        // ordering: statistics counter; staleness is acceptable.
         timeouts.load(Ordering::Relaxed) > 0,
         "6 threads over 2 long-held buckets must see expiries"
     );
+    // ordering: test readback.
     assert!(successes.load(Ordering::Relaxed) > 0);
 
     // Expiries lose nothing: both buckets are back.
@@ -372,6 +386,7 @@ fn stress_get_timeout_expires_under_scarcity() {
     assert_eq!(drained, ids);
     let s = stats.snapshot();
     assert!(
+        // ordering: statistics counter; staleness is acceptable.
         s.cache_blocked_gets >= timeouts.load(Ordering::Relaxed),
         "every expiry went through the blocked-GET path"
     );

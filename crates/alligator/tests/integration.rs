@@ -112,7 +112,7 @@ fn frees_reopen_an_exhausted_aggregate() {
     alloc.flush_stage(&mut stage);
     alloc.drain();
     let b = alloc.get_bucket().expect("space recovered");
-    assert!(b.len() > 0);
+    assert!(!b.is_empty());
     alloc.put_bucket(b);
     alloc.drain();
     alloc.infra().aggmap().verify().unwrap();

@@ -61,7 +61,7 @@ fn bench_dirty_tracking(c: &mut Criterion) {
                 map.commit_used(idx).unwrap();
             }
             i += 1;
-            if i % 1024 == 0 {
+            if i.is_multiple_of(1024) {
                 criterion::black_box(map.take_dirty_blocks());
             }
         });

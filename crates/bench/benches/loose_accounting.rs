@@ -12,6 +12,7 @@ fn bench_single_thread(c: &mut Criterion) {
     g.throughput(Throughput::Elements(1));
     g.bench_function("strict_atomic", |b| {
         let a = AtomicI64::new(0);
+        // ordering: statistics counter; staleness is acceptable.
         b.iter(|| a.fetch_add(1, Ordering::Relaxed));
     });
     g.bench_function("loose_token_batch64", |b| {
@@ -32,6 +33,7 @@ fn bench_contended(c: &mut Criterion) {
                     let a = Arc::clone(&a);
                     std::thread::spawn(move || {
                         for _ in 0..100_000 {
+                            // ordering: statistics counter; staleness is acceptable.
                             a.fetch_add(1, Ordering::Relaxed);
                         }
                     })
@@ -40,6 +42,7 @@ fn bench_contended(c: &mut Criterion) {
             for h in hs {
                 h.join().unwrap();
             }
+            // ordering: test readback.
             assert_eq!(a.load(Ordering::Relaxed), 400_000);
         });
     });

@@ -336,6 +336,7 @@ mod real_thread {
                 let total = Arc::clone(&total);
                 std::thread::spawn(move || {
                     let mut local = 0u64;
+                    // ordering: shutdown flag; no data is published through it.
                     while !stop.load(Ordering::Relaxed) {
                         match cache.try_get_from(i) {
                             Some(b) => {
@@ -345,16 +346,19 @@ mod real_thread {
                             None => std::thread::yield_now(),
                         }
                     }
+                    // ordering: statistics counter; staleness is acceptable.
                     total.fetch_add(local, Ordering::Relaxed);
                 })
             })
             .collect();
         std::thread::sleep(window);
+        // ordering: shutdown flag; no data is published through it.
         stop.store(true, Ordering::Relaxed);
         for h in handles {
             let _ = h.join();
         }
         let secs = start.elapsed().as_secs_f64();
+        // ordering: statistics counter; staleness is acceptable.
         total.load(Ordering::Relaxed) as f64 / secs
     }
 

@@ -160,35 +160,42 @@ impl Drive {
     /// Is the drive out of service?
     #[inline]
     pub fn is_offline(&self) -> bool {
+        // ordering: Acquire — pairs with the Release stores of the health state.
         self.offline.load(Ordering::Acquire)
     }
 
     /// Take the drive out of service; every subsequent I/O fails with
     /// [`IoError::DriveFailed`] until [`Drive::bring_online`].
     pub fn take_offline(&self) {
+        // ordering: Release — publishes the health-state transition.
         self.offline.store(true, Ordering::Release);
     }
 
     /// Return the drive to service (after a rebuild) and reset its
     /// failure streak.
     pub fn bring_online(&self) {
+        // ordering: Release — publishes the health-state transition.
         self.offline.store(false, Ordering::Release);
+        // ordering: Release — publishes the health-state transition.
         self.consecutive_failures.store(0, Ordering::Release);
     }
 
     /// Consecutive exhausted-retry failures since the last success.
     #[inline]
     pub fn consecutive_failures(&self) -> u32 {
+        // ordering: Acquire — pairs with the Release stores of the health state.
         self.consecutive_failures.load(Ordering::Acquire)
     }
 
     /// Record one exhausted-retry failure; returns the new streak length.
     pub(crate) fn note_failure(&self) -> u32 {
+        // ordering: AcqRel — the failure count and the offline decision it feeds must not reorder.
         self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     /// Draw the fault decision for the next op of `kind`.
     fn decide(&self, kind: OpKind) -> FaultDecision {
+        // ordering: statistics counter; staleness is acceptable.
         let op = self.op_counter.fetch_add(1, Ordering::Relaxed);
         match &*self.fault.read() {
             Some(plan) => plan.decide(self.id, op, kind),
@@ -241,12 +248,17 @@ impl Drive {
             let mut c = self.content.write();
             c[start.0 as usize..end as usize].copy_from_slice(stamps);
         }
+        // ordering: Release — publishes the health-state transition.
         self.consecutive_failures.store(0, Ordering::Release);
+        // ordering: statistics counter; staleness is acceptable.
         let sequential = self.last_write_end.swap(end, Ordering::Relaxed) == start.0;
+        // ordering: statistics counter; staleness is acceptable.
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.blocks_written
+            // ordering: statistics counter; staleness is acceptable.
             .fetch_add(stamps.len() as u64, Ordering::Relaxed);
         let ns = self.model.service_ns(stamps.len() as u64, sequential) + extra_ns;
+        // ordering: statistics counter; staleness is acceptable.
         self.busy_ns.fetch_add(ns, Ordering::Relaxed);
         Ok(ns)
     }
@@ -279,10 +291,14 @@ impl Drive {
             }
         }
         let stamp = self.content.read()[dbn.0 as usize];
+        // ordering: Release — publishes the health-state transition.
         self.consecutive_failures.store(0, Ordering::Release);
+        // ordering: statistics counter; staleness is acceptable.
         self.reads.fetch_add(1, Ordering::Relaxed);
+        // ordering: statistics counter; staleness is acceptable.
         self.blocks_read.fetch_add(1, Ordering::Relaxed);
         let ns = self.model.service_ns(1, false) + extra_ns;
+        // ordering: statistics counter; staleness is acceptable.
         self.busy_ns.fetch_add(ns, Ordering::Relaxed);
         Ok((stamp, ns))
     }
@@ -316,10 +332,14 @@ impl Drive {
             }
         }
         let out = self.content.read()[start.0 as usize..end as usize].to_vec();
+        // ordering: Release — publishes the health-state transition.
         self.consecutive_failures.store(0, Ordering::Release);
+        // ordering: statistics counter; staleness is acceptable.
         self.reads.fetch_add(1, Ordering::Relaxed);
+        // ordering: statistics counter; staleness is acceptable.
         self.blocks_read.fetch_add(len, Ordering::Relaxed);
         let ns = self.model.service_ns(len, false) + extra_ns;
+        // ordering: statistics counter; staleness is acceptable.
         self.busy_ns.fetch_add(ns, Ordering::Relaxed);
         Ok((out, ns))
     }
@@ -352,10 +372,15 @@ impl Drive {
     /// Snapshot of the drive's statistics.
     pub fn stats(&self) -> DriveStats {
         DriveStats {
+            // ordering: statistics counter; staleness is acceptable.
             writes: self.writes.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             blocks_written: self.blocks_written.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             reads: self.reads.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             blocks_read: self.blocks_read.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             busy_ns: self.busy_ns.load(Ordering::Relaxed),
         }
     }

@@ -75,9 +75,13 @@ impl IoCounters {
     /// Plain-value snapshot.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
+            // ordering: statistics counter; staleness is acceptable.
             write_ios: self.write_ios.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             blocks_written: self.blocks_written.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             parity_reads: self.parity_reads.load(Ordering::Relaxed),
+            // ordering: statistics counter; staleness is acceptable.
             service_ns: self.service_ns.load(Ordering::Relaxed),
         }
     }
@@ -212,15 +216,19 @@ impl IoEngine {
             }
         }
         let (service_ns, parity_reads) = g.write(&per_drive)?;
+        // ordering: statistics counter; staleness is acceptable.
         self.counters.write_ios.fetch_add(1, Ordering::Relaxed);
         self.counters
             .blocks_written
+            // ordering: statistics counter; staleness is acceptable.
             .fetch_add(blocks, Ordering::Relaxed);
         self.counters
             .parity_reads
+            // ordering: statistics counter; staleness is acceptable.
             .fetch_add(parity_reads, Ordering::Relaxed);
         self.counters
             .service_ns
+            // ordering: statistics counter; staleness is acceptable.
             .fetch_add(service_ns, Ordering::Relaxed);
         Ok(IoResult {
             service_ns,
@@ -289,10 +297,15 @@ impl IoEngine {
         let mut s = FaultSnapshot::default();
         for g in &self.groups {
             let c = g.counters();
+            // ordering: statistics counter; staleness is acceptable.
             s.reconstructed_reads += c.reconstructed_reads.load(Ordering::Relaxed);
+            // ordering: statistics counter; staleness is acceptable.
             s.degraded_stripes += c.degraded_stripes.load(Ordering::Relaxed);
+            // ordering: statistics counter; staleness is acceptable.
             s.degraded_writes += c.degraded_writes.load(Ordering::Relaxed);
+            // ordering: statistics counter; staleness is acceptable.
             s.io_retries += c.io_retries.load(Ordering::Relaxed);
+            // ordering: statistics counter; staleness is acceptable.
             s.io_errors += c.io_errors.load(Ordering::Relaxed);
         }
         s.drives_offline = self.offline_drives().len() as u64;
@@ -304,7 +317,9 @@ impl IoEngine {
     pub fn full_stripe_ratio(&self) -> Option<f64> {
         let (mut full, mut partial) = (0u64, 0u64);
         for g in &self.groups {
+            // ordering: statistics counter; staleness is acceptable.
             full += g.counters().full_stripe_writes.load(Ordering::Relaxed);
+            // ordering: statistics counter; staleness is acceptable.
             partial += g.counters().partial_stripe_writes.load(Ordering::Relaxed);
         }
         let total = full + partial;

@@ -169,15 +169,18 @@ impl RaidGroup {
             match drive.read_block(dbn) {
                 Ok((stamp, ns)) => return Ok((stamp, ns + backoff_ns)),
                 Err(e @ IoError::Transient { .. }) => {
+                    // ordering: statistics counter; staleness is acceptable.
                     self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
                     if attempt == self.policy.max_retries {
                         self.note_terminal_failure(drive);
                         return Err(e);
                     }
+                    // ordering: statistics counter; staleness is acceptable.
                     self.counters.io_retries.fetch_add(1, Ordering::Relaxed);
                     backoff_ns += self.policy.backoff_base_ns << attempt;
                 }
                 Err(e) => {
+                    // ordering: statistics counter; staleness is acceptable.
                     self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
                     return Err(e);
                 }
@@ -199,15 +202,18 @@ impl RaidGroup {
             match drive.write_run(start, stamps) {
                 Ok(ns) => return Ok(ns + backoff_ns),
                 Err(e @ IoError::Transient { .. }) => {
+                    // ordering: statistics counter; staleness is acceptable.
                     self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
                     if attempt == self.policy.max_retries {
                         self.note_terminal_failure(drive);
                         return Err(e);
                     }
+                    // ordering: statistics counter; staleness is acceptable.
                     self.counters.io_retries.fetch_add(1, Ordering::Relaxed);
                     backoff_ns += self.policy.backoff_base_ns << attempt;
                 }
                 Err(e) => {
+                    // ordering: statistics counter; staleness is acceptable.
                     self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
                     return Err(e);
                 }
@@ -271,6 +277,7 @@ impl RaidGroup {
                 // Full stripe: parity from new data only.
                 self.counters
                     .full_stripe_writes
+                    // ordering: statistics counter; staleness is acceptable.
                     .fetch_add(1, Ordering::Relaxed);
                 for m in per_drive {
                     parity ^= m[&dbn];
@@ -279,6 +286,7 @@ impl RaidGroup {
                 // Partial stripe: read the untouched blocks back.
                 self.counters
                     .partial_stripe_writes
+                    // ordering: statistics counter; staleness is acceptable.
                     .fetch_add(1, Ordering::Relaxed);
                 for (i, m) in per_drive.iter().enumerate() {
                     match m.get(&dbn) {
@@ -293,6 +301,7 @@ impl RaidGroup {
                                     self.ensure_reconstructable(i as u32)?;
                                     self.counters
                                         .reconstructed_reads
+                                        // ordering: statistics counter; staleness is acceptable.
                                         .fetch_add(1, Ordering::Relaxed);
                                     self.reconstruct(i as u32, Dbn(dbn))
                                 }
@@ -307,6 +316,7 @@ impl RaidGroup {
         }
         self.counters
             .parity_read_blocks
+            // ordering: statistics counter; staleness is acceptable.
             .fetch_add(parity_reads, Ordering::Relaxed);
 
         // Issue per-drive writes as maximal contiguous runs; the group's
@@ -336,9 +346,11 @@ impl RaidGroup {
                     self.ensure_reconstructable(i as u32)?;
                     self.counters
                         .degraded_writes
+                        // ordering: statistics counter; staleness is acceptable.
                         .fetch_add(m.len() as u64, Ordering::Relaxed);
                     self.counters
                         .degraded_stripes
+                        // ordering: statistics counter; staleness is acceptable.
                         .fetch_add(m.len() as u64, Ordering::Relaxed);
                 }
             }
@@ -361,6 +373,7 @@ impl RaidGroup {
                     }
                     self.counters
                         .degraded_writes
+                        // ordering: statistics counter; staleness is acceptable.
                         .fetch_add(parity_updates.len() as u64, Ordering::Relaxed);
                 }
             }
@@ -427,9 +440,11 @@ impl RaidGroup {
         max_ns = max_ns.max(ns);
         self.counters
             .reconstructed_reads
+            // ordering: statistics counter; staleness is acceptable.
             .fetch_add(1, Ordering::Relaxed);
         self.counters
             .degraded_stripes
+            // ordering: statistics counter; staleness is acceptable.
             .fetch_add(1, Ordering::Relaxed);
         Ok((x, max_ns))
     }
@@ -549,8 +564,10 @@ mod tests {
         ];
         let (_, reads) = g.write(&maps).unwrap();
         assert_eq!(reads, 0);
+        // ordering: test readback.
         assert_eq!(g.counters().full_stripe_writes.load(Ordering::Relaxed), 1);
         assert_eq!(
+            // ordering: statistics counter; staleness is acceptable.
             g.counters().partial_stripe_writes.load(Ordering::Relaxed),
             0
         );
@@ -570,6 +587,7 @@ mod tests {
         let (_, reads) = g.write(&maps).unwrap();
         assert_eq!(reads, 2);
         assert_eq!(
+            // ordering: statistics counter; staleness is acceptable.
             g.counters().partial_stripe_writes.load(Ordering::Relaxed),
             1
         );
@@ -610,8 +628,10 @@ mod tests {
             BTreeMap::from([(0u64, 4u128), (1, 5)]), // stripe 2 is partial
         ];
         let (_, reads) = g.write(&maps).unwrap();
+        // ordering: test readback.
         assert_eq!(g.counters().full_stripe_writes.load(Ordering::Relaxed), 2);
         assert_eq!(
+            // ordering: statistics counter; staleness is acceptable.
             g.counters().partial_stripe_writes.load(Ordering::Relaxed),
             1
         );
@@ -652,6 +672,7 @@ mod tests {
             g.write(&maps).unwrap();
         }
         assert!(
+            // ordering: statistics counter; staleness is acceptable.
             g.counters().io_retries.load(Ordering::Relaxed) > 0,
             "expected retries at 30 % error rate"
         );
@@ -679,10 +700,12 @@ mod tests {
         // Second write hits the dead drive → degraded, not failed.
         g.write(&w(1)).unwrap();
         assert_eq!(g.offline_data_drives(), vec![1]);
+        // ordering: test readback.
         assert!(g.counters().degraded_writes.load(Ordering::Relaxed) > 0);
         // Degraded read returns the *intended* stamp via reconstruction.
         let (s, _) = g.read_block(1, Dbn(1)).unwrap();
         assert_eq!(s, crate::stamp(1, 1, 1));
+        // ordering: test readback.
         assert!(g.counters().reconstructed_reads.load(Ordering::Relaxed) > 0);
         // Raw media is stale, so the scrub fails while degraded...
         assert!(g.verify_parity(1, 2).is_err());

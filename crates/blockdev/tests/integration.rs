@@ -130,12 +130,14 @@ fn raid_write_handles_interleaved_runs_and_holes() {
     assert_eq!(
         g.counters()
             .full_stripe_writes
+            // ordering: statistics counter; staleness is acceptable.
             .load(std::sync::atomic::Ordering::Relaxed),
         2
     );
     assert_eq!(
         g.counters()
             .partial_stripe_writes
+            // ordering: statistics counter; staleness is acceptable.
             .load(std::sync::atomic::Ordering::Relaxed),
         4
     );

@@ -1,0 +1,329 @@
+//! The schedule-exploration driver.
+//!
+//! Two modes:
+//!
+//! * **Random** (default): `schedules` seeded pseudo-random
+//!   interleavings. Every schedule's seed is derived from the base seed
+//!   (`MC_SEED`) and its index; a failure prints the per-schedule seed,
+//!   and `MC_REPLAY=<sseed>` reruns exactly that interleaving.
+//! * **Exhaustive** (`.exhaustive()`): depth-first enumeration of all
+//!   interleavings with sleep-set pruning (DPOR-lite) — sound for
+//!   safety violations and deadlocks, pruning only provably-redundant
+//!   orders. Bounded by the same schedule budget.
+//!
+//! Environment knobs: `MC_SEED` (base seed), `MC_SCHEDULES` (budget
+//! override, the CI lever), `MC_REPLAY` (single-schedule replay),
+//! `MC_MAX_STEPS` (per-schedule step bound).
+
+use crate::exec::{DecRecord, Execution, GStep, OpSig, Outcome, Plan, RunResult};
+
+/// Statistics from a completed (non-failing) check.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Schedules actually executed.
+    pub schedules_run: usize,
+    /// Exhaustive mode only: true iff the full (pruned) tree was
+    /// explored within budget.
+    pub complete: bool,
+    /// Total virtual timeouts fired across schedules.
+    pub timeouts: usize,
+    /// Schedules abandoned by sleep-set pruning.
+    pub pruned: usize,
+    /// Total yield points executed across schedules.
+    pub steps: usize,
+}
+
+/// A failing schedule, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Human-readable violation report.
+    pub message: String,
+    /// Per-schedule seed (random mode) for `MC_REPLAY`.
+    pub sseed: Option<u64>,
+    /// Index of the failing schedule.
+    pub schedule: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "schedule #{}: {}", self.schedule, self.message)?;
+        if let Some(s) = self.sseed {
+            write!(
+                f,
+                "\n  replay with: MC_REPLAY={s:#x} (and the same MC_* env)"
+            )?;
+        } else {
+            write!(
+                f,
+                "\n  exhaustive mode is deterministic: rerun the test to reproduce"
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let v = std::env::var(name).ok()?;
+    let v = v.trim();
+    let parsed = if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        v.parse()
+    };
+    match parsed {
+        Ok(x) => Some(x),
+        Err(_) => panic!("mc: could not parse {name}={v} as u64"),
+    }
+}
+
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut s = seed ^ (i.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut z = s;
+    s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z ^= s;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One node of the exhaustive-mode DFS stack.
+struct Frame {
+    sched: bool,
+    /// Enabled threads and their pending ops at this node (sched only).
+    enabled: Vec<(u32, OpSig)>,
+    /// Candidate count (non-sched decisions).
+    n: u32,
+    /// Sleep set inherited on first arrival at this node.
+    base_sleep: Vec<u32>,
+    /// Choices fully explored at this node.
+    explored: Vec<u32>,
+    /// Choice the current run took here.
+    chosen: u32,
+}
+
+impl Frame {
+    fn from_log(r: &DecRecord) -> Self {
+        Frame {
+            sched: r.sched,
+            enabled: r.enabled.clone(),
+            n: r.n,
+            base_sleep: r.sleep.clone(),
+            explored: Vec::new(),
+            chosen: r.chosen,
+        }
+    }
+
+    /// Next unexplored, non-sleeping candidate after marking `chosen`
+    /// explored; `None` when the node is exhausted.
+    fn advance(&mut self) -> Option<u32> {
+        self.explored.push(self.chosen);
+        let next = if self.sched {
+            self.enabled
+                .iter()
+                .map(|&(t, _)| t)
+                .find(|t| !self.base_sleep.contains(t) && !self.explored.contains(t))
+        } else {
+            (0..self.n).find(|c| !self.explored.contains(c))
+        };
+        if let Some(c) = next {
+            self.chosen = c;
+        }
+        next
+    }
+
+    /// Sleep set to install when re-entering this node: everything the
+    /// node inherited plus every sibling already explored — a sibling's
+    /// subtree covers all orders that merely commute with it.
+    fn sleep_for_replay(&self) -> Vec<u32> {
+        let mut s = self.base_sleep.clone();
+        for &e in &self.explored {
+            if e != self.chosen && !s.contains(&e) {
+                s.push(e);
+            }
+        }
+        s
+    }
+}
+
+/// A configured model-checking run over a closure.
+pub struct Checker {
+    name: String,
+    schedules: usize,
+    exhaustive: bool,
+    max_steps: usize,
+    seed: u64,
+}
+
+impl Checker {
+    /// Create a checker. `name` labels reports and replay lines.
+    pub fn new(name: &str) -> Self {
+        Checker {
+            name: name.to_string(),
+            schedules: env_u64("MC_SCHEDULES").map(|v| v as usize).unwrap_or(1000),
+            exhaustive: false,
+            max_steps: env_u64("MC_MAX_STEPS")
+                .map(|v| v as usize)
+                .unwrap_or(20_000),
+            seed: env_u64("MC_SEED").unwrap_or(0x57AB_1E5E_ED00_0001),
+        }
+    }
+
+    /// Set the schedule budget (still overridden by `MC_SCHEDULES`).
+    pub fn schedules(mut self, n: usize) -> Self {
+        if std::env::var("MC_SCHEDULES").is_err() {
+            self.schedules = n;
+        }
+        self
+    }
+
+    /// Switch to bounded exhaustive (sleep-set DFS) exploration.
+    pub fn exhaustive(mut self) -> Self {
+        self.exhaustive = true;
+        self
+    }
+
+    /// Override the per-schedule step bound.
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Explore; panic with a replayable report on the first violation.
+    pub fn check(self, f: impl Fn()) -> Report {
+        let name = self.name.clone();
+        match self.try_check(f) {
+            Ok(r) => r,
+            Err(e) => panic!("mc[{name}] found a violation on {e}"),
+        }
+    }
+
+    /// Explore; return the first violation instead of panicking (used by
+    /// the detection-power self-tests, which *expect* failures).
+    pub fn try_check(self, f: impl Fn()) -> Result<Report, Failure> {
+        if self.exhaustive {
+            self.run_exhaustive(f)
+        } else {
+            self.run_random(f)
+        }
+    }
+
+    fn run_random(self, f: impl Fn()) -> Result<Report, Failure> {
+        let mut report = Report {
+            schedules_run: 0,
+            complete: false,
+            timeouts: 0,
+            pruned: 0,
+            steps: 0,
+        };
+        if let Some(sseed) = env_u64("MC_REPLAY") {
+            let r = Execution::run(Plan::Random { sseed }, self.max_steps, &f);
+            report.schedules_run = 1;
+            report.timeouts = r.timeouts;
+            report.steps = r.steps;
+            if let Outcome::Failed(message) = r.outcome {
+                return Err(Failure {
+                    message,
+                    sseed: Some(sseed),
+                    schedule: 0,
+                });
+            }
+            return Ok(report);
+        }
+        for i in 0..self.schedules {
+            let sseed = mix(self.seed, i as u64);
+            let r = Execution::run(Plan::Random { sseed }, self.max_steps, &f);
+            report.schedules_run += 1;
+            report.timeouts += r.timeouts;
+            report.steps += r.steps;
+            if r.outcome == Outcome::StepBound {
+                report.pruned += 1;
+            }
+            if let Outcome::Failed(message) = r.outcome {
+                return Err(Failure {
+                    message,
+                    sseed: Some(sseed),
+                    schedule: i,
+                });
+            }
+        }
+        Ok(report)
+    }
+
+    fn run_exhaustive(self, f: impl Fn()) -> Result<Report, Failure> {
+        let mut report = Report {
+            schedules_run: 0,
+            complete: false,
+            timeouts: 0,
+            pruned: 0,
+            steps: 0,
+        };
+        let mut stack: Vec<Frame> = Vec::new();
+        loop {
+            if report.schedules_run >= self.schedules {
+                return Ok(report); // budget exhausted, complete = false
+            }
+            let steps: Vec<GStep> = stack
+                .iter()
+                .map(|fr| GStep {
+                    choice: fr.chosen,
+                    sleep: if fr.sched {
+                        fr.sleep_for_replay()
+                    } else {
+                        Vec::new()
+                    },
+                })
+                .collect();
+            let forced = steps.len();
+            let r: RunResult = Execution::run(Plan::Guided { steps }, self.max_steps, &f);
+            report.schedules_run += 1;
+            report.timeouts += r.timeouts;
+            report.steps += r.steps;
+            match &r.outcome {
+                Outcome::Failed(message) => {
+                    return Err(Failure {
+                        message: message.clone(),
+                        sseed: None,
+                        schedule: report.schedules_run - 1,
+                    });
+                }
+                Outcome::Pruned | Outcome::StepBound => report.pruned += 1,
+                Outcome::Done => {}
+            }
+            // Merge: the forced prefix must replay identically; frames
+            // beyond it are new DFS nodes discovered by this run.
+            for (i, rec) in r.log.iter().enumerate() {
+                if i < forced {
+                    assert_eq!(
+                        rec.chosen, stack[i].chosen,
+                        "mc internal: exhaustive replay diverged at decision {i}"
+                    );
+                } else if i == stack.len() {
+                    stack.push(Frame::from_log(rec));
+                } else {
+                    panic!("mc internal: decision log skipped a frame at {i}");
+                }
+            }
+            // Backtrack: advance the deepest frame with an unexplored
+            // sibling; pop exhausted frames.
+            loop {
+                let Some(fr) = stack.last_mut() else {
+                    report.complete = true;
+                    return Ok(report);
+                };
+                if fr.advance().is_some() {
+                    break;
+                }
+                stack.pop();
+            }
+        }
+    }
+}
+
+/// Virtual timeouts fired so far in the *current* execution (0 outside a
+/// model run). Invariant tests assert this alongside their results to
+/// prove no wakeup was lost.
+pub fn timeouts_fired() -> usize {
+    crate::exec::current()
+        .map(|(ex, _)| ex.timeouts_fired())
+        .unwrap_or(0)
+}

@@ -1,0 +1,77 @@
+//! Vector clocks — the happens-before backbone of the race detector and
+//! the allowed-stale `Relaxed` load model.
+//!
+//! Fixed-width clocks (one slot per logical thread, bounded by
+//! [`MAX_THREADS`]) keep joins and comparisons branch-light; model
+//! executions are small by construction, so a hard thread cap is a
+//! feature, not a limitation.
+
+/// Maximum logical threads per execution (including the root closure).
+pub const MAX_THREADS: usize = 8;
+
+/// A fixed-width vector clock: `c[t]` counts the events thread `t` has
+/// performed that the clock's owner has (transitively) observed.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct VClock {
+    c: [u32; MAX_THREADS],
+}
+
+impl VClock {
+    /// The zero clock (observes nothing) — `⊥`, ≤ every clock.
+    pub const fn bottom() -> Self {
+        Self {
+            c: [0; MAX_THREADS],
+        }
+    }
+
+    /// Component for thread `t`.
+    #[inline]
+    pub fn get(&self, t: usize) -> u32 {
+        self.c[t]
+    }
+
+    /// Advance this clock's own component (one new event by thread `t`).
+    #[inline]
+    pub fn tick(&mut self, t: usize) {
+        self.c[t] += 1;
+    }
+
+    /// Pointwise maximum: after `self.join(o)`, everything `o` observed
+    /// is observed by `self` too (the happens-before union).
+    #[inline]
+    pub fn join(&mut self, o: &VClock) {
+        for (a, b) in self.c.iter_mut().zip(o.c.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Pointwise ≤: does every event in `self` happen before (or equal
+    /// to) the observation frontier of `o`?
+    #[inline]
+    pub fn le(&self, o: &VClock) -> bool {
+        self.c.iter().zip(o.c.iter()).all(|(a, b)| a <= b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max_and_le_is_pointwise() {
+        let mut a = VClock::bottom();
+        let mut b = VClock::bottom();
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        let mut j = a;
+        j.join(&b);
+        assert!(a.le(&j));
+        assert!(b.le(&j));
+        assert_eq!(j.get(0), 2);
+        assert_eq!(j.get(1), 1);
+        assert!(VClock::bottom().le(&a));
+    }
+}

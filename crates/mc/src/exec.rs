@@ -1,0 +1,1219 @@
+//! The execution engine: real OS threads under a strict token-passing
+//! scheduler.
+//!
+//! Every shimmed operation (atomic access, lock acquisition, condvar
+//! wait/notify, cell access) is a *yield point*: the thread publishes the
+//! operation it is about to perform, runs the scheduler pick itself under
+//! the shared `Inner` lock, and blocks until the token is granted back to
+//! it. Exactly one logical thread runs between yield points, so every
+//! interleaving the checker explores is a deterministic function of the
+//! schedule plan — replaying a plan replays the execution bit-for-bit
+//! (provided the checked code itself is deterministic, which the shims
+//! enforce by funnelling all shared-memory access through the model).
+//!
+//! On top of the scheduler sit three analyses:
+//!
+//! * a **vector-clock race detector** over shimmed `UnsafeCell` accesses
+//!   (FastTrack-style epochs, `#[track_caller]` locations in reports),
+//! * an **allowed-stale `Relaxed` load model**: each atomic keeps a
+//!   bounded history of writes; a `Relaxed` load may return any
+//!   coherence-permitted stale value, and the choice is a recorded
+//!   scheduling decision (so exhaustive mode branches on it),
+//! * **virtual timeouts**: a timed condvar wait only times out when no
+//!   other thread is runnable, so lost-wakeup bugs manifest as a fired
+//!   timeout (or a deadlock) rather than as wall-clock flakiness.
+
+use crate::clock::{VClock, MAX_THREADS};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::panic::Location;
+use std::sync::atomic::{AtomicBool, Ordering as SOrd};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdGuard};
+
+/// Writes remembered per atomic for the stale-`Relaxed` load model.
+const WRITE_HISTORY: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Operation signatures (for sleep-set independence) and pending ops
+// ---------------------------------------------------------------------------
+
+/// Access kind of a yield-point operation, for the independence relation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    /// Reads shared state (two reads of the same object commute).
+    Read,
+    /// Writes shared state (conflicts with reads and writes).
+    Write,
+    /// Synchronisation op (lock, notify, wait entry) — conflicts with
+    /// every op on the same object.
+    Sync,
+    /// Touches no shared object (spawn, join, yield) — commutes with all.
+    Free,
+}
+
+/// What a thread is about to do at its yield point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OpSig {
+    /// Model object id, or 0 for object-free ops.
+    pub obj: u32,
+    /// Access kind.
+    pub kind: OpKind,
+}
+
+impl OpSig {
+    /// An operation that touches no shared object.
+    pub const fn free() -> Self {
+        OpSig {
+            obj: 0,
+            kind: OpKind::Free,
+        }
+    }
+}
+
+/// Dependence relation for sleep-set pruning: two ops conflict iff they
+/// touch the same object and at least one writes/synchronises on it.
+pub fn conflicts(a: OpSig, b: OpSig) -> bool {
+    a.obj != 0 && a.obj == b.obj && !(a.kind == OpKind::Read && b.kind == OpKind::Read)
+}
+
+/// A thread's published pending operation.
+#[derive(Clone, Copy, Debug)]
+enum PendOp {
+    /// A generic always-enabled step.
+    Step(OpSig),
+    /// Blocking lock acquisition — enabled iff the mutex is free.
+    Lock(u32),
+    /// Join on a logical thread — enabled iff the target has finished.
+    Join(usize),
+}
+
+impl PendOp {
+    fn sig(self) -> OpSig {
+        match self {
+            PendOp::Step(s) => s,
+            PendOp::Lock(m) => OpSig {
+                obj: m,
+                kind: OpKind::Sync,
+            },
+            PendOp::Join(_) => OpSig::free(),
+        }
+    }
+}
+
+/// Logical thread state as seen by the scheduler.
+#[derive(Clone, Copy, Debug)]
+enum TState {
+    /// Holds the token (or is between registration and first wait).
+    Running,
+    /// Parked at a yield point, waiting to be granted the token.
+    AtYield(PendOp),
+    /// Blocked in a condvar wait; woken by notify or (if `timed`) by a
+    /// virtual timeout fired when nothing else can run.
+    BlockedCv { cv: u32, mutex: u32, timed: bool },
+    /// Ran to completion.
+    Finished,
+}
+
+// ---------------------------------------------------------------------------
+// Plans, decisions, outcomes
+// ---------------------------------------------------------------------------
+
+/// One forced decision in a guided (exhaustive-mode) replay.
+#[derive(Clone, Debug)]
+pub struct GStep {
+    /// Chosen thread id (scheduler decisions) or candidate index (value
+    /// decisions).
+    pub choice: u32,
+    /// Sleep set to install before picking (scheduler decisions only):
+    /// the union of the inherited sleep set and the alternatives already
+    /// explored at this node.
+    pub sleep: Vec<u32>,
+}
+
+/// How an execution picks its decisions.
+#[derive(Clone, Debug)]
+pub enum Plan {
+    /// Seeded pseudo-random choices; replayable from `sseed`.
+    Random {
+        /// Per-schedule seed (printed on failure, replayed via `MC_REPLAY`).
+        sseed: u64,
+    },
+    /// Forced prefix of decisions (exhaustive DFS); past the prefix the
+    /// run picks the smallest allowed candidate.
+    Guided {
+        /// The forced decisions, in decision order.
+        steps: Vec<GStep>,
+    },
+}
+
+/// One recorded decision (only decisions with ≥ 2 candidates are logged,
+/// so guided replays index the log positionally).
+#[derive(Clone, Debug)]
+pub struct DecRecord {
+    /// True for scheduler picks, false for value/waiter/timeout choices.
+    pub sched: bool,
+    /// Chosen tid (sched) or candidate index (non-sched).
+    pub chosen: u32,
+    /// Candidate count for non-sched decisions.
+    pub n: u32,
+    /// Enabled threads and their pending ops (sched only).
+    pub enabled: Vec<(u32, OpSig)>,
+    /// Sleep set in force at this decision (sched only).
+    pub sleep: Vec<u32>,
+}
+
+/// How a single schedule ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// All threads finished; no violation observed.
+    Done,
+    /// A violation: assertion failure, detected race, deadlock, or replay
+    /// divergence. The string is the human-readable report.
+    Failed(String),
+    /// Sleep-set pruning proved this branch redundant; abandoned early.
+    Pruned,
+    /// Hit the per-schedule step bound (livelock guard); abandoned.
+    StepBound,
+}
+
+/// Everything the checker needs back from one schedule.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Terminal outcome.
+    pub outcome: Outcome,
+    /// Decision log (drives exhaustive DFS frame construction).
+    pub log: Vec<DecRecord>,
+    /// Yield points executed.
+    pub steps: usize,
+    /// Virtual timeouts fired.
+    pub timeouts: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Per-object model state
+// ---------------------------------------------------------------------------
+
+/// One write in an atomic's bounded history.
+#[derive(Clone, Debug)]
+struct WriteRec {
+    val: u64,
+    /// Modification-order position (monotone per atomic).
+    seq: u64,
+    /// Writer's clock at the write (coherence floor computation).
+    writer_clock: VClock,
+    /// Clock released by this write, if it heads/continues a release
+    /// sequence; acquire loads that read it join this.
+    release_clock: Option<VClock>,
+}
+
+/// Model state of one shimmed atomic.
+struct AtomicMeta {
+    writes: VecDeque<WriteRec>,
+    /// Per-thread floor: a thread never reads a write older than one it
+    /// already read (read-read coherence).
+    last_read_floor: [u64; MAX_THREADS],
+}
+
+impl AtomicMeta {
+    fn new(init: u64, creator_clock: VClock) -> Self {
+        let mut writes = VecDeque::with_capacity(WRITE_HISTORY);
+        writes.push_back(WriteRec {
+            val: init,
+            seq: 1,
+            writer_clock: creator_clock,
+            // Creation synchronises-with first acquire load: initialising
+            // an atomic and publishing the structure is always intended
+            // to make the initial value visible.
+            release_clock: Some(creator_clock),
+        });
+        AtomicMeta {
+            writes,
+            last_read_floor: [0; MAX_THREADS],
+        }
+    }
+}
+
+/// FastTrack-style epochs for one race-tracked `UnsafeCell`.
+struct CellMeta {
+    write_tid: usize,
+    write_epoch: u32,
+    write_loc: Option<&'static Location<'static>>,
+    read_epochs: [u32; MAX_THREADS],
+    read_locs: [Option<&'static Location<'static>>; MAX_THREADS],
+}
+
+impl CellMeta {
+    fn new() -> Self {
+        CellMeta {
+            write_tid: 0,
+            write_epoch: 0,
+            write_loc: None,
+            read_epochs: [0; MAX_THREADS],
+            read_locs: [None; MAX_THREADS],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The execution
+// ---------------------------------------------------------------------------
+
+struct Inner {
+    states: Vec<TState>,
+    clocks: Vec<VClock>,
+    final_clocks: Vec<VClock>,
+    timed_flag: Vec<bool>,
+    /// Which thread currently holds (or has been granted) the token.
+    granted: Option<usize>,
+    /// mutex id → holder tid.
+    held: BTreeMap<u32, usize>,
+    /// mutex id → clock released at last unlock (acquire joins it).
+    mutex_clocks: BTreeMap<u32, VClock>,
+    /// condvar id → (waiter tid, mutex id) in wait order.
+    cv_waiters: BTreeMap<u32, Vec<(usize, u32)>>,
+    atomics: BTreeMap<u32, AtomicMeta>,
+    cells: BTreeMap<u32, CellMeta>,
+    next_obj: u32,
+    rng: u64,
+    log: Vec<DecRecord>,
+    /// Sleep set (sleep-set DPOR): threads that must not be picked
+    /// because the resulting interleaving was already covered.
+    sleep: BTreeSet<usize>,
+    steps: usize,
+    timeouts: usize,
+    outcome: Option<Outcome>,
+    /// Live OS threads spawned by this execution (teardown barrier).
+    os_live: usize,
+}
+
+/// A single controlled execution of the test closure under one plan.
+pub struct Execution {
+    inner: StdMutex<Inner>,
+    cvar: StdCondvar,
+    plan: Plan,
+    max_steps: usize,
+    /// Cheap "this run is over" flag so shims can degrade to passthrough
+    /// during teardown without taking the `inner` lock first.
+    ended: AtomicBool,
+    /// Unique per-process execution number; lazily-registered objects
+    /// stamp it so ids from a previous run are never trusted.
+    pub epoch: u32,
+}
+
+/// Memory ordering as seen by the model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MOrd {
+    /// No synchronisation; loads may observe allowed-stale values.
+    Relaxed,
+    /// Load side of a release/acquire pair.
+    Acquire,
+    /// Store side of a release/acquire pair.
+    Release,
+    /// Both sides (RMW).
+    AcqRel,
+    /// Sequentially consistent (modelled as AcqRel + reads-latest).
+    SeqCst,
+}
+
+impl MOrd {
+    fn acq(self) -> bool {
+        matches!(self, MOrd::Acquire | MOrd::AcqRel | MOrd::SeqCst)
+    }
+    fn rel(self) -> bool {
+        matches!(self, MOrd::Release | MOrd::AcqRel | MOrd::SeqCst)
+    }
+}
+
+/// Panic payload used to unwind threads out of an abandoned execution.
+/// Never escapes the mc runtime: wrappers downcast and swallow it.
+pub(crate) struct McAbort;
+
+fn abort_now() -> ! {
+    std::panic::resume_unwind(Box::new(McAbort))
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+static EXEC_EPOCH: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(1);
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The current thread's execution context, if it is a model thread.
+pub fn current() -> Option<(Arc<Execution>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(v: Option<(Arc<Execution>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = v);
+}
+
+impl Execution {
+    fn new(plan: Plan, max_steps: usize) -> Self {
+        let sseed = match &plan {
+            Plan::Random { sseed } => *sseed,
+            Plan::Guided { .. } => 0,
+        };
+        let mut root_clock = VClock::bottom();
+        root_clock.tick(0);
+        Execution {
+            inner: StdMutex::new(Inner {
+                states: vec![TState::Running],
+                clocks: vec![root_clock],
+                final_clocks: vec![VClock::bottom()],
+                timed_flag: vec![false],
+                granted: Some(0),
+                held: BTreeMap::new(),
+                mutex_clocks: BTreeMap::new(),
+                cv_waiters: BTreeMap::new(),
+                atomics: BTreeMap::new(),
+                cells: BTreeMap::new(),
+                next_obj: 1,
+                rng: sseed ^ 0xA5A5_5A5A_DEAD_BEEF,
+                log: Vec::new(),
+                sleep: BTreeSet::new(),
+                steps: 0,
+                timeouts: 0,
+                outcome: None,
+                os_live: 0,
+            }),
+            cvar: StdCondvar::new(),
+            plan,
+            max_steps,
+            ended: AtomicBool::new(false),
+            epoch: EXEC_EPOCH.fetch_add(1, SOrd::Relaxed),
+        }
+    }
+
+    /// Run `f` as logical thread 0 under `plan`; returns when every
+    /// spawned OS thread has exited.
+    pub fn run(plan: Plan, max_steps: usize, f: impl FnOnce()) -> RunResult {
+        let ex = Arc::new(Execution::new(plan, max_steps));
+        set_ctx(Some((ex.clone(), 0)));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        set_ctx(None);
+        match r {
+            Ok(()) => ex.thread_finish(0),
+            Err(p) => ex.fail_from_payload(p),
+        }
+        ex.wait_done()
+    }
+
+    /// True once the run has an outcome; shims degrade to passthrough.
+    pub fn is_ended(&self) -> bool {
+        self.ended.load(SOrd::SeqCst)
+    }
+
+    /// Virtual timeouts fired so far in this run.
+    pub fn timeouts_fired(&self) -> usize {
+        self.lock().timeouts
+    }
+
+    fn lock(&self) -> StdGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn wait<'a>(&self, g: StdGuard<'a, Inner>) -> StdGuard<'a, Inner> {
+        self.cvar.wait(g).unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn set_outcome(&self, g: &mut Inner, o: Outcome) {
+        if g.outcome.is_none() {
+            g.outcome = Some(o);
+        }
+        self.ended.store(true, SOrd::SeqCst);
+        self.cvar.notify_all();
+    }
+
+    /// Record a failure and unwind the calling thread.
+    fn fail(&self, mut g: StdGuard<'_, Inner>, msg: String) -> ! {
+        self.set_outcome(&mut g, Outcome::Failed(msg));
+        drop(g);
+        abort_now()
+    }
+
+    fn fail_from_payload(&self, p: Box<dyn std::any::Any + Send>) {
+        if p.downcast_ref::<McAbort>().is_some() {
+            return; // outcome already set by whoever aborted the run
+        }
+        let msg = if let Some(s) = p.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = p.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_string()
+        };
+        let mut g = self.lock();
+        self.set_outcome(&mut g, Outcome::Failed(msg));
+    }
+
+    fn wait_done(&self) -> RunResult {
+        let mut g = self.lock();
+        while g.outcome.is_none() || g.os_live != 0 {
+            g = self.wait(g);
+        }
+        RunResult {
+            outcome: g.outcome.clone().expect("outcome set"),
+            log: std::mem::take(&mut g.log),
+            steps: g.steps,
+            timeouts: g.timeouts,
+        }
+    }
+
+    // -- decisions ---------------------------------------------------------
+
+    /// Pick one of `n` candidates; a recorded branch point when `n > 1`.
+    fn decide(&self, g: &mut Inner, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let d = g.log.len();
+        let c = match &self.plan {
+            Plan::Random { .. } => (splitmix64(&mut g.rng) % n as u64) as usize,
+            Plan::Guided { steps } => {
+                if d < steps.len() {
+                    (steps[d].choice as usize).min(n - 1)
+                } else {
+                    0
+                }
+            }
+        };
+        g.log.push(DecRecord {
+            sched: false,
+            chosen: c as u32,
+            n: n as u32,
+            enabled: Vec::new(),
+            sleep: Vec::new(),
+        });
+        c
+    }
+
+    fn is_enabled(g: &Inner, t: usize) -> bool {
+        match g.states[t] {
+            TState::AtYield(PendOp::Step(_)) => true,
+            TState::AtYield(PendOp::Lock(m)) => !g.held.contains_key(&m),
+            TState::AtYield(PendOp::Join(j)) => matches!(g.states[j], TState::Finished),
+            _ => false,
+        }
+    }
+
+    fn op_of(g: &Inner, t: usize) -> OpSig {
+        match g.states[t] {
+            TState::AtYield(p) => p.sig(),
+            _ => OpSig::free(),
+        }
+    }
+
+    /// Core scheduler: called by a thread that has published its pending
+    /// op and set `granted = None`. Grants the token to some enabled
+    /// thread, fires virtual timeouts when nothing is runnable, and
+    /// declares Done/deadlock/Pruned/StepBound as appropriate.
+    fn schedule(&self, g: &mut Inner, caller: usize) {
+        if g.outcome.is_some() {
+            return;
+        }
+        loop {
+            let nthreads = g.states.len();
+            let mut enabled: Vec<usize> = Vec::new();
+            let mut all_finished = true;
+            for t in 0..nthreads {
+                if !matches!(g.states[t], TState::Finished) {
+                    all_finished = false;
+                }
+                if Self::is_enabled(g, t) {
+                    enabled.push(t);
+                }
+            }
+            if all_finished {
+                self.set_outcome(g, Outcome::Done);
+                return;
+            }
+            if g.steps >= self.max_steps {
+                self.set_outcome(g, Outcome::StepBound);
+                return;
+            }
+            if !enabled.is_empty() {
+                let pick = match self.pick_sched(g, &enabled) {
+                    Some(p) => p,
+                    None => {
+                        // Sleep-set blocked: branch proven redundant.
+                        self.set_outcome(g, Outcome::Pruned);
+                        return;
+                    }
+                };
+                // Waking rule: a sleeping thread wakes when the picked op
+                // conflicts with its pending op (the commutation argument
+                // that justified its sleep no longer holds).
+                let pop = Self::op_of(g, pick);
+                let sleepers: Vec<usize> = g.sleep.iter().copied().collect();
+                for u in sleepers {
+                    if !matches!(g.states[u], TState::AtYield(_))
+                        || conflicts(Self::op_of(g, u), pop)
+                    {
+                        g.sleep.remove(&u);
+                    }
+                }
+                g.sleep.remove(&pick);
+                g.granted = Some(pick);
+                if pick != caller {
+                    self.cvar.notify_all();
+                }
+                return;
+            }
+            // Nobody runnable: fire a virtual timeout if a timed waiter
+            // exists, else this is a genuine deadlock.
+            let timed: Vec<usize> = (0..nthreads)
+                .filter(|&t| matches!(g.states[t], TState::BlockedCv { timed: true, .. }))
+                .collect();
+            if !timed.is_empty() {
+                let i = self.decide(g, timed.len());
+                let t = timed[i];
+                if let TState::BlockedCv { cv, mutex, .. } = g.states[t] {
+                    if let Some(ws) = g.cv_waiters.get_mut(&cv) {
+                        ws.retain(|&(w, _)| w != t);
+                    }
+                    g.timed_flag[t] = true;
+                    g.timeouts += 1;
+                    g.states[t] = TState::AtYield(PendOp::Lock(mutex));
+                }
+                continue;
+            }
+            let desc: Vec<String> = (0..nthreads)
+                .map(|t| format!("t{}: {:?}", t, g.states[t]))
+                .collect();
+            self.set_outcome(
+                g,
+                Outcome::Failed(format!(
+                    "deadlock: no thread enabled and no timed waiter [{}]",
+                    desc.join("; ")
+                )),
+            );
+            return;
+        }
+    }
+
+    /// Scheduler pick among `enabled`, honouring the plan and the sleep
+    /// set. Returns `None` when every enabled thread is asleep (prune).
+    fn pick_sched(&self, g: &mut Inner, enabled: &[usize]) -> Option<usize> {
+        // Forced singleton: not a branch point, not recorded.
+        if enabled.len() == 1 {
+            return Some(enabled[0]);
+        }
+        let d = g.log.len();
+        let pick = match &self.plan {
+            Plan::Random { .. } => {
+                let r = splitmix64(&mut g.rng);
+                enabled[(r % enabled.len() as u64) as usize]
+            }
+            Plan::Guided { steps } => {
+                if d < steps.len() {
+                    g.sleep = steps[d].sleep.iter().map(|&t| t as usize).collect();
+                    let p = steps[d].choice as usize;
+                    if !enabled.contains(&p) {
+                        self.set_outcome(
+                            g,
+                            Outcome::Failed(format!(
+                                "mc internal: replay divergence at decision {d}: forced t{p} not enabled (enabled: {enabled:?})"
+                            )),
+                        );
+                        return None;
+                    }
+                    p
+                } else {
+                    *enabled.iter().find(|t| !g.sleep.contains(t))?
+                }
+            }
+        };
+        let rec_enabled: Vec<(u32, OpSig)> = enabled
+            .iter()
+            .map(|&t| (t as u32, Self::op_of(g, t)))
+            .collect();
+        g.log.push(DecRecord {
+            sched: true,
+            chosen: pick as u32,
+            n: enabled.len() as u32,
+            enabled: rec_enabled,
+            sleep: g.sleep.iter().map(|&t| t as u32).collect(),
+        });
+        Some(pick)
+    }
+
+    /// Publish `op`, release the token, wait to be granted it back.
+    /// Returns with the guard held, state `Running`, clock ticked.
+    fn acquire_slot(&self, tid: usize, op: PendOp) -> StdGuard<'_, Inner> {
+        let mut g = self.lock();
+        if g.outcome.is_some() {
+            drop(g);
+            abort_now();
+        }
+        g.states[tid] = TState::AtYield(op);
+        g.granted = None;
+        self.schedule(&mut g, tid);
+        loop {
+            if g.outcome.is_some() {
+                drop(g);
+                abort_now();
+            }
+            if g.granted == Some(tid) {
+                break;
+            }
+            g = self.wait(g);
+        }
+        // A woken cv waiter is granted while AtYield(Lock): cv_wait
+        // finishes the mutex reacquire itself, so only flip to Running
+        // here for plain yields.
+        g.states[tid] = TState::Running;
+        g.steps += 1;
+        g.clocks[tid].tick(tid);
+        g
+    }
+
+    // -- object registration ----------------------------------------------
+
+    /// Register an atomic with its initial value. `tid` is the creating
+    /// thread (its clock seeds the initial write's release clock).
+    pub fn register_atomic(&self, tid: usize, init: u64) -> u32 {
+        let mut g = self.lock();
+        let id = g.next_obj;
+        g.next_obj += 1;
+        let c = g.clocks[tid];
+        g.atomics.insert(id, AtomicMeta::new(init, c));
+        id
+    }
+
+    /// Register a race-tracked cell.
+    pub fn register_cell(&self) -> u32 {
+        let mut g = self.lock();
+        let id = g.next_obj;
+        g.next_obj += 1;
+        g.cells.insert(id, CellMeta::new());
+        id
+    }
+
+    /// Register a mutex or condvar (scheduler-side state only).
+    pub fn register_sync_obj(&self) -> u32 {
+        let mut g = self.lock();
+        let id = g.next_obj;
+        g.next_obj += 1;
+        id
+    }
+
+    // -- atomics -----------------------------------------------------------
+
+    /// Model an atomic load. `Relaxed` loads may return any
+    /// coherence-allowed stale value (a recorded branch point).
+    pub fn atomic_load(&self, tid: usize, obj: u32, ord: MOrd) -> u64 {
+        let mut g = self.acquire_slot(
+            tid,
+            PendOp::Step(OpSig {
+                obj,
+                kind: OpKind::Read,
+            }),
+        );
+        let myclock = g.clocks[tid];
+        let meta = g.atomics.get(&obj).expect("atomic registered");
+        let floor_hb = meta
+            .writes
+            .iter()
+            .filter(|w| w.writer_clock.le(&myclock))
+            .map(|w| w.seq)
+            .max()
+            .unwrap_or(0);
+        let floor = floor_hb.max(meta.last_read_floor[tid]);
+        let cands: Vec<usize> = if ord.acq() {
+            // Soundness gap, documented in the README: acquire/SeqCst
+            // loads read the latest write rather than choosing among
+            // stale-but-allowed ones.
+            vec![meta.writes.len() - 1]
+        } else {
+            (0..meta.writes.len())
+                .filter(|&i| meta.writes[i].seq >= floor)
+                .collect()
+        };
+        let ci = cands[self.decide(&mut g, cands.len())];
+        let meta = g.atomics.get_mut(&obj).expect("atomic registered");
+        let (val, seq, rc) = {
+            let w = &meta.writes[ci];
+            (w.val, w.seq, w.release_clock)
+        };
+        meta.last_read_floor[tid] = meta.last_read_floor[tid].max(seq);
+        if ord.acq() {
+            if let Some(rc) = rc {
+                g.clocks[tid].join(&rc);
+            }
+        }
+        val
+    }
+
+    /// Model an atomic store.
+    pub fn atomic_store(&self, tid: usize, obj: u32, val: u64, ord: MOrd) {
+        let mut g = self.acquire_slot(
+            tid,
+            PendOp::Step(OpSig {
+                obj,
+                kind: OpKind::Write,
+            }),
+        );
+        let myclock = g.clocks[tid];
+        let meta = g.atomics.get_mut(&obj).expect("atomic registered");
+        let seq = meta.writes.back().expect("nonempty history").seq + 1;
+        // A plain store does NOT continue an earlier release sequence:
+        // only the store's own ordering decides whether it releases.
+        let rc = if ord.rel() { Some(myclock) } else { None };
+        meta.writes.push_back(WriteRec {
+            val,
+            seq,
+            writer_clock: myclock,
+            release_clock: rc,
+        });
+        if meta.writes.len() > WRITE_HISTORY {
+            meta.writes.pop_front();
+        }
+    }
+
+    /// Model an atomic read-modify-write (`fetch_add`, `swap`, …): reads
+    /// the latest value, continues release sequences. Returns the old
+    /// value.
+    pub fn atomic_rmw(&self, tid: usize, obj: u32, f: impl FnOnce(u64) -> u64, ord: MOrd) -> u64 {
+        let mut g = self.acquire_slot(
+            tid,
+            PendOp::Step(OpSig {
+                obj,
+                kind: OpKind::Write,
+            }),
+        );
+        self.rmw_locked(&mut g, tid, obj, f, ord)
+    }
+
+    fn rmw_locked(
+        &self,
+        g: &mut Inner,
+        tid: usize,
+        obj: u32,
+        f: impl FnOnce(u64) -> u64,
+        ord: MOrd,
+    ) -> u64 {
+        let (old, inherited, last_seq) = {
+            let meta = g.atomics.get(&obj).expect("atomic registered");
+            let w = meta.writes.back().expect("nonempty history");
+            (w.val, w.release_clock, w.seq)
+        };
+        if ord.acq() {
+            if let Some(rc) = inherited {
+                g.clocks[tid].join(&rc);
+            }
+        }
+        let myclock = g.clocks[tid];
+        // Release-sequence continuation: an RMW inherits the head's
+        // release clock, joining its own if it also releases.
+        let rc = match (inherited, ord.rel()) {
+            (Some(mut h), true) => {
+                h.join(&myclock);
+                Some(h)
+            }
+            (Some(h), false) => Some(h),
+            (None, true) => Some(myclock),
+            (None, false) => None,
+        };
+        let meta = g.atomics.get_mut(&obj).expect("atomic registered");
+        meta.writes.push_back(WriteRec {
+            val: f(old),
+            seq: last_seq + 1,
+            writer_clock: myclock,
+            release_clock: rc,
+        });
+        if meta.writes.len() > WRITE_HISTORY {
+            meta.writes.pop_front();
+        }
+        meta.last_read_floor[tid] = meta.last_read_floor[tid].max(last_seq);
+        old
+    }
+
+    /// Model `compare_exchange`: success behaves like an RMW with the
+    /// success ordering; failure is a load of the latest value with the
+    /// failure ordering.
+    pub fn atomic_cas(
+        &self,
+        tid: usize,
+        obj: u32,
+        cur: u64,
+        new: u64,
+        ok: MOrd,
+        fail: MOrd,
+    ) -> Result<u64, u64> {
+        let mut g = self.acquire_slot(
+            tid,
+            PendOp::Step(OpSig {
+                obj,
+                kind: OpKind::Write,
+            }),
+        );
+        let (latest, rc, seq) = {
+            let meta = g.atomics.get(&obj).expect("atomic registered");
+            let w = meta.writes.back().expect("nonempty history");
+            (w.val, w.release_clock, w.seq)
+        };
+        if latest == cur {
+            let old = self.rmw_locked(&mut g, tid, obj, |_| new, ok);
+            Ok(old)
+        } else {
+            if fail.acq() {
+                if let Some(rc) = rc {
+                    g.clocks[tid].join(&rc);
+                }
+            }
+            let meta = g.atomics.get_mut(&obj).expect("atomic registered");
+            meta.last_read_floor[tid] = meta.last_read_floor[tid].max(seq);
+            Err(latest)
+        }
+    }
+
+    // -- race-tracked cells -------------------------------------------------
+
+    /// Model a shared read of a tracked cell; fails the run on a race
+    /// with a concurrent write.
+    pub fn cell_read(&self, tid: usize, obj: u32, loc: &'static Location<'static>) {
+        let g = self.acquire_slot(
+            tid,
+            PendOp::Step(OpSig {
+                obj,
+                kind: OpKind::Read,
+            }),
+        );
+        let mut g = g;
+        let myclock = g.clocks[tid];
+        let meta = g.cells.get(&obj).expect("cell registered");
+        if meta.write_epoch > myclock.get(meta.write_tid) {
+            let wloc = meta
+                .write_loc
+                .map(|l| format!("{}:{}", l.file(), l.line()))
+                .unwrap_or_else(|| "?".into());
+            let wt = meta.write_tid;
+            self.fail(
+                g,
+                format!(
+                    "data race: read at {}:{} (t{tid}) not ordered after write at {wloc} (t{wt})",
+                    loc.file(),
+                    loc.line()
+                ),
+            );
+        }
+        let my_epoch = myclock.get(tid);
+        let meta = g.cells.get_mut(&obj).expect("cell registered");
+        meta.read_epochs[tid] = my_epoch;
+        meta.read_locs[tid] = Some(loc);
+    }
+
+    /// Model an exclusive write to a tracked cell; fails the run on a
+    /// race with any concurrent read or write.
+    pub fn cell_write(&self, tid: usize, obj: u32, loc: &'static Location<'static>) {
+        let mut g = self.acquire_slot(
+            tid,
+            PendOp::Step(OpSig {
+                obj,
+                kind: OpKind::Write,
+            }),
+        );
+        let myclock = g.clocks[tid];
+        let meta = g.cells.get(&obj).expect("cell registered");
+        if meta.write_epoch > myclock.get(meta.write_tid) {
+            let wloc = meta
+                .write_loc
+                .map(|l| format!("{}:{}", l.file(), l.line()))
+                .unwrap_or_else(|| "?".into());
+            let wt = meta.write_tid;
+            self.fail(
+                g,
+                format!(
+                    "data race: write at {}:{} (t{tid}) not ordered after write at {wloc} (t{wt})",
+                    loc.file(),
+                    loc.line()
+                ),
+            );
+        }
+        for u in 0..MAX_THREADS {
+            if meta.read_epochs[u] > myclock.get(u) {
+                let rloc = meta.read_locs[u]
+                    .map(|l| format!("{}:{}", l.file(), l.line()))
+                    .unwrap_or_else(|| "?".into());
+                self.fail(
+                    g,
+                    format!(
+                        "data race: write at {}:{} (t{tid}) not ordered after read at {rloc} (t{u})",
+                        loc.file(),
+                        loc.line()
+                    ),
+                );
+            }
+        }
+        let my_epoch = myclock.get(tid);
+        let meta = g.cells.get_mut(&obj).expect("cell registered");
+        meta.write_tid = tid;
+        meta.write_epoch = my_epoch;
+        meta.write_loc = Some(loc);
+    }
+
+    // -- mutexes & condvars --------------------------------------------------
+
+    /// Blocking lock: enabled (grantable) only while the mutex is free.
+    pub fn mutex_lock(&self, tid: usize, m: u32) {
+        let mut g = self.acquire_slot(tid, PendOp::Lock(m));
+        debug_assert!(!g.held.contains_key(&m), "granted lock on held mutex");
+        g.held.insert(m, tid);
+        if let Some(mc) = g.mutex_clocks.get(&m).copied() {
+            g.clocks[tid].join(&mc);
+        }
+    }
+
+    /// Non-blocking lock attempt (a yield point either way).
+    pub fn mutex_try_lock(&self, tid: usize, m: u32) -> bool {
+        let mut g = self.acquire_slot(
+            tid,
+            PendOp::Step(OpSig {
+                obj: m,
+                kind: OpKind::Sync,
+            }),
+        );
+        if g.held.contains_key(&m) {
+            return false;
+        }
+        g.held.insert(m, tid);
+        if let Some(mc) = g.mutex_clocks.get(&m).copied() {
+            g.clocks[tid].join(&mc);
+        }
+        true
+    }
+
+    /// Unlock: a yield point that publishes the holder's clock.
+    pub fn mutex_unlock(&self, tid: usize, m: u32) {
+        let mut g = self.acquire_slot(
+            tid,
+            PendOp::Step(OpSig {
+                obj: m,
+                kind: OpKind::Sync,
+            }),
+        );
+        Self::unlock_locked(&mut g, tid, m);
+    }
+
+    fn unlock_locked(g: &mut Inner, tid: usize, m: u32) {
+        debug_assert_eq!(g.held.get(&m), Some(&tid), "unlock by non-holder");
+        g.held.remove(&m);
+        let c = g.clocks[tid];
+        g.mutex_clocks
+            .entry(m)
+            .and_modify(|mc| mc.join(&c))
+            .or_insert(c);
+    }
+
+    /// Best-effort unlock during panic unwinding: releases scheduler
+    /// state without yielding (the run is being torn down).
+    pub fn mutex_unlock_abort(&self, tid: usize, m: u32) {
+        let mut g = self.lock();
+        if g.held.get(&m) == Some(&tid) {
+            g.held.remove(&m);
+        }
+        self.cvar.notify_all();
+    }
+
+    /// Condvar wait: atomically releases `m` and blocks; reacquires `m`
+    /// before returning. Returns true iff woken by a (virtual) timeout.
+    /// Timed waits only time out when no other thread is runnable.
+    pub fn cv_wait(&self, tid: usize, cv: u32, m: u32, timed: bool) -> bool {
+        let mut g = self.acquire_slot(
+            tid,
+            PendOp::Step(OpSig {
+                obj: cv,
+                kind: OpKind::Sync,
+            }),
+        );
+        Self::unlock_locked(&mut g, tid, m);
+        g.cv_waiters.entry(cv).or_default().push((tid, m));
+        g.states[tid] = TState::BlockedCv {
+            cv,
+            mutex: m,
+            timed,
+        };
+        g.granted = None;
+        self.schedule(&mut g, tid);
+        loop {
+            if g.outcome.is_some() {
+                drop(g);
+                abort_now();
+            }
+            if g.granted == Some(tid) {
+                break;
+            }
+            g = self.wait(g);
+        }
+        // Granted implies notify/timeout flipped us to AtYield(Lock(m))
+        // and the scheduler saw m free: finish the reacquire.
+        debug_assert!(!g.held.contains_key(&m), "granted cv wakeup on held mutex");
+        g.held.insert(m, tid);
+        if let Some(mc) = g.mutex_clocks.get(&m).copied() {
+            g.clocks[tid].join(&mc);
+        }
+        g.states[tid] = TState::Running;
+        g.steps += 1;
+        g.clocks[tid].tick(tid);
+        let to = g.timed_flag[tid];
+        g.timed_flag[tid] = false;
+        to
+    }
+
+    /// Notify one (scheduler-chosen) waiter or all waiters. Returns the
+    /// number of threads woken.
+    pub fn cv_notify(&self, tid: usize, cv: u32, all: bool) -> usize {
+        let mut g = self.acquire_slot(
+            tid,
+            PendOp::Step(OpSig {
+                obj: cv,
+                kind: OpKind::Sync,
+            }),
+        );
+        let waiters = g.cv_waiters.get(&cv).cloned().unwrap_or_default();
+        if waiters.is_empty() {
+            return 0;
+        }
+        let woken: Vec<(usize, u32)> = if all {
+            waiters.clone()
+        } else {
+            // Which waiter wakes is a real source of nondeterminism —
+            // a recorded branch point.
+            let i = self.decide(&mut g, waiters.len());
+            vec![waiters[i]]
+        };
+        if let Some(ws) = g.cv_waiters.get_mut(&cv) {
+            ws.retain(|e| !woken.contains(e));
+        }
+        let myclock = g.clocks[tid];
+        for &(w, m) in &woken {
+            g.states[w] = TState::AtYield(PendOp::Lock(m));
+            g.clocks[w].join(&myclock);
+        }
+        woken.len()
+    }
+
+    // -- threads -------------------------------------------------------------
+
+    /// Register a child logical thread (called by the parent at a yield
+    /// point); the child inherits the parent's clock. Fails the run if
+    /// `MAX_THREADS` is exceeded.
+    pub fn register_child(&self, parent: usize) -> usize {
+        let mut g = self.acquire_slot(parent, PendOp::Step(OpSig::free()));
+        let child = g.states.len();
+        if child >= MAX_THREADS {
+            self.fail(
+                g,
+                format!("mc: execution spawned more than MAX_THREADS={MAX_THREADS} threads"),
+            );
+        }
+        let mut c = g.clocks[parent];
+        c.tick(child);
+        g.states.push(TState::AtYield(PendOp::Step(OpSig::free())));
+        g.clocks.push(c);
+        g.final_clocks.push(VClock::bottom());
+        g.timed_flag.push(false);
+        g.os_live += 1;
+        child
+    }
+
+    /// First wait of a freshly spawned OS thread: block until granted.
+    pub fn first_wait(&self, tid: usize) {
+        let mut g = self.lock();
+        loop {
+            if g.outcome.is_some() {
+                drop(g);
+                abort_now();
+            }
+            if g.granted == Some(tid) {
+                break;
+            }
+            g = self.wait(g);
+        }
+        g.states[tid] = TState::Running;
+        g.steps += 1;
+        g.clocks[tid].tick(tid);
+    }
+
+    /// Logical thread completion: publish the final clock and hand the
+    /// token back to the scheduler.
+    pub fn thread_finish(&self, tid: usize) {
+        let mut g = self.lock();
+        if g.outcome.is_some() {
+            return;
+        }
+        g.final_clocks[tid] = g.clocks[tid];
+        g.states[tid] = TState::Finished;
+        g.granted = None;
+        self.schedule(&mut g, tid);
+    }
+
+    /// Join on a logical thread: blocks (as a scheduler-visible op) until
+    /// the target finishes, then joins its final clock.
+    pub fn join_thread(&self, tid: usize, target: usize) {
+        let mut g = self.acquire_slot(tid, PendOp::Join(target));
+        let fc = g.final_clocks[target];
+        g.clocks[tid].join(&fc);
+    }
+
+    /// OS-thread bookkeeping: called by the spawn wrapper on exit.
+    pub fn os_thread_exit(&self) {
+        let mut g = self.lock();
+        g.os_live -= 1;
+        self.cvar.notify_all();
+    }
+
+    /// A plain yield point with no shared-object footprint
+    /// (`thread::yield_now` under the model).
+    pub fn yield_now(&self, tid: usize) {
+        let _g = self.acquire_slot(tid, PendOp::Step(OpSig::free()));
+    }
+
+    /// Whether `p` is the mc teardown payload (spawn wrappers swallow it).
+    pub fn is_abort_payload(p: &(dyn std::any::Any + Send)) -> bool {
+        p.downcast_ref::<McAbort>().is_some()
+    }
+
+    /// Report a model failure from a spawned thread's panic payload.
+    pub fn fail_thread(&self, p: Box<dyn std::any::Any + Send>) {
+        self.fail_from_payload(p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = 42;
+        let mut b = 42;
+        assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conflict_relation() {
+        let r = |o| OpSig {
+            obj: o,
+            kind: OpKind::Read,
+        };
+        let w = |o| OpSig {
+            obj: o,
+            kind: OpKind::Write,
+        };
+        assert!(!conflicts(r(1), r(1)));
+        assert!(conflicts(r(1), w(1)));
+        assert!(conflicts(w(1), w(1)));
+        assert!(!conflicts(w(1), w(2)));
+        assert!(!conflicts(OpSig::free(), w(1)));
+    }
+}

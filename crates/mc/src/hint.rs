@@ -1,0 +1,10 @@
+//! Spin hints. Under the model a spin hint is a no-op: the atomic load
+//! the spin re-checks is itself a yield point, so the scheduler already
+//! controls when the spinning thread observes new values.
+
+/// Drop-in for `std::hint::spin_loop`.
+pub fn spin_loop() {
+    if crate::exec::current().is_none() {
+        std::hint::spin_loop();
+    }
+}

@@ -1,0 +1,94 @@
+//! Model-aware threads: `spawn`/`join` register logical threads with the
+//! current execution so the scheduler controls their interleaving; with
+//! no execution in scope they are plain `std::thread` calls.
+
+use crate::exec::{current, set_ctx, Execution};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Mutex as StdMutex};
+
+enum Imp<T> {
+    Model {
+        os: Option<std::thread::JoinHandle<()>>,
+        target: usize,
+        slot: Arc<StdMutex<Option<T>>>,
+    },
+    Pass(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned thread; joining is a scheduler-visible blocking
+/// op under the model.
+pub struct JoinHandle<T>(Imp<T>);
+
+/// Spawn a thread. Inside a model execution this registers a logical
+/// thread (bounded by `MAX_THREADS`); the closure runs only when the
+/// scheduler grants it the token.
+pub fn spawn<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> JoinHandle<T> {
+    match current() {
+        Some((ex, parent)) if !ex.is_ended() => {
+            let child = ex.register_child(parent);
+            let slot = Arc::new(StdMutex::new(None));
+            let slot2 = Arc::clone(&slot);
+            let ex2 = Arc::clone(&ex);
+            let os = std::thread::spawn(move || {
+                set_ctx(Some((Arc::clone(&ex2), child)));
+                let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    ex2.first_wait(child);
+                    let v = f();
+                    *slot2.lock().unwrap_or_else(|p| p.into_inner()) = Some(v);
+                    ex2.thread_finish(child);
+                }));
+                set_ctx(None);
+                if let Err(p) = r {
+                    if !Execution::is_abort_payload(&*p) {
+                        // A real panic (failed assertion in checked
+                        // code): record it as the run's failure.
+                        ex2.fail_thread(p);
+                    }
+                }
+                ex2.os_thread_exit();
+            });
+            JoinHandle(Imp::Model {
+                os: Some(os),
+                target: child,
+                slot,
+            })
+        }
+        _ => JoinHandle(Imp::Pass(std::thread::spawn(f))),
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread and return its result.
+    pub fn join(mut self) -> std::thread::Result<T> {
+        match &mut self.0 {
+            Imp::Model { os, target, slot } => {
+                if let Some((ex, tid)) = current() {
+                    if !ex.is_ended() {
+                        ex.join_thread(tid, *target);
+                    }
+                }
+                let _ = os.take().expect("join called once").join();
+                match slot.lock().unwrap_or_else(|p| p.into_inner()).take() {
+                    Some(v) => Ok(v),
+                    None => Err(Box::new("mc: thread aborted before producing a value")
+                        as Box<dyn std::any::Any + Send>),
+                }
+            }
+            Imp::Pass(_) => match self.0 {
+                Imp::Pass(h) => h.join(),
+                Imp::Model { .. } => unreachable!(),
+            },
+        }
+    }
+}
+
+/// Yield: a no-footprint scheduler yield point under the model.
+pub fn yield_now() {
+    if let Some((ex, tid)) = current() {
+        if !ex.is_ended() && !std::thread::panicking() {
+            ex.yield_now(tid);
+            return;
+        }
+    }
+    std::thread::yield_now();
+}

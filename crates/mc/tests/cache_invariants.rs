@@ -1,0 +1,390 @@
+//! Model-checked invariants for `alligator::BucketCache` — the
+//! lock-free GET path, the seqlock publish gate, the undo paths, and
+//! the waiter protocol — explored under the controlled scheduler
+//! (`alligator` is built with `--features mc` here).
+//!
+//! Replay a failure with `MC_REPLAY=<seed> cargo test -p mc <test>`;
+//! see `crates/mc/README.md`. The detection-power tests at the bottom
+//! seed the bugs this cache's design guards against (gate-polling undo,
+//! ordering-weakened seqlock) and assert the checker finds them.
+
+use alligator::{AllocStats, Bucket, BucketCache, Tetris, TreiberStack};
+use mc::sync::atomic::{AtomicU64, Ordering};
+use mc::sync::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+use wafl_blockdev::{AaId, DriveId, DriveKind, GeometryBuilder, IoEngine, RaidGroupId, Vbn};
+
+/// One shared (model-invisible) I/O engine: bucket construction cost is
+/// paid once per test, not once per bucket per schedule.
+fn engine() -> Arc<IoEngine> {
+    Arc::new(IoEngine::new(
+        Arc::new(
+            GeometryBuilder::new()
+                .aa_stripes(32)
+                .raid_group(1, 1, 4096)
+                .build(),
+        ),
+        DriveKind::Ssd,
+    ))
+}
+
+fn mk_bucket(engine: &Arc<IoEngine>, drive: u32, start: u64, generation: u64) -> Bucket {
+    let t = Tetris::new(
+        RaidGroupId(0),
+        1,
+        Arc::clone(engine),
+        Arc::new(AllocStats::default()),
+    );
+    Bucket::new(
+        RaidGroupId(0),
+        0,
+        DriveId(drive),
+        AaId {
+            rg: RaidGroupId(0),
+            index: 0,
+        },
+        (start..start + 4).map(Vbn).collect(),
+        0,
+        t,
+        generation,
+    )
+}
+
+fn lf_cache(nshards: usize) -> Arc<BucketCache> {
+    Arc::new(BucketCache::with_shards(
+        nshards,
+        Arc::new(AllocStats::default()),
+    ))
+}
+
+/// Bucket conservation across concurrent GETs (home hits and steals):
+/// every inserted bucket is delivered to exactly one consumer, none are
+/// lost, none are duplicated — under every explored interleaving. Also
+/// witnesses liveness: with 3 buckets and 2 getters, neither getter may
+/// need its (virtual) timeout.
+#[test]
+fn concurrent_gets_conserve_buckets() {
+    let eng = engine();
+    mc::Checker::new("cache-conservation")
+        .schedules(300)
+        .check(|| {
+            let c = lf_cache(2);
+            c.insert_all([
+                mk_bucket(&eng, 0, 0, 1),
+                mk_bucket(&eng, 1, 100, 1),
+                mk_bucket(&eng, 2, 200, 1),
+            ]);
+            let c1 = Arc::clone(&c);
+            let t1 = mc::thread::spawn(move || {
+                c1.get_timeout_from(0, Duration::from_secs(5))
+                    .map(|b| b.start_vbn().0)
+            });
+            let c2 = Arc::clone(&c);
+            let t2 = mc::thread::spawn(move || {
+                c2.get_timeout_from(1, Duration::from_secs(5))
+                    .map(|b| b.start_vbn().0)
+            });
+            let mut got = Vec::new();
+            got.extend(t1.join().unwrap());
+            got.extend(t2.join().unwrap());
+            assert_eq!(got.len(), 2, "a getter starved with buckets available");
+            assert_eq!(mc::timeouts_fired(), 0, "a getter needed its timeout");
+            while let Some(b) = c.try_get() {
+                got.push(b.start_vbn().0);
+            }
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 100, 200], "bucket lost or duplicated");
+        });
+}
+
+/// §IV-D collective visibility: a getter that observes any bucket of a
+/// refill batch observes the whole batch. With a 2-bucket batch and a
+/// single consumer, the first successful GET implies the second cannot
+/// miss.
+#[test]
+fn insert_all_is_collectively_visible() {
+    let eng = engine();
+    mc::Checker::new("cache-collective")
+        .schedules(300)
+        .check(|| {
+            let c = lf_cache(2);
+            let c1 = Arc::clone(&c);
+            let eng1 = Arc::clone(&eng);
+            let pub1 = mc::thread::spawn(move || {
+                c1.insert_all([mk_bucket(&eng1, 0, 0, 1), mk_bucket(&eng1, 1, 100, 1)]);
+            });
+            let c2 = Arc::clone(&c);
+            let get = mc::thread::spawn(move || {
+                if c2.try_get_from(0).is_some() {
+                    // Half the batch was visible — the other half must be too.
+                    assert!(
+                        c2.try_get_from(1).is_some(),
+                        "observed a partially published batch"
+                    );
+                }
+            });
+            pub1.join().unwrap();
+            get.join().unwrap();
+        });
+}
+
+/// Oldest-round-first across the undo path (the satellite-1 regression):
+/// a getter whose CAS pop races one or two collective publishes must
+/// never let a round-1 bucket get buried under round 2/3 — whichever
+/// interleaving the undo takes, the oldest live round stays on top.
+/// Reverting `unpop_lf`/`insert_lf` to gate-polling (instead of holding
+/// `publish`) makes this fail — see
+/// `checker_finds_burial_with_gate_polling_undo` below for the seeded
+/// version of that bug.
+#[test]
+fn oldest_round_pops_first_despite_undo_races() {
+    let eng = engine();
+    mc::Checker::new("cache-oldest-first")
+        .schedules(400)
+        .check(|| {
+            let c = lf_cache(1);
+            c.insert_all([mk_bucket(&eng, 0, 0, 1)]);
+            let c1 = Arc::clone(&c);
+            let getter = mc::thread::spawn(move || c1.try_get_from(0).map(|b| b.generation()));
+            let c2 = Arc::clone(&c);
+            let eng2 = Arc::clone(&eng);
+            let publisher = mc::thread::spawn(move || {
+                c2.insert_all([mk_bucket(&eng2, 0, 100, 2)]);
+                c2.insert_all([mk_bucket(&eng2, 0, 200, 3)]);
+            });
+            let got = getter.join().unwrap();
+            publisher.join().unwrap();
+            assert_eq!(
+                got,
+                Some(1),
+                "getter must receive the oldest round (round 1 was never consumed)"
+            );
+            let mut gens = Vec::new();
+            while let Some(b) = c.try_get() {
+                gens.push(b.generation());
+            }
+            let mut sorted = gens.clone();
+            sorted.sort_unstable();
+            assert_eq!(gens, sorted, "an older round was buried: {gens:?}");
+        });
+}
+
+/// No lost wakeup: a getter parked on shard 1 must be woken by an
+/// insert into shard 0 (cross-shard `wake_parked`), and must never need
+/// the virtual timeout to make progress. A schedule where the park and
+/// the insert interleave so the notify is missed shows up as
+/// `timeouts_fired() == 1` — a scheduler-proven liveness failure, not a
+/// wall-clock race.
+#[test]
+fn cross_shard_insert_never_loses_a_wakeup() {
+    let eng = engine();
+    mc::Checker::new("cache-lost-wakeup")
+        .schedules(400)
+        .check(|| {
+            let c = lf_cache(2);
+            let c1 = Arc::clone(&c);
+            let waiter = mc::thread::spawn(move || c1.get_timeout_from(1, Duration::from_secs(5)));
+            c.insert(mk_bucket(&eng, 0, 0, 1));
+            let got = waiter.join().unwrap();
+            assert!(got.is_some(), "waiter timed out with a bucket available");
+            assert_eq!(
+                mc::timeouts_fired(),
+                0,
+                "wakeup was lost: the waiter only progressed via its timeout"
+            );
+        });
+}
+
+/// Batched GET vs a racing collective publish: the batch never mixes
+/// refill rounds, never loses buckets across the undo/retry, and leaves
+/// the cache drainable in round order.
+#[test]
+fn get_many_respects_round_boundary_under_publish() {
+    let eng = engine();
+    mc::Checker::new("cache-batch-boundary")
+        .schedules(400)
+        .check(|| {
+            let c = lf_cache(1);
+            c.insert_all([mk_bucket(&eng, 0, 0, 1), mk_bucket(&eng, 0, 10, 1)]);
+            let c1 = Arc::clone(&c);
+            let batcher = mc::thread::spawn(move || {
+                c1.get_many_from(0, 8)
+                    .into_iter()
+                    .map(|b| (b.generation(), b.start_vbn().0))
+                    .collect::<Vec<_>>()
+            });
+            let c2 = Arc::clone(&c);
+            let eng2 = Arc::clone(&eng);
+            let publisher = mc::thread::spawn(move || {
+                c2.insert_all([mk_bucket(&eng2, 0, 100, 2), mk_bucket(&eng2, 0, 110, 2)]);
+            });
+            let batch = batcher.join().unwrap();
+            publisher.join().unwrap();
+            assert!(
+                !batch.is_empty(),
+                "batched GET starved with buckets present"
+            );
+            assert!(
+                batch.iter().all(|&(g, _)| g == 1),
+                "batch mixed rounds or skipped round 1: {batch:?}"
+            );
+            let mut all: Vec<(u64, u64)> = batch;
+            let mut drain_gens = Vec::new();
+            while let Some(b) = c.try_get() {
+                drain_gens.push(b.generation());
+                all.push((b.generation(), b.start_vbn().0));
+            }
+            let mut sorted = drain_gens.clone();
+            sorted.sort_unstable();
+            assert_eq!(
+                drain_gens, sorted,
+                "drain out of round order: {drain_gens:?}"
+            );
+            all.sort_unstable();
+            assert_eq!(
+                all.iter().map(|&(_, v)| v).collect::<Vec<_>>(),
+                vec![0, 10, 100, 110],
+                "bucket lost or duplicated across the batch undo"
+            );
+        });
+}
+
+// ---------------------------------------------------------------------------
+// Detection power: seed the bugs this design rules out; the checker
+// must find each one.
+// ---------------------------------------------------------------------------
+
+/// The bucket cache's publish protocol with the undo bug the real cache
+/// fixed: the undo path *polls* the gate for evenness and then pushes,
+/// instead of holding the `publish` mutex across the push. A publisher
+/// can start its drain+republish between the poll and the push, so the
+/// undone (older) item lands *under* the new batch.
+struct GatePollingCache {
+    stack: TreiberStack<u64>,
+    gate: AtomicU64,
+    publish: Mutex<()>,
+}
+
+impl GatePollingCache {
+    fn new() -> Self {
+        Self {
+            stack: TreiberStack::new(),
+            gate: AtomicU64::new(0),
+            publish: Mutex::new(()),
+        }
+    }
+
+    fn gate_wait_even(&self) -> u64 {
+        loop {
+            // ordering: Acquire — pairs with the publisher's AcqRel gate
+            // increments, as in the real cache.
+            let g = self.gate.load(Ordering::Acquire);
+            if g & 1 == 0 {
+                return g;
+            }
+            mc::thread::yield_now();
+        }
+    }
+
+    /// Collective publish: drain leftovers, republish them on top of the
+    /// new item (identical to `insert_all_lf`).
+    fn publish(&self, gen: u64) {
+        let _p = self.publish.lock();
+        // ordering: AcqRel — open the window (see `insert_all_lf`).
+        self.gate.fetch_add(1, Ordering::AcqRel);
+        let older = self.stack.pop_many(usize::MAX);
+        self.stack
+            .push_many_keyed(older.into_iter().chain([gen]).map(|g| (g, g)));
+        // ordering: AcqRel — close the window.
+        self.gate.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// BUG (the pre-fix undo): wait for an even gate, then push. The
+    /// gate can go odd again between the check and the push.
+    fn undo_buggy(&self, gen: u64) {
+        self.gate_wait_even();
+        self.stack.push_keyed(gen, gen);
+    }
+}
+
+/// Seeded-bug test: the checker must find a schedule where the
+/// gate-polling undo lands a round-1 item inside a publisher's
+/// drain→republish window, burying it under round 2/3.
+#[test]
+fn checker_finds_burial_with_gate_polling_undo() {
+    let result = mc::Checker::new("gate-polling-burial")
+        .schedules(2000)
+        .try_check(|| {
+            let c = Arc::new(GatePollingCache::new());
+            // Pre-state: a getter popped the round-1 item and detected a
+            // gate change, so it owes an undo push (also pre-warms the
+            // stack's node arena so the racing ops below are compact).
+            c.stack.push_keyed(1, 1);
+            assert_eq!(c.stack.pop(), Some(1));
+            let c1 = Arc::clone(&c);
+            let undoer = mc::thread::spawn(move || c1.undo_buggy(1));
+            let c2 = Arc::clone(&c);
+            let publisher = mc::thread::spawn(move || {
+                c2.publish(2);
+                c2.publish(3);
+            });
+            undoer.join().unwrap();
+            publisher.join().unwrap();
+            let drained = c.stack.pop_many(usize::MAX);
+            let mut sorted = drained.clone();
+            sorted.sort_unstable();
+            assert_eq!(
+                drained, sorted,
+                "older round buried under a newer batch: {drained:?}"
+            );
+        });
+    let failure = result.expect_err("the checker must detect the undo burial");
+    assert!(
+        failure.message.contains("buried"),
+        "unexpected failure message: {}",
+        failure.message
+    );
+    assert!(
+        failure.sseed.is_some(),
+        "random-mode failure must be replayable"
+    );
+}
+
+/// Seeded-bug test: a seqlock whose gate is written/read `Relaxed`
+/// (instead of Release/Acquire as in the real cache) lets a reader see
+/// the gate closed while the published data is still stale. The
+/// allowed-stale model must find it even though the interleaving looks
+/// sequential.
+#[test]
+fn checker_finds_relaxed_seqlock_gate() {
+    let result = mc::Checker::new("relaxed-seqlock")
+        .schedules(500)
+        .try_check(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let gate = Arc::new(AtomicU64::new(0));
+            let d1 = Arc::clone(&data);
+            let g1 = Arc::clone(&gate);
+            let publisher = mc::thread::spawn(move || {
+                // ordering: deliberately Relaxed — the seeded bug.
+                g1.store(1, Ordering::Relaxed);
+                // ordering: deliberately Relaxed — the seeded bug.
+                d1.store(42, Ordering::Relaxed);
+                // ordering: deliberately Relaxed (should be Release).
+                g1.store(2, Ordering::Relaxed);
+            });
+            // ordering: deliberately Relaxed (should be Acquire).
+            if gate.load(Ordering::Relaxed) == 2 {
+                // ordering: deliberately Relaxed — may legally see 0.
+                let v = data.load(Ordering::Relaxed);
+                assert_eq!(v, 42, "seqlock gate closed but data is stale ({v})");
+            }
+            publisher.join().unwrap();
+        });
+    let failure = result.expect_err("the checker must catch the stale read");
+    assert!(
+        failure.message.contains("stale"),
+        "unexpected failure message: {}",
+        failure.message
+    );
+}

@@ -1,0 +1,256 @@
+//! Model-checked invariants for `alligator::TreiberStack` (built with
+//! `--features mc`, so every atomic access below is a scheduler yield
+//! point), plus a detection-power test proving the checker catches the
+//! classic ABA bug the tagged stack exists to prevent.
+//!
+//! Replay a failure with `MC_REPLAY=<seed> cargo test -p mc <test>`;
+//! see `crates/mc/README.md`.
+
+use alligator::TreiberStack;
+use mc::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Conservation: across concurrent push/pop from two threads, every
+/// pushed item is popped exactly once (by a thread or the final drain)
+/// — no loss, no duplication. This is the bucket-conservation invariant
+/// of DESIGN.md applied to the raw stack.
+#[test]
+fn concurrent_push_pop_conserves_items() {
+    mc::Checker::new("treiber-conservation")
+        .schedules(400)
+        .check(|| {
+            let s = Arc::new(TreiberStack::new());
+            let s1 = Arc::clone(&s);
+            let t1 = mc::thread::spawn(move || {
+                s1.push(1u64);
+                s1.push(2);
+                s1.pop()
+            });
+            let s2 = Arc::clone(&s);
+            let t2 = mc::thread::spawn(move || {
+                s2.push(3u64);
+                s2.pop()
+            });
+            let mut all = Vec::new();
+            all.extend(t1.join().unwrap());
+            all.extend(t2.join().unwrap());
+            while let Some(v) = s.pop() {
+                all.push(v);
+            }
+            all.sort_unstable();
+            assert_eq!(all, vec![1, 2, 3], "an item was lost or duplicated");
+        });
+}
+
+/// `push_many` is single-CAS atomic: a concurrent batched popper sees
+/// either none of the batch or a whole prefix in order — never an
+/// interleaved or partial suffix.
+#[test]
+fn push_many_is_collectively_visible() {
+    mc::Checker::new("treiber-batch-atomic")
+        .schedules(400)
+        .check(|| {
+            let s = Arc::new(TreiberStack::new());
+            let s1 = Arc::clone(&s);
+            let t1 = mc::thread::spawn(move || {
+                s1.push_many([10u64, 20, 30]);
+            });
+            let s2 = Arc::clone(&s);
+            let t2 = mc::thread::spawn(move || s2.pop_many(3));
+            t1.join().unwrap();
+            let got = t2.join().unwrap();
+            assert!(
+                got.is_empty() || got == vec![10, 20, 30],
+                "observed a partial batch: {got:?}"
+            );
+            let mut rest = Vec::new();
+            while let Some(v) = s.pop() {
+                rest.push(v);
+            }
+            let mut all = got;
+            all.extend(rest);
+            all.sort_unstable();
+            assert_eq!(all, vec![10, 20, 30], "batch conservation");
+        });
+}
+
+/// ABA regression, exhaustively explored: the schedule that breaks an
+/// untagged Treiber stack (T1 stalls between reading `head`/`next` and
+/// its CAS while T2 pops two nodes and re-pushes the first) must NOT
+/// break the tagged stack — T1's stale CAS fails on the tag and retries.
+#[test]
+fn tagged_stack_survives_the_aba_interleaving() {
+    let report = mc::Checker::new("treiber-aba-regression")
+        .schedules(600)
+        .check(|| {
+            let s = Arc::new(TreiberStack::new());
+            s.push(1u64);
+            s.push(2); // stack top-down: [2, 1]
+            let s1 = Arc::clone(&s);
+            let t1 = mc::thread::spawn(move || s1.pop());
+            let s2 = Arc::clone(&s);
+            let t2 = mc::thread::spawn(move || {
+                let a = s2.pop();
+                let b = s2.pop();
+                // Re-push whatever came off first: when that is the node
+                // T1 read as head, an untagged CAS would ABA.
+                let mut kept = Vec::new();
+                if let Some(a) = a {
+                    s2.push(a);
+                }
+                kept.extend(b);
+                kept
+            });
+            let mut all = Vec::new();
+            all.extend(t1.join().unwrap());
+            all.extend(t2.join().unwrap());
+            while let Some(v) = s.pop() {
+                all.push(v);
+            }
+            all.sort_unstable();
+            assert_eq!(all, vec![1, 2], "ABA: an item was lost or duplicated");
+        });
+    assert!(report.schedules_run >= 1);
+}
+
+/// `pop_many_same_key` never mixes keys even while a concurrent pusher
+/// is appending a differently-keyed batch — the refill-round boundary
+/// rule (§IV-D) at the stack level.
+#[test]
+fn keyed_batch_pop_never_mixes_keys() {
+    mc::Checker::new("treiber-key-boundary")
+        .schedules(400)
+        .check(|| {
+            let s = Arc::new(TreiberStack::new());
+            s.push_many_keyed([(1u64, 1u64), (2, 1)]);
+            let s1 = Arc::clone(&s);
+            let t1 = mc::thread::spawn(move || {
+                s1.push_many_keyed([(3u64, 2u64), (4, 2)]);
+            });
+            let s2 = Arc::clone(&s);
+            let t2 = mc::thread::spawn(move || s2.pop_many_same_key(8));
+            t1.join().unwrap();
+            let got = t2.join().unwrap();
+            let round_of = |v: u64| if v <= 2 { 1u64 } else { 2 };
+            assert!(
+                got.windows(2).all(|w| round_of(w[0]) == round_of(w[1])),
+                "batched pop straddled a key boundary: {got:?}"
+            );
+        });
+}
+
+// ---------------------------------------------------------------------------
+// Detection power: the checker must FIND the ABA bug in an untagged stack.
+// ---------------------------------------------------------------------------
+
+const NIL: u32 = u32::MAX;
+
+/// A deliberately broken Treiber stack: same algorithm as
+/// `alligator::TreiberStack` but the head word is a bare node index —
+/// no ABA tag. Three preallocated nodes; `pushed`/`popped` counters
+/// witness conservation.
+struct UntaggedStack {
+    head: AtomicU32,
+    next: [AtomicU32; 3],
+    pushed: [AtomicU32; 3],
+    popped: [AtomicU32; 3],
+}
+
+impl UntaggedStack {
+    fn new() -> Self {
+        Self {
+            head: AtomicU32::new(NIL),
+            next: std::array::from_fn(|_| AtomicU32::new(NIL)),
+            pushed: std::array::from_fn(|_| AtomicU32::new(0)),
+            popped: std::array::from_fn(|_| AtomicU32::new(0)),
+        }
+    }
+
+    fn push(&self, idx: u32) {
+        // ordering: test counter, racing increments only need atomicity.
+        self.pushed[idx as usize].fetch_add(1, Ordering::Relaxed);
+        loop {
+            // ordering: Acquire/Release/AcqRel mirror the real stack —
+            // the bug under test is the missing tag, not the ordering.
+            let h = self.head.load(Ordering::Acquire);
+            // ordering: as above.
+            self.next[idx as usize].store(h, Ordering::Release);
+            if self
+                .head
+                // ordering: as above — deliberately untagged CAS.
+                .compare_exchange(h, idx, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    fn pop(&self) -> Option<u32> {
+        loop {
+            // ordering: as in `push`.
+            let h = self.head.load(Ordering::Acquire);
+            if h == NIL {
+                return None;
+            }
+            // ordering: as in `push` — this is the stale read ABA turns
+            // into a corrupted head.
+            let next = self.next[h as usize].load(Ordering::Acquire);
+            if self
+                .head
+                // ordering: as in `push` — deliberately untagged CAS.
+                .compare_exchange(h, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // ordering: test counter.
+                self.popped[h as usize].fetch_add(1, Ordering::Relaxed);
+                return Some(h);
+            }
+        }
+    }
+}
+
+/// Seeded-bug test: exhaustive exploration MUST find the interleaving
+/// where the untagged CAS succeeds on a recycled head and a node is
+/// popped more often than it was pushed. This is the checker's license
+/// to claim the tagged stack's pass means something.
+#[test]
+fn checker_finds_aba_on_untagged_stack() {
+    let result = mc::Checker::new("untagged-aba")
+        .exhaustive()
+        .schedules(50_000)
+        .try_check(|| {
+            let s = Arc::new(UntaggedStack::new());
+            s.push(0);
+            s.push(1); // stack top-down: [1, 0]
+            let s1 = Arc::clone(&s);
+            let t1 = mc::thread::spawn(move || s1.pop());
+            let s2 = Arc::clone(&s);
+            let t2 = mc::thread::spawn(move || {
+                let a = s2.pop();
+                let _b = s2.pop();
+                if let Some(a) = a {
+                    s2.push(a); // recycle the node T1 may have read as head
+                }
+            });
+            t1.join().unwrap();
+            t2.join().unwrap();
+            while s.pop().is_some() {}
+            for i in 0..3 {
+                // ordering: single-threaded post-join reads.
+                let pushed = s.pushed[i].load(Ordering::Relaxed);
+                // ordering: single-threaded post-join reads.
+                let popped = s.popped[i].load(Ordering::Relaxed);
+                assert_eq!(
+                    pushed, popped,
+                    "node {i}: pushed {pushed} times but popped {popped} (ABA)"
+                );
+            }
+        });
+    let failure = result.expect_err("the checker must detect the ABA double-pop");
+    assert!(
+        failure.message.contains("ABA"),
+        "unexpected failure message: {}",
+        failure.message
+    );
+}

@@ -47,6 +47,7 @@ impl AaStats {
 
     /// Free blocks currently accounted to an AA.
     pub fn free_in(&self, aa: AaId) -> u64 {
+        // ordering: statistics counter; staleness is acceptable.
         self.per_rg[aa.rg.0 as usize][aa.index as usize].load(Ordering::Relaxed)
     }
 
@@ -54,6 +55,7 @@ impl AaStats {
     pub fn free_in_rg(&self, rg: RaidGroupId) -> u64 {
         self.per_rg[rg.0 as usize]
             .iter()
+            // ordering: statistics counter; staleness is acceptable.
             .map(|a| a.load(Ordering::Relaxed))
             .sum()
     }
@@ -66,6 +68,7 @@ impl AaStats {
         let (best, free) = aas
             .iter()
             .enumerate()
+            // ordering: statistics counter; staleness is acceptable.
             .map(|(i, a)| (i, a.load(Ordering::Relaxed)))
             .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))?;
         (free > 0).then_some(AaId {
@@ -77,12 +80,14 @@ impl AaStats {
     /// Account `n` blocks reserved out of `aa`.
     pub fn on_reserve(&self, aa: AaId, n: u64) {
         let c = &self.per_rg[aa.rg.0 as usize][aa.index as usize];
+        // ordering: statistics counter; staleness is acceptable.
         let prev = c.fetch_sub(n, Ordering::Relaxed);
         debug_assert!(prev >= n, "AA free count underflow");
     }
 
     /// Account `n` blocks released (unused reservation) back to `aa`.
     pub fn on_release(&self, aa: AaId, n: u64) {
+        // ordering: statistics counter; staleness is acceptable.
         self.per_rg[aa.rg.0 as usize][aa.index as usize].fetch_add(n, Ordering::Relaxed);
     }
 

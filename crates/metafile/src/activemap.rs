@@ -111,6 +111,7 @@ impl ActiveMap {
         if !nbits.is_multiple_of(64) {
             let last = nwords - 1;
             let valid = nbits % 64;
+            // ordering: construction-time store before the map is shared.
             map.words[last].store(!0u64 << valid, Ordering::Relaxed);
         }
         map
@@ -137,12 +138,14 @@ impl ActiveMap {
     /// Current free-block count (exact when quiesced).
     #[inline]
     pub fn free_count(&self) -> u64 {
+        // ordering: advisory gauge; staleness is acceptable.
         self.free_count.load(Ordering::Relaxed)
     }
 
     /// Lifetime number of metafile-block dirty events.
     #[inline]
     pub fn dirty_events(&self) -> u64 {
+        // ordering: statistics counter; staleness is acceptable.
         self.dirty_events.load(Ordering::Relaxed)
     }
 
@@ -159,6 +162,7 @@ impl ActiveMap {
     #[inline]
     pub fn is_used(&self, idx: u64) -> bool {
         debug_assert!(idx < self.nbits);
+        // ordering: Acquire — observes bits together with the state they guard.
         let w = self.words[(idx / 64) as usize].load(Ordering::Acquire);
         w & (1u64 << (idx % 64)) != 0
     }
@@ -168,10 +172,12 @@ impl ActiveMap {
     pub fn reserve(&self, idx: u64) -> Result<(), AllocError> {
         self.check(idx)?;
         let mask = 1u64 << (idx % 64);
+        // ordering: AcqRel RMW — the bit flip and the block state it guards must not reorder.
         let prev = self.words[(idx / 64) as usize].fetch_or(mask, Ordering::AcqRel);
         if prev & mask != 0 {
             return Err(AllocError::AlreadyUsed(idx));
         }
+        // ordering: advisory gauge; staleness is acceptable.
         self.free_count.fetch_sub(1, Ordering::Relaxed);
         Ok(())
     }
@@ -180,10 +186,12 @@ impl ActiveMap {
     pub fn release(&self, idx: u64) -> Result<(), AllocError> {
         self.check(idx)?;
         let mask = 1u64 << (idx % 64);
+        // ordering: AcqRel RMW — the bit flip and the block state it guards must not reorder.
         let prev = self.words[(idx / 64) as usize].fetch_and(!mask, Ordering::AcqRel);
         if prev & mask == 0 {
             return Err(AllocError::AlreadyFree(idx));
         }
+        // ordering: advisory gauge; staleness is acceptable.
         self.free_count.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -215,8 +223,10 @@ impl ActiveMap {
     fn mark_dirty(&self, idx: u64) {
         let mf_block = idx / BITS_PER_MF_BLOCK;
         let mask = 1u64 << (mf_block % 64);
+        // ordering: AcqRel RMW — the bit flip and the block state it guards must not reorder.
         let prev = self.dirty[(mf_block / 64) as usize].fetch_or(mask, Ordering::AcqRel);
         if prev & mask == 0 {
+            // ordering: statistics counter; staleness is acceptable.
             self.dirty_events.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -225,6 +235,7 @@ impl ActiveMap {
     pub fn dirty_block_count(&self) -> u64 {
         self.dirty
             .iter()
+            // ordering: Acquire — observes bits together with the state they guard.
             .map(|w| w.load(Ordering::Acquire).count_ones() as u64)
             .sum()
     }
@@ -234,6 +245,7 @@ impl ActiveMap {
     pub fn take_dirty_blocks(&self) -> Vec<u64> {
         let mut out = Vec::new();
         for (wi, w) in self.dirty.iter().enumerate() {
+            // ordering: AcqRel — the drain claims the dirty word and sees the writes it summarizes.
             let mut bits = w.swap(0, Ordering::AcqRel);
             while bits != 0 {
                 let b = bits.trailing_zeros() as u64;
@@ -264,6 +276,7 @@ impl ActiveMap {
             let word = &self.words[wi];
             let word_base = wi as u64 * 64;
             loop {
+                // ordering: Acquire — observes bits together with the state they guard.
                 let cur = word.load(Ordering::Acquire);
                 // Bits of this word inside [idx, end) that are free.
                 let lo_mask = !0u64 << (idx - word_base);
@@ -280,9 +293,11 @@ impl ActiveMap {
                 let bit = candidates.trailing_zeros() as u64;
                 let mask = 1u64 << bit;
                 if word
+                    // ordering: AcqRel success pairs with the other word RMWs; Acquire failure re-reads a current word.
                     .compare_exchange_weak(cur, cur | mask, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
+                    // ordering: advisory gauge; staleness is acceptable.
                     self.free_count.fetch_sub(1, Ordering::Relaxed);
                     out.push(word_base + bit);
                     idx = word_base + bit + 1;
@@ -316,6 +331,7 @@ impl ActiveMap {
         let mut used: u64 = self
             .words
             .iter()
+            // ordering: Acquire — observes bits together with the state they guard.
             .map(|w| w.load(Ordering::Acquire).count_ones() as u64)
             .sum();
         // Subtract the padding bits that were pre-set in `new`.

@@ -51,12 +51,14 @@ impl LooseCounter {
     /// The *loose* value: excludes deltas still staged in tokens.
     #[inline]
     pub fn value_loose(&self) -> i64 {
+        // ordering: loose accounting by design (DESIGN.md) — staleness is the feature.
         self.global.load(Ordering::Relaxed)
     }
 
     /// How many batched applications have hit the global so far.
     #[inline]
     pub fn apply_count(&self) -> u64 {
+        // ordering: loose accounting by design (DESIGN.md) — staleness is the feature.
         self.applies.load(Ordering::Relaxed)
     }
 
@@ -65,7 +67,9 @@ impl LooseCounter {
     #[inline]
     pub fn apply(&self, delta: i64) {
         if delta != 0 {
+            // ordering: loose accounting by design (DESIGN.md) — staleness is the feature.
             self.global.fetch_add(delta, Ordering::Relaxed);
+            // ordering: loose accounting by design (DESIGN.md) — staleness is the feature.
             self.applies.fetch_add(1, Ordering::Relaxed);
         }
     }

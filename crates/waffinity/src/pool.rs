@@ -111,6 +111,7 @@ impl WaffinityPool {
 
     fn send_id(&self, id: AffinityId, job: Job) {
         assert!(
+            // ordering: Acquire — pairs with the Release shutdown store.
             !self.inner.shutdown.load(Ordering::Acquire),
             "send() on a shut-down pool"
         );
@@ -148,6 +149,7 @@ impl WaffinityPool {
 
     /// Messages executed in affinity `a` so far.
     pub fn messages_in(&self, a: Affinity) -> u64 {
+        // ordering: statistics counter; staleness is acceptable.
         self.inner.msg_counts[self.inner.topo.id(a).0 as usize].load(Ordering::Relaxed)
     }
 
@@ -156,12 +158,14 @@ impl WaffinityPool {
         self.inner
             .msg_counts
             .iter()
+            // ordering: statistics counter; staleness is acceptable.
             .map(|c| c.load(Ordering::Relaxed))
             .sum()
     }
 
     /// Wall-clock busy time accumulated in affinity `a` (reporting only).
     pub fn busy_ns_in(&self, a: Affinity) -> u64 {
+        // ordering: statistics counter; staleness is acceptable.
         self.inner.busy_ns[self.inner.topo.id(a).0 as usize].load(Ordering::Relaxed)
     }
 
@@ -171,6 +175,7 @@ impl WaffinityPool {
     }
 
     fn shutdown_impl(&mut self) {
+        // ordering: Release — all work queued before shutdown is visible to the draining workers.
         self.inner.shutdown.store(true, Ordering::Release);
         self.inner.work.notify_all();
         for w in self.workers.drain(..) {
@@ -204,7 +209,9 @@ fn worker_loop(inner: &Inner) {
             let t0 = std::time::Instant::now();
             job();
             let dt = t0.elapsed().as_nanos() as u64;
+            // ordering: statistics counter; staleness is acceptable.
             inner.msg_counts[id.0 as usize].fetch_add(1, Ordering::Relaxed);
+            // ordering: statistics counter; staleness is acceptable.
             inner.busy_ns[id.0 as usize].fetch_add(dt, Ordering::Relaxed);
             sched = inner.sched.lock();
             sched.complete(id);
@@ -214,6 +221,7 @@ fn worker_loop(inner: &Inner) {
             if sched.is_idle() {
                 inner.idle.notify_all();
             }
+        // ordering: Acquire — pairs with the Release shutdown store.
         } else if inner.shutdown.load(Ordering::Acquire) && sched.queued() == 0 {
             // Nothing runnable and shutting down. Remaining queued work is
             // zero; running work belongs to other workers.
@@ -241,10 +249,12 @@ mod tests {
         for i in 0..100u32 {
             let hits = Arc::clone(&hits);
             pool.send(Affinity::Stripe(0, i % 4), move || {
+                // ordering: statistics counter; staleness is acceptable.
                 hits.fetch_add(1, Ordering::Relaxed);
             });
         }
         pool.wait_idle();
+        // ordering: test readback.
         assert_eq!(hits.load(Ordering::Relaxed), 100);
         assert_eq!(pool.total_messages(), 100);
     }
@@ -268,8 +278,10 @@ mod tests {
             for s in 0..4 {
                 let c = Arc::clone(&in_subtree);
                 pool.send(Affinity::Stripe(0, s), move || {
+                    // ordering: SeqCst — the exclusion detector needs a single total order across its counters.
                     c.fetch_add(1, Ordering::SeqCst);
                     std::thread::yield_now();
+                    // ordering: SeqCst — the exclusion detector needs a single total order across its counters.
                     c.fetch_sub(1, Ordering::SeqCst);
                 });
             }
@@ -277,17 +289,22 @@ mod tests {
                 let c = Arc::clone(&in_subtree);
                 let v = Arc::clone(&violations);
                 pool.send(Affinity::Volume(0), move || {
+                    // ordering: SeqCst — the exclusion detector needs a single total order across its counters.
                     if c.load(Ordering::SeqCst) != 0 {
+                        // ordering: SeqCst — the exclusion detector needs a single total order across its counters.
                         v.fetch_add(1, Ordering::SeqCst);
                     }
                     std::thread::yield_now();
+                    // ordering: SeqCst — the exclusion detector needs a single total order across its counters.
                     if c.load(Ordering::SeqCst) != 0 {
+                        // ordering: SeqCst — the exclusion detector needs a single total order across its counters.
                         v.fetch_add(1, Ordering::SeqCst);
                     }
                 });
             }
         }
         pool.wait_idle();
+        // ordering: test readback.
         assert_eq!(violations.load(Ordering::SeqCst), 0);
     }
 
@@ -319,10 +336,12 @@ mod tests {
         for _ in 0..20 {
             let hits = Arc::clone(&hits);
             pool.send(Affinity::Stripe(1, 0), move || {
+                // ordering: statistics counter; staleness is acceptable.
                 hits.fetch_add(1, Ordering::Relaxed);
             });
         }
         pool.shutdown();
+        // ordering: test readback.
         assert_eq!(hits.load(Ordering::Relaxed), 20);
     }
 

@@ -57,6 +57,7 @@ fn storm_of_mixed_affinities_never_violates_exclusion() {
         let topo2 = Arc::clone(&topo);
         pool.send(a, move || {
             let me = id.0 as usize;
+            // ordering: SeqCst — the exclusion detector needs a single total order across its counters.
             det.counts[me].fetch_add(1, Ordering::SeqCst);
             // Check: no other running affinity may be my ancestor or
             // descendant. We verify the descendant direction (ancestors
@@ -65,18 +66,22 @@ fn storm_of_mixed_affinities_never_violates_exclusion() {
                 if other == me {
                     continue;
                 }
+                // ordering: SeqCst — the exclusion detector needs a single total order across its counters.
                 if det.counts[other].load(Ordering::SeqCst) > 0 {
                     let o = waffinity::AffinityId(other as u32);
                     if topo2.conflicts(id, o) {
+                        // ordering: SeqCst — the exclusion detector needs a single total order across its counters.
                         det.violations.fetch_add(1, Ordering::SeqCst);
                     }
                 }
             }
             std::thread::yield_now();
+            // ordering: SeqCst — the exclusion detector needs a single total order across its counters.
             det.counts[me].fetch_sub(1, Ordering::SeqCst);
         });
     }
     pool.wait_idle();
+    // ordering: test readback.
     assert_eq!(det.violations.load(Ordering::SeqCst), 0);
     assert_eq!(pool.total_messages(), 200);
 }
@@ -92,9 +97,11 @@ fn messages_sent_from_inside_messages_complete() {
         let pool2 = Arc::clone(&pool);
         let hits2 = Arc::clone(&hits);
         pool.send(Affinity::AggrVbnRange(0, i % 4), move || {
+            // ordering: statistics counter; staleness is acceptable.
             hits2.fetch_add(1, Ordering::Relaxed);
             let hits3 = Arc::clone(&hits2);
             pool2.send(Affinity::AggrVbnRange(1, i % 4), move || {
+                // ordering: statistics counter; staleness is acceptable.
                 hits3.fetch_add(1, Ordering::Relaxed);
             });
         });
@@ -102,10 +109,12 @@ fn messages_sent_from_inside_messages_complete() {
     // Wait for both generations.
     loop {
         pool.wait_idle();
+        // ordering: statistics counter; staleness is acceptable.
         if hits.load(Ordering::Relaxed) >= 40 {
             break;
         }
     }
+    // ordering: test readback.
     assert_eq!(hits.load(Ordering::Relaxed), 40);
 }
 
@@ -120,7 +129,9 @@ fn serial_message_sees_quiesced_system_under_storm() {
             let f = Arc::clone(&in_flight);
             let v = Arc::clone(&violations);
             pool.send(Affinity::Serial, move || {
+                // ordering: SeqCst — the exclusion detector needs a single total order across its counters.
                 if f.load(Ordering::SeqCst) != 0 {
+                    // ordering: SeqCst — the exclusion detector needs a single total order across its counters.
                     v.fetch_add(1, Ordering::SeqCst);
                 }
             });
@@ -129,13 +140,16 @@ fn serial_message_sees_quiesced_system_under_storm() {
             let vol = (round % 4) as u32;
             let stripe = (round % 4) as u32;
             pool.send(Affinity::Stripe(vol, stripe), move || {
+                // ordering: SeqCst — the exclusion detector needs a single total order across its counters.
                 f.fetch_add(1, Ordering::SeqCst);
                 std::thread::yield_now();
+                // ordering: SeqCst — the exclusion detector needs a single total order across its counters.
                 f.fetch_sub(1, Ordering::SeqCst);
             });
         }
     }
     pool.wait_idle();
+    // ordering: test readback.
     assert_eq!(violations.load(Ordering::SeqCst), 0);
 }
 
@@ -189,10 +203,12 @@ fn drop_without_explicit_shutdown_drains() {
         for _ in 0..25 {
             let hits = Arc::clone(&hits);
             pool.send(Affinity::Volume(1), move || {
+                // ordering: statistics counter; staleness is acceptable.
                 hits.fetch_add(1, Ordering::Relaxed);
             });
         }
         // Drop runs shutdown, which drains queued messages.
     }
+    // ordering: test readback.
     assert_eq!(hits.load(Ordering::Relaxed), 25);
 }

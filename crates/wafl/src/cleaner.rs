@@ -356,12 +356,14 @@ impl CleanerPool {
 
     /// Currently active (non-parked) thread limit.
     pub fn active_limit(&self) -> usize {
+        // ordering: Acquire — pairs with the control plane's Release store of the limit.
         self.shared.active_limit.load(Ordering::Acquire)
     }
 
     /// Set the active-thread limit (the dynamic tuner's actuator).
     pub fn set_active_limit(&self, n: usize) {
         let n = n.clamp(1, self.workers.len());
+        // ordering: Release — publishes the new worker limit.
         self.shared.active_limit.store(n, Ordering::Release);
         let _g = self.shared.limit_lock.lock();
         self.shared.limit_changed.notify_all();
@@ -370,11 +372,13 @@ impl CleanerPool {
     /// Accumulated busy nanoseconds across all cleaners (utilization
     /// numerator for the tuner).
     pub fn busy_ns(&self) -> u64 {
+        // ordering: statistics counter; staleness is acceptable.
         self.shared.busy_ns.load(Ordering::Relaxed)
     }
 
     /// Items processed over the pool's lifetime.
     pub fn items_done(&self) -> u64 {
+        // ordering: statistics counter; staleness is acceptable.
         self.shared.items_done.load(Ordering::Relaxed)
     }
 
@@ -412,6 +416,7 @@ impl CleanerPool {
     }
 
     fn shutdown_impl(&mut self) {
+        // ordering: Release/Acquire pair on the shutdown flag.
         self.shared.shutdown.store(true, Ordering::Release);
         // Wake parked workers and unblock recv via channel close.
         self.set_active_limit(self.workers.len());
@@ -448,7 +453,9 @@ fn worker(index: usize, shared: &PoolShared) {
         // Dynamic tuning: park while deactivated.
         {
             let mut g = shared.limit_lock.lock();
+            // ordering: Acquire — pairs with the control plane's Release store of the limit.
             while index >= shared.active_limit.load(Ordering::Acquire)
+                // ordering: Release/Acquire pair on the shutdown flag.
                 && !shared.shutdown.load(Ordering::Acquire)
             {
                 shared.limit_changed.wait(&mut g);
@@ -486,7 +493,9 @@ fn worker(index: usize, shared: &PoolShared) {
                 shared.alloc.flush_stage(&mut stage);
                 shared
                     .busy_ns
+                    // ordering: statistics counter; staleness is acceptable.
                     .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                // ordering: statistics counter; staleness is acceptable.
                 shared.items_done.fetch_add(1, Ordering::Relaxed);
                 let _ = reply.send(if failed { None } else { Some(results) });
             }

@@ -360,6 +360,7 @@ impl Filesystem {
 
     /// Run one consistency point.
     pub fn run_cp(&self) -> CpReport {
+        // ordering: Relaxed RMW gives unique CP ids; CP ordering is serialized by the checkpoint lock.
         let cp_id = self.cp_counter.fetch_add(1, Ordering::Relaxed) + 1;
         let vols = self.volumes();
         cp::run_cp(
@@ -381,6 +382,7 @@ impl Filesystem {
     /// flight); call [`Filesystem::crash_and_recover`] to get the
     /// post-reboot file system.
     pub fn run_cp_crash_at(&self, at: CrashPoint) {
+        // ordering: Relaxed RMW gives unique CP ids; CP ordering is serialized by the checkpoint lock.
         let cp_id = self.cp_counter.fetch_add(1, Ordering::Relaxed) + 1;
         let vols = self.volumes();
         let r = cp::run_cp_crash_at(
@@ -399,6 +401,7 @@ impl Filesystem {
 
     /// Number of CPs run.
     pub fn cp_count(&self) -> u64 {
+        // ordering: advisory read of the CP counter.
         self.cp_counter.load(Ordering::Relaxed)
     }
 
@@ -486,6 +489,7 @@ impl Filesystem {
             // instance must still root the same committed image, or a
             // second crash before the next CP would lose it.
             fs.sb.commit(img.clone());
+            // ordering: recovery/replay is single-threaded.
             fs.cp_counter.store(img.cp_id, Ordering::Relaxed);
             // Blocks may be referenced by both the active maps and one or
             // more snapshots; adopt each physical/virtual block once.
@@ -604,8 +608,10 @@ mod tests {
     use wafl_blockdev::GeometryBuilder;
 
     fn fs(exec: ExecMode) -> Filesystem {
-        let mut cfg = FsConfig::default();
-        cfg.vvbn_per_volume = 1 << 14;
+        let cfg = FsConfig {
+            vvbn_per_volume: 1 << 14,
+            ..Default::default()
+        };
         Filesystem::new(
             cfg,
             GeometryBuilder::new()
@@ -878,8 +884,10 @@ mod tests {
     fn deleted_space_is_reusable() {
         // Fill a tiny aggregate, delete, refill: allocation must succeed
         // again (space actually cycles).
-        let mut cfg = FsConfig::default();
-        cfg.vvbn_per_volume = 1 << 12;
+        let cfg = FsConfig {
+            vvbn_per_volume: 1 << 12,
+            ..Default::default()
+        };
         let fs = Filesystem::new(
             cfg,
             GeometryBuilder::new()
@@ -959,8 +967,10 @@ mod tests {
     fn cp_completes_degraded_after_drive_failure_then_rebuilds() {
         // One data drive dies mid-run; every CP still completes through
         // parity-based degraded writes and reads, and the drive rebuilds.
-        let mut cfg = FsConfig::default();
-        cfg.vvbn_per_volume = 1 << 14;
+        let cfg = FsConfig {
+            vvbn_per_volume: 1 << 14,
+            ..Default::default()
+        };
         let fs = Filesystem::with_faults(
             cfg,
             GeometryBuilder::new()
@@ -1008,8 +1018,10 @@ mod tests {
         // Compound fault: a drive failure AND a mid-CP crash. Recovery
         // replays the NVLog over the degraded aggregate, the next CP
         // completes degraded, and the rebuild restores parity.
-        let mut cfg = FsConfig::default();
-        cfg.vvbn_per_volume = 1 << 14;
+        let cfg = FsConfig {
+            vvbn_per_volume: 1 << 14,
+            ..Default::default()
+        };
         let fs = Filesystem::with_faults(
             cfg,
             GeometryBuilder::new()

@@ -64,6 +64,7 @@ fn main() {
                 x
             };
             let mut version = 1u64;
+            // ordering: shutdown flag; no data is published through it.
             while !stop.load(Ordering::Relaxed) {
                 let file = FileId(c * FILES_PER_CLIENT + rng() % FILES_PER_CLIENT);
                 let fbn = rng() % FILE_BLOCKS;
@@ -73,6 +74,7 @@ fn main() {
                 } else {
                     let _ = fs.read(VolumeId(0), file, fbn);
                 }
+                // ordering: statistics counter; staleness is acceptable.
                 ops.fetch_add(1, Ordering::Relaxed);
             }
         }));
@@ -114,6 +116,7 @@ fn main() {
             );
         }
     }
+    // ordering: shutdown flag; no data is published through it.
     stop.store(true, Ordering::Relaxed);
     for c in clients {
         c.join().unwrap();
@@ -121,6 +124,7 @@ fn main() {
     // Final CP so every acknowledged write is durable.
     fs.run_cp();
 
+    // ordering: statistics counter; staleness is acceptable.
     let total = ops.load(Ordering::Relaxed);
     println!(
         "ran {} client ops across {} CPs in {:?} (tuner: {} activations, {} deactivations)",

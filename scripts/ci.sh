@@ -21,8 +21,27 @@ echo "=== lock-free cache stress under debug assertions ==="
 RUSTFLAGS="-C debug-assertions=on" \
   cargo test --release -q -p alligator --test cache_stress
 
+echo "=== concurrency lint (ordering justifications, lock order, unsafe audit) ==="
+python3 scripts/lint_concurrency.py --self-test
+python3 scripts/lint_concurrency.py --check
+
+echo "=== model checker: mc suite (10k schedules/invariant, debug assertions) ==="
+# Every invariant in crates/mc/tests explores at least MC_SCHEDULES
+# interleavings; failures print a replayable seed (MC_REPLAY=<seed>).
+MC_SCHEDULES=10000 RUSTFLAGS="-C debug-assertions=on" \
+  cargo test --release -q -p mc
+
 echo "=== cargo clippy --all-targets -- -D warnings ==="
 cargo clippy --all-targets -- -D warnings
+
+echo "=== cargo clippy (workspace minus vendor; incl. mc shim mode) ==="
+cargo clippy --workspace --all-targets \
+  --exclude criterion --exclude crossbeam --exclude parking_lot \
+  --exclude proptest --exclude rand --exclude rand_chacha \
+  --exclude serde --exclude serde_derive --exclude serde_json \
+  -- -D warnings
+cargo clippy -p mc -p alligator --features alligator/mc --all-targets \
+  -- -D warnings
 
 echo "=== cargo fmt --check ==="
 cargo fmt --check

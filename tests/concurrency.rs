@@ -42,6 +42,7 @@ fn concurrent_writers_with_back_to_back_cps() {
         let stop = Arc::clone(&stop);
         handles.push(std::thread::spawn(move || {
             let mut generation = 1u64;
+            // ordering: shutdown flag; no data is published through it.
             while !stop.load(Ordering::Relaxed) {
                 for f in 0..FILES_PER_WRITER {
                     let file = FileId(w * FILES_PER_WRITER + f);
@@ -60,6 +61,7 @@ fn concurrent_writers_with_back_to_back_cps() {
     let cp_stop = Arc::clone(&stop);
     let cp_handle = std::thread::spawn(move || {
         let mut cps = 0u32;
+        // ordering: shutdown flag; no data is published through it.
         while !cp_stop.load(Ordering::Relaxed) {
             cp_fs.run_cp();
             cps += 1;
@@ -68,9 +70,11 @@ fn concurrent_writers_with_back_to_back_cps() {
     });
 
     std::thread::sleep(std::time::Duration::from_millis(400));
+    // ordering: shutdown flag; no data is published through it.
     stop.store(true, Ordering::Relaxed);
     let gens: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
     let cps = cp_handle.join().unwrap();
+    // ordering: statistics counter; staleness is acceptable.
     generations.store(gens.iter().copied().min().unwrap(), Ordering::Relaxed);
     assert!(cps > 0, "at least one CP ran");
 
