@@ -208,6 +208,18 @@ impl Allocator {
     /// the extras and returns unused ones via
     /// [`requeue_bucket`](Self::requeue_bucket).
     pub fn get_bucket_many(&self, cleaner: usize, max: usize) -> Option<Vec<Bucket>> {
+        let t0 = std::time::Instant::now();
+        let mut sp = obs::trace_span!(obs::EventKind::Get);
+        let out = self.get_bucket_many_inner(cleaner, max);
+        sp.set_arg(out.as_ref().map_or(0, |b| b.len() as u64));
+        self.stats
+            .get_wait_ns
+            // ordering: statistics counter; staleness is acceptable.
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
+    }
+
+    fn get_bucket_many_inner(&self, cleaner: usize, max: usize) -> Option<Vec<Bucket>> {
         let max = max.max(1);
         let mut stalled = false;
         loop {
@@ -225,6 +237,7 @@ impl Allocator {
             if !stalled {
                 // ordering: statistics counter; staleness is acceptable.
                 self.stats.get_stalls.fetch_add(1, Ordering::Relaxed);
+                obs::trace_instant!(obs::EventKind::GetStall, max as u64);
                 stalled = true;
             }
             self.request_refill();
@@ -267,10 +280,15 @@ impl Allocator {
     pub fn put_bucket(&self, bucket: Bucket) {
         // ordering: statistics counter; staleness is acceptable.
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        let consumed = bucket.consumed().len() as u64;
         self.stats
             .uses
             // ordering: statistics counter; staleness is acceptable.
-            .fetch_add(bucket.consumed().len() as u64, Ordering::Relaxed);
+            .fetch_add(consumed, Ordering::Relaxed);
+        // The per-block USE path has zero synchronization and stays
+        // untraced (§IV-C); record its activity at bucket granularity.
+        obs::trace_instant!(obs::EventKind::Use, consumed);
+        obs::trace_instant!(obs::EventKind::Put, consumed);
         let mf_block = bucket.start_vbn().0 / BITS_PER_MF_BLOCK;
         let affinity = self.infra_affinity(mf_block);
         let rg = bucket.rg();
@@ -279,11 +297,16 @@ impl Allocator {
         let infra = Arc::clone(&self.infra);
         let stats = Arc::clone(&self.stats);
         stats.commit_enqueued();
+        let submitted = std::time::Instant::now();
         match self.cfg.reinsert {
             crate::config::ReinsertPolicy::Collective => {
                 self.executor.submit(
                     affinity,
                     Box::new(move || {
+                        stats
+                            .commit_queue_wait_ns
+                            // ordering: statistics counter; staleness is acceptable.
+                            .fetch_add(submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
                         infra.commit_bucket(fin);
                         stats.commit_dequeued();
                     }),
@@ -296,6 +319,10 @@ impl Allocator {
                 self.executor.submit(
                     affinity,
                     Box::new(move || {
+                        stats
+                            .commit_queue_wait_ns
+                            // ordering: statistics counter; staleness is acceptable.
+                            .fetch_add(submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
                         infra.commit_bucket(fin);
                         stats.commit_dequeued();
                         infra.refill_drive(rg, drive, &cache);
@@ -314,19 +341,26 @@ impl Allocator {
     pub fn retire_bucket(&self, bucket: Bucket) {
         // ordering: statistics counter; staleness is acceptable.
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        let consumed = bucket.consumed().len() as u64;
         self.stats
             .uses
             // ordering: statistics counter; staleness is acceptable.
-            .fetch_add(bucket.consumed().len() as u64, Ordering::Relaxed);
+            .fetch_add(consumed, Ordering::Relaxed);
+        obs::trace_instant!(obs::EventKind::Put, consumed);
         let mf_block = bucket.start_vbn().0 / BITS_PER_MF_BLOCK;
         let affinity = self.infra_affinity(mf_block);
         let fin = bucket.finish();
         let infra = Arc::clone(&self.infra);
         let stats = Arc::clone(&self.stats);
         stats.commit_enqueued();
+        let submitted = std::time::Instant::now();
         self.executor.submit(
             affinity,
             Box::new(move || {
+                stats
+                    .commit_queue_wait_ns
+                    // ordering: statistics counter; staleness is acceptable.
+                    .fetch_add(submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 infra.commit_bucket(fin);
                 stats.commit_dequeued();
             }),

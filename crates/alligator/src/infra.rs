@@ -122,6 +122,7 @@ impl Infrastructure {
     /// Runs as an infrastructure message; callers route it through the
     /// configured executor/affinity (see [`crate::Allocator`]).
     pub fn refill_round(&self, cache: &BucketCache) -> usize {
+        let mut sp = obs::trace_span!(obs::EventKind::Refill);
         // ordering: statistics counter; staleness is acceptable.
         self.stats.infra_msgs.fetch_add(1, Ordering::Relaxed);
         // ordering: statistics counter; staleness is acceptable.
@@ -245,11 +246,13 @@ impl Infrastructure {
         }
         drop(cursors);
         if self.cfg.reinsert == ReinsertPolicy::Collective {
+            obs::trace_instant!(obs::EventKind::InsertAll, all_buckets.len() as u64);
             cache.insert_all(all_buckets);
         }
         self.exhausted
             // ordering: Release — publishes the fill outcome this flag summarizes.
             .store(built == 0 && cache.is_empty(), Ordering::Release);
+        sp.set_arg(built as u64);
         built
     }
 
@@ -344,6 +347,7 @@ impl Infrastructure {
     /// commit funnel is measurable alongside the convoy gauge.
     pub fn commit_bucket(&self, fin: FinishedBucket) {
         let t0 = std::time::Instant::now();
+        let _sp = obs::trace_span!(obs::EventKind::CommitBucket, fin.consumed.len() as u64);
         // ordering: statistics counter; staleness is acceptable.
         self.stats.infra_msgs.fetch_add(1, Ordering::Relaxed);
         for v in &fin.consumed {
@@ -372,6 +376,7 @@ impl Infrastructure {
 
     /// Commit a stage of frees to the metafiles (§IV-A's free path).
     pub fn commit_frees(&self, vbns: Vec<Vbn>) {
+        let _sp = obs::trace_span!(obs::EventKind::StageCommit, vbns.len() as u64);
         // ordering: statistics counter; staleness is acceptable.
         self.stats.infra_msgs.fetch_add(1, Ordering::Relaxed);
         // ordering: statistics counter; staleness is acceptable.

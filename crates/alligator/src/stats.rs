@@ -1,129 +1,145 @@
 //! Allocator-wide statistics, shared across infrastructure and cleaners.
+//!
+//! Counters are declared once, in [`alloc_counters!`]; the macro
+//! generates the atomic struct, the plain-value snapshot, the copy
+//! loop, and the [`StatsSnapshot::named`] exporter. Adding a counter is
+//! therefore a one-line change here — it flows to every consumer
+//! (reports, the obs metrics registry, text dumps) automatically
+//! instead of being hand-threaded through a five-struct relay.
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Monotone counters describing allocator activity. All relaxed: they are
-/// reporting-only and never guard correctness.
-#[derive(Debug, Default)]
-pub struct AllocStats {
-    /// GET operations (buckets handed to cleaners).
-    pub gets: AtomicU64,
-    /// GETs that found the bucket cache empty and had to wait/refill —
-    /// the paper's infrastructure "keeps this list non-empty to ensure
-    /// that the GET operation does not block" (§IV-D), so this counter
-    /// measures how well the refill pipeline keeps up.
-    pub get_stalls: AtomicU64,
-    /// USE operations (VBNs assigned to buffers).
-    pub uses: AtomicU64,
-    /// PUT operations (buckets returned).
-    pub puts: AtomicU64,
-    /// Refill rounds executed by the infrastructure.
-    pub refill_rounds: AtomicU64,
-    /// Buckets filled with VBNs.
-    pub buckets_filled: AtomicU64,
-    /// VBNs reserved from the bitmaps.
-    pub vbns_reserved: AtomicU64,
-    /// VBNs committed as used (metafile updates, step 6 of Fig 2).
-    pub vbns_committed: AtomicU64,
-    /// Reserved VBNs released unconsumed.
-    pub vbns_released: AtomicU64,
-    /// VBNs freed through stages (overwrites).
-    pub vbns_freed: AtomicU64,
-    /// Stage-commit messages processed by the infrastructure.
-    pub stage_commits: AtomicU64,
-    /// Tetris write I/Os sent to RAID.
-    pub tetris_ios: AtomicU64,
-    /// Allocation-Area switches (a new AA selected for a RAID group).
-    pub aa_switches: AtomicU64,
-    /// Infrastructure messages executed (refill + commit + free-commit).
-    pub infra_msgs: AtomicU64,
-    /// Tetris write I/Os that failed terminally (retries exhausted or too
-    /// many drives offline). The stamps of a failed I/O never reached
-    /// stable storage.
-    pub io_errors: AtomicU64,
-    /// Cache pops satisfied by the getter's own (affinity) shard — the
-    /// uncontended fast path the sharded bucket cache is built around
-    /// (§IV-C's amortized synchronization, divided per drive).
-    pub cache_get_fast: AtomicU64,
-    /// Cache pops that missed the home shard and work-stole a bucket from
-    /// another shard.
-    pub cache_get_steal: AtomicU64,
-    /// Nanoseconds spent waiting for a contended shard mutex (fast-path
-    /// `try_lock` successes cost nothing and are not timed).
-    pub cache_lock_waits_ns: AtomicU64,
-    /// GETs that found every shard empty and parked on the shard condvar
-    /// (the §IV-D starvation case the refill pipeline is meant to avoid).
-    pub cache_blocked_gets: AtomicU64,
-    /// Buckets delivered *beyond the first* by batched `get_many` pops —
-    /// each one is a GET whose synchronization was amortized into the
-    /// batch's single CAS/lock acquisition (§IV-C applied to GET).
-    pub cache_get_batched: AtomicU64,
-    /// PUT-side convoy gauge: commit messages submitted but not yet
-    /// executed, right now. Not part of the snapshot (it is a level, not
-    /// a counter); feeds the `put_commit_queue_len` high-water mark.
-    pub put_commit_outstanding: AtomicU64,
-    /// High-water mark of the commit queue: the deepest backlog of
-    /// submitted-but-unexecuted PUT commits observed. Measures the
-    /// used-queue/commit funnel before it gets optimized.
-    pub put_commit_queue_len: AtomicU64,
-    /// Nanoseconds the infrastructure spent inside `commit_bucket`
-    /// (metafile updates + release of unconsumed VBNs) — the per-PUT
-    /// commit cost whose queueing the convoy gauge watches.
-    pub commit_batch_ns: AtomicU64,
+/// Declares the allocator's statistics in one place.
+///
+/// `counters` are monotone and appear in [`StatsSnapshot`];
+/// `gauges` are instantaneous levels kept on [`AllocStats`] only (their
+/// derived high-water counters live in the `counters` list).
+macro_rules! alloc_counters {
+    (
+        counters { $( $(#[$cmeta:meta])* $cname:ident, )* }
+        gauges { $( $(#[$gmeta:meta])* $gname:ident, )* }
+    ) => {
+        /// Monotone counters describing allocator activity. All relaxed: they are
+        /// reporting-only and never guard correctness.
+        #[derive(Debug, Default)]
+        pub struct AllocStats {
+            $( $(#[$cmeta])* pub $cname: AtomicU64, )*
+            $( $(#[$gmeta])* pub $gname: AtomicU64, )*
+        }
+
+        /// Plain-value copy of [`AllocStats`].
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+        #[allow(missing_docs)]
+        pub struct StatsSnapshot {
+            $( pub $cname: u64, )*
+        }
+
+        impl AllocStats {
+            /// Plain-value snapshot for reporting.
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $cname: self.$cname.load(Ordering::Relaxed), )* // ordering: statistics counter; staleness is acceptable.
+                }
+            }
+        }
+
+        impl StatsSnapshot {
+            /// Every counter name, in declaration order.
+            pub const NAMES: &'static [&'static str] = &[ $( stringify!($cname), )* ];
+
+            /// `(name, value)` pairs for every counter — feed this to
+            /// `obs::Registry::import_counters` (or any exporter) so no
+            /// counter can be collected but never reported.
+            pub fn named(&self) -> Vec<(&'static str, u64)> {
+                vec![ $( (stringify!($cname), self.$cname), )* ]
+            }
+        }
+    };
+}
+
+alloc_counters! {
+    counters {
+        /// GET operations (buckets handed to cleaners).
+        gets,
+        /// GETs that found the bucket cache empty and had to wait/refill —
+        /// the paper's infrastructure "keeps this list non-empty to ensure
+        /// that the GET operation does not block" (§IV-D), so this counter
+        /// measures how well the refill pipeline keeps up.
+        get_stalls,
+        /// USE operations (VBNs assigned to buffers).
+        uses,
+        /// PUT operations (buckets returned).
+        puts,
+        /// Refill rounds executed by the infrastructure.
+        refill_rounds,
+        /// Buckets filled with VBNs.
+        buckets_filled,
+        /// VBNs reserved from the bitmaps.
+        vbns_reserved,
+        /// VBNs committed as used (metafile updates, step 6 of Fig 2).
+        vbns_committed,
+        /// Reserved VBNs released unconsumed.
+        vbns_released,
+        /// VBNs freed through stages (overwrites).
+        vbns_freed,
+        /// Stage-commit messages processed by the infrastructure.
+        stage_commits,
+        /// Tetris write I/Os sent to RAID.
+        tetris_ios,
+        /// Allocation-Area switches (a new AA selected for a RAID group).
+        aa_switches,
+        /// Infrastructure messages executed (refill + commit + free-commit).
+        infra_msgs,
+        /// Tetris write I/Os that failed terminally (retries exhausted or too
+        /// many drives offline). The stamps of a failed I/O never reached
+        /// stable storage.
+        io_errors,
+        /// Cache pops satisfied by the getter's own (affinity) shard — the
+        /// uncontended fast path the sharded bucket cache is built around
+        /// (§IV-C's amortized synchronization, divided per drive).
+        cache_get_fast,
+        /// Cache pops that missed the home shard and work-stole a bucket from
+        /// another shard.
+        cache_get_steal,
+        /// Nanoseconds spent waiting for a contended shard mutex (fast-path
+        /// `try_lock` successes cost nothing and are not timed).
+        cache_lock_waits_ns,
+        /// GETs that found every shard empty and parked on the shard condvar
+        /// (the §IV-D starvation case the refill pipeline is meant to avoid).
+        cache_blocked_gets,
+        /// Buckets delivered *beyond the first* by batched `get_many` pops —
+        /// each one is a GET whose synchronization was amortized into the
+        /// batch's single CAS/lock acquisition (§IV-C applied to GET).
+        cache_get_batched,
+        /// High-water mark of the commit queue: the deepest backlog of
+        /// submitted-but-unexecuted PUT commits observed. Measures the
+        /// used-queue/commit funnel before it gets optimized.
+        put_commit_queue_len,
+        /// Nanoseconds the infrastructure spent inside `commit_bucket`
+        /// (metafile updates + release of unconsumed VBNs) — the per-PUT
+        /// commit cost whose queueing the convoy gauge watches.
+        commit_batch_ns,
+        /// Nanoseconds PUT commit messages spent queued behind the
+        /// infrastructure executor before starting to run — the convoy
+        /// *wait* that, together with `commit_batch_ns` (service) and
+        /// `put_commit_queue_len` (depth), decides whether the used
+        /// queues need sharding (ROADMAP).
+        commit_queue_wait_ns,
+        /// Nanoseconds cleaners spent inside `get_bucket_many` (the full
+        /// GET wall time, stalls included) — the denominator the PUT
+        /// convoy is compared against in `exp_put_convoy`.
+        get_wait_ns,
+    }
+    gauges {
+        /// PUT-side convoy gauge: commit messages submitted but not yet
+        /// executed, right now. Not part of the snapshot (it is a level, not
+        /// a counter); feeds the `put_commit_queue_len` high-water mark.
+        put_commit_outstanding,
+    }
 }
 
 impl AllocStats {
-    /// Plain-value snapshot for reporting.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            // ordering: statistics counter; staleness is acceptable.
-            gets: self.gets.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            get_stalls: self.get_stalls.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            uses: self.uses.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            puts: self.puts.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            refill_rounds: self.refill_rounds.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            buckets_filled: self.buckets_filled.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            vbns_reserved: self.vbns_reserved.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            vbns_committed: self.vbns_committed.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            vbns_released: self.vbns_released.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            vbns_freed: self.vbns_freed.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            stage_commits: self.stage_commits.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            tetris_ios: self.tetris_ios.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            aa_switches: self.aa_switches.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            infra_msgs: self.infra_msgs.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            io_errors: self.io_errors.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            cache_get_fast: self.cache_get_fast.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            cache_get_steal: self.cache_get_steal.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            cache_lock_waits_ns: self.cache_lock_waits_ns.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            cache_blocked_gets: self.cache_blocked_gets.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            cache_get_batched: self.cache_get_batched.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            put_commit_queue_len: self.put_commit_queue_len.load(Ordering::Relaxed),
-            // ordering: statistics counter; staleness is acceptable.
-            commit_batch_ns: self.commit_batch_ns.load(Ordering::Relaxed),
-        }
-    }
-
     /// Record one PUT commit entering the infrastructure queue,
     /// maintaining the convoy high-water mark.
     pub fn commit_enqueued(&self) {
@@ -138,34 +154,6 @@ impl AllocStats {
         // ordering: AcqRel — pairs with the gauge increment.
         self.put_commit_outstanding.fetch_sub(1, Ordering::AcqRel);
     }
-}
-
-/// Plain-value copy of [`AllocStats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-#[allow(missing_docs)]
-pub struct StatsSnapshot {
-    pub gets: u64,
-    pub get_stalls: u64,
-    pub uses: u64,
-    pub puts: u64,
-    pub refill_rounds: u64,
-    pub buckets_filled: u64,
-    pub vbns_reserved: u64,
-    pub vbns_committed: u64,
-    pub vbns_released: u64,
-    pub vbns_freed: u64,
-    pub stage_commits: u64,
-    pub tetris_ios: u64,
-    pub aa_switches: u64,
-    pub infra_msgs: u64,
-    pub io_errors: u64,
-    pub cache_get_fast: u64,
-    pub cache_get_steal: u64,
-    pub cache_lock_waits_ns: u64,
-    pub cache_blocked_gets: u64,
-    pub cache_get_batched: u64,
-    pub put_commit_queue_len: u64,
-    pub commit_batch_ns: u64,
 }
 
 impl StatsSnapshot {
@@ -210,5 +198,31 @@ mod tests {
         };
         snap.check_conservation(10).unwrap();
         assert!(snap.check_conservation(0).is_err());
+    }
+
+    /// The audit the reporting bug of PR 3 motivated: `named()` must
+    /// cover *every* snapshot field, so a counter that is collected can
+    /// no longer silently miss the reports. Cross-checked against the
+    /// serde field list (independent of the macro's own expansion).
+    #[test]
+    fn named_covers_every_snapshot_field() {
+        let snap = StatsSnapshot {
+            gets: 1,
+            commit_queue_wait_ns: 7,
+            ..Default::default()
+        };
+        let named = snap.named();
+        assert_eq!(named.len(), StatsSnapshot::NAMES.len());
+        let serde::Value::Map(fields) = serde::Serialize::to_value(&snap) else {
+            panic!("snapshot serializes as a map");
+        };
+        let field_names: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        let named_names: Vec<&str> = named.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            named_names, field_names,
+            "named() must match the struct exactly"
+        );
+        assert_eq!(named[0], ("gets", 1));
+        assert!(named.contains(&("commit_queue_wait_ns", 7)));
     }
 }

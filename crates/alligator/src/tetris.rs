@@ -139,6 +139,8 @@ impl Tetris {
             rg: self.rg,
             segments,
         };
+        let blocks: usize = io.segments.iter().map(|s| s.stamps.len()).sum();
+        let _sp = obs::trace_span!(obs::EventKind::StripeFire, blocks as u64);
         // ordering: statistics counter; staleness is acceptable.
         self.stats.tetris_ios.fetch_add(1, Ordering::Relaxed);
         let result = self.io.submit_write(&io);

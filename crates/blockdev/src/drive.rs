@@ -197,10 +197,22 @@ impl Drive {
     fn decide(&self, kind: OpKind) -> FaultDecision {
         // ordering: statistics counter; staleness is acceptable.
         let op = self.op_counter.fetch_add(1, Ordering::Relaxed);
-        match &*self.fault.read() {
+        let decision = match &*self.fault.read() {
             Some(plan) => plan.decide(self.id, op, kind),
             None => FaultDecision::Ok,
+        };
+        // Fault taxonomy codes for the trace (see obs::EventKind::Fault).
+        let code = match decision {
+            FaultDecision::Ok => 0u64,
+            FaultDecision::Slow { .. } => 1,
+            FaultDecision::DriveFailed => 2,
+            FaultDecision::TransientError => 3,
+            FaultDecision::TornWrite => 4,
+        };
+        if code != 0 {
+            obs::trace_instant!(obs::EventKind::Fault, code);
         }
+        decision
     }
 
     /// Write a contiguous run of stamps starting at `start`. Returns the

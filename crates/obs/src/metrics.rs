@@ -1,0 +1,376 @@
+//! Unified metrics registry: named counters, gauges, and log-bucketed
+//! histograms behind one get-or-create API, so adding a counter no
+//! longer means threading a field through a five-struct relay
+//! (`AllocStats` → `StatsSnapshot` → `SimResult` → report → JSON).
+//!
+//! All instruments are cheap shared atomics; the registry itself is a
+//! mutex-protected name table touched only at get-or-create and export
+//! time, never on the hot path.
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        // ordering: statistics counter; atomicity only, no ordering needed.
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrite the value (used when importing an externally collected
+    /// snapshot, e.g. `StatsSnapshot::named`).
+    pub fn set(&self, n: u64) {
+        // ordering: statistics counter; atomicity only.
+        self.v.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        // ordering: statistics read; staleness acceptable.
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous level with a high-water mark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicU64,
+    hi: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the current level, ratcheting the high-water mark.
+    pub fn set(&self, n: u64) {
+        // ordering: statistics gauge; atomicity only.
+        self.v.store(n, Ordering::Relaxed);
+        // ordering: monotonic max ratchet; atomicity only.
+        self.hi.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        // ordering: statistics read; staleness acceptable.
+        self.v.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever set.
+    pub fn high_water(&self) -> u64 {
+        // ordering: statistics read; staleness acceptable.
+        self.hi.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-bucket resolution: 2^6 = 64 sub-buckets per power of two, so any
+/// reported quantile is within `1/64` (~1.6%) above the true sample.
+const SUB_BITS: u32 = 6;
+const SUB: usize = 1 << SUB_BITS; // 64
+/// Values below `SUB` get one exact bucket each; above, 64 sub-buckets
+/// per binade for exponents 6..=63.
+const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB; // 3776
+
+/// Log-bucketed histogram over `u64` samples: O(1) record, O(buckets)
+/// quantile, bounded relative error `<= 1/64`, exact `count`/`sum`/`max`.
+///
+/// Replaces the sorted-`Vec` percentile path of the old
+/// `LatencyRecorder` (simsrv) — same ceil nearest-rank semantics, but
+/// constant memory and mergeable across threads.
+#[derive(Debug)]
+pub struct LogHistogram {
+    counts: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for `v`: exact below 64, else 64 sub-buckets per
+    /// power of two keyed by the 6 bits under the leading one.
+    fn index(v: u64) -> usize {
+        if v < SUB as u64 {
+            v as usize
+        } else {
+            let exp = 63 - v.leading_zeros(); // 6..=63
+            let sub = ((v >> (exp - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+            SUB + (exp - SUB_BITS) as usize * SUB + sub
+        }
+    }
+
+    /// Largest value that maps to bucket `idx` — what quantiles report,
+    /// so they never understate a latency.
+    fn upper_bound(idx: usize) -> u64 {
+        if idx < SUB {
+            idx as u64
+        } else {
+            let exp = SUB_BITS + ((idx - SUB) / SUB) as u32;
+            let sub = ((idx - SUB) % SUB) as u64;
+            let lower = (SUB as u64 + sub) << (exp - SUB_BITS);
+            // Parenthesized so the top binade (lower + 2^57 == 2^64)
+            // never overflows before the -1 lands.
+            lower + ((1u64 << (exp - SUB_BITS)) - 1)
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        // ordering: statistics counters; atomicity only. A concurrent
+        // reader may see count/sum/bucket briefly out of step — quantile
+        // queries are statistical, not transactional.
+        self.counts[Self::index(v)].fetch_add(1, Ordering::Relaxed);
+        // ordering: as above.
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // ordering: as above.
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        // ordering: monotonic max ratchet; atomicity only.
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        // ordering: statistics read; staleness acceptable.
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u64 {
+        // ordering: statistics read; staleness acceptable.
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact maximum sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        // ordering: statistics read; staleness acceptable.
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Exact integer mean (0 if empty).
+    pub fn mean(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Ceil nearest-rank quantile, `p` in (0, 1]: the value at rank
+    /// `ceil(p * count)` (clamped to [1, count]), as the old sorted-vec
+    /// recorder computed it — except the returned value is the sample's
+    /// bucket upper bound (clamped to the exact max), so it sits within
+    /// `+1/64` of the true order statistic and never below it.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (idx, c) in self.counts.iter().enumerate() {
+            // ordering: statistics read; staleness acceptable.
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::upper_bound(idx).min(self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+/// The instrument table. Cloneable handles (`Arc`) come out of the
+/// get-or-create accessors; exporting walks the table in name order.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<LogHistogram>>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Process-wide registry (for call sites with no natural owner,
+    /// e.g. the cleaner pool's shutdown dump).
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut t = self.counters.lock().unwrap();
+        Arc::clone(t.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut t = self.gauges.lock().unwrap();
+        Arc::clone(t.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<LogHistogram> {
+        let mut t = self.histograms.lock().unwrap();
+        Arc::clone(t.entry(name.to_string()).or_default())
+    }
+
+    /// Import externally collected counters (e.g.
+    /// `StatsSnapshot::named()`), overwriting any same-named values.
+    pub fn import_counters<'a>(&self, pairs: impl IntoIterator<Item = (&'a str, u64)>) {
+        for (name, v) in pairs {
+            self.counter(name).set(v);
+        }
+    }
+
+    /// Plain-text snapshot: one line per instrument, sorted by name
+    /// within each section. Stable format consumed by `SimResult` dumps
+    /// and the cleaner pool (see DESIGN.md §11).
+    pub fn text_snapshot(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.lock().unwrap().iter() {
+            out.push_str(&format!("counter {name} {}\n", c.get()));
+        }
+        for (name, g) in self.gauges.lock().unwrap().iter() {
+            out.push_str(&format!(
+                "gauge {name} {} high {}\n",
+                g.get(),
+                g.high_water()
+            ));
+        }
+        for (name, h) in self.histograms.lock().unwrap().iter() {
+            out.push_str(&format!(
+                "hist {name} count {} mean {} p50 {} p95 {} p99 {} max {}\n",
+                h.count(),
+                h.mean(),
+                h.percentile(0.50),
+                h.percentile(0.95),
+                h.percentile(0.99),
+                h.max()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_upper_bound_are_consistent() {
+        // Every sample must land in a bucket whose upper bound is >= it
+        // and within 1/64 relative error above it.
+        let probes: Vec<u64> = (0..200)
+            .chain([
+                255,
+                256,
+                257,
+                1 << 20,
+                (1 << 20) + 12345,
+                u64::MAX / 2,
+                u64::MAX,
+            ])
+            .collect();
+        for &v in &probes {
+            let idx = LogHistogram::index(v);
+            assert!(idx < BUCKETS, "index {idx} out of range for {v}");
+            let ub = LogHistogram::upper_bound(idx);
+            assert!(ub >= v, "upper bound {ub} below sample {v}");
+            // Relative error bound: ub - v <= v / 64 (exact below 64).
+            if v >= SUB as u64 {
+                assert!(ub - v <= v >> SUB_BITS, "error too large for {v}: ub {ub}");
+            } else {
+                assert_eq!(ub, v, "small values are exact");
+            }
+        }
+        // Bucket indexing is monotone.
+        let mut last = 0;
+        for v in [0u64, 1, 63, 64, 65, 127, 128, 1000, 1 << 30, u64::MAX] {
+            let idx = LogHistogram::index(v);
+            assert!(idx >= last);
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn percentiles_match_ceil_nearest_rank_within_bucket_error() {
+        let h = LogHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 1000);
+        }
+        // Exact order statistics: p50 -> 50_000, p95 -> 95_000.
+        for (p, exact) in [(0.50, 50_000u64), (0.95, 95_000), (0.99, 99_000)] {
+            let got = h.percentile(p);
+            assert!(got >= exact, "p{p}: {got} < exact {exact}");
+            assert!(
+                got <= exact + (exact >> SUB_BITS),
+                "p{p}: {got} exceeds error bound over {exact}"
+            );
+        }
+        assert_eq!(h.max(), 100_000);
+        assert_eq!(h.mean(), 50_500);
+        assert_eq!(h.percentile(1.0), 100_000, "p100 is clamped to exact max");
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LogHistogram::new();
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.5), 5);
+        assert_eq!(h.percentile(0.99), 10);
+        assert_eq!(h.max(), 10);
+    }
+
+    #[test]
+    fn registry_instruments_round_trip() {
+        let reg = Registry::new();
+        reg.counter("puts").add(3);
+        reg.counter("puts").inc();
+        assert_eq!(reg.counter("puts").get(), 4);
+        reg.gauge("queue").set(7);
+        reg.gauge("queue").set(2);
+        assert_eq!(reg.gauge("queue").get(), 2);
+        assert_eq!(reg.gauge("queue").high_water(), 7);
+        reg.histogram("lat").record(50);
+        reg.import_counters([("gets", 9u64)]);
+        let text = reg.text_snapshot();
+        assert!(text.contains("counter gets 9\n"), "{text}");
+        assert!(text.contains("counter puts 4\n"), "{text}");
+        assert!(text.contains("gauge queue 2 high 7\n"), "{text}");
+        assert!(
+            text.contains("hist lat count 1 mean 50 p50 50 p95 50 p99 50 max 50\n"),
+            "{text}"
+        );
+        // Sections are name-sorted: gets before puts.
+        assert!(text.find("gets").unwrap() < text.find("puts").unwrap());
+    }
+}

@@ -1,0 +1,308 @@
+//! Per-thread event ring: fixed capacity, overwrite-oldest, lock-free.
+//!
+//! One ring has exactly **one writer** (the owning thread) and any
+//! number of concurrent snapshot readers (the exporter). Slots are
+//! guarded by a per-slot sequence word — a seqlock variant built only
+//! from atomic loads/stores/RMWs (no fences, so the `mc` shims can
+//! model every operation):
+//!
+//! * seq = `0`: slot never written.
+//! * seq = `2h + 1`: writer is mid-write of event `h` (busy).
+//! * seq = `2h + 2`: event `h` is complete and readable.
+//!
+//! Writer protocol for event `h` (slot `h % cap`):
+//! 1. if `h >= cap`, increment `dropped` — *before* touching the slot,
+//!    so any reader that observes the slot busy/overwritten also
+//!    observes the drop accounted (the accounting invariant below);
+//! 2. `seq.swap(2h + 1, AcqRel)` — the release side publishes step 1,
+//!    the acquire side keeps the payload stores from hoisting above
+//!    the busy mark;
+//! 3. store payload fields (each its own atomic — a torn slot is never
+//!    UB, merely rejected by the reader's recheck);
+//! 4. `seq.store(2h + 2, Release)`; `head.store(h + 1, Release)`.
+//!
+//! Reader protocol: load `head` (acquire), scan the last `cap`
+//! positions; for each, accept the payload only if seq reads `2i + 2`
+//! both before and after the payload loads (the recheck is a CAS so it
+//! observes the *latest* value in the slot's modification order, not a
+//! stale one). Load `dropped` after the scan.
+//!
+//! **Accounting invariant** (model-checked in
+//! `crates/mc/tests/obs_ring.rs`): for any snapshot,
+//! `events.len() + dropped >= head` — no event disappears before the
+//! drop counter says so.
+
+use crate::event::{Event, EventKind};
+use crate::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// One ring slot. Every field is an independent atomic so concurrent
+/// writer/reader access is always defined behavior; `seq` arbitrates
+/// which reads are coherent.
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    kind: AtomicU32,
+    ts: AtomicU64,
+    dur: AtomicU64,
+    arg: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            kind: AtomicU32::new(0),
+            ts: AtomicU64::new(0),
+            dur: AtomicU64::new(0),
+            arg: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Fixed-capacity overwrite-oldest event ring (see module docs).
+#[derive(Debug)]
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    /// Power-of-two slot count; index = event number & mask.
+    mask: u64,
+    /// Next event number to write (== total events ever recorded).
+    head: AtomicU64,
+    /// Events overwritten before any reader could see them.
+    dropped: AtomicU64,
+}
+
+impl EventRing {
+    /// Create a ring with at least `capacity` slots (rounded up to a
+    /// power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        EventRing {
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+            mask: cap as u64 - 1,
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded on this ring.
+    pub fn head(&self) -> u64 {
+        // ordering: monotonic counter read for display; acquire pairs with
+        // the writer's release store so slots below the value are published.
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events lost to overwrite so far.
+    pub fn dropped(&self) -> u64 {
+        // ordering: statistics read; staleness acceptable on its own —
+        // coherent accounting uses `snapshot`, which orders this load
+        // after the slot scan.
+        self.dropped.load(Ordering::Acquire)
+    }
+
+    /// Record one event. **Single-writer**: must only be called by the
+    /// ring's owning thread (the thread-local registry in `trace.rs`
+    /// enforces this; tests that share a ring must provide their own
+    /// single-writer discipline).
+    pub fn record(&self, kind: EventKind, ts_ns: u64, dur_ns: u64, arg: u64) {
+        // ordering: relaxed — head is only ever stored by this (the
+        // single writer) thread, so it reads its own last store.
+        let h = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(h & self.mask) as usize];
+        if h > self.mask {
+            // Reusing a slot destroys event `h - cap`. Account for it
+            // *first*:
+            // ordering: relaxed increment is enough for atomicity; its
+            // visibility to readers is ordered by the AcqRel swap below
+            // (release side), so any reader that sees this slot busy or
+            // overwritten also sees the drop counted.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        // ordering: AcqRel swap marks the slot busy. Release publishes
+        // the dropped-counter increment above to readers whose seq load
+        // observes the busy mark; Acquire keeps the payload stores below
+        // from being hoisted above the mark (they must not land while a
+        // reader could still accept the old sequence value).
+        slot.seq.swap(2 * h + 1, Ordering::AcqRel);
+        // ordering: relaxed payload stores — ordered against readers
+        // solely by the seq protocol (busy mark above, release below).
+        slot.kind.store(kind as u32, Ordering::Relaxed);
+        // ordering: as above — seq arbitrates.
+        slot.ts.store(ts_ns, Ordering::Relaxed);
+        // ordering: as above — seq arbitrates.
+        slot.dur.store(dur_ns, Ordering::Relaxed);
+        // ordering: as above — seq arbitrates.
+        slot.arg.store(arg, Ordering::Relaxed);
+        // ordering: release makes every payload store above visible to a
+        // reader whose acquire seq load observes `2h + 2`.
+        slot.seq.store(2 * h + 2, Ordering::Release);
+        // ordering: release so a reader that acquires the new head also
+        // sees the completed slot write it covers.
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Coherent snapshot: the readable suffix of the event sequence,
+    /// oldest first, plus head and the dropped count. Events being
+    /// overwritten mid-scan are skipped; the `dropped` value (loaded
+    /// after the scan) accounts for every skip, so
+    /// `events.len() + dropped >= head` always holds.
+    pub fn snapshot(&self) -> RingSnapshot {
+        // ordering: acquire pairs with the writer's release store of
+        // head; every slot for events < head has its final seq visible.
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut events = Vec::with_capacity((head - start) as usize);
+        for i in start..head {
+            let slot = &self.slots[(i & self.mask) as usize];
+            // ordering: acquire so the payload loads below cannot be
+            // hoisted above this check and cannot see values older than
+            // the seq they were published under.
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 != 2 * i + 2 {
+                continue; // never written, busy, or already overwritten
+            }
+            // ordering: acquire on each payload load keeps the recheck
+            // CAS below from being hoisted above it.
+            let kind = slot.kind.load(Ordering::Acquire);
+            // ordering: as above.
+            let ts = slot.ts.load(Ordering::Acquire);
+            // ordering: as above.
+            let dur = slot.dur.load(Ordering::Acquire);
+            // ordering: as above.
+            let arg = slot.arg.load(Ordering::Acquire);
+            // Recheck via CAS: an RMW observes the *latest* value in
+            // seq's modification order, so success proves the writer had
+            // not begun reusing this slot when the payload was read
+            // (its payload stores are program-ordered after its busy
+            // swap, which would have made this CAS fail).
+            // ordering: AcqRel on success for the RMW's read-don't-miss
+            // guarantee; acquire on failure — we only compare the value.
+            if slot
+                .seq
+                .compare_exchange(s1, s1, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue; // torn: writer reused the slot mid-read
+            }
+            events.push(Event {
+                kind: EventKind::from_u32(kind),
+                ts_ns: ts,
+                dur_ns: dur,
+                arg,
+                seq: i,
+            });
+        }
+        // ordering: acquire, loaded after the slot scan. Any event the
+        // scan failed to read was overwritten by a writer whose busy
+        // swap (release) we observed via the slot's seq; that swap is
+        // preceded by the matching dropped increment, so this load
+        // covers every skipped event.
+        let dropped = self.dropped.load(Ordering::Acquire);
+        RingSnapshot {
+            head,
+            dropped,
+            events,
+        }
+    }
+}
+
+/// Result of [`EventRing::snapshot`].
+#[derive(Debug, Clone)]
+pub struct RingSnapshot {
+    /// Total events recorded at snapshot time.
+    pub head: u64,
+    /// Events lost to overwrite, loaded after the slot scan (so
+    /// `events.len() + dropped >= head`).
+    pub dropped: u64,
+    /// Readable events, oldest first, `seq` strictly increasing.
+    pub events: Vec<Event>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(EventRing::with_capacity(0).capacity(), 2);
+        assert_eq!(EventRing::with_capacity(5).capacity(), 8);
+        assert_eq!(EventRing::with_capacity(64).capacity(), 64);
+    }
+
+    #[test]
+    fn records_below_capacity_drop_nothing() {
+        let ring = EventRing::with_capacity(8);
+        for i in 0..8 {
+            ring.record(EventKind::Custom, 100 + i, 0, i);
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.head, 8);
+        assert_eq!(snap.dropped, 0);
+        assert_eq!(snap.events.len(), 8);
+        for (i, ev) in snap.events.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64);
+            assert_eq!(ev.ts_ns, 100 + i as u64);
+            assert_eq!(ev.arg, i as u64);
+        }
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts_every_drop() {
+        let ring = EventRing::with_capacity(4);
+        for i in 0..10u64 {
+            ring.record(EventKind::Put, 1000 + i, 0, i);
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.head, 10);
+        // 10 events into 4 slots: the oldest 6 are gone and accounted.
+        assert_eq!(snap.dropped, 6);
+        assert_eq!(snap.events.len(), 4);
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        assert_eq!(
+            seqs,
+            vec![6, 7, 8, 9],
+            "survivors are the newest, oldest first"
+        );
+        assert!(snap.events.len() as u64 + snap.dropped >= snap.head);
+    }
+
+    #[test]
+    fn snapshot_is_coherent_under_concurrent_writes() {
+        use std::sync::Arc;
+        let ring = Arc::new(EventRing::with_capacity(16));
+        let writer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..20_000u64 {
+                    ring.record(EventKind::Custom, i, i, i);
+                }
+            })
+        };
+        // Hammer snapshots while the writer runs; every accepted event
+        // must be internally consistent (ts == dur == arg == its seq's
+        // recorded values) and accounting must hold.
+        for _ in 0..200 {
+            let snap = ring.snapshot();
+            assert!(snap.events.len() as u64 + snap.dropped >= snap.head);
+            let mut prev = None;
+            for ev in &snap.events {
+                assert_eq!(ev.ts_ns, ev.seq, "slot holds a different event's payload");
+                assert_eq!(ev.ts_ns, ev.arg, "torn slot accepted");
+                assert_eq!(ev.dur_ns, ev.arg, "torn slot accepted");
+                if let Some(p) = prev {
+                    assert!(ev.seq > p, "snapshot out of order");
+                }
+                prev = Some(ev.seq);
+            }
+        }
+        writer.join().unwrap();
+        let fin = ring.snapshot();
+        assert_eq!(fin.head, 20_000);
+        assert_eq!(fin.events.len() as u64 + fin.dropped, 20_000);
+    }
+}

@@ -1,0 +1,24 @@
+//! Synchronization shim for the observability crate — the single import
+//! point for the atomics used by the event ring (`ring.rs`) and the
+//! metrics registry (`metrics.rs`).
+//!
+//! * Default build: zero-cost re-exports of `std::sync::atomic` —
+//!   identical codegen to using them directly.
+//! * `--features mc`: the same names resolve to the `mc` crate's
+//!   model-checker shims, turning every atomic operation into a yield
+//!   point of a controlled scheduler. The checker's test suite builds
+//!   obs this way to verify the ring's seqlock protocol (see
+//!   `crates/mc/tests/obs_ring.rs`).
+//!
+//! This mirrors `alligator::sync` exactly; ring code must come through
+//! this module (never `std::sync` directly) for the model to see its
+//! memory accesses.
+
+/// Atomics: `std::sync::atomic` types or their model-aware doubles.
+pub mod atomic {
+    #[cfg(feature = "mc")]
+    pub use mc::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize};
+    pub use std::sync::atomic::Ordering;
+    #[cfg(not(feature = "mc"))]
+    pub use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize};
+}

@@ -93,6 +93,48 @@ impl SimResult {
     pub fn total_cores(&self) -> f64 {
         self.usage.total_cores(self.measured_ns)
     }
+
+    /// Every integer counter of the run by name. This is the single list
+    /// the text exporter and the audit test key off, so a counter added
+    /// to `SimResult` without a reporting path fails the build's tests
+    /// rather than silently vanishing (rates and nested summaries are
+    /// reported through `FigureTable` rows instead).
+    pub fn named_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("measured_ns", self.measured_ns),
+            ("ops_completed", self.ops_completed),
+            ("blocks_written", self.blocks_written),
+            ("bucket_stalls", self.bucket_stalls),
+            ("refills", self.refills),
+            ("cleaner_messages", self.cleaner_messages),
+            ("free_mf_blocks", self.free_mf_blocks),
+            ("tuner_changes", self.tuner_changes),
+            ("injected_faults", self.injected_faults),
+            ("fault_retries", self.fault_retries),
+            ("cache_get_fast", self.cache_get_fast),
+            ("cache_get_steal", self.cache_get_steal),
+            ("cache_lock_waits_ns", self.cache_lock_waits_ns),
+            ("cache_blocked_gets", self.cache_blocked_gets),
+            ("cache_get_batched", self.cache_get_batched),
+            ("put_commit_queue_len", self.put_commit_queue_len),
+            ("commit_batch_ns", self.commit_batch_ns),
+        ]
+    }
+
+    /// Plain-text metrics snapshot in the unified `obs` registry format:
+    /// every named counter plus the latency summary.
+    pub fn metrics_text(&self) -> String {
+        let reg = obs::Registry::new();
+        reg.import_counters(self.named_counters());
+        reg.import_counters([
+            ("latency_mean_ns", self.latency.mean_ns),
+            ("latency_p50_ns", self.latency.p50_ns),
+            ("latency_p95_ns", self.latency.p95_ns),
+            ("latency_p99_ns", self.latency.p99_ns),
+            ("latency_max_ns", self.latency.max_ns),
+        ]);
+        reg.text_snapshot()
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -657,7 +699,9 @@ impl<'c> Engine<'c> {
             if self.bucket_rem[i] == 0 {
                 if self.bucket_cache == 0 {
                     self.cleaners[i] = CleanerState::WaitingBucket;
-                    self.bucket_stalls += 1;
+                    if self.measuring() {
+                        self.bucket_stalls += 1;
+                    }
                     self.maybe_refill();
                     continue;
                 }
@@ -786,7 +830,9 @@ impl<'c> Engine<'c> {
         if target != home {
             self.shard_buckets[target] -= 1;
             self.bucket_cache -= 1;
-            self.cache_get_steal += 1;
+            if self.measuring() {
+                self.cache_get_steal += 1;
+            }
             return 1;
         }
         let mut got = 0u64;
@@ -800,8 +846,10 @@ impl<'c> Engine<'c> {
             self.bucket_cache -= 1;
             got += 1;
         }
-        self.cache_get_fast += got;
-        self.cache_get_batched += got - 1;
+        if self.measuring() {
+            self.cache_get_fast += got;
+            self.cache_get_batched += got - 1;
+        }
         got
     }
 
@@ -1407,6 +1455,75 @@ mod tests {
             "used-bucket commits must queue at least once"
         );
         assert!(r.commit_batch_ns > 0, "commit time accumulates");
+    }
+
+    #[test]
+    fn named_counters_cover_every_integer_field() {
+        // Audit: every u64 field of SimResult must be reported through
+        // named_counters() (floats and nested summaries go through
+        // FigureTable rows). Walking the serialized field list means a
+        // newly added counter that is collected but never reported fails
+        // here instead of silently vanishing.
+        let r = Simulator::new(base(WorkloadKind::sequential_write())).run();
+        let named = r.named_counters();
+        let serde::Value::Map(fields) = serde::Serialize::to_value(&r) else {
+            panic!("SimResult serializes as a map");
+        };
+        const NON_COUNTERS: &[&str] = &[
+            "throughput_ops",
+            "throughput_per_client",
+            "latency",
+            "usage",
+            "avg_active_cleaners",
+        ];
+        for (name, value) in &fields {
+            if NON_COUNTERS.contains(&name.as_str()) {
+                continue;
+            }
+            let (_, reported) = named
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("field {name} collected but never reported"));
+            assert_eq!(
+                *value,
+                serde::Value::UInt(u128::from(*reported)),
+                "named_counters() reports a stale value for {name}"
+            );
+        }
+        assert_eq!(
+            named.len(),
+            fields.len() - NON_COUNTERS.len(),
+            "named_counters() lists a field SimResult no longer has"
+        );
+    }
+
+    #[test]
+    fn metrics_text_exports_counters_and_latency() {
+        let r = Simulator::new(base(WorkloadKind::sequential_write())).run();
+        let text = r.metrics_text();
+        for (name, v) in r.named_counters() {
+            assert!(
+                text.contains(&format!("counter {name} {v}")),
+                "metrics_text missing {name}:\n{text}"
+            );
+        }
+        assert!(text.contains(&format!("counter latency_p99_ns {}", r.latency.p99_ns)));
+    }
+
+    #[test]
+    fn warmup_work_does_not_leak_into_cache_counters() {
+        // All cache_rows inputs must cover the same (measured) window: a
+        // run that ends before warmup completes reports them all as zero.
+        let mut cfg = base(WorkloadKind::sequential_write());
+        cfg.duration_ns = cfg.warmup_ns;
+        let r = Simulator::new(cfg).run();
+        assert_eq!(r.cache_get_fast, 0, "warmup GETs leaked");
+        assert_eq!(r.cache_get_steal, 0, "warmup steals leaked");
+        assert_eq!(r.cache_get_batched, 0, "warmup batches leaked");
+        assert_eq!(r.bucket_stalls, 0, "warmup stalls leaked");
+        assert_eq!(r.cache_lock_waits_ns, 0);
+        assert_eq!(r.commit_batch_ns, 0);
+        assert_eq!(r.put_commit_queue_len, 0);
     }
 
     #[test]

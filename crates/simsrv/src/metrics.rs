@@ -3,15 +3,19 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Online latency statistics with exact percentiles (samples are kept;
-/// simulated runs complete a bounded number of ops).
-#[derive(Debug, Default, Clone)]
+/// Online latency statistics over a log-bucketed histogram
+/// ([`obs::LogHistogram`]): O(1) record, constant memory, exact
+/// count/mean/max, and ceil nearest-rank percentiles within `+1/64`
+/// relative error above the true order statistic (never below it).
+///
+/// Same API as the previous sorted-`Vec` recorder; the quantile
+/// semantics are the ones that implementation established — the p-th
+/// percentile is the `ceil(p·n)`-th smallest sample (1-based), so p99
+/// of 100 samples is the 99th value and p100 is the max (see the
+/// regression test against the old implementation below).
+#[derive(Debug, Default)]
 pub struct LatencyRecorder {
-    samples: Vec<u64>,
-    /// Samples `[..sorted]` are already in order — `stats()` sorts once
-    /// and repeated calls (or calls after a few appended records) skip or
-    /// shrink the re-sort.
-    sorted: usize,
+    hist: obs::LogHistogram,
 }
 
 impl LatencyRecorder {
@@ -23,60 +27,27 @@ impl LatencyRecorder {
     /// Record one latency (ns).
     #[inline]
     pub fn record(&mut self, ns: u64) {
-        self.samples.push(ns);
+        self.hist.record(ns);
     }
 
     /// Number of samples.
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.hist.count() as usize
     }
 
-    /// Summarize. Sorts at most the samples recorded since the last call
-    /// (already-sorted data is merged, not re-sorted).
+    /// Summarize. (`&mut` kept for API compatibility with the sorting
+    /// recorder this replaced; the histogram needs no mutation.)
     pub fn stats(&mut self) -> LatencyStats {
-        if self.samples.is_empty() {
+        if self.hist.count() == 0 {
             return LatencyStats::default();
         }
-        if self.sorted < self.samples.len() {
-            if self.sorted == 0 {
-                self.samples.sort_unstable();
-            } else {
-                // Sort only the new tail, then merge in place.
-                self.samples[self.sorted..].sort_unstable();
-                let tail = self.samples.split_off(self.sorted);
-                let mut merged = Vec::with_capacity(self.samples.len() + tail.len());
-                let (mut a, mut b) = (self.samples.iter().peekable(), tail.iter().peekable());
-                while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
-                    if x <= y {
-                        merged.push(x);
-                        a.next();
-                    } else {
-                        merged.push(y);
-                        b.next();
-                    }
-                }
-                merged.extend(a.copied());
-                merged.extend(b.copied());
-                self.samples = merged;
-            }
-            self.sorted = self.samples.len();
-        }
-        let n = self.samples.len();
-        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
-        // Nearest-rank: the p-th percentile is the ceil(p·n)-th smallest
-        // sample (1-based), so p99 of 100 samples is the 99th value and
-        // p100 is the max — the floor((n-1)·p) variant returned the 98th.
-        let pct = |p: f64| -> u64 {
-            let rank = (p * n as f64).ceil() as usize;
-            self.samples[rank.clamp(1, n) - 1]
-        };
         LatencyStats {
-            count: n as u64,
-            mean_ns: (sum / n as u128) as u64,
-            p50_ns: pct(0.50),
-            p95_ns: pct(0.95),
-            p99_ns: pct(0.99),
-            max_ns: self.samples[n - 1],
+            count: self.hist.count(),
+            mean_ns: self.hist.mean(),
+            p50_ns: self.hist.percentile(0.50),
+            p95_ns: self.hist.percentile(0.95),
+            p99_ns: self.hist.percentile(0.99),
+            max_ns: self.hist.max(),
         }
     }
 }
@@ -170,6 +141,15 @@ impl CoreUsage {
 mod tests {
     use super::*;
 
+    /// Assert a histogram percentile against the exact order statistic:
+    /// at or above it, within the histogram's `+1/64` relative error.
+    fn assert_pct(got: u64, exact: u64, label: &str) {
+        assert!(
+            got >= exact && got <= exact + exact / 64 + 1,
+            "{label}: got {got}, exact order statistic {exact}"
+        );
+    }
+
     #[test]
     fn latency_percentiles() {
         let mut r = LatencyRecorder::new();
@@ -178,20 +158,23 @@ mod tests {
         }
         let s = r.stats();
         assert_eq!(s.count, 100);
-        assert_eq!(s.p50_ns, 50_000);
-        assert_eq!(s.p95_ns, 95_000);
+        assert_pct(s.p50_ns, 50_000, "p50");
+        assert_pct(s.p95_ns, 95_000, "p95");
         assert_eq!(s.max_ns, 100_000);
         assert_eq!(s.mean_ns, 50_500);
     }
 
     #[test]
     fn p99_of_100_samples_is_the_99th_value() {
-        // Regression: floor nearest-rank returned the 98th.
+        // Regression: floor nearest-rank returned the 98th; the histogram
+        // must round the rank up before quantizing, so p99 lands in the
+        // 99th value's bucket (never the 98th's, which is a full sample
+        // below — outside the 1/64 bucket width).
         let mut r = LatencyRecorder::new();
         for i in 1..=100u64 {
             r.record(i * 1000);
         }
-        assert_eq!(r.stats().p99_ns, 99_000);
+        assert_pct(r.stats().p99_ns, 99_000, "p99");
     }
 
     #[test]
@@ -216,21 +199,21 @@ mod tests {
     #[test]
     fn repeated_stats_calls_are_stable_and_merge_new_samples() {
         let mut r = LatencyRecorder::new();
-        // Record descending so the initial sort matters.
+        // Record descending — insertion order must not matter.
         for i in (1..=50u64).rev() {
             r.record(i * 1000);
         }
         let first = r.stats();
         assert_eq!(r.stats(), first, "second call re-summarizes identically");
-        // Append out-of-order samples after a stats() call; the merge path
-        // must produce the same result as a fresh full sort.
+        // Append out-of-order samples after a stats() call; the summary
+        // must match a fresh recorder fed everything at once.
         for i in (51..=100u64).rev() {
             r.record(i * 1000);
         }
         let merged = r.stats();
         assert_eq!(merged.count, 100);
-        assert_eq!(merged.p50_ns, 50_000);
-        assert_eq!(merged.p99_ns, 99_000);
+        assert_pct(merged.p50_ns, 50_000, "p50");
+        assert_pct(merged.p99_ns, 99_000, "p99");
         assert_eq!(merged.max_ns, 100_000);
     }
 
@@ -238,6 +221,57 @@ mod tests {
     fn empty_recorder_yields_zeros() {
         let mut r = LatencyRecorder::new();
         assert_eq!(r.stats(), LatencyStats::default());
+    }
+
+    /// The sorted-`Vec` recorder this histogram replaced, kept verbatim as
+    /// the reference for ceil nearest-rank semantics (ISSUE 5 satellite:
+    /// "regression test against the old implementation").
+    struct OldRecorder {
+        samples: Vec<u64>,
+    }
+
+    impl OldRecorder {
+        fn pct(&mut self, p: f64) -> u64 {
+            self.samples.sort_unstable();
+            let n = self.samples.len();
+            let rank = (p * n as f64).ceil() as usize;
+            self.samples[rank.clamp(1, n) - 1]
+        }
+    }
+
+    #[test]
+    fn histogram_matches_old_sorted_vec_reference() {
+        // Deterministic pseudo-random latencies spanning several binades
+        // (sub-µs to tens of ms), the realistic range for simulated ops.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut samples = Vec::with_capacity(10_000);
+        for _ in 0..10_000 {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            samples.push(200 + state.wrapping_mul(0x9e37_79b9_7f4a_7c15) % 50_000_000);
+        }
+        let mut old = OldRecorder {
+            samples: samples.clone(),
+        };
+        let mut new = LatencyRecorder::new();
+        for &s in &samples {
+            new.record(s);
+        }
+        let stats = new.stats();
+        for (got, p, label) in [
+            (stats.p50_ns, 0.50, "p50"),
+            (stats.p95_ns, 0.95, "p95"),
+            (stats.p99_ns, 0.99, "p99"),
+        ] {
+            assert_pct(got, old.pct(p), label);
+        }
+        assert_eq!(stats.count, samples.len() as u64);
+        assert_eq!(stats.max_ns, *samples.iter().max().unwrap());
+        let exact_mean =
+            (samples.iter().map(|&s| s as u128).sum::<u128>() / samples.len() as u128) as u64;
+        assert_eq!(stats.mean_ns, exact_mean, "mean stays exact");
     }
 
     #[test]

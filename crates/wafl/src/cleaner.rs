@@ -410,6 +410,21 @@ impl CleanerPool {
         out
     }
 
+    /// Plain-text metrics snapshot for the pool: every allocator counter
+    /// (via `StatsSnapshot::named`, so nothing is silently unreported)
+    /// plus the pool's own busy/throughput counters, rendered through
+    /// the unified obs registry.
+    pub fn metrics_text(&self) -> String {
+        let reg = obs::Registry::new();
+        reg.import_counters(self.shared.alloc.stats().named());
+        reg.counter("pool_busy_ns").set(self.busy_ns());
+        reg.counter("pool_items_done").set(self.items_done());
+        reg.counter("pool_threads").set(self.workers.len() as u64);
+        reg.counter("pool_active_limit")
+            .set(self.active_limit() as u64);
+        reg.text_snapshot()
+    }
+
     /// Stop the pool (drains queued items first).
     pub fn shutdown(mut self) {
         self.shutdown_impl();
@@ -468,6 +483,7 @@ fn worker(index: usize, shared: &PoolShared) {
         match msg {
             Msg::Item { item, reply } => {
                 let t0 = std::time::Instant::now();
+                let _sp = obs::trace_span!(obs::EventKind::CleanItem, item.jobs.len() as u64);
                 let mut ctx = CleanerCtx::new(index, shared.cfg.get_batch);
                 let mut stage = shared.alloc.new_stage();
                 let mut results = Vec::with_capacity(item.jobs.len());
@@ -765,5 +781,32 @@ mod tests {
         assert_eq!(total, 100);
         pool.set_active_limit(4);
         assert!(pool.items_done() > 0);
+    }
+
+    #[test]
+    fn pool_metrics_text_reports_every_allocator_counter() {
+        let alloc = mk_alloc();
+        let v = vol();
+        let cfg = CleanerConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let pool = CleanerPool::new(Arc::clone(&alloc), cfg);
+        v.create_file(FileId(900));
+        let items = partition_work(vec![(v, FileId(900), dirty(32))], &cfg);
+        pool.clean_all(items);
+        let text = pool.metrics_text();
+        // Every allocator counter must appear (the `named()` guarantee),
+        // alongside the pool's own counters.
+        for name in alligator::StatsSnapshot::NAMES {
+            assert!(
+                text.contains(&format!("counter {name} ")),
+                "missing {name}:\n{text}"
+            );
+        }
+        assert!(text.contains("counter pool_items_done 1\n"), "{text}");
+        assert!(text.contains("counter pool_threads 2\n"), "{text}");
+        pool.shutdown();
+        alloc.drain();
     }
 }

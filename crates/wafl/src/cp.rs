@@ -264,6 +264,7 @@ fn run_cp_inner(
     };
 
     // Phase 1: freeze.
+    let sp1 = obs::trace_span!(obs::EventKind::CpPhase, 1);
     nvlog.freeze();
     let mut frozen = Vec::new();
     for v in volumes {
@@ -273,19 +274,23 @@ fn run_cp_inner(
     }
     report.inodes_cleaned = frozen.len();
     report.buffers_cleaned = frozen.iter().map(|(_, _, b)| b.len()).sum();
+    drop(sp1);
     if crash_at == Some(CrashPoint::AfterFreeze) {
         return None;
     }
 
     // Phase 2: clean.
+    let sp2 = obs::trace_span!(obs::EventKind::CpPhase, 2);
     let items = partition_work(frozen, &cfg.cleaner);
     report.cleaner_messages = items.len();
     let results = pool.clean_all(items);
+    drop(sp2);
     if crash_at == Some(CrashPoint::AfterClean) {
         return None;
     }
 
     // Phase 3: apply cleaned locations.
+    let sp3 = obs::trace_span!(obs::EventKind::CpPhase, 3);
     let by_vol: BTreeMap<VolumeId, &Arc<Volume>> = volumes.iter().map(|v| (v.id(), v)).collect();
     for r in &results {
         let vol = by_vol[&r.vol];
@@ -299,20 +304,24 @@ fn run_cp_inner(
     // still sitting in the cache are returned unused, which finishes
     // their tetrises (WAFL's CP-end flush of the partial write I/O).
     flush_bucket_cache(alloc);
+    drop(sp3);
     if crash_at == Some(CrashPoint::AfterApply) {
         return None;
     }
 
     // Phase 4: metafile flush (bounded fix-point).
+    let sp4 = obs::trace_span!(obs::EventKind::CpPhase, 4);
     flush_metafiles(cfg, volumes, alloc, mf_locs, cp_id, &mut report);
     // The metafile flush allocated through buckets of its own; complete
     // those tetrises too.
     flush_bucket_cache(alloc);
+    drop(sp4);
     if crash_at == Some(CrashPoint::AfterMetafileFlush) {
         return None;
     }
 
     // Phase 5: superblock commit.
+    let _sp5 = obs::trace_span!(obs::EventKind::CpPhase, 5);
     let image = DiskImage {
         cp_id,
         volumes: volumes

@@ -13,6 +13,11 @@ cargo test -q
 echo "=== cargo test --workspace -q ==="
 cargo test --workspace -q
 
+echo "=== cargo test --workspace --features trace -q (obs rings compiled in) ==="
+# The trace feature swaps the no-op macros for real per-thread event
+# rings; the whole suite must stay green with them armed.
+cargo test --workspace --features trace -q
+
 echo "=== lock-free cache stress under debug assertions ==="
 # The Treiber-stack hot path's internal invariants (tag monotonicity,
 # arena bounds, fill accounting) are debug_assert!s; arm them while the
@@ -58,5 +63,15 @@ cargo run --release -q -p wafl-bench --bin exp_cache_contention -- \
   --validate "$SMOKE_DIR/BENCH_cache_contention.json"
 cargo run --release -q -p wafl-bench --bin exp_cache_contention -- \
   --validate BENCH_cache_contention.json
+
+echo "=== exp_put_convoy smoke (traced build) + schema validation ==="
+# Runs the real cleaner pool under tracing: exercises the obs rings,
+# the Chrome-trace exporter, and the convoy-ratio schema end to end.
+WAFL_BENCH_QUICK=1 WAFL_BENCH_ROOT="$SMOKE_DIR" WAFL_RESULTS_DIR="$SMOKE_DIR" \
+  cargo run --release -q -p wafl-bench --features trace --bin exp_put_convoy
+cargo run --release -q -p wafl-bench --features trace --bin exp_put_convoy -- \
+  --validate "$SMOKE_DIR/BENCH_put_convoy.json"
+cargo run --release -q -p wafl-bench --features trace --bin exp_put_convoy -- \
+  --validate BENCH_put_convoy.json
 
 echo "CI green."
