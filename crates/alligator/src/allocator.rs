@@ -126,6 +126,13 @@ impl Allocator {
         &self.cfg
     }
 
+    /// Index of this aggregate in the Waffinity topology (used by callers
+    /// that schedule their own Range-affinity messages, e.g. the scrubber).
+    #[inline]
+    pub fn aggr(&self) -> u32 {
+        self.aggr
+    }
+
     /// The bucket cache (for inspection).
     #[inline]
     pub fn cache(&self) -> &Arc<BucketCache> {

@@ -195,6 +195,21 @@ impl BucketCache {
         self.shards.len()
     }
 
+    /// Buckets currently populating the shard that serves `start` (the
+    /// getter's home shard, before any steal). The pessimistic fill
+    /// counter, readable without synchronization — callers use it as an
+    /// advisory depth signal (e.g. the cleaner's adaptive GET batch),
+    /// never for correctness.
+    #[inline]
+    pub fn shard_fill(&self, start: usize) -> usize {
+        // ordering: Acquire pairs with the Release/AcqRel fill updates on
+        // the insert/pop paths; an advisory depth read, monotonicity of
+        // the underlying population is not required.
+        self.shards[start % self.shards.len()]
+            .fill
+            .load(Ordering::Acquire)
+    }
+
     /// Number of buckets currently available (lock-free).
     #[inline]
     pub fn len(&self) -> usize {

@@ -53,9 +53,15 @@ fn main() {
                 "blocks",
             );
         }
+        t.row(
+            format!("{} post-recovery scrub findings", row.scenario),
+            0.0,
+            row.scrub_findings as f64,
+            "findings",
+        );
     }
     t.row(
-        "recovery cells verified (stamps + metafiles + parity scrub)",
+        "recovery cells verified (stamps + metafiles + online scrub)",
         rows.len() as f64,
         recovered as f64,
         "cells",

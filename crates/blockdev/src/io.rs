@@ -113,6 +113,9 @@ pub struct FaultSnapshot {
     pub io_retries: u64,
     /// Drive-op errors observed (before retry resolution).
     pub io_errors: u64,
+    /// Blocks rewritten onto media by the repair paths (whole-drive
+    /// rebuilds plus single-block scrub repairs).
+    pub blocks_rebuilt: u64,
     /// Drives (data + parity) currently out of service.
     pub drives_offline: u64,
 }
@@ -307,6 +310,8 @@ impl IoEngine {
             s.io_retries += c.io_retries.load(Ordering::Relaxed);
             // ordering: statistics counter; staleness is acceptable.
             s.io_errors += c.io_errors.load(Ordering::Relaxed);
+            // ordering: statistics counter; staleness is acceptable.
+            s.blocks_rebuilt += c.blocks_rebuilt.load(Ordering::Relaxed);
         }
         s.drives_offline = self.offline_drives().len() as u64;
         s

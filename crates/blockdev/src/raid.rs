@@ -57,6 +57,9 @@ pub struct ParityModel {
     pub io_retries: AtomicU64,
     /// Drive-op errors observed (before retry resolution).
     pub io_errors: AtomicU64,
+    /// Blocks rewritten onto media by the repair paths: whole-drive
+    /// rebuilds plus single-block scrub repairs (data or parity).
+    pub blocks_rebuilt: AtomicU64,
 }
 
 /// A RAID group: data drives, parity drive(s), and parity bookkeeping.
@@ -497,7 +500,33 @@ impl RaidGroup {
         let drive = &self.data[drive_in_rg as usize];
         drive.repair_write(Dbn(0), &stamps);
         drive.bring_online();
+        // ordering: statistics counter; staleness is acceptable.
+        self.counters
+            .blocks_rebuilt
+            .fetch_add(blocks, Ordering::Relaxed);
         blocks
+    }
+
+    /// Repair a single data block in place: reconstruct it from parity
+    /// plus the surviving members (the degraded-read math applied as a
+    /// maintenance write) and rewrite the home drive's media. Returns
+    /// the reconstructed stamp now on media.
+    pub fn repair_data_block(&self, drive_in_rg: u32, dbn: Dbn) -> BlockStamp {
+        let stamp = self.reconstruct(drive_in_rg, dbn);
+        self.data[drive_in_rg as usize].repair_write(dbn, &[stamp]);
+        // ordering: statistics counter; staleness is acceptable.
+        self.counters.blocks_rebuilt.fetch_add(1, Ordering::Relaxed);
+        stamp
+    }
+
+    /// Recompute a single parity block from the data drives and rewrite
+    /// it in place. Returns the recomputed parity stamp.
+    pub fn repair_parity_block(&self, dbn: Dbn) -> BlockStamp {
+        let stamp = self.data.iter().fold(0u128, |x, d| x ^ d.peek(dbn));
+        self.parity[0].repair_write(dbn, &[stamp]);
+        // ordering: statistics counter; staleness is acceptable.
+        self.counters.blocks_rebuilt.fetch_add(1, Ordering::Relaxed);
+        stamp
     }
 
     /// Recompute a parity drive's media from the data drives and return
@@ -510,6 +539,10 @@ impl RaidGroup {
         let drive = &self.parity[parity_index];
         drive.repair_write(Dbn(0), &stamps);
         drive.bring_online();
+        // ordering: statistics counter; staleness is acceptable.
+        self.counters
+            .blocks_rebuilt
+            .fetch_add(blocks, Ordering::Relaxed);
         blocks
     }
 

@@ -51,6 +51,9 @@ pub enum EventKind {
     Fault = 11,
     /// Catch-all for tests and ad-hoc probes. `arg` is caller-defined.
     Custom = 12,
+    /// Span: one scrub range message (an allocation-area unit walked by
+    /// the online scrubber). `arg` = blocks checked in the unit.
+    Scrub = 13,
 }
 
 impl EventKind {
@@ -70,6 +73,7 @@ impl EventKind {
             EventKind::CpPhase => "cp_phase",
             EventKind::Fault => "fault",
             EventKind::Custom => "custom",
+            EventKind::Scrub => "scrub",
         }
     }
 
@@ -90,6 +94,7 @@ impl EventKind {
             9 => EventKind::CleanItem,
             10 => EventKind::CpPhase,
             11 => EventKind::Fault,
+            13 => EventKind::Scrub,
             _ => EventKind::Custom,
         }
     }
@@ -118,7 +123,7 @@ mod tests {
 
     #[test]
     fn kind_roundtrips_through_u32() {
-        for v in 0..=12u32 {
+        for v in 0..=13u32 {
             let k = EventKind::from_u32(v);
             assert_eq!(k as u32, v, "kind {v} must round-trip");
         }
@@ -128,7 +133,7 @@ mod tests {
 
     #[test]
     fn kind_names_are_unique() {
-        let names: Vec<_> = (0..=12u32).map(|v| EventKind::from_u32(v).name()).collect();
+        let names: Vec<_> = (0..=13u32).map(|v| EventKind::from_u32(v).name()).collect();
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();

@@ -10,6 +10,7 @@ use crate::metrics::{knee_point, LoadPoint};
 use crate::workload::WorkloadKind;
 use alligator::InfraMode;
 use serde::{Deserialize, Serialize};
+use wafl::scrub::{ScrubCheckpointStore, ScrubConfig, ScrubError};
 use wafl::{CrashPoint, ExecMode, FileId, Filesystem, FsConfig, VolumeId};
 use wafl_blockdev::{stamp, DriveKind, FaultSnapshot, FaultSpec, GeometryBuilder, RetryPolicy};
 
@@ -193,9 +194,14 @@ pub struct RecoveryRow {
     pub faults: FaultSnapshot,
     /// Blocks reconstructed onto replacement drives by the rebuild pass.
     pub blocks_rebuilt: u64,
-    /// All checked blocks held the expected stamps and the final
+    /// Blocks examined by the post-recovery online scrub pass.
+    pub scrub_blocks: u64,
+    /// Findings the post-recovery scrub reported beyond the cell's own
+    /// planned drive failure (0 when recovered).
+    pub scrub_findings: u64,
+    /// All checked blocks held the expected stamps, the final
     /// `verify_integrity` (stamps + metafiles + raw-media parity scrub)
-    /// passed.
+    /// passed, and a full online scrub pass found nothing.
     pub recovered: bool,
 }
 
@@ -254,6 +260,32 @@ fn check_generation(fs: &Filesystem, blocks_per_file: u64, generation: u64) -> (
     (checked, ok)
 }
 
+/// Post-recovery end-state verifier: one full online scrub pass over
+/// the recovered aggregate. Returns `(blocks checked, findings, clean)`.
+///
+/// A cell whose fault plan kills a drive *persistently* can never stay
+/// fully online — the I/O path re-offlines the drive as soon as the
+/// rebuild returns it to service — so the scrub is expected to re-flag
+/// (and re-repair) exactly that planned dead drive. Such findings do
+/// not count against the cell; anything else does.
+fn post_recovery_scrub(fs: &Filesystem) -> (u64, u64, bool) {
+    let report = fs.scrub(&ScrubConfig::default(), &ScrubCheckpointStore::new());
+    let planned = fs.io().fault_plan().and_then(|p| p.spec().fail_drive);
+    let planned_dead = |f: &wafl::scrub::Finding| matches!(&f.error, ScrubError::DeadDrive { drive } if Some(*drive) == planned);
+    let unexpected = report.findings.iter().filter(|f| !planned_dead(f)).count() as u64;
+    let repaired = report.findings.iter().all(|f| {
+        matches!(
+            f.state,
+            wafl::FindingState::Repaired | wafl::FindingState::Reverified
+        )
+    });
+    (
+        report.blocks_checked,
+        unexpected,
+        report.completed && unexpected == 0 && repaired,
+    )
+}
+
 /// The recovery sweep behind `exp_recovery` and EXPERIMENTS.md: one cell
 /// per mid-CP [`CrashPoint`] (crash, reboot, NVLog replay), plus a
 /// whole-drive-failure cell served in degraded mode and rebuilt, a
@@ -275,13 +307,16 @@ pub fn recovery_sweep(seed: u64, blocks_per_file: u64) -> Vec<RecoveryRow> {
         let rec = fs.crash_and_recover(ExecMode::Inline);
         rec.run_cp();
         let (blocks_checked, ok) = check_generation(&rec, blocks_per_file, 2);
+        let (scrub_blocks, scrub_findings, scrub_clean) = post_recovery_scrub(&rec);
         rows.push(RecoveryRow {
             scenario: format!("crash@{at:?}"),
             replayed_ops,
             blocks_checked,
             faults: rec.io().fault_snapshot(),
             blocks_rebuilt: 0,
-            recovered: ok && rec.verify_integrity().is_ok(),
+            scrub_blocks,
+            scrub_findings,
+            recovered: ok && rec.verify_integrity().is_ok() && scrub_clean,
         });
     }
 
@@ -296,13 +331,16 @@ pub fn recovery_sweep(seed: u64, blocks_per_file: u64) -> Vec<RecoveryRow> {
         let (blocks_checked, ok) = check_generation(&fs, blocks_per_file, 1);
         let faults = fs.io().fault_snapshot();
         let blocks_rebuilt = fs.io().rebuild_offline();
+        let (scrub_blocks, scrub_findings, scrub_clean) = post_recovery_scrub(&fs);
         rows.push(RecoveryRow {
             scenario: "drive-failure".into(),
             replayed_ops: 0,
             blocks_checked,
             faults,
             blocks_rebuilt,
-            recovered: ok && fs.verify_integrity().is_ok(),
+            scrub_blocks,
+            scrub_findings,
+            recovered: ok && fs.verify_integrity().is_ok() && scrub_clean,
         });
     }
 
@@ -320,13 +358,16 @@ pub fn recovery_sweep(seed: u64, blocks_per_file: u64) -> Vec<RecoveryRow> {
         write_generation(&fs, blocks_per_file, 1);
         fs.run_cp();
         let (blocks_checked, ok) = check_generation(&fs, blocks_per_file, 1);
+        let (scrub_blocks, scrub_findings, scrub_clean) = post_recovery_scrub(&fs);
         rows.push(RecoveryRow {
             scenario: "transient-errors".into(),
             replayed_ops: 0,
             blocks_checked,
             faults: fs.io().fault_snapshot(),
             blocks_rebuilt: 0,
-            recovered: ok && fs.verify_integrity().is_ok(),
+            scrub_blocks,
+            scrub_findings,
+            recovered: ok && fs.verify_integrity().is_ok() && scrub_clean,
         });
     }
 
@@ -345,13 +386,16 @@ pub fn recovery_sweep(seed: u64, blocks_per_file: u64) -> Vec<RecoveryRow> {
         let (blocks_checked, ok) = check_generation(&rec, blocks_per_file, 2);
         let faults = rec.io().fault_snapshot();
         let blocks_rebuilt = rec.io().rebuild_offline();
+        let (scrub_blocks, scrub_findings, scrub_clean) = post_recovery_scrub(&rec);
         rows.push(RecoveryRow {
             scenario: "crash-while-degraded".into(),
             replayed_ops,
             blocks_checked,
             faults,
             blocks_rebuilt,
-            recovered: ok && rec.verify_integrity().is_ok(),
+            scrub_blocks,
+            scrub_findings,
+            recovered: ok && rec.verify_integrity().is_ok() && scrub_clean,
         });
     }
 
@@ -403,6 +447,14 @@ mod tests {
         for row in &rows {
             assert!(row.recovered, "cell {} did not recover", row.scenario);
             assert!(row.blocks_checked > 0);
+            // The post-recovery scrub really ran and found nothing
+            // beyond each cell's own planned drive failure.
+            assert!(row.scrub_blocks > 0, "{} skipped the scrub", row.scenario);
+            assert_eq!(
+                row.scrub_findings, 0,
+                "{} left corruption behind",
+                row.scenario
+            );
         }
         // Crash cells replayed the acknowledged-but-uncommitted overwrites.
         for row in &rows[..4] {

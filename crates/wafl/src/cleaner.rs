@@ -198,11 +198,45 @@ impl CleanerCtx {
             self.bucket = Some(b);
             return Some(());
         }
-        let mut batch = alloc.get_bucket_many(self.cleaner, self.get_batch)?;
+        let want = self.adaptive_batch(alloc);
+        let mut batch = alloc.get_bucket_many(self.cleaner, want)?;
         let first = batch.remove(0);
         self.prefetch.extend(batch);
         self.bucket = Some(first);
         Some(())
+    }
+
+    /// The GET batch size for the next cache round-trip. The configured
+    /// `get_batch` is a *base*, adapted to the cache's state at GET time:
+    ///
+    /// * when the whole cache is at or under the refill low watermark the
+    ///   batch shrinks to 1 — stripping the last buckets into one
+    ///   cleaner's prefetch queue would starve its peers and race ahead
+    ///   of the refill pipeline;
+    /// * when this cleaner's home shard runs deep (≥ 2× the base) the
+    ///   batch grows to 2× — the refill pipeline is ahead, so amortizing
+    ///   more GETs into the single pop costs nothing (§IV-C applied to
+    ///   GET);
+    /// * otherwise the base applies.
+    pub fn adaptive_batch(&self, alloc: &Allocator) -> usize {
+        let base = self.get_batch;
+        if base <= 1 {
+            return base.max(1);
+        }
+        let cache = alloc.cache();
+        let stats = alloc.infra().stats();
+        if cache.len() <= alloc.config().low_watermark {
+            // ordering: statistics counter; staleness is acceptable.
+            stats.cache_batch_shrinks.fetch_add(1, Ordering::Relaxed);
+            return 1;
+        }
+        let depth = cache.shard_fill(self.cleaner);
+        if depth >= base * 2 {
+            // ordering: statistics counter; staleness is acceptable.
+            stats.cache_batch_grows.fetch_add(1, Ordering::Relaxed);
+            return base * 2;
+        }
+        base
     }
 
     /// Message-end settlement: PUT the bucket in hand (its USEs must
@@ -412,8 +446,9 @@ impl CleanerPool {
 
     /// Plain-text metrics snapshot for the pool: every allocator counter
     /// (via `StatsSnapshot::named`, so nothing is silently unreported)
-    /// plus the pool's own busy/throughput counters, rendered through
-    /// the unified obs registry.
+    /// plus the pool's own busy/throughput counters and the RAID layer's
+    /// degraded-read/rebuild progress, rendered through the unified obs
+    /// registry.
     pub fn metrics_text(&self) -> String {
         let reg = obs::Registry::new();
         reg.import_counters(self.shared.alloc.stats().named());
@@ -422,6 +457,18 @@ impl CleanerPool {
         reg.counter("pool_threads").set(self.workers.len() as u64);
         reg.counter("pool_active_limit")
             .set(self.active_limit() as u64);
+        // Degraded-mode and repair progress from the RAID layer (the
+        // drive-level `io_drive_errors` is distinct from the allocator's
+        // `io_errors`, which counts terminally failed tetris writes).
+        let f = self.shared.alloc.infra().io().fault_snapshot();
+        reg.counter("io_reconstructed_reads")
+            .set(f.reconstructed_reads);
+        reg.counter("io_degraded_stripes").set(f.degraded_stripes);
+        reg.counter("io_degraded_writes").set(f.degraded_writes);
+        reg.counter("io_drive_retries").set(f.io_retries);
+        reg.counter("io_drive_errors").set(f.io_errors);
+        reg.counter("io_blocks_rebuilt").set(f.blocks_rebuilt);
+        reg.gauge("io_drives_offline").set(f.drives_offline);
         reg.text_snapshot()
     }
 
@@ -732,6 +779,68 @@ mod tests {
         alloc.stats().check_conservation(0).unwrap();
     }
 
+    /// Single-shard allocator for the adaptive-batch transition tests:
+    /// every refill round (3 buckets, one per drive) lands in the one
+    /// shard, so home-shard depth is exact and deterministic.
+    fn mk_alloc_single_shard() -> Arc<Allocator> {
+        let geo = Arc::new(
+            GeometryBuilder::new()
+                .aa_stripes(64)
+                .raid_group(3, 1, 4096)
+                .build(),
+        );
+        let aggmap = Arc::new(AggregateMap::new(Arc::clone(&geo)));
+        let io = Arc::new(IoEngine::new(geo, DriveKind::Ssd));
+        let topo = Arc::new(Topology::symmetric(Model::Hierarchical, 1, 1, 4, 4));
+        let mut cfg = AllocConfig::with_chunk(64);
+        cfg.cache_shards = 1;
+        Allocator::new(cfg, aggmap, io, Arc::new(InlineExecutor), topo, 0)
+    }
+
+    #[test]
+    fn adaptive_batch_grows_when_home_shard_runs_deep() {
+        let alloc = mk_alloc_single_shard();
+        let ctx = CleanerCtx::new(0, 2);
+        // Two inline refill rounds: 6 buckets in the home shard, past
+        // 2× the base batch of 2.
+        alloc.request_refill();
+        alloc.request_refill();
+        assert!(alloc.cache().shard_fill(0) >= 4, "setup: deep home shard");
+        assert_eq!(
+            ctx.adaptive_batch(&alloc),
+            4,
+            "deep home shard doubles the batch"
+        );
+        assert!(alloc.stats().cache_batch_grows >= 1);
+        alloc.flush_cache();
+        alloc.drain();
+        alloc.stats().check_conservation(0).unwrap();
+    }
+
+    #[test]
+    fn adaptive_batch_shrinks_near_low_watermark() {
+        let alloc = mk_alloc_single_shard();
+        let ctx = CleanerCtx::new(0, 4);
+        // One round: 3 buckets — above the watermark (2), below the
+        // grow threshold (8) — the base applies.
+        alloc.request_refill();
+        assert_eq!(
+            ctx.adaptive_batch(&alloc),
+            4,
+            "moderate fill keeps the base batch"
+        );
+        // Draw the cache down to the low watermark: the batch collapses
+        // to 1 so one cleaner cannot strip the last buckets.
+        let held = alloc.get_bucket_from(0).unwrap();
+        assert!(alloc.cache().len() <= alloc.config().low_watermark);
+        assert_eq!(ctx.adaptive_batch(&alloc), 1, "shrink at the watermark");
+        assert!(alloc.stats().cache_batch_shrinks >= 1);
+        alloc.requeue_bucket(held);
+        alloc.flush_cache();
+        alloc.drain();
+        alloc.stats().check_conservation(0).unwrap();
+    }
+
     #[test]
     fn pool_cleans_items_in_parallel() {
         let alloc = mk_alloc();
@@ -806,6 +915,22 @@ mod tests {
         }
         assert!(text.contains("counter pool_items_done 1\n"), "{text}");
         assert!(text.contains("counter pool_threads 2\n"), "{text}");
+        // RAID-layer repair/degraded progress must be visible too
+        // (satellite of the scrub work: rebuilds were invisible before).
+        for name in [
+            "io_reconstructed_reads",
+            "io_degraded_stripes",
+            "io_degraded_writes",
+            "io_drive_retries",
+            "io_drive_errors",
+            "io_blocks_rebuilt",
+        ] {
+            assert!(
+                text.contains(&format!("counter {name} ")),
+                "missing {name}:\n{text}"
+            );
+        }
+        assert!(text.contains("gauge io_drives_offline "), "{text}");
         pool.shutdown();
         alloc.drain();
     }

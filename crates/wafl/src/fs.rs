@@ -30,7 +30,7 @@ use crate::volume::{Volume, VolumeId};
 use alligator::{Allocator, Executor, InlineExecutor, PoolExecutor};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use waffinity::{Model, Topology, WaffinityPool};
 use wafl_blockdev::{AggregateGeometry, BlockStamp, DriveKind, FaultSpec, IoEngine, RetryPolicy};
@@ -64,6 +64,10 @@ pub struct Filesystem {
     mf_locs: MetafileLocs,
     sb: SuperblockStore,
     cp_counter: AtomicU64,
+    /// True while a CP is executing. Advisory: background maintenance
+    /// (the online scrubber) uses it to schedule its quiesce-dependent
+    /// re-checks between CPs.
+    cp_in_flight: AtomicBool,
     /// Keeps the Waffinity pool alive in `ExecMode::Pool`.
     waff_pool: Option<Arc<WaffinityPool>>,
 }
@@ -160,6 +164,7 @@ impl Filesystem {
             mf_locs: MetafileLocs::new(),
             sb: SuperblockStore::new(),
             cp_counter: AtomicU64::new(0),
+            cp_in_flight: AtomicBool::new(false),
             waff_pool,
         }
     }
@@ -363,7 +368,9 @@ impl Filesystem {
         // ordering: Relaxed RMW gives unique CP ids; CP ordering is serialized by the checkpoint lock.
         let cp_id = self.cp_counter.fetch_add(1, Ordering::Relaxed) + 1;
         let vols = self.volumes();
-        cp::run_cp(
+        // ordering: Release/Acquire pair with `cp_in_flight()`; advisory.
+        self.cp_in_flight.store(true, Ordering::Release);
+        let report = cp::run_cp(
             cp_id,
             &self.cfg,
             &vols,
@@ -372,7 +379,10 @@ impl Filesystem {
             &self.pool,
             &self.mf_locs,
             &self.sb,
-        )
+        );
+        // ordering: Release — the CP's effects precede the flag clearing.
+        self.cp_in_flight.store(false, Ordering::Release);
+        report
     }
 
     /// Run a consistency point that crashes at `at`: the CP is abandoned
@@ -385,6 +395,8 @@ impl Filesystem {
         // ordering: Relaxed RMW gives unique CP ids; CP ordering is serialized by the checkpoint lock.
         let cp_id = self.cp_counter.fetch_add(1, Ordering::Relaxed) + 1;
         let vols = self.volumes();
+        // ordering: Release/Acquire pair with `cp_in_flight()`; advisory.
+        self.cp_in_flight.store(true, Ordering::Release);
         let r = cp::run_cp_crash_at(
             cp_id,
             &self.cfg,
@@ -397,12 +409,23 @@ impl Filesystem {
             at,
         );
         debug_assert!(r.is_none(), "an injected crash never commits");
+        // ordering: Release — the abandoned CP's effects precede the clear.
+        self.cp_in_flight.store(false, Ordering::Release);
     }
 
     /// Number of CPs run.
     pub fn cp_count(&self) -> u64 {
         // ordering: advisory read of the CP counter.
         self.cp_counter.load(Ordering::Relaxed)
+    }
+
+    /// Is a CP currently executing? Advisory — by the time the caller
+    /// acts the answer may have changed; the scrubber combines it with a
+    /// [`Filesystem::cp_count`] stability check to bracket CP-quiet
+    /// windows.
+    pub fn cp_in_flight(&self) -> bool {
+        // ordering: Acquire pairs with the Release stores around the CP.
+        self.cp_in_flight.load(Ordering::Acquire)
     }
 
     /// Total dirty inodes across volumes (pending the next CP).

@@ -34,7 +34,10 @@
 //!   batched cleaning of small inodes (§V-C);
 //! * [`tuner::DynamicTuner`] — the 50 ms cleaner-thread count controller
 //!   with 90 % / 50 % activation thresholds (§V-B);
-//! * [`cp`] — the consistency-point state machine ([`cp::run_cp`]).
+//! * [`cp`] — the consistency-point state machine ([`cp::run_cp`]);
+//! * [`scrub`] — online parallel scrub/fsck over the Waffinity pool,
+//!   with checkpointed cursors and a detect→quarantine→repair→re-verify
+//!   state machine.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -46,6 +49,7 @@ pub mod cp;
 pub mod fs;
 pub mod inode;
 pub mod nvlog;
+pub mod scrub;
 pub mod snapshot;
 pub mod system;
 pub mod tuner;
@@ -59,6 +63,10 @@ pub use cp::{CpReport, CrashPoint, DiskImage, MetafileLocs, SuperblockStore};
 pub use fs::{ExecMode, Filesystem};
 pub use inode::{FileId, Inode};
 pub use nvlog::{NvLog, Op};
+pub use scrub::{
+    Finding, FindingState, PressureGate, ScrubCheckpoint, ScrubCheckpointStore, ScrubConfig,
+    ScrubError, ScrubReport,
+};
 pub use snapshot::{Snapshot, SnapshotSet};
 pub use system::StorageSystem;
 pub use tuner::{DynamicTuner, TunerConfig};

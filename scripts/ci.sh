@@ -74,4 +74,14 @@ cargo run --release -q -p wafl-bench --features trace --bin exp_put_convoy -- \
 cargo run --release -q -p wafl-bench --features trace --bin exp_put_convoy -- \
   --validate BENCH_put_convoy.json
 
+echo "=== exp_scrub smoke + schema validation ==="
+# Online scrub over the Waffinity pool: detection, clean-image false
+# positives, foreground interference, and checkpoint/resume gates.
+WAFL_BENCH_ROOT="$SMOKE_DIR" WAFL_RESULTS_DIR="$SMOKE_DIR" \
+  cargo run --release -q -p wafl-bench --bin exp_scrub -- --smoke
+cargo run --release -q -p wafl-bench --bin exp_scrub -- \
+  --validate "$SMOKE_DIR/BENCH_scrub.json"
+cargo run --release -q -p wafl-bench --bin exp_scrub -- \
+  --validate BENCH_scrub.json
+
 echo "CI green."
