@@ -96,7 +96,11 @@ impl Allocator {
             n => n,
         };
         let cache = if cfg.cache_lockfree {
-            Arc::new(BucketCache::with_shards(nshards, Arc::clone(&stats)))
+            Arc::new(BucketCache::with_shards_capped(
+                nshards,
+                cfg.cache_arena_cap,
+                Arc::clone(&stats),
+            ))
         } else {
             Arc::new(BucketCache::with_shards_mutex(nshards, Arc::clone(&stats)))
         };
@@ -142,6 +146,13 @@ impl Allocator {
     /// Statistics snapshot.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The live statistics atomics — for reading *gauges* (levels such
+    /// as `arena_chunks_live`), which a [`StatsSnapshot`] deliberately
+    /// omits because they are not monotone counters.
+    pub fn raw_stats(&self) -> &Arc<AllocStats> {
+        &self.stats
     }
 
     /// A fresh free-stage sized per configuration.

@@ -1,0 +1,1182 @@
+//! Bounded node arena with epoch-based chunk reclamation — the memory
+//! substrate under every [`crate::treiber::TreiberStack`].
+//!
+//! The PR-3 arena was append-only: per-stack doubling chunks that were
+//! never reclaimed, a per-stack index space a hot shard could exhaust
+//! while its siblings sat idle, and two `assert!` aborts when it ran
+//! out. This module replaces it with the bounded, constant-time design
+//! of the non-blocking allocator literature (Blelloch & Wei's
+//! "Concurrent Fixed-Size Allocation and Free in Constant Time"; the
+//! non-blocking buddy system of Marotta et al.):
+//!
+//! * **One arena, many stacks.** Every shard's Treiber stack draws
+//!   nodes from the same shared [`Arena`], so a node freed by any shard
+//!   is allocatable by any other — cross-shard donation falls out of
+//!   the sharing instead of needing a transfer protocol.
+//! * **Fixed-size chunks, capped count.** Nodes live in slabs of
+//!   [`CHUNK_NODES`] nodes; the chunk-slot table is sized by the
+//!   capacity knob (`AllocConfig::cache_arena_cap`), so total memory is
+//!   bounded by construction. Chunk slots cycle through
+//!   `Empty → Setup → Active → Retired → Empty`, so index space is
+//!   *reused*, not burned.
+//! * **O(1) alloc/free hot path.** Frees go to a small per-slot cache
+//!   (the "per-thread free list" — slots are claimed per-operation, see
+//!   below); allocs pop the same cache, then a hinted chunk's free
+//!   list, then mint from the frontier chunk. Scans of other slots
+//!   (donation) and of every chunk list happen only under pressure,
+//!   right before admitting [`ArenaFull`].
+//! * **Epoch-based reclamation.** Every arena operation runs inside a
+//!   [`Pin`]. A fully-free chunk is *retired* (made unreachable), parked
+//!   in a limbo list stamped with the current epoch, and its slab is
+//!   freed only once the global epoch has advanced **two** steps past
+//!   the stamp. The epoch cannot advance past `e+1` while any pin taken
+//!   at epoch `e` is live, so a pinned thread's speculative `node()`
+//!   dereferences (the Treiber walk reads stale indices by design) can
+//!   never touch freed memory. See DESIGN.md §13 for the full contract
+//!   and its one formal caveat.
+//! * **Typed backpressure.** When capacity is truly gone the allocator
+//!   returns [`ArenaFull`]; callers (the bucket cache) fall back to the
+//!   mutex slow path instead of aborting the process.
+//!
+//! **Pin slots, not thread-locals.** Classic EBR pins a thread-local
+//! epoch record. Under `--features mc` the model checker multiplexes
+//! logical threads in ways that make thread-locals awkward, so the
+//! arena keeps a fixed table of [`EPOCH_SLOTS`] pin slots claimed by
+//! CAS per *operation*. A claimed slot is simultaneously the EBR pin
+//! record and the operation's free-list cache; if every slot is busy
+//! the pin falls back to a counted "overflow" mode that blocks epoch
+//! advancement entirely (conservative, never unsafe). Slot claiming is
+//! O(slots) worst case but one uncontended CAS in practice.
+//!
+//! Two invariants carry the safety argument (model-checked in
+//! `crates/mc/tests/arena_reclaim.rs`):
+//!
+//! 1. **Grace**: `epoch ≤ pin_epoch + 1` for every live pin, so a
+//!    chunk retired at epoch `r` (necessarily ≥ every live pin's epoch
+//!    at that moment... and any later pin cannot reach its indices) is
+//!    freed at `r + 2` only after every pin that could hold a stale
+//!    index has dropped.
+//! 2. **Retire exclusivity**: a chunk is retired only after the retirer
+//!    has (a) poisoned the mint frontier and (b) drained the chunk's
+//!    own free list and counted every minted node on it — proving no
+//!    node of the chunk is allocated, cached, or in flight.
+//!
+//! All synchronization comes through [`crate::sync`], so `--features
+//! mc` turns every access below into a model-checker yield point.
+
+use crate::stats::AllocStats;
+use crate::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::cell::UnsafeCell;
+use crate::sync::Mutex;
+use std::ptr;
+use std::sync::Arc;
+
+/// Sentinel index: "no node".
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// Nodes per chunk slab. Small under `mc` so the model checker can
+/// reach mint-roll and retire transitions within tiny schedules.
+#[cfg(not(feature = "mc"))]
+pub const CHUNK_NODES: usize = 64;
+/// Nodes per chunk slab (model-checker build).
+#[cfg(feature = "mc")]
+pub const CHUNK_NODES: usize = 4;
+
+/// Pin slots (EBR records + per-slot free caches). Small under `mc` to
+/// keep the slot-claim state space explorable.
+#[cfg(not(feature = "mc"))]
+const EPOCH_SLOTS: usize = 64;
+#[cfg(feature = "mc")]
+const EPOCH_SLOTS: usize = 4;
+
+/// Per-slot free-cache depth cap: beyond this, frees spill to the
+/// owning chunk's list (where retirement can see them).
+#[cfg(not(feature = "mc"))]
+const SLOT_CACHE_MAX: u32 = 32;
+#[cfg(feature = "mc")]
+const SLOT_CACHE_MAX: u32 = 2;
+
+/// Default node capacity when the knob is 0/unset: 256 Ki nodes —
+/// far beyond any bucket population the benches reach, but *bounded*,
+/// unlike the PR-3 arena's ≈1-billion-node ceiling-with-abort.
+pub const DEFAULT_ARENA_CAP: usize = 1 << 18;
+
+/// Sentinel chunk id: "no mint chunk selected yet".
+const NO_CHUNK: u32 = u32::MAX;
+
+/// Chunk slot states (see the module docs' lifecycle).
+const EMPTY: u32 = 0;
+const SETUP: u32 = 1;
+const ACTIVE: u32 = 2;
+const RETIRED: u32 = 3;
+
+/// Typed arena backpressure: every chunk slot is live and every free
+/// list, slot cache, and mint frontier is dry. Callers fall back to
+/// their mutex slow path (the bucket cache's overflow queue) — this is
+/// the error that *replaces* the PR-3 exhaustion aborts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaFull;
+
+impl std::fmt::Display for ArenaFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node arena at capacity (bounded by cache_arena_cap)")
+    }
+}
+
+impl std::error::Error for ArenaFull {}
+
+#[inline]
+fn pack(tag: u32, idx: u32) -> u64 {
+    (u64::from(tag) << 32) | u64::from(idx)
+}
+
+#[inline]
+fn idx_of(word: u64) -> u32 {
+    word as u32
+}
+
+#[inline]
+fn tag_of(word: u64) -> u32 {
+    (word >> 32) as u32
+}
+
+/// One stack node. Lives in a chunk slab; addressed by arena-wide
+/// index `chunk * CHUNK_NODES + offset`.
+pub(crate) struct Node<T> {
+    /// Index of the node below this one (in a stack, a chunk free
+    /// list, or a slot cache — a node is on at most one list at a time).
+    pub(crate) next: AtomicU32,
+    /// The payload. Written/taken only by the node's exclusive owner:
+    /// the pusher before the publish CAS, the popper after winning the
+    /// detach CAS.
+    pub(crate) item: UnsafeCell<Option<T>>,
+    /// Batch key stamped before the publish CAS (the bucket cache keys
+    /// by refill generation; see `treiber.rs`).
+    pub(crate) key: AtomicU64,
+}
+
+/// Per-chunk metadata. The slab itself hangs off `slab`; everything
+/// else is the bookkeeping that makes the chunk retirable.
+struct ChunkMeta<T> {
+    /// The `CHUNK_NODES`-node slab, or null while Empty/reclaimed.
+    slab: AtomicPtr<Node<T>>,
+    /// Lifecycle state (`EMPTY`/`SETUP`/`ACTIVE`/`RETIRED`).
+    state: AtomicU32,
+    /// Tagged `(tag, idx)` head of this chunk's own free list. Only
+    /// this chunk's nodes ever chain through it — that segregation is
+    /// what lets the retirer drain and count them without touching any
+    /// other list.
+    free: AtomicU64,
+    /// Nodes currently on `free` (advisory retire trigger; the drained
+    /// walk is the ground truth). Updated *after* the list CAS on both
+    /// push and pop, so it may transiently lag — or, when a pop's
+    /// decrement outruns the racing push's increment, transiently wrap.
+    /// Both resolve once in-flight updates land; only the exact
+    /// `== minted` comparison is ever acted on, after re-verification.
+    free_count: AtomicU32,
+    /// Mint frontier: next never-minted offset. `fetch_add` reserves an
+    /// offset; a reservation ≥ `CHUNK_NODES` means "chunk full, roll".
+    /// The retirer poisons this to `CHUNK_NODES` so no mint can land
+    /// while it proves exclusivity.
+    next_off: AtomicU32,
+}
+
+/// One pin slot: an EBR record doubling as a small free-list cache.
+struct Slot {
+    /// `0` = idle; else `(epoch << 1) | 1` of the operation pinned here.
+    pin_state: AtomicU64,
+    /// Tagged `(tag, idx)` head of the slot's free cache.
+    cache: AtomicU64,
+    /// Approximate depth of `cache` (caps hoarding at `SLOT_CACHE_MAX`).
+    cache_len: AtomicU32,
+}
+
+/// Chunk parked in limbo: unreachable, awaiting its grace period.
+struct Limbo {
+    chunk: u32,
+    retire_epoch: u64,
+}
+
+/// RAII epoch pin. Every arena/stack operation holds one for its whole
+/// duration; while it lives, the global epoch advances at most once,
+/// which is what keeps the operation's speculative node reads valid.
+pub struct Pin<'a, T> {
+    arena: &'a Arena<T>,
+    /// Claimed slot index, or `usize::MAX` for an overflow pin.
+    slot: usize,
+}
+
+impl<T> Pin<'_, T> {
+    /// The epoch this pin was taken at (slot pins only; overflow pins
+    /// report the epoch sampled at claim time as recorded in the
+    /// arena's overflow set — conservatively, advancement is blocked
+    /// entirely while any overflow pin is live).
+    pub fn slot(&self) -> Option<usize> {
+        (self.slot != usize::MAX).then_some(self.slot)
+    }
+}
+
+impl<T> Drop for Pin<'_, T> {
+    fn drop(&mut self) {
+        self.arena.unpin(self.slot);
+    }
+}
+
+/// Bounded, shared, epoch-reclaimed node arena (see module docs).
+pub struct Arena<T> {
+    /// Node capacity (`nchunks * CHUNK_NODES ≥ cap`, rounded up).
+    cap_nodes: usize,
+    /// Chunk slot table (fixed size; slots cycle through the lifecycle).
+    chunks: Box<[ChunkMeta<T>]>,
+    /// Chunk currently serving fresh mints (`NO_CHUNK` before first use).
+    mint_chunk: AtomicU32,
+    /// Advisory: chunk that most recently received a free (alloc probes
+    /// it before scanning).
+    alloc_hint: AtomicU32,
+    /// Pin slots (EBR records + caches).
+    slots: Box<[Slot]>,
+    /// Rotor seeding the slot-claim scan so operations spread out.
+    rotor: AtomicU32,
+    /// Live overflow pins (pins that found every slot busy). Non-zero
+    /// blocks epoch advancement entirely.
+    overflow_pins: AtomicUsize,
+    /// The global reclamation epoch.
+    epoch: AtomicU64,
+    /// Retired chunks awaiting their 2-epoch grace. Leaf lock: nothing
+    /// else is ever acquired while it is held.
+    limbo: Mutex<Vec<Limbo>>,
+    /// Chunks currently Active or Setup (the live-slab gauge mirror).
+    chunks_live: AtomicUsize,
+    /// Shared counters (fresh mints, reuse hits, donations, retires,
+    /// epoch advances, CAS retries) — the observability surface.
+    stats: Arc<AllocStats>,
+}
+
+// SAFETY: `T` crosses threads through the arena's nodes; the
+// `UnsafeCell` payloads are only touched by a node's exclusive owner
+// (see `Node`), and all shared state is atomics or the limbo mutex.
+unsafe impl<T: Send> Send for Arena<T> {}
+// SAFETY: as above — shared references only perform CAS-mediated
+// access; payload cells require exclusive node ownership.
+unsafe impl<T: Send> Sync for Arena<T> {}
+
+impl<T> Arena<T> {
+    /// Arena bounded at `cap_nodes` nodes (0 ⇒ [`DEFAULT_ARENA_CAP`]),
+    /// with private stats. Chunk slabs are allocated on demand, so an
+    /// idle arena costs only the slot/chunk metadata tables.
+    pub fn new(cap_nodes: usize) -> Self {
+        Self::with_stats(cap_nodes, Arc::new(AllocStats::default()))
+    }
+
+    /// [`Arena::new`] recording traffic into a shared [`AllocStats`]
+    /// (the bucket cache passes the allocator-wide stats here so arena
+    /// counters flow to `obs` with everything else).
+    pub fn with_stats(cap_nodes: usize, stats: Arc<AllocStats>) -> Self {
+        let cap = if cap_nodes == 0 {
+            DEFAULT_ARENA_CAP
+        } else {
+            cap_nodes
+        };
+        let nchunks = cap.div_ceil(CHUNK_NODES).max(1);
+        assert!(
+            nchunks < NO_CHUNK as usize,
+            "cache_arena_cap overflows the chunk index space"
+        );
+        Self {
+            cap_nodes: nchunks * CHUNK_NODES,
+            chunks: (0..nchunks)
+                .map(|_| ChunkMeta {
+                    slab: AtomicPtr::new(ptr::null_mut()),
+                    state: AtomicU32::new(EMPTY),
+                    free: AtomicU64::new(pack(0, NIL)),
+                    free_count: AtomicU32::new(0),
+                    next_off: AtomicU32::new(0),
+                })
+                .collect(),
+            mint_chunk: AtomicU32::new(NO_CHUNK),
+            alloc_hint: AtomicU32::new(NO_CHUNK),
+            slots: (0..EPOCH_SLOTS)
+                .map(|_| Slot {
+                    pin_state: AtomicU64::new(0),
+                    cache: AtomicU64::new(pack(0, NIL)),
+                    cache_len: AtomicU32::new(0),
+                })
+                .collect(),
+            rotor: AtomicU32::new(0),
+            overflow_pins: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            limbo: Mutex::new(Vec::new()),
+            chunks_live: AtomicUsize::new(0),
+            stats,
+        }
+    }
+
+    /// Node capacity (requested cap rounded up to whole chunks).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap_nodes
+    }
+
+    /// Chunks currently holding a live slab (Active or Setup) — the
+    /// boundedness gauge the churn soak asserts a plateau on.
+    #[inline]
+    pub fn chunks_live(&self) -> usize {
+        // ordering: advisory gauge read; staleness is acceptable.
+        self.chunks_live.load(Ordering::Relaxed)
+    }
+
+    /// The current reclamation epoch (exposed for the mc models).
+    #[inline]
+    pub fn current_epoch(&self) -> u64 {
+        // ordering: SeqCst — the epoch participates in the pin/advance
+        // total order (see `pin`/`try_advance`); model invariants read
+        // it through the same order.
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Total CAS retries paid on arena free lists and the Treiber heads
+    /// that share this arena (`cache_cas_retries` in [`AllocStats`]).
+    pub fn retries(&self) -> u64 {
+        // ordering: statistics counter; staleness is acceptable.
+        self.stats.cache_cas_retries.load(Ordering::Relaxed)
+    }
+
+    /// The stats sink this arena reports into.
+    pub fn stats(&self) -> &Arc<AllocStats> {
+        &self.stats
+    }
+
+    /// Count one CAS retry (shared by the Treiber head loops).
+    #[inline]
+    pub(crate) fn note_retry(&self) {
+        // ordering: statistics counter; no synchronization needed.
+        self.stats.cache_cas_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Dereference a node index. Caller must hold a [`Pin`] taken
+    /// before the index was read from shared memory — that is what
+    /// guarantees the chunk's slab cannot have completed its grace
+    /// period and been freed (module invariant 1).
+    #[inline]
+    pub(crate) fn node(&self, idx: u32) -> &Node<T> {
+        let c = idx as usize / CHUNK_NODES;
+        let off = idx as usize % CHUNK_NODES;
+        // ordering: Acquire pairs with the Release slab publication in
+        // `claim_empty_chunk`, so the pointed-to nodes are constructed.
+        let base = self.chunks[c].slab.load(Ordering::Acquire);
+        // Hard check, not debug-only: a null slab here means the pin
+        // discipline was violated (a reclaimed chunk was dereferenced)
+        // and the next line would be UB. The mc retire-vs-deref model
+        // relies on this tripping deterministically.
+        assert!(
+            !base.is_null(),
+            "node {idx}: deref of reclaimed chunk {c} (pin discipline violated)"
+        );
+        // SAFETY: slab is non-null ⇒ the chunk is somewhere between
+        // Setup and reclamation; the caller's pin (taken before `idx`
+        // was read) blocks reclamation (grace invariant), `off` is in
+        // bounds by construction, and nodes are plain atomics + an
+        // UnsafeCell only the exclusive owner touches.
+        unsafe { &*base.add(off) }
+    }
+
+    /// Speculatively read a node's batch key (exposed for the mc
+    /// retire-vs-deref model; the Treiber walk does the same
+    /// internally). Caller must hold a pin — see [`Arena::node`].
+    pub fn probe_key(&self, idx: u32) -> u64 {
+        // ordering: Acquire — speculative read; stale values are
+        // discarded by the caller's validating CAS.
+        self.node(idx).key.load(Ordering::Acquire)
+    }
+
+    // ---- pinning -------------------------------------------------------
+
+    /// Pin the current operation into the epoch machinery. Never
+    /// blocks: if every slot is busy, falls back to a counted overflow
+    /// pin (which freezes epoch advancement while it lives).
+    pub fn pin(&self) -> Pin<'_, T> {
+        // ordering: Relaxed — the rotor only spreads the claim scan.
+        let start = self.rotor.fetch_add(1, Ordering::Relaxed) as usize;
+        for i in 0..EPOCH_SLOTS {
+            let s = (start + i) % EPOCH_SLOTS;
+            let slot = &self.slots[s];
+            // ordering: SeqCst — pin registration must be in a single
+            // total order with `try_advance`'s slot scan and epoch CAS:
+            // either the advancer sees our pin (and requires our epoch
+            // current), or our claim is ordered after its advance and
+            // we re-sample the newer epoch below.
+            if slot.pin_state.load(Ordering::SeqCst) != 0 {
+                continue;
+            }
+            // ordering: SeqCst — see the claim protocol above.
+            let e = self.epoch.load(Ordering::SeqCst);
+            if slot
+                .pin_state
+                // ordering: SeqCst (both) — the claim itself; see above.
+                .compare_exchange(0, (e << 1) | 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // Re-sample once: if the epoch advanced between the load
+                // and the claim, move the pin up so it does not hold the
+                // previous epoch open longer than necessary. (Safety does
+                // not depend on this — a stale pin only *delays* advance.)
+                // ordering: SeqCst — same total order as above.
+                let e2 = self.epoch.load(Ordering::SeqCst);
+                if e2 != e {
+                    // ordering: SeqCst — republish the pin at the newer
+                    // epoch within the same total order.
+                    slot.pin_state.store((e2 << 1) | 1, Ordering::SeqCst);
+                }
+                return Pin {
+                    arena: self,
+                    slot: s,
+                };
+            }
+        }
+        // Every slot busy: overflow pin. Advancement is blocked outright
+        // while the counter is non-zero, which is conservative but keeps
+        // the grace invariant without per-overflow epoch records.
+        // ordering: SeqCst — same total order as the slot protocol.
+        self.overflow_pins.fetch_add(1, Ordering::SeqCst);
+        Pin {
+            arena: self,
+            slot: usize::MAX,
+        }
+    }
+
+    fn unpin(&self, slot: usize) {
+        if slot == usize::MAX {
+            // ordering: SeqCst — pairs with `try_advance`'s overflow check.
+            self.overflow_pins.fetch_sub(1, Ordering::SeqCst);
+        } else {
+            // ordering: SeqCst — un-registration in the same total order
+            // as the advancer's slot scan.
+            self.slots[slot].pin_state.store(0, Ordering::SeqCst);
+        }
+    }
+
+    // ---- slot caches ---------------------------------------------------
+
+    /// Pop a node off slot `s`'s free cache (any pinned operation may —
+    /// stealing from *other* slots is the donation path).
+    fn pop_slot_cache(&self, s: usize) -> Option<u32> {
+        let slot = &self.slots[s];
+        loop {
+            // ordering: Acquire pairs with the AcqRel cache-push CAS so
+            // the node's link is visible.
+            let h = slot.cache.load(Ordering::Acquire);
+            let idx = idx_of(h);
+            if idx == NIL {
+                return None;
+            }
+            // ordering: Acquire — link Release-stored before the push
+            // CAS; a stale read is discarded by the tag CAS below.
+            let next = self.node(idx).next.load(Ordering::Acquire);
+            if slot
+                .cache
+                // ordering: AcqRel — Acquire synchronizes with the
+                // freeing operation (its item take happens-before our
+                // reuse); Release orders our detach; tag bump defeats
+                // ABA on the cache head.
+                .compare_exchange(
+                    h,
+                    pack(tag_of(h).wrapping_add(1), next),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                // ordering: Relaxed — advisory depth; capped approximately.
+                slot.cache_len.fetch_sub(1, Ordering::Relaxed);
+                return Some(idx);
+            }
+            self.note_retry();
+        }
+    }
+
+    /// Push a node onto slot `s`'s free cache.
+    fn push_slot_cache(&self, s: usize, idx: u32) {
+        let slot = &self.slots[s];
+        // ordering: Relaxed — advisory depth; incremented before the
+        // push so the cap errs toward spilling (never hoards past it).
+        slot.cache_len.fetch_add(1, Ordering::Relaxed);
+        loop {
+            // ordering: Acquire — see `pop_slot_cache`.
+            let h = slot.cache.load(Ordering::Acquire);
+            // ordering: Release — the link must be visible before the
+            // CAS publishes this node as the cache head.
+            self.node(idx).next.store(idx_of(h), Ordering::Release);
+            if slot
+                .cache
+                // ordering: AcqRel — Release publishes the freed node
+                // (and the owner's item take before it) to the next
+                // allocator; tag bump defeats ABA; Acquire refreshes on
+                // failure.
+                .compare_exchange(
+                    h,
+                    pack(tag_of(h).wrapping_add(1), idx),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return;
+            }
+            self.note_retry();
+        }
+    }
+
+    // ---- chunk free lists ----------------------------------------------
+
+    /// Pop a node off chunk `c`'s free list.
+    fn pop_chunk_free(&self, c: usize) -> Option<u32> {
+        let meta = &self.chunks[c];
+        loop {
+            // ordering: Acquire pairs with the AcqRel free-list CAS in
+            // `push_chunk_free`, making the freed node's writes visible.
+            let h = meta.free.load(Ordering::Acquire);
+            let idx = idx_of(h);
+            if idx == NIL {
+                return None;
+            }
+            // ordering: Acquire — link Release-stored before the push
+            // CAS; stale reads are discarded by the tag CAS below.
+            let next = self.node(idx).next.load(Ordering::Acquire);
+            if meta
+                .free
+                // ordering: AcqRel — same contract as the slot cache's
+                // pop CAS (ownership transfer + ABA tag bump).
+                .compare_exchange(
+                    h,
+                    pack(tag_of(h).wrapping_add(1), next),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                // ordering: AcqRel — advisory retire trigger, updated
+                // after the list CAS (the drained walk re-verifies).
+                meta.free_count.fetch_sub(1, Ordering::AcqRel);
+                return Some(idx);
+            }
+            self.note_retry();
+        }
+    }
+
+    /// Push a node onto its own chunk's free list.
+    fn push_chunk_free(&self, idx: u32) {
+        let c = idx as usize / CHUNK_NODES;
+        let meta = &self.chunks[c];
+        loop {
+            // ordering: Acquire — see `pop_chunk_free`.
+            let h = meta.free.load(Ordering::Acquire);
+            // ordering: Release — link visible before the publish CAS.
+            self.node(idx).next.store(idx_of(h), Ordering::Release);
+            if meta
+                .free
+                // ordering: AcqRel — publishes the freed node; tag bump
+                // defeats ABA; Acquire refreshes on failure.
+                .compare_exchange(
+                    h,
+                    pack(tag_of(h).wrapping_add(1), idx),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                // ordering: AcqRel — advisory retire trigger (see
+                // `ChunkMeta::free_count`).
+                meta.free_count.fetch_add(1, Ordering::AcqRel);
+                // ordering: Relaxed — advisory alloc hint.
+                self.alloc_hint.store(c as u32, Ordering::Relaxed);
+                return;
+            }
+            self.note_retry();
+        }
+    }
+
+    // ---- minting -------------------------------------------------------
+
+    /// Claim an Empty chunk slot, allocate its slab, and activate it.
+    /// Returns the chunk id, `Err(true)` if another claim is mid-Setup
+    /// (worth retrying), `Err(false)` if no Empty slot exists.
+    fn claim_empty_chunk(&self) -> Result<u32, bool> {
+        let mut saw_setup = false;
+        for c in 0..self.chunks.len() {
+            let meta = &self.chunks[c];
+            // ordering: Acquire — pairs with the Release state stores of
+            // the lifecycle transitions; an EMPTY read implies the
+            // previous generation's slab swap is visible (null).
+            match meta.state.load(Ordering::Acquire) {
+                SETUP => {
+                    saw_setup = true;
+                    continue;
+                }
+                EMPTY => {}
+                _ => continue,
+            }
+            if meta
+                .state
+                // ordering: AcqRel — Acquire synchronizes with the
+                // reclaimer's reset (null slab, zeroed frontier);
+                // Release is not load-bearing here (the slab store
+                // below publishes the construction) but keeps the
+                // lifecycle edges uniform. Failure keeps scanning.
+                .compare_exchange(EMPTY, SETUP, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                saw_setup = true;
+                continue;
+            }
+            // We own the Setup. Build the slab.
+            let mut nodes: Vec<Node<T>> = Vec::with_capacity(CHUNK_NODES);
+            for _ in 0..CHUNK_NODES {
+                nodes.push(Node {
+                    next: AtomicU32::new(NIL),
+                    item: UnsafeCell::new(None),
+                    key: AtomicU64::new(0),
+                });
+            }
+            let raw = Box::into_raw(nodes.into_boxed_slice()) as *mut Node<T>;
+            // ordering: Release — publishes the constructed nodes to
+            // `node()`'s Acquire slab load.
+            meta.slab.store(raw, Ordering::Release);
+            debug_assert_eq!(
+                // ordering: debug-only sanity read of our own Setup.
+                meta.next_off.load(Ordering::Relaxed),
+                0,
+                "claimed chunk with a dirty mint frontier"
+            );
+            // ordering: Release — the Active store publishes the slab
+            // store above to `mint_fresh`'s Acquire state check.
+            meta.state.store(ACTIVE, Ordering::Release);
+            // ordering: Relaxed — advisory gauge.
+            let live = self.chunks_live.fetch_add(1, Ordering::Relaxed) + 1;
+            // ordering: statistics counters; staleness is acceptable.
+            self.stats
+                .arena_chunks_live
+                .store(live as u64, Ordering::Relaxed);
+            // ordering: statistics counter (high-water mark).
+            self.stats
+                .arena_chunks_live_peak
+                .fetch_max(live as u64, Ordering::Relaxed);
+            return Ok(c as u32);
+        }
+        Err(saw_setup)
+    }
+
+    /// Mint a never-used node from the frontier chunk, rolling to a new
+    /// chunk when the frontier fills. Amortized O(1): one `fetch_add`
+    /// per mint, one slab allocation per `CHUNK_NODES` mints.
+    fn mint_fresh(&self) -> Option<u32> {
+        let mut setup_spins = 0u32;
+        loop {
+            // ordering: Acquire — pairs with the Release mint-chunk
+            // store after a roll, so the new chunk's Active state (and
+            // slab) are visible.
+            let c = self.mint_chunk.load(Ordering::Acquire);
+            if c != NO_CHUNK {
+                let meta = &self.chunks[c as usize];
+                // ordering: Acquire — pairs with the Release Active
+                // store, so the slab is visible before we mint into it.
+                if meta.state.load(Ordering::Acquire) == ACTIVE {
+                    // ordering: Relaxed — the fetch_add only needs
+                    // atomicity to reserve a unique offset; the chunk's
+                    // Active/slab publication above carries the
+                    // synchronization. A reservation also blocks the
+                    // chunk's retirement (free_count can never reach the
+                    // minted count while this offset was never freed).
+                    let off = meta.next_off.fetch_add(1, Ordering::Relaxed);
+                    if (off as usize) < CHUNK_NODES {
+                        // ordering: statistics counter.
+                        self.stats.arena_fresh_mints.fetch_add(1, Ordering::Relaxed);
+                        return Some(c * CHUNK_NODES as u32 + off);
+                    }
+                    // Frontier full (or poisoned): roll below.
+                }
+            }
+            match self.claim_empty_chunk() {
+                Ok(c2) => {
+                    // ordering: Release — publishes the claimed chunk's
+                    // Active state/slab to the Acquire load above (ours
+                    // and other minters'). A plain store, not a CAS:
+                    // concurrent rollers may both claim; the loser's
+                    // chunk stays Active-and-unminted and is retired by
+                    // the next `maintain` (orphan rule).
+                    self.mint_chunk.store(c2, Ordering::Release);
+                    continue;
+                }
+                Err(true) => {
+                    // Another claim is mid-Setup: give it a beat, then
+                    // re-scan. Bounded so a stalled claimer can only
+                    // cause a spurious miss (caller falls back to the
+                    // donation scan / ArenaFull), never a hang.
+                    setup_spins += 1;
+                    if setup_spins > 64 {
+                        return None;
+                    }
+                    crate::sync::hint::yield_now();
+                }
+                Err(false) => return None,
+            }
+        }
+    }
+
+    // ---- alloc / free --------------------------------------------------
+
+    /// Allocate a node. O(1) on the hot path (slot cache, hinted chunk
+    /// list, or frontier mint); scans every slot cache (donation) and
+    /// every chunk list before admitting [`ArenaFull`]. The returned
+    /// index is exclusively owned until freed.
+    pub fn alloc(&self, pin: &Pin<'_, T>) -> Result<u32, ArenaFull> {
+        debug_assert!(ptr::eq(pin.arena, self), "pin from a different arena");
+        // 1. Own slot's cache — the per-"thread" free list.
+        if pin.slot != usize::MAX {
+            if let Some(idx) = self.pop_slot_cache(pin.slot) {
+                // ordering: statistics counter.
+                self.stats.arena_reuse_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(idx);
+            }
+        }
+        // 2. The hinted chunk's free list (last chunk freed into).
+        // ordering: Relaxed — advisory hint.
+        let hint = self.alloc_hint.load(Ordering::Relaxed);
+        if hint != NO_CHUNK {
+            if let Some(idx) = self.pop_chunk_free(hint as usize) {
+                // ordering: statistics counter.
+                self.stats.arena_reuse_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(idx);
+            }
+        }
+        // 3. Donation: steal from the other slots' caches. Reuse beats
+        // minting — this is what keeps one hot shard from growing the
+        // arena while its siblings' frees sit idle.
+        for s in 0..EPOCH_SLOTS {
+            if pin.slot == s {
+                continue;
+            }
+            if let Some(idx) = self.pop_slot_cache(s) {
+                // ordering: statistics counter.
+                self.stats.arena_donations.fetch_add(1, Ordering::Relaxed);
+                return Ok(idx);
+            }
+        }
+        // 4. Mint from the frontier.
+        if let Some(idx) = self.mint_fresh() {
+            return Ok(idx);
+        }
+        // 5. Full sweep of every chunk's free list (pressure path).
+        for c in 0..self.chunks.len() {
+            if Some(c) == (hint != NO_CHUNK).then_some(hint as usize) {
+                continue;
+            }
+            if let Some(idx) = self.pop_chunk_free(c) {
+                // ordering: statistics counter.
+                self.stats.arena_reuse_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(idx);
+            }
+        }
+        Err(ArenaFull)
+    }
+
+    /// Free a node back to the arena. O(1): the owning slot's cache if
+    /// it has room, else the node's own chunk list (where retirement
+    /// can count it).
+    pub fn free(&self, pin: &Pin<'_, T>, idx: u32) {
+        debug_assert!(ptr::eq(pin.arena, self), "pin from a different arena");
+        if pin.slot != usize::MAX
+            // ordering: Relaxed — advisory cap check (approximate by
+            // design; the spill path is always correct).
+            && self.slots[pin.slot].cache_len.load(Ordering::Relaxed) < SLOT_CACHE_MAX
+        {
+            self.push_slot_cache(pin.slot, idx);
+        } else {
+            self.push_chunk_free(idx);
+        }
+    }
+
+    // ---- reclamation ---------------------------------------------------
+
+    /// Try to advance the global epoch by one. Succeeds only when no
+    /// overflow pin is live and every pinned slot has caught up to the
+    /// current epoch — the EBR quiescence condition. Returns whether
+    /// the epoch moved.
+    pub fn try_advance(&self) -> bool {
+        // ordering: SeqCst — the advance decision must totally order
+        // against pin registrations (see `pin`).
+        let e = self.epoch.load(Ordering::SeqCst);
+        // ordering: SeqCst — overflow pins block advancement outright.
+        if self.overflow_pins.load(Ordering::SeqCst) != 0 {
+            return false;
+        }
+        for slot in self.slots.iter() {
+            // ordering: SeqCst — pin scan in the same total order as
+            // registration; a pin at an older epoch blocks the advance.
+            let s = slot.pin_state.load(Ordering::SeqCst);
+            if s & 1 == 1 && (s >> 1) != e {
+                return false;
+            }
+        }
+        let ok = self
+            .epoch
+            // ordering: SeqCst (both) — the advance itself; losing the
+            // race just means someone else advanced.
+            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
+        if ok {
+            // ordering: statistics counter.
+            self.stats
+                .arena_epoch_advances
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// Maintenance pass: drain slot caches to their chunk lists, retire
+    /// fully-free chunks into limbo, advance the epoch if quiescent,
+    /// and reclaim limbo chunks whose grace elapsed. Called off the GET
+    /// fast path (once per collective refill publish); safe to call
+    /// from anywhere — it pins internally and takes only the leaf
+    /// limbo lock.
+    pub fn maintain(&self) {
+        let pin = self.pin();
+        self.drain_slot_caches(&pin);
+        self.retire_quiescent_chunks();
+        drop(pin);
+        self.try_advance();
+        self.collect_limbo();
+    }
+
+    /// Spill every slot cache back to the owning chunks' lists so the
+    /// retire scan can account for those nodes.
+    fn drain_slot_caches(&self, _pin: &Pin<'_, T>) {
+        for s in 0..EPOCH_SLOTS {
+            while let Some(idx) = self.pop_slot_cache(s) {
+                self.push_chunk_free(idx);
+            }
+        }
+    }
+
+    /// Retire every chunk whose minted nodes are all sitting on its own
+    /// free list (proving none is allocated or cached anywhere), except
+    /// the mint chunk and a floor of one live chunk.
+    fn retire_quiescent_chunks(&self) {
+        for c in 0..self.chunks.len() {
+            // Keep at least one live chunk resident as the working set
+            // floor — churn right at the boundary should not oscillate
+            // slab alloc/free.
+            // ordering: Relaxed — advisory gauge read.
+            if self.chunks_live.load(Ordering::Relaxed) <= 1 {
+                return;
+            }
+            self.try_retire_chunk(c as u32);
+        }
+    }
+
+    /// Attempt to retire one chunk (see module invariant 2).
+    fn try_retire_chunk(&self, c: u32) {
+        let meta = &self.chunks[c as usize];
+        // ordering: Acquire — lifecycle read; only Active chunks retire.
+        if meta.state.load(Ordering::Acquire) != ACTIVE {
+            return;
+        }
+        // ordering: Acquire — pairs with the Release mint-chunk store;
+        // the frontier chunk is hot, never retired.
+        if self.mint_chunk.load(Ordering::Acquire) == c {
+            return;
+        }
+        // ordering: Relaxed — advisory pre-check to skip the expensive
+        // poison+drain on chunks that are obviously busy; re-verified
+        // exactly below.
+        let minted_hint = meta
+            .next_off
+            .load(Ordering::Relaxed)
+            .min(CHUNK_NODES as u32);
+        // ordering: Relaxed — advisory retire trigger (ground truth is
+        // the drained walk).
+        if meta.free_count.load(Ordering::Relaxed) != minted_hint {
+            return;
+        }
+        // Poison the mint frontier: any in-flight fetch_add now returns
+        // ≥ CHUNK_NODES and fails, so no new node of this chunk can be
+        // minted while we prove exclusivity.
+        // ordering: AcqRel — the poison swap orders after it every
+        // racing reservation's success check; `minted` is the true
+        // number of offsets ever handed out.
+        let minted = meta.next_off.swap(CHUNK_NODES as u32, Ordering::AcqRel);
+        let minted = minted.min(CHUNK_NODES as u32);
+        // Exclusively drain the chunk's free list.
+        // ordering: AcqRel — the swap both acquires every free's
+        // Release-published node and detaches the whole list with a tag
+        // bump (no concurrent pop can succeed on the old head).
+        let head = {
+            loop {
+                // ordering: Acquire — read for the detach CAS below.
+                let h = meta.free.load(Ordering::Acquire);
+                if meta
+                    .free
+                    // ordering: AcqRel — detach the entire list; tag
+                    // bump invalidates concurrent pops' stale heads.
+                    .compare_exchange(
+                        h,
+                        pack(tag_of(h).wrapping_add(1), NIL),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    break idx_of(h);
+                }
+                self.note_retry();
+            }
+        };
+        // Walk and count the detached chain (ground truth).
+        let mut count = 0u32;
+        let mut tail = NIL;
+        let mut cur = head;
+        while cur != NIL {
+            count += 1;
+            tail = cur;
+            // ordering: Acquire — links were Release-stored before each
+            // node was published onto the (now exclusively ours) list.
+            cur = self.node(cur).next.load(Ordering::Acquire);
+        }
+        if count != minted || (minted == 0 && head != NIL) {
+            // Some minted node is allocated, cached, or its free is in
+            // flight: abort. Reattach the drained chain and restore the
+            // frontier. (Concurrent frees may have pushed onto the
+            // fresh head already; the CAS loop merges beneath them.)
+            if head != NIL {
+                loop {
+                    // ordering: Acquire — read for the reattach CAS.
+                    let h = meta.free.load(Ordering::Acquire);
+                    // ordering: Release — splice link visible before the
+                    // publish CAS.
+                    self.node(tail).next.store(idx_of(h), Ordering::Release);
+                    if meta
+                        .free
+                        // ordering: AcqRel — republish the chain; tag
+                        // bump keeps the ABA discipline.
+                        .compare_exchange(
+                            h,
+                            pack(tag_of(h).wrapping_add(1), head),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        break;
+                    }
+                    self.note_retry();
+                }
+            }
+            // ordering: Release — un-poison after the chain is back so
+            // a racing minter cannot observe a poison-free frontier
+            // while the list is still detached.
+            meta.next_off.store(minted, Ordering::Release);
+            return;
+        }
+        // Exclusive: every minted node is on our private chain; no
+        // allocation, free, or mint of this chunk can occur anymore.
+        // ordering: Release — Retired must be visible before the limbo
+        // entry can be reclaimed and the slot recycled.
+        meta.state.store(RETIRED, Ordering::Release);
+        // ordering: Relaxed — counter reset for the slot's next life
+        // (no concurrent users: exclusivity proven above).
+        meta.free_count.store(0, Ordering::Relaxed);
+        // ordering: Relaxed — advisory gauge.
+        let live = self.chunks_live.fetch_sub(1, Ordering::Relaxed) - 1;
+        // ordering: statistics counters.
+        self.stats
+            .arena_chunks_live
+            .store(live as u64, Ordering::Relaxed);
+        // ordering: statistics counter.
+        self.stats
+            .arena_chunks_retired
+            .fetch_add(1, Ordering::Relaxed);
+        // ordering: SeqCst — the retire epoch stamp must order against
+        // pin registration the same way `try_advance` does.
+        let e = self.epoch.load(Ordering::SeqCst);
+        self.limbo.lock().push(Limbo {
+            chunk: c,
+            retire_epoch: e,
+        });
+    }
+
+    /// Free the slabs of limbo chunks whose 2-epoch grace has elapsed
+    /// and recycle their slots to Empty.
+    fn collect_limbo(&self) {
+        // ordering: SeqCst — grace comparison in the epoch total order.
+        let now = self.epoch.load(Ordering::SeqCst);
+        let mut limbo = self.limbo.lock();
+        let mut i = 0;
+        while i < limbo.len() {
+            if limbo[i].retire_epoch + 2 > now {
+                i += 1;
+                continue;
+            }
+            let entry = limbo.swap_remove(i);
+            let meta = &self.chunks[entry.chunk as usize];
+            // ordering: AcqRel — take the slab exclusively; Release
+            // publishes the null to `node()`'s Acquire load (whose hard
+            // assert is what the mc model watches).
+            let raw = meta.slab.swap(ptr::null_mut(), Ordering::AcqRel);
+            debug_assert!(!raw.is_null(), "limbo chunk with no slab");
+            if !raw.is_null() {
+                // SAFETY: `raw` came from `Box::into_raw` of a
+                // CHUNK_NODES-length boxed slice in `claim_empty_chunk`;
+                // retirement proved no node is allocated or cached, the
+                // grace period guarantees no pinned operation still
+                // holds a stale index into it, and the swap above makes
+                // this the only reclaimer.
+                unsafe {
+                    drop(Box::from_raw(ptr::slice_from_raw_parts_mut(
+                        raw,
+                        CHUNK_NODES,
+                    )))
+                };
+            }
+            // Reset the slot for its next generation. The free-list tag
+            // is deliberately *kept* (monotone across generations) so a
+            // pop stalled since the previous generation can never
+            // succeed against the new one.
+            // ordering: Relaxed — no concurrent users until EMPTY.
+            meta.next_off.store(0, Ordering::Relaxed);
+            // ordering: Release — EMPTY publishes the reset (and the
+            // null slab) to `claim_empty_chunk`'s Acquire.
+            meta.state.store(EMPTY, Ordering::Release);
+            // ordering: statistics counter.
+            self.stats
+                .arena_chunks_freed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<T> Drop for Arena<T> {
+    fn drop(&mut self) {
+        for meta in self.chunks.iter_mut() {
+            let raw = *meta.slab.get_mut();
+            if !raw.is_null() {
+                // SAFETY: &mut self — no concurrent access; every slab
+                // came from `Box::into_raw` of a CHUNK_NODES-length
+                // boxed slice. Dropping the nodes drops any items still
+                // parked in them.
+                unsafe {
+                    drop(Box::from_raw(ptr::slice_from_raw_parts_mut(
+                        raw,
+                        CHUNK_NODES,
+                    )))
+                };
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Arena<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Arena")
+            .field("capacity", &self.cap_nodes)
+            .field("chunks_live", &self.chunks_live())
+            .field("epoch", &self.current_epoch())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_reuses_nodes() {
+        let a: Arena<u64> = Arena::new(CHUNK_NODES * 4);
+        let pin = a.pin();
+        let i1 = a.alloc(&pin).unwrap();
+        let i2 = a.alloc(&pin).unwrap();
+        assert_ne!(i1, i2);
+        a.free(&pin, i1);
+        let i3 = a.alloc(&pin).unwrap();
+        assert_eq!(i3, i1, "slot cache returns the just-freed node");
+        // ordering: test-only stats read.
+        assert!(a.stats().arena_reuse_hits.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_typed_error() {
+        let a: Arena<u64> = Arena::new(CHUNK_NODES);
+        let pin = a.pin();
+        let mut held = Vec::new();
+        for _ in 0..CHUNK_NODES {
+            held.push(a.alloc(&pin).unwrap());
+        }
+        assert_eq!(a.alloc(&pin), Err(ArenaFull), "cap reached: typed error");
+        a.free(&pin, held.pop().unwrap());
+        assert!(a.alloc(&pin).is_ok(), "free makes room again");
+    }
+
+    #[test]
+    fn epoch_blocked_by_stale_pin_then_advances() {
+        let a: Arena<u64> = Arena::new(CHUNK_NODES);
+        let pin = a.pin();
+        let e0 = a.current_epoch();
+        assert!(a.try_advance(), "pins at the current epoch do not block");
+        assert!(!a.try_advance(), "a pin one epoch behind blocks");
+        assert_eq!(a.current_epoch(), e0 + 1);
+        drop(pin);
+        assert!(a.try_advance(), "unpinned: free to advance");
+        assert_eq!(a.current_epoch(), e0 + 2);
+    }
+
+    #[test]
+    fn churn_retires_and_reclaims_chunks() {
+        let a: Arena<u64> = Arena::new(CHUNK_NODES * 8);
+        // Grow: hold 4 chunks' worth live.
+        let pin = a.pin();
+        let held: Vec<u32> = (0..CHUNK_NODES * 4)
+            .map(|_| a.alloc(&pin).unwrap())
+            .collect();
+        drop(pin);
+        let peak = a.chunks_live();
+        assert!(peak >= 4);
+        // Shrink: free everything, then run maintenance rounds.
+        let pin = a.pin();
+        for idx in held {
+            a.free(&pin, idx);
+        }
+        drop(pin);
+        for _ in 0..6 {
+            a.maintain();
+        }
+        assert!(
+            a.chunks_live() < peak,
+            "fully-freed chunks must retire (live {} vs peak {peak})",
+            a.chunks_live()
+        );
+        // ordering: test-only stats reads.
+        assert!(a.stats().arena_chunks_retired.load(Ordering::Relaxed) > 0);
+        // ordering: test-only stats read.
+        assert!(a.stats().arena_chunks_freed.load(Ordering::Relaxed) > 0);
+        // Reuse the recycled slots: the full capacity is allocatable
+        // again, and not a node more.
+        let pin = a.pin();
+        let mut total = 0usize;
+        while a.alloc(&pin).is_ok() {
+            total += 1;
+        }
+        assert_eq!(total, a.capacity(), "recycled chunks restore full capacity");
+        assert_eq!(
+            a.alloc(&pin),
+            Err(ArenaFull),
+            "cap still enforced after recycling"
+        );
+    }
+
+    #[test]
+    fn overflow_pins_block_advancement() {
+        let a: Arena<u64> = Arena::new(CHUNK_NODES);
+        let _pins: Vec<_> = (0..EPOCH_SLOTS + 1).map(|_| a.pin()).collect();
+        // The last pin overflowed: the epoch must freeze even though
+        // every *slot* pin is current.
+        assert!(!a.try_advance(), "overflow pins freeze the epoch");
+    }
+}

@@ -93,6 +93,7 @@
 //! mc` routes every atomic access, lock, and condvar wait below through
 //! the model checker's controlled scheduler.
 
+use crate::arena::Arena;
 use crate::bucket::Bucket;
 use crate::stats::AllocStats;
 use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -103,9 +104,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One shard. In the lock-free layout buckets live in `stack` and the
-/// mutex exists only as the condvar parking lock; in the mutex layout
-/// buckets live in `q` (FIFO) and `stack` stays empty.
-#[derive(Debug, Default)]
+/// mutex exists only as the condvar parking lock — except under arena
+/// backpressure, when buckets overflow into `q` (see
+/// [`Shard::overflow`]); in the mutex layout buckets live in `q` (FIFO)
+/// and `stack` stays empty.
+#[derive(Debug)]
 struct Shard {
     stack: TreiberStack<Bucket>,
     q: Mutex<VecDeque<Bucket>>,
@@ -117,6 +120,28 @@ struct Shard {
     /// layout: incremented *before* a push, decremented *after* a
     /// successful pop, so it never underflows.
     fill: AtomicUsize,
+    /// Lock-free layout only: number of buckets parked in `q` because a
+    /// stack push hit [`ArenaFull`](crate::arena::ArenaFull) — the
+    /// mutex-slow-path fallback that replaced the old exhaustion abort.
+    /// Written only while holding `q` (always `store(q.len())`), so it
+    /// mirrors the queue exactly. Invariant: `overflow > 0 ⇒ stack
+    /// empty` — every push path checks it (under `publish`) before
+    /// touching the stack, so pop order stays oldest-first through a
+    /// backpressure episode.
+    overflow: AtomicUsize,
+}
+
+impl Shard {
+    fn new(arena: &Arc<Arena<Bucket>>) -> Self {
+        Self {
+            stack: TreiberStack::with_arena(Arc::clone(arena)),
+            q: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            waiters: AtomicUsize::new(0),
+            fill: AtomicUsize::new(0),
+            overflow: AtomicUsize::new(0),
+        }
+    }
 }
 
 /// Sharded pool of available buckets (lock-free or mutex layout).
@@ -138,6 +163,11 @@ pub struct BucketCache {
     len: AtomicUsize,
     /// Getters currently parked anywhere (gate for cross-shard wakeups).
     waiters: AtomicUsize,
+    /// The bounded node arena every shard's Treiber stack draws from.
+    /// Shared across shards on purpose: a node freed by any shard is
+    /// allocatable by any other (cross-shard donation), so one hot
+    /// shard cannot exhaust the arena while siblings hold idle frees.
+    arena: Arc<Arena<Bucket>>,
     stats: Arc<AllocStats>,
 }
 
@@ -148,16 +178,24 @@ impl Default for BucketCache {
 }
 
 impl BucketCache {
-    fn with_layout(nshards: usize, lock_free: bool, stats: Arc<AllocStats>) -> Self {
+    fn with_layout(
+        nshards: usize,
+        lock_free: bool,
+        arena_cap: usize,
+        stats: Arc<AllocStats>,
+    ) -> Self {
         let n = nshards.max(1);
+        // One arena for every shard: pooled capacity + donation.
+        let arena = Arc::new(Arena::with_stats(arena_cap, Arc::clone(&stats)));
         Self {
-            shards: (0..n).map(|_| Shard::default()).collect(),
+            shards: (0..n).map(|_| Shard::new(&arena)).collect(),
             lock_free,
             gate: AtomicU64::new(0),
             publish: Mutex::new(()),
             hint: AtomicUsize::new(0),
             len: AtomicUsize::new(0),
             waiters: AtomicUsize::new(0),
+            arena,
             stats,
         }
     }
@@ -166,21 +204,35 @@ impl BucketCache {
     /// layout (every GET funnels through one mutex, FIFO order). Kept
     /// for tests and as the contention baseline.
     pub fn new() -> Self {
-        Self::with_layout(1, false, Arc::new(AllocStats::default()))
+        Self::with_layout(1, false, 0, Arc::new(AllocStats::default()))
     }
 
     /// Lock-free cache with `nshards` Treiber-stack shards (clamped to
     /// ≥ 1) recording contention counters into `stats`. Buckets map to
     /// shards by drive id, so one shard per data drive gives every
-    /// refilled bucket of a round its own stack.
+    /// refilled bucket of a round its own stack. The shared node arena
+    /// uses the default capacity (see [`Self::with_shards_capped`]).
     pub fn with_shards(nshards: usize, stats: Arc<AllocStats>) -> Self {
-        Self::with_layout(nshards, true, stats)
+        Self::with_layout(nshards, true, 0, stats)
+    }
+
+    /// [`Self::with_shards`] with an explicit arena capacity in nodes
+    /// (0 = default, `AllocConfig::cache_arena_cap`). The cap bounds
+    /// the cache's node memory; pushes beyond it take the mutex
+    /// overflow path instead of aborting.
+    pub fn with_shards_capped(nshards: usize, arena_cap: usize, stats: Arc<AllocStats>) -> Self {
+        Self::with_layout(nshards, true, arena_cap, stats)
     }
 
     /// Mutex-sharded cache (one mutex+condvar FIFO per shard) — the
     /// previous hot path, kept as a measurable baseline.
     pub fn with_shards_mutex(nshards: usize, stats: Arc<AllocStats>) -> Self {
-        Self::with_layout(nshards, false, stats)
+        Self::with_layout(nshards, false, 0, stats)
+    }
+
+    /// The shared node arena under this cache's Treiber shards.
+    pub fn arena(&self) -> &Arc<Arena<Bucket>> {
+        &self.arena
     }
 
     /// Does GET take the lock-free CAS path?
@@ -225,10 +277,11 @@ impl BucketCache {
         self.len() == 0
     }
 
-    /// CAS retries paid on the Treiber stacks so far — the lock-free
-    /// layout's contention meter (0 in the mutex layout).
+    /// CAS retries paid on the Treiber stacks and the shared arena's
+    /// free lists so far — the lock-free layout's contention meter (0
+    /// in the mutex layout).
     pub fn cas_retries(&self) -> u64 {
-        self.shards.iter().map(|s| s.stack.retries()).sum()
+        self.arena.retries()
     }
 
     /// The shard a bucket lives in.
@@ -376,6 +429,40 @@ impl BucketCache {
         self.wake_parked();
     }
 
+    /// Park `b` at the back of a shard's overflow queue (the mutex slow
+    /// path a push takes when the arena is at capacity). Caller holds
+    /// `publish`; the invariant `overflow > 0 ⇒ stack empty` is
+    /// maintained by `spill_stack_to_queue` running first whenever the
+    /// shard transitions into overflow mode.
+    fn overflow_push_back(&self, s: usize, b: Bucket) {
+        let shard = &self.shards[s];
+        let mut q = self.lock_shard(shard);
+        q.push_back(b);
+        // ordering: Release — pairs with `pop_lf`'s Acquire probe; the
+        // count mirrors `q` exactly (only ever stored under its lock).
+        shard.overflow.store(q.len(), Ordering::Release);
+    }
+
+    /// Enter overflow mode for shard `s`: drain whatever the stack
+    /// still holds into the queue (stack pop order = queue front, so
+    /// FIFO service preserves the stack's oldest-first order), leaving
+    /// the stack empty as the overflow invariant requires. Caller holds
+    /// `publish`, so no publisher races the drain; concurrent CAS
+    /// poppers may take buckets mid-drain, which is harmless (they got
+    /// valid buckets).
+    fn spill_stack_to_queue(&self, s: usize) {
+        let shard = &self.shards[s];
+        // ordering: statistics counter; staleness is acceptable.
+        self.stats
+            .arena_full_fallbacks
+            .fetch_add(1, Ordering::Relaxed);
+        let drained = shard.stack.pop_many(usize::MAX);
+        let mut q = self.lock_shard(shard);
+        q.extend(drained);
+        // ordering: Release — see `overflow_push_back`.
+        shard.overflow.store(q.len(), Ordering::Release);
+    }
+
     fn insert_lf(&self, b: Bucket) {
         let s = self.shard_of(&b);
         let shard = &self.shards[s];
@@ -396,7 +483,20 @@ impl BucketCache {
         // scans (Acquire) and updated from multiple insert/pop paths.
         let f = shard.fill.fetch_add(1, Ordering::AcqRel) + 1;
         let key = b.generation();
-        shard.stack.push_keyed(b, key);
+        // ordering: Acquire — overflow probe pairs with the Release
+        // stores under the queue lock; under `publish` the mode is
+        // stable (only publish-holders change it).
+        if shard.overflow.load(Ordering::Acquire) > 0 {
+            // Already in overflow mode: stay FIFO until the queue
+            // drains (mixing paths would reorder rounds).
+            self.overflow_push_back(s, b);
+        } else if let Err(b) = shard.stack.try_push_keyed(b, key) {
+            // Arena at capacity: fall back to the mutex queue instead
+            // of aborting (the bug this PR fixes). Spill the stack
+            // first so service order stays oldest-first.
+            self.spill_stack_to_queue(s);
+            self.overflow_push_back(s, b);
+        }
         drop(p);
         // O(1) hint nudge: adopt this shard if it now looks fullest.
         // ordering: Relaxed — the hint is advisory (see `refresh_hint`).
@@ -476,6 +576,18 @@ impl BucketCache {
             }
             // ordering: AcqRel — fill update paired with Acquire scans.
             self.shards[s].fill.fetch_add(batch.len(), Ordering::AcqRel);
+            // ordering: Acquire — overflow probe (see `insert_lf`).
+            if self.shards[s].overflow.load(Ordering::Acquire) > 0 {
+                // Overflow mode: the queue already holds the older
+                // rounds at its front (FIFO), so appending the new
+                // batch preserves oldest-round-first directly.
+                let shard = &self.shards[s];
+                let mut q = self.lock_shard(shard);
+                q.extend(batch);
+                // ordering: Release — see `overflow_push_back`.
+                shard.overflow.store(q.len(), Ordering::Release);
+                continue;
+            }
             // Re-publish any older leftovers *on top* of the new batch:
             // raw LIFO would bury the previous round's unconsumed bucket
             // under this one, and a buried bucket that never gets popped
@@ -486,12 +598,27 @@ impl BucketCache {
             // at most a round deep, and one CAS publishes the whole
             // reordered chain.
             let older = self.shards[s].stack.pop_many(usize::MAX);
-            self.shards[s]
-                .stack
-                .push_many_keyed(older.into_iter().chain(batch).map(|b| {
+            let keyed: Vec<(Bucket, u64)> = older
+                .into_iter()
+                .chain(batch)
+                .map(|b| {
                     let key = b.generation();
                     (b, key)
-                }));
+                })
+                .collect();
+            if let Err(items) = self.shards[s].stack.try_push_many_keyed(keyed) {
+                // Arena at capacity mid-refill: the whole chain comes
+                // back in order (all-or-nothing) and moves to the
+                // overflow queue — backpressure, not an abort. The
+                // stack is empty (we just drained it), so the overflow
+                // invariant holds.
+                self.spill_stack_to_queue(s);
+                let shard = &self.shards[s];
+                let mut q = self.lock_shard(shard);
+                q.extend(items.into_iter().map(|(b, _)| b));
+                // ordering: Release — see `overflow_push_back`.
+                shard.overflow.store(q.len(), Ordering::Release);
+            }
         }
         // The refill round's epoch sample: one scan per round keeps the
         // hint honest without any per-GET scan.
@@ -499,6 +626,12 @@ impl BucketCache {
         // ordering: AcqRel — closing fence: Release publishes the batch
         // to poppers whose even-gate Acquire load pairs with this.
         self.gate.fetch_add(1, Ordering::AcqRel);
+        // Arena maintenance rides the refill round, off the GET fast
+        // path and outside the gate window (poppers are running again):
+        // drain slot caches, retire fully-free chunks, advance the
+        // epoch, reclaim post-grace slabs. This is what turns a
+        // shrinking population into returned memory.
+        self.arena.maintain();
     }
 
     /// Pop from one specific shard (mutex layout).
@@ -512,8 +645,29 @@ impl BucketCache {
         Some(b)
     }
 
-    /// CAS-pop from one specific shard (lock-free layout).
+    /// CAS-pop from one specific shard (lock-free layout). Under arena
+    /// backpressure the shard's buckets live in the overflow queue
+    /// instead; serve it FIFO first (it holds the oldest rounds), then
+    /// fall through to the stack.
     fn pop_lf(&self, s: usize) -> Option<Bucket> {
+        // ordering: Acquire — pairs with the Release overflow stores;
+        // a stale 0 just means we probe the (then-empty) stack and the
+        // timeout path re-scans, a stale >0 costs one queue lock.
+        if self.shards[s].overflow.load(Ordering::Acquire) > 0 {
+            let shard = &self.shards[s];
+            let mut q = self.lock_shard(shard);
+            if let Some(b) = q.pop_front() {
+                // ordering: Release — see `overflow_push_back`.
+                shard.overflow.store(q.len(), Ordering::Release);
+                drop(q);
+                // ordering: AcqRel — fill update paired with Acquire scans.
+                shard.fill.fetch_sub(1, Ordering::AcqRel);
+                // ordering: SeqCst — waiter protocol (see `wake_parked`).
+                self.len.fetch_sub(1, Ordering::SeqCst);
+                return Some(b);
+            }
+            // Queue drained by a racing popper: fall through.
+        }
         let b = self.shards[s].stack.pop()?;
         // ordering: AcqRel — fill update paired with Acquire scans.
         self.shards[s].fill.fetch_sub(1, Ordering::AcqRel);
@@ -536,7 +690,25 @@ impl BucketCache {
         // ordering: AcqRel — fill update paired with Acquire scans.
         self.shards[s].fill.fetch_add(1, Ordering::AcqRel);
         let key = b.generation();
-        self.shards[s].stack.push_keyed(b, key);
+        // ordering: Acquire — overflow probe (see `insert_lf`).
+        if self.shards[s].overflow.load(Ordering::Acquire) > 0 {
+            // The undone bucket is the oldest in flight: front of the
+            // FIFO queue plays the role "top of the stack" does below.
+            let shard = &self.shards[s];
+            let mut q = self.lock_shard(shard);
+            q.push_front(b);
+            // ordering: Release — see `overflow_push_back`.
+            shard.overflow.store(q.len(), Ordering::Release);
+        } else if let Err(b) = self.shards[s].stack.try_push_keyed(b, key) {
+            // Arena at capacity: enter overflow mode with the undone
+            // bucket in front of whatever the stack still held.
+            self.spill_stack_to_queue(s);
+            let shard = &self.shards[s];
+            let mut q = self.lock_shard(shard);
+            q.push_front(b);
+            // ordering: Release — see `overflow_push_back`.
+            shard.overflow.store(q.len(), Ordering::Release);
+        }
         drop(p);
         // The transient pop may have shown a waiter an empty cache right
         // before it parked; with several undoing getters in flight the
@@ -734,6 +906,14 @@ impl BucketCache {
             if self.lock_free {
                 loop {
                     let g1 = self.gate_enter();
+                    // Under arena backpressure the home shard serves
+                    // from its FIFO overflow queue; batching degrades
+                    // to the steal-capable single GET (which knows the
+                    // queue) rather than growing a stack-only path.
+                    // ordering: Acquire — overflow probe (see `pop_lf`).
+                    if self.shards[home].overflow.load(Ordering::Acquire) > 0 {
+                        break;
+                    }
                     // Equal progress still outranks batching: when the
                     // hinted shard is strictly fuller than home, a home
                     // batch would let this cleaner's drive race ahead
@@ -770,12 +950,28 @@ impl BucketCache {
                         self.len.fetch_add(k, Ordering::SeqCst);
                         // ordering: AcqRel — fill update (see `pop_lf`).
                         self.shards[home].fill.fetch_add(k, Ordering::AcqRel);
-                        self.shards[home]
-                            .stack
-                            .push_many_keyed(got.into_iter().map(|b| {
+                        let keyed: Vec<(Bucket, u64)> = got
+                            .into_iter()
+                            .map(|b| {
                                 let key = b.generation();
                                 (b, key)
-                            }));
+                            })
+                            .collect();
+                        if let Err(items) = self.shards[home].stack.try_push_many_keyed(keyed) {
+                            // The k nodes we just freed were stolen by
+                            // concurrent allocators before our re-push
+                            // (shared arena): overflow instead of abort.
+                            // The undone chain is the oldest in flight,
+                            // so it goes to the queue front.
+                            self.spill_stack_to_queue(home);
+                            let shard = &self.shards[home];
+                            let mut q = self.lock_shard(shard);
+                            for (b, _) in items.into_iter().rev() {
+                                q.push_front(b);
+                            }
+                            // ordering: Release — see `overflow_push_back`.
+                            shard.overflow.store(q.len(), Ordering::Release);
+                        }
                         drop(p);
                         // Same lost-wakeup window as `unpop_lf`: the
                         // transient pop may have parked a waiter.
@@ -1138,7 +1334,7 @@ mod tests {
         // round 2 first); the mutex layout by FIFO order.
         for lock_free in [true, false] {
             let stats = Arc::new(AllocStats::default());
-            let c = BucketCache::with_layout(2, lock_free, stats);
+            let c = BucketCache::with_layout(2, lock_free, 0, stats);
             c.insert_all((0..2).map(|d| mk_bucket_gen(d, u64::from(d) * 10, 1)));
             c.insert_all((0..2).map(|d| mk_bucket_gen(d, 100 + u64::from(d) * 10, 2)));
             let mut gens = Vec::new();
@@ -1155,7 +1351,7 @@ mod tests {
         // stop at the round boundary and deliver round 1 only.
         for lock_free in [true, false] {
             let stats = Arc::new(AllocStats::default());
-            let c = BucketCache::with_layout(1, lock_free, Arc::clone(&stats));
+            let c = BucketCache::with_layout(1, lock_free, 0, Arc::clone(&stats));
             c.insert_all((0..2).map(|d| mk_bucket_gen(d, u64::from(d) * 10, 1)));
             c.insert_all((0..2).map(|d| mk_bucket_gen(d, 100 + u64::from(d) * 10, 2)));
             let first = c.get_many_from(0, 8);
@@ -1179,7 +1375,7 @@ mod tests {
         for lock_free in [true, false] {
             for _ in 0..50 {
                 let stats = Arc::new(AllocStats::default());
-                let c = Arc::new(BucketCache::with_layout(8, lock_free, stats));
+                let c = Arc::new(BucketCache::with_layout(8, lock_free, 0, stats));
                 let mut handles = Vec::new();
                 for t in 0..8usize {
                     let c = Arc::clone(&c);

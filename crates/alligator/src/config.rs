@@ -66,6 +66,16 @@ pub struct AllocConfig {
     /// blocking slow path; `false` keeps the mutex+condvar FIFO shards
     /// as a measurable baseline (`mutex_cache()`).
     pub cache_lockfree: bool,
+    /// Node capacity of the bucket cache's shared Treiber arena. `0`
+    /// (the default) uses the built-in cap (`arena::DEFAULT_ARENA_CAP`,
+    /// 256 Ki nodes). The cap *bounds cache memory*: when it is
+    /// reached, inserts fall back to the shard's mutex overflow queue
+    /// (typed `ArenaFull` backpressure) instead of growing — or, as
+    /// before this knob existed, aborting. Fully-freed chunks are
+    /// reclaimed through epoch-based grace periods, so a shrinking
+    /// population returns memory instead of holding its high-water
+    /// mark.
+    pub cache_arena_cap: usize,
 }
 
 impl Default for AllocConfig {
@@ -79,6 +89,7 @@ impl Default for AllocConfig {
             stage_capacity: 256,
             cache_shards: 0,
             cache_lockfree: true,
+            cache_arena_cap: 0,
         }
     }
 }

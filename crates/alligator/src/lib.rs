@@ -46,6 +46,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod allocator;
+pub mod arena;
 pub mod bucket;
 pub mod cache;
 pub mod config;
@@ -58,6 +59,7 @@ pub mod tetris;
 pub mod treiber;
 
 pub use allocator::Allocator;
+pub use arena::{Arena, ArenaFull};
 pub use bucket::Bucket;
 pub use cache::BucketCache;
 pub use config::{AllocConfig, InfraMode, ReinsertPolicy};

@@ -7,10 +7,10 @@
 //! stale popper's CAS on `A` now succeeds and installs the long-gone
 //! `B` as head. This implementation closes ABA the way the non-blocking
 //! allocator literature does (Marotta et al.; Blelloch & Wei): nodes
-//! live in an **append-only arena** addressed by index, and the head
-//! word packs `(tag32, index32)` where the tag increments on **every**
-//! successful head CAS. A stale CAS therefore always fails — the tag
-//! has moved — regardless of which node sits on top.
+//! live in an index-addressed [`Arena`], and the head word packs
+//! `(tag32, index32)` where the tag increments on **every** successful
+//! head CAS. A stale CAS therefore always fails — the tag has moved —
+//! regardless of which node sits on top.
 //!
 //! Because the tag changes on every push *and* pop, a successful CAS
 //! also proves the stack was untouched between the read and the CAS.
@@ -23,29 +23,35 @@
 //!   publishes it with one CAS, so a refill batch lands on a shard
 //!   atomically (§IV-D collective visibility, per shard).
 //!
-//! The arena grows in doubling chunks behind `AtomicPtr`s, so node
-//! addresses never move and a stale `next` read can never dereference
-//! freed memory — it is caught by the tag CAS instead. Nodes are
-//! recycled through an internal free list (same tagged-CAS discipline).
+//! Nodes come from a **bounded, shared, epoch-reclaimed** [`Arena`]
+//! (see `arena.rs` — this PR's replacement for the old append-only
+//! per-stack chunks). Consequences for this module:
+//!
+//! * Many stacks can share one arena (`with_arena`), so a node freed by
+//!   any shard is allocatable by any other — cross-shard donation.
+//! * Allocation can fail: [`TreiberStack::try_push_keyed`] and
+//!   [`TreiberStack::try_push_many_keyed`] surface
+//!   [`ArenaFull`](crate::arena::ArenaFull) as typed backpressure
+//!   (hand the items back) instead of the old process abort. The
+//!   infallible `push*` wrappers remain for tests/benches and panic on
+//!   capacity — documented, and unreachable at the default cap.
+//! * Every operation runs inside an epoch [`Pin`](crate::arena::Pin):
+//!   the speculative `next`/`key` walks below may read indices whose
+//!   chunk is being retired, and the pin is what guarantees the slab
+//!   cannot be *freed* under the walk (stale values are still discarded
+//!   by the tag CAS, as before).
 //!
 //! All synchronization comes through [`crate::sync`], so under
 //! `--features mc` every access below is a model-checker yield point;
 //! `crates/mc/tests/treiber_invariants.rs` model-checks conservation,
-//! LIFO batching, and the ABA defense over all interleavings. The
-//! happens-before contract these orderings implement is documented in
-//! DESIGN.md §"Memory-ordering contract".
+//! LIFO batching, and the ABA defense over all interleavings, and
+//! `crates/mc/tests/arena_reclaim.rs` covers the reclamation protocol.
+//! The happens-before contract these orderings implement is documented
+//! in DESIGN.md §"Memory-ordering contract" and §13.
 
-use crate::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
-use crate::sync::cell::UnsafeCell;
-use std::ptr;
-
-/// Sentinel index: "no node".
-const NIL: u32 = u32::MAX;
-/// Size of the first arena chunk; chunk `c` holds `CHUNK0 << c` nodes.
-const CHUNK0: usize = 32;
-/// Number of chunk slots; total capacity `CHUNK0 * (2^NCHUNKS - 1)`
-/// (≈ one billion nodes — far beyond any bucket population).
-const NCHUNKS: usize = 25;
+use crate::arena::{Arena, ArenaFull, DEFAULT_ARENA_CAP, NIL};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 #[inline]
 fn pack(tag: u32, idx: u32) -> u64 {
@@ -62,32 +68,7 @@ fn tag_of(word: u64) -> u32 {
     (word >> 32) as u32
 }
 
-/// Map a node index to its (chunk, offset) coordinates.
-#[inline]
-fn chunk_of(idx: u32) -> (usize, usize) {
-    let n = idx as usize / CHUNK0 + 1;
-    let c = (usize::BITS - 1 - n.leading_zeros()) as usize;
-    let base = CHUNK0 * ((1usize << c) - 1);
-    (c, idx as usize - base)
-}
-
-struct Node<T> {
-    /// Index of the node below this one (in the stack or the free list).
-    next: AtomicU32,
-    /// The payload. Written/taken only by the node's exclusive owner:
-    /// the pusher before the publish CAS, the popper after winning the
-    /// detach CAS.
-    item: UnsafeCell<Option<T>>,
-    /// Batch key stamped by `push_keyed`/`push_many_keyed` before the
-    /// publish CAS. `pop_many_same_key` walks it speculatively; any
-    /// stale read is discarded when the tag CAS fails, so a batch
-    /// never mixes keys. The bucket cache keys by refill generation to
-    /// keep one GET batch within one refill round (§IV-D equal
-    /// progress).
-    key: AtomicU64,
-}
-
-/// An ABA-safe lock-free stack of `T`.
+/// An ABA-safe lock-free stack of `T` over a bounded arena.
 ///
 /// All operations are non-blocking CAS loops; there is no mutex
 /// anywhere. `pop_many`/`push_many` move whole chains with a single
@@ -96,22 +77,15 @@ pub struct TreiberStack<T> {
     /// Packed `(tag, index)` of the top node. The tag increments on
     /// every successful CAS, defeating ABA.
     head: AtomicU64,
-    /// Packed `(tag, index)` of the free-node list.
-    free: AtomicU64,
-    /// Next never-used node index.
-    next_fresh: AtomicU32,
-    /// Doubling arena chunks (chunk `c` holds `CHUNK0 << c` nodes).
-    chunks: [AtomicPtr<Node<T>>; NCHUNKS],
-    /// CAS retries observed (head and free-list loops) — the stack's
-    /// contention meter.
-    retries: AtomicU64,
+    /// The node arena — possibly shared with other stacks (the bucket
+    /// cache gives every shard the same arena).
+    arena: Arc<Arena<T>>,
 }
 
-// SAFETY: `T` crosses threads through the stack; the `UnsafeCell` is
-// only touched by the exclusive owner of a detached node (see `Node`).
+// SAFETY: `T` crosses threads through the arena's nodes; see the
+// Send/Sync argument on `Arena`. The head word is a plain atomic.
 unsafe impl<T: Send> Send for TreiberStack<T> {}
-// SAFETY: as above — shared references only perform CAS-mediated access;
-// payload cells are reached only with exclusive node ownership.
+// SAFETY: as above — shared references only perform CAS-mediated access.
 unsafe impl<T: Send> Sync for TreiberStack<T> {}
 
 impl<T> Default for TreiberStack<T> {
@@ -121,22 +95,32 @@ impl<T> Default for TreiberStack<T> {
 }
 
 impl<T> TreiberStack<T> {
-    /// New empty stack (no arena allocated until the first push).
+    /// New empty stack over a private arena at [`DEFAULT_ARENA_CAP`]
+    /// (no slab allocated until the first push).
     pub fn new() -> Self {
+        Self::with_arena(Arc::new(Arena::new(DEFAULT_ARENA_CAP)))
+    }
+
+    /// New empty stack drawing nodes from `arena`. Passing the same
+    /// arena to several stacks pools their capacity and free lists
+    /// (cross-shard donation in the bucket cache).
+    pub fn with_arena(arena: Arc<Arena<T>>) -> Self {
         Self {
             head: AtomicU64::new(pack(0, NIL)),
-            free: AtomicU64::new(pack(0, NIL)),
-            next_fresh: AtomicU32::new(0),
-            chunks: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
-            retries: AtomicU64::new(0),
+            arena,
         }
     }
 
-    /// CAS retries paid so far on the head and free-list loops — a
-    /// direct measure of pop/push contention.
+    /// The arena this stack allocates from.
+    pub fn arena(&self) -> &Arc<Arena<T>> {
+        &self.arena
+    }
+
+    /// CAS retries paid so far on this stack's arena (head + free-list
+    /// loops, pooled across every stack sharing the arena) — a direct
+    /// measure of pop/push contention.
     pub fn retries(&self) -> u64 {
-        // ordering: statistics counter; staleness is acceptable.
-        self.retries.load(Ordering::Relaxed)
+        self.arena.retries()
     }
 
     /// Is the stack empty right now? (Advisory under concurrency.)
@@ -146,127 +130,8 @@ impl<T> TreiberStack<T> {
         idx_of(self.head.load(Ordering::Acquire)) == NIL
     }
 
-    /// Dereference a node index. The index must have been allocated
-    /// (all indices ever stored in `head`/`free`/`next` are).
-    #[inline]
-    fn node(&self, idx: u32) -> &Node<T> {
-        let (c, off) = chunk_of(idx);
-        // ordering: Acquire pairs with the AcqRel chunk-install CAS in
-        // `ensure_chunk`, so the pointed-to nodes are fully constructed.
-        let base = self.chunks[c].load(Ordering::Acquire);
-        debug_assert!(!base.is_null(), "node index {idx} in unallocated chunk");
-        // SAFETY: `idx` was handed out by `alloc_node`, which called
-        // `ensure_chunk` first; chunks are append-only and never freed
-        // before Drop, so `base` is valid and `off` is in bounds.
-        unsafe { &*base.add(off) }
-    }
-
-    /// Make sure the chunk containing `idx` exists. Lock-free: racers
-    /// both allocate and the CAS loser frees its copy.
-    fn ensure_chunk(&self, idx: u32) {
-        let (c, _) = chunk_of(idx);
-        assert!(c < NCHUNKS, "TreiberStack arena exhausted");
-        // ordering: Acquire pairs with the install CAS below so an
-        // already-installed chunk's contents are visible.
-        if !self.chunks[c].load(Ordering::Acquire).is_null() {
-            return;
-        }
-        let size = CHUNK0 << c;
-        let mut nodes: Vec<Node<T>> = Vec::with_capacity(size);
-        for _ in 0..size {
-            nodes.push(Node {
-                next: AtomicU32::new(NIL),
-                item: UnsafeCell::new(None),
-                key: AtomicU64::new(0),
-            });
-        }
-        let raw = Box::into_raw(nodes.into_boxed_slice()) as *mut Node<T>;
-        if self.chunks[c]
-            // ordering: AcqRel — Release publishes the constructed nodes
-            // to `node()`'s Acquire load; Acquire on failure observes the
-            // winner's install before we free our copy.
-            .compare_exchange(ptr::null_mut(), raw, Ordering::AcqRel, Ordering::Acquire)
-            .is_err()
-        {
-            // Lost the install race; reconstitute and drop our copy.
-            // SAFETY: `raw` came from `Box::into_raw` of a `size`-length
-            // boxed slice we still exclusively own (the CAS rejected it).
-            unsafe { drop(Box::from_raw(ptr::slice_from_raw_parts_mut(raw, size))) };
-        }
-    }
-
-    /// Take a node off the free list, or mint a fresh one.
-    fn alloc_node(&self) -> u32 {
-        loop {
-            // ordering: Acquire pairs with the free-list AcqRel CAS in
-            // `release_node`, making the released node's writes visible.
-            let f = self.free.load(Ordering::Acquire);
-            let idx = idx_of(f);
-            if idx == NIL {
-                break;
-            }
-            // ordering: Acquire — the link was Release-stored by
-            // `release_node` before its publish CAS.
-            let next = self.node(idx).next.load(Ordering::Acquire);
-            if self
-                .free
-                // ordering: AcqRel — Acquire synchronizes with the
-                // releasing thread (its item take happens-before our
-                // reuse); Release orders our detach for the next CAS.
-                // The tag bump defeats free-list ABA.
-                .compare_exchange(
-                    f,
-                    pack(tag_of(f).wrapping_add(1), next),
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                )
-                .is_ok()
-            {
-                return idx;
-            }
-            // ordering: statistics counter; no synchronization needed.
-            self.retries.fetch_add(1, Ordering::Relaxed);
-        }
-        // ordering: Relaxed — only atomicity is needed to mint a unique
-        // index; `ensure_chunk` below synchronizes the storage itself.
-        let idx = self.next_fresh.fetch_add(1, Ordering::Relaxed);
-        assert!(idx != NIL, "TreiberStack node indices exhausted");
-        self.ensure_chunk(idx);
-        idx
-    }
-
-    /// Return a detached node to the free list.
-    fn release_node(&self, idx: u32) {
-        let node = self.node(idx);
-        loop {
-            // ordering: Acquire pairs with the AcqRel CAS below run by
-            // concurrent free-list users.
-            let f = self.free.load(Ordering::Acquire);
-            // ordering: Release — the link must be visible before the
-            // CAS publishes this node as the free head.
-            node.next.store(idx_of(f), Ordering::Release);
-            if self
-                .free
-                // ordering: AcqRel — Release publishes our item `take`
-                // (in the popper) before the node can be reused; tag bump
-                // defeats ABA. Acquire on the failure path refreshes `f`.
-                .compare_exchange(
-                    f,
-                    pack(tag_of(f).wrapping_add(1), idx),
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                )
-                .is_ok()
-            {
-                return;
-            }
-            // ordering: statistics counter; no synchronization needed.
-            self.retries.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
     /// Publish the privately linked chain `first..=last` (already joined
-    /// via `next`) with one CAS.
+    /// via `next`) with one CAS. Caller must hold a pin (node derefs).
     fn attach(&self, first: u32, last: u32) {
         loop {
             // ordering: Acquire pairs with the AcqRel head CAS of
@@ -274,7 +139,10 @@ impl<T> TreiberStack<T> {
             let h = self.head.load(Ordering::Acquire);
             // ordering: Release — the tail link must be visible before
             // the publish CAS makes the chain reachable.
-            self.node(last).next.store(idx_of(h), Ordering::Release);
+            self.arena
+                .node(last)
+                .next
+                .store(idx_of(h), Ordering::Release);
             if self
                 .head
                 // ordering: AcqRel — Release publishes the chain's items,
@@ -290,68 +158,138 @@ impl<T> TreiberStack<T> {
             {
                 return;
             }
-            // ordering: statistics counter; no synchronization needed.
-            self.retries.fetch_add(1, Ordering::Relaxed);
+            self.arena.note_retry();
         }
     }
 
     /// Push one item (one CAS on the uncontended path).
+    ///
+    /// # Panics
+    /// Panics if the arena is at capacity — use
+    /// [`TreiberStack::try_push_keyed`] where backpressure matters (the
+    /// bucket cache does); this wrapper serves tests/benches running
+    /// far below the default cap.
     pub fn push(&self, item: T) {
         self.push_keyed(item, 0);
     }
 
     /// Push one item stamped with a batch `key` (see
     /// [`TreiberStack::pop_many_same_key`]).
+    ///
+    /// # Panics
+    /// Panics if the arena is at capacity (see [`TreiberStack::push`]).
     pub fn push_keyed(&self, item: T, key: u64) {
-        let idx = self.alloc_node();
+        if self.try_push_keyed(item, key).is_err() {
+            panic!("treiber push: arena at capacity (use try_push_keyed for backpressure)");
+        }
+    }
+
+    /// Push one item stamped with a batch `key`, returning it on
+    /// [`ArenaFull`] so the caller can fall back (the bucket cache
+    /// reroutes to its mutex overflow queue).
+    pub fn try_push_keyed(&self, item: T, key: u64) -> Result<(), T> {
+        let pin = self.arena.pin();
+        let idx = match self.arena.alloc(&pin) {
+            Ok(idx) => idx,
+            Err(ArenaFull) => return Err(item),
+        };
+        let node = self.arena.node(idx);
         // SAFETY: the node is detached — we are its only owner until the
         // `attach` publish CAS below.
-        self.node(idx).item.with_mut(|p| unsafe { *p = Some(item) });
+        node.item.with_mut(|p| unsafe { *p = Some(item) });
         // ordering: Release — the key stamp must be visible before
         // `attach` publishes the node (speculative key walks may read
         // it as soon as the head CAS lands).
-        self.node(idx).key.store(key, Ordering::Release);
+        node.key.store(key, Ordering::Release);
         self.attach(idx, idx);
+        Ok(())
     }
 
     /// Push a batch, publishing it **atomically** (one CAS): a
     /// concurrent popper sees either none of the batch or all of it.
     /// Items pop back out in iteration order (first item on top).
     /// Returns the batch size.
+    ///
+    /// # Panics
+    /// Panics if the arena is at capacity (see [`TreiberStack::push`]).
     pub fn push_many(&self, items: impl IntoIterator<Item = T>) -> usize {
         self.push_many_keyed(items.into_iter().map(|i| (i, 0)))
     }
 
     /// [`TreiberStack::push_many`] with a per-item batch key.
+    ///
+    /// # Panics
+    /// Panics if the arena is at capacity (see [`TreiberStack::push`]).
     pub fn push_many_keyed(&self, items: impl IntoIterator<Item = (T, u64)>) -> usize {
-        let mut first = NIL;
-        let mut prev = NIL;
-        let mut count = 0usize;
-        for (item, key) in items {
-            let idx = self.alloc_node();
+        match self.try_push_many_keyed(items.into_iter().collect()) {
+            Ok(n) => n,
+            Err(_) => {
+                panic!("treiber push: arena at capacity (use try_push_many_keyed for backpressure)")
+            }
+        }
+    }
+
+    /// Push a batch atomically, or hand **all** of it back on
+    /// [`ArenaFull`]. All-or-nothing: if allocation fails mid-batch,
+    /// the nodes already built are stripped and freed, and the returned
+    /// `Vec` holds every item in the original order — the caller can
+    /// reroute the whole batch to its fallback path without losing
+    /// ordering (the bucket cache's overflow queue relies on this).
+    pub fn try_push_many_keyed(&self, items: Vec<(T, u64)>) -> Result<usize, Vec<(T, u64)>> {
+        if items.is_empty() {
+            return Ok(0);
+        }
+        let pin = self.arena.pin();
+        let mut chain: Vec<u32> = Vec::with_capacity(items.len());
+        let mut iter = items.into_iter();
+        for (item, key) in iter.by_ref() {
+            let idx = match self.arena.alloc(&pin) {
+                Ok(idx) => idx,
+                Err(ArenaFull) => {
+                    // Unwind: pull the staged items back out of their
+                    // nodes (we still exclusively own the private
+                    // chain), free the nodes, and return everything.
+                    let mut out: Vec<(T, u64)> = Vec::with_capacity(chain.len() + 1);
+                    for &staged in &chain {
+                        let node = self.arena.node(staged);
+                        // SAFETY: the chain is private (never attached);
+                        // we are still the exclusive owner of each node.
+                        let it = node.item.with_mut(|p| unsafe { (*p).take() });
+                        // ordering: Acquire — our own Release stamp from
+                        // this same (private) chain build.
+                        let k = node.key.load(Ordering::Acquire);
+                        debug_assert!(it.is_some(), "staged chain node lost its item");
+                        if let Some(it) = it {
+                            out.push((it, k));
+                        }
+                        self.arena.free(&pin, staged);
+                    }
+                    out.push((item, key));
+                    out.extend(iter);
+                    return Err(out);
+                }
+            };
+            let node = self.arena.node(idx);
             // SAFETY: detached node, exclusively owned until `attach`.
-            self.node(idx).item.with_mut(|p| unsafe { *p = Some(item) });
+            node.item.with_mut(|p| unsafe { *p = Some(item) });
             // ordering: Release — stamp visible before the publish CAS
-            // (see `push_keyed`).
-            self.node(idx).key.store(key, Ordering::Release);
-            if first == NIL {
-                first = idx;
-            } else {
+            // (see `try_push_keyed`).
+            node.key.store(key, Ordering::Release);
+            if let Some(&prev) = chain.last() {
                 // ordering: Release — private chain link, published
                 // wholesale by `attach`'s CAS.
-                self.node(prev).next.store(idx, Ordering::Release);
+                self.arena.node(prev).next.store(idx, Ordering::Release);
             }
-            prev = idx;
-            count += 1;
+            chain.push(idx);
         }
-        if first != NIL {
-            self.attach(first, prev);
-        }
-        count
+        let count = chain.len();
+        self.attach(chain[0], *chain.last().unwrap());
+        Ok(count)
     }
 
     /// Pop the top item (one CAS on the uncontended path).
     pub fn pop(&self) -> Option<T> {
+        let pin = self.arena.pin();
         loop {
             // ordering: Acquire pairs with `attach`'s AcqRel publish CAS:
             // a non-NIL head implies its item/key/next writes are visible.
@@ -360,7 +298,7 @@ impl<T> TreiberStack<T> {
             if idx == NIL {
                 return None;
             }
-            let node = self.node(idx);
+            let node = self.arena.node(idx);
             // ordering: Acquire — the link was Release-stored before the
             // node became reachable; a stale value is discarded by the
             // tag CAS below.
@@ -382,11 +320,10 @@ impl<T> TreiberStack<T> {
                 // SAFETY: the tag CAS transferred exclusive ownership.
                 let item = node.item.with_mut(|p| unsafe { (*p).take() });
                 debug_assert!(item.is_some(), "popped a node with no item");
-                self.release_node(idx);
+                self.arena.free(&pin, idx);
                 return item;
             }
-            // ordering: statistics counter; no synchronization needed.
-            self.retries.fetch_add(1, Ordering::Relaxed);
+            self.arena.note_retry();
         }
     }
 
@@ -417,6 +354,10 @@ impl<T> TreiberStack<T> {
         if max == 0 {
             return Vec::new();
         }
+        // The pin covers the whole speculative walk: chunks referenced
+        // by stale indices may be retired meanwhile, but cannot be
+        // *reclaimed* (slab freed) until two epochs after our pin.
+        let pin = self.arena.pin();
         loop {
             // ordering: Acquire pairs with `attach`'s publish CAS (see
             // `pop`).
@@ -429,11 +370,12 @@ impl<T> TreiberStack<T> {
             // fails the CAS below, discarding whatever was read.
             // ordering: Acquire — stamped with Release before publish;
             // stale reads are discarded by the tag CAS.
-            let key0 = self.node(idx_of(h)).key.load(Ordering::Acquire);
+            let key0 = self.arena.node(idx_of(h)).key.load(Ordering::Acquire);
             let mut indices = Vec::with_capacity(max.min(16));
             indices.push(idx_of(h));
             while indices.len() < max {
                 let nx = self
+                    .arena
                     .node(*indices.last().unwrap())
                     .next
                     // ordering: Acquire — speculative link read; stale
@@ -443,12 +385,13 @@ impl<T> TreiberStack<T> {
                     break;
                 }
                 // ordering: Acquire — speculative key read (see `key0`).
-                if same_key && self.node(nx).key.load(Ordering::Acquire) != key0 {
+                if same_key && self.arena.node(nx).key.load(Ordering::Acquire) != key0 {
                     break;
                 }
                 indices.push(nx);
             }
             let after = self
+                .arena
                 .node(*indices.last().unwrap())
                 .next
                 // ordering: Acquire — speculative link read; validated by
@@ -467,8 +410,7 @@ impl<T> TreiberStack<T> {
                 )
                 .is_err()
             {
-                // ordering: statistics counter; no synchronization needed.
-                self.retries.fetch_add(1, Ordering::Relaxed);
+                self.arena.note_retry();
                 continue;
             }
             let mut out = Vec::with_capacity(indices.len());
@@ -476,12 +418,16 @@ impl<T> TreiberStack<T> {
                 // SAFETY: tag unchanged across the CAS ⇒ no head CAS
                 // interleaved ⇒ the walked chain is the authentic top-k
                 // and now exclusively ours.
-                let item = self.node(idx).item.with_mut(|p| unsafe { (*p).take() });
+                let item = self
+                    .arena
+                    .node(idx)
+                    .item
+                    .with_mut(|p| unsafe { (*p).take() });
                 debug_assert!(item.is_some(), "pop_many chain node with no item");
                 if let Some(item) = item {
                     out.push(item);
                 }
-                self.release_node(idx);
+                self.arena.free(&pin, idx);
             }
             return out;
         }
@@ -490,27 +436,11 @@ impl<T> TreiberStack<T> {
 
 impl<T> Drop for TreiberStack<T> {
     fn drop(&mut self) {
-        let fresh = *self.next_fresh.get_mut();
-        for idx in 0..fresh {
-            let (c, off) = chunk_of(idx);
-            let base = *self.chunks[c].get_mut();
-            if base.is_null() {
-                continue;
-            }
-            // SAFETY: &mut self — no concurrent access; drop any item
-            // still parked in the node.
-            unsafe { (*(*base.add(off)).item.get()).take() };
-        }
-        for (c, chunk) in self.chunks.iter_mut().enumerate() {
-            let base = *chunk.get_mut();
-            if !base.is_null() {
-                let size = CHUNK0 << c;
-                // SAFETY: `base` came from `Box::into_raw` of a
-                // `size`-length boxed slice in `ensure_chunk`; &mut self
-                // guarantees nobody else can still reach it.
-                unsafe { drop(Box::from_raw(ptr::slice_from_raw_parts_mut(base, size))) };
-            }
-        }
+        // Drain any remaining items so their nodes return to the arena
+        // (other stacks may share it and outlive us). The arena drops
+        // parked items itself when *it* drops, so this is about node
+        // accounting, not leaks.
+        while self.pop().is_some() {}
     }
 }
 
@@ -526,25 +456,6 @@ impl<T> std::fmt::Debug for TreiberStack<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
-
-    #[test]
-    fn chunk_coordinates_partition_the_index_space() {
-        // Every index maps into exactly one in-bounds chunk slot, and
-        // consecutive indices tile chunks without gaps.
-        let mut prev = (0usize, usize::MAX);
-        for idx in 0..100_000u32 {
-            let (c, off) = chunk_of(idx);
-            assert!(off < CHUNK0 << c, "idx {idx} offset {off} out of chunk {c}");
-            if c == prev.0 {
-                assert_eq!(off, prev.1.wrapping_add(1));
-            } else {
-                assert_eq!(c, prev.0 + 1);
-                assert_eq!(off, 0);
-            }
-            prev = (c, off);
-        }
-    }
 
     #[test]
     fn lifo_order_and_reuse() {
@@ -593,6 +504,54 @@ mod tests {
         assert_eq!(s.pop_many_same_key(1), vec![1], "max still caps the batch");
         assert_eq!(s.pop_many_same_key(10), vec![2]);
         assert!(s.pop_many_same_key(10).is_empty());
+    }
+
+    #[test]
+    fn tiny_arena_push_returns_items_instead_of_aborting() {
+        use crate::arena::CHUNK_NODES;
+        let s: TreiberStack<u64> = TreiberStack::with_arena(Arc::new(Arena::new(CHUNK_NODES)));
+        let mut pushed = 0u64;
+        let rejected = loop {
+            match s.try_push_keyed(pushed, 0) {
+                Ok(()) => pushed += 1,
+                Err(item) => break item,
+            }
+        };
+        assert_eq!(rejected, pushed, "the rejected item comes back intact");
+        assert_eq!(pushed as usize, CHUNK_NODES, "cap honored exactly");
+        // Batch push on the full arena hands back the whole batch.
+        let batch: Vec<(u64, u64)> = (100..105).map(|v| (v, 9)).collect();
+        let returned = s.try_push_many_keyed(batch.clone()).unwrap_err();
+        assert_eq!(returned, batch, "all-or-nothing, original order");
+        // Draining makes room again; nothing was lost.
+        let mut drained = Vec::new();
+        while let Some(v) = s.pop() {
+            drained.push(v);
+        }
+        drained.sort_unstable();
+        assert_eq!(drained, (0..pushed).collect::<Vec<_>>());
+        assert!(s.try_push_keyed(42, 0).is_ok());
+    }
+
+    #[test]
+    fn stacks_sharing_an_arena_donate_capacity() {
+        use crate::arena::CHUNK_NODES;
+        let arena = Arc::new(Arena::new(CHUNK_NODES));
+        let a: TreiberStack<u64> = TreiberStack::with_arena(Arc::clone(&arena));
+        let b: TreiberStack<u64> = TreiberStack::with_arena(Arc::clone(&arena));
+        // Fill the whole shared arena through `a`...
+        let mut n = 0u64;
+        while a.try_push_keyed(n, 0).is_ok() {
+            n += 1;
+        }
+        assert!(b.try_push_keyed(99, 0).is_err(), "shared cap is global");
+        // ...then free through `a` and allocate through `b`: donation.
+        assert!(a.pop().is_some());
+        assert!(
+            b.try_push_keyed(99, 0).is_ok(),
+            "a node freed by one stack serves another"
+        );
+        assert_eq!(b.pop(), Some(99));
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Arena boundedness soak tests: the bucket cache's shared Treiber
+//! arena must (a) refuse growth past its configured node cap with typed
+//! backpressure — never the PR-3 exhaustion abort — while conserving
+//! every bucket through the mutex overflow fallback, and (b) hold a
+//! flat live-chunk plateau under churn, recycling nodes instead of
+//! minting and returning slabs after a population shrink.
+//!
+//! CI runs this file with `-C debug-assertions=on` so the arena's
+//! internal accounting checks (chunk free counts, tag monotonicity,
+//! null-slab pin discipline) are armed during the hammering.
+
+use alligator::arena::CHUNK_NODES;
+use alligator::{AllocStats, Bucket, BucketCache, Tetris};
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+use wafl_blockdev::{AaId, DriveId, DriveKind, GeometryBuilder, IoEngine, RaidGroupId, Vbn};
+
+/// A filled 4-VBN bucket with a unique identity (`start`), all sharing
+/// one tetris — the cache only looks at identity and shard routing.
+fn mk_buckets(n: usize) -> Vec<Bucket> {
+    let engine = Arc::new(IoEngine::new(
+        Arc::new(
+            GeometryBuilder::new()
+                .aa_stripes(32)
+                .raid_group(1, 1, 1 << 20)
+                .build(),
+        ),
+        DriveKind::Ssd,
+    ));
+    let t = Tetris::new(RaidGroupId(0), 1, engine, Arc::new(AllocStats::default()));
+    (0..n)
+        .map(|i| {
+            Bucket::new(
+                RaidGroupId(0),
+                0,
+                DriveId((i % 4) as u32),
+                AaId {
+                    rg: RaidGroupId(0),
+                    index: 0,
+                },
+                (i as u64 * 64..i as u64 * 64 + 4).map(Vbn).collect(),
+                0,
+                Arc::clone(&t),
+                0,
+            )
+        })
+        .collect()
+}
+
+/// Regression for the exhaustion aborts: filling a cache whose arena is
+/// capped at a single chunk with 3× more buckets must not panic — the
+/// overage rides the mutex overflow queue (`ArenaFull` backpressure),
+/// every bucket survives the episode, and once the queue drains the
+/// lock-free path resumes.
+#[test]
+fn tiny_capped_arena_backpressures_instead_of_aborting() {
+    const POPULATION: usize = 3 * CHUNK_NODES;
+    let stats = Arc::new(AllocStats::default());
+    let cache = BucketCache::with_shards_capped(2, CHUNK_NODES, Arc::clone(&stats));
+    assert_eq!(cache.arena().capacity(), CHUNK_NODES);
+
+    let mut buckets = mk_buckets(POPULATION);
+    let ids: HashSet<u64> = buckets.iter().map(|b| b.start_vbn().0).collect();
+    // Half through single inserts, half through a collective round, so
+    // both the `insert` and `insert_all` fallback paths see the cap.
+    let tail = buckets.split_off(POPULATION / 2);
+    for b in buckets {
+        cache.insert(b);
+    }
+    cache.insert_all(tail);
+    assert_eq!(cache.len(), POPULATION, "a bucket was dropped at the cap");
+    let snap = stats.snapshot();
+    assert!(
+        snap.arena_full_fallbacks > 0,
+        "a 3x-overcommitted arena must have taken the overflow fallback"
+    );
+
+    // Conservation through the episode: every identity drains exactly
+    // once, in spite of the stack/queue split.
+    let mut drained = HashSet::new();
+    while let Some(b) = cache.try_get() {
+        assert!(drained.insert(b.start_vbn().0), "duplicate bucket");
+    }
+    assert_eq!(drained, ids, "buckets lost under ArenaFull backpressure");
+
+    // The episode over (nodes freed, queue empty), the lock-free path
+    // must work again: a chunk's worth of reinserts then lands on the
+    // stack without growing the fallback count.
+    let before = stats.snapshot().arena_full_fallbacks;
+    cache.insert_all(mk_buckets(CHUNK_NODES));
+    assert_eq!(cache.len(), CHUNK_NODES);
+    assert_eq!(
+        stats.snapshot().arena_full_fallbacks,
+        before,
+        "recovered arena still taking the mutex fallback"
+    );
+}
+
+/// Memory-boundedness soak: grow the population to a multi-chunk
+/// working set, churn it across threads (steady-state must recycle
+/// nodes, not mint), then shrink and let maintenance reclaim — the
+/// live-chunk level must fall below its peak and the peak itself must
+/// match the working set, not the op count.
+#[test]
+fn churn_soak_holds_a_flat_chunk_plateau_and_reclaims_on_shrink() {
+    const THREADS: usize = 8;
+    const ITERS: usize = 250;
+    const POPULATION: usize = 4 * CHUNK_NODES; // 4 chunks at peak
+    const RESIDENT: usize = CHUNK_NODES / 2; // working set after shrink
+
+    let stats = Arc::new(AllocStats::default());
+    let cache = Arc::new(BucketCache::with_shards_capped(4, 0, Arc::clone(&stats)));
+
+    // Grow: the full population mints its chunks.
+    cache.insert_all(mk_buckets(POPULATION));
+    let peak = cache.arena().chunks_live();
+    assert_eq!(peak, POPULATION / CHUNK_NODES, "grow phase chunk count");
+
+    // Shrink: drain down to the resident working set.
+    let mut parked = Vec::new();
+    while cache.len() > RESIDENT {
+        parked.push(cache.try_get().expect("len > 0"));
+    }
+
+    // Churn the resident set: GET, occasionally hold, reinsert —
+    // singles and collective rounds (the latter run arena maintenance
+    // in-band, as production refills do).
+    let mints_before_churn = stats.snapshot().arena_fresh_mints;
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|i| {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut held = Vec::new();
+                for iter in 0..ITERS {
+                    if let Some(b) = cache.get_timeout_from(i, Duration::from_millis(50)) {
+                        held.push(b);
+                    }
+                    // Deterministic per-thread cadence: reinsert the
+                    // hoard every few iterations, alternating between
+                    // the single and collective paths.
+                    if iter % 4 == 3 || held.len() >= 4 {
+                        if iter % 8 < 4 {
+                            for b in held.drain(..) {
+                                cache.insert(b);
+                            }
+                        } else {
+                            cache.insert_all(std::mem::take(&mut held));
+                        }
+                    }
+                }
+                for b in held {
+                    cache.insert(b);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(cache.len(), RESIDENT, "churn lost a bucket");
+
+    let snap = stats.snapshot();
+    assert!(
+        snap.arena_reuse_hits + snap.arena_donations > 0,
+        "steady-state churn must recycle nodes"
+    );
+    // Plateau: churning a half-chunk working set may mint at most one
+    // further chunk beyond the grow-phase peak (a node is transiently
+    // in flight per thread), never one per operation.
+    assert!(
+        snap.arena_fresh_mints - mints_before_churn <= CHUNK_NODES as u64,
+        "churn minted {} fresh nodes — the arena is growing per-op",
+        snap.arena_fresh_mints - mints_before_churn
+    );
+    assert!(
+        // ordering: post-join gauge read; staleness is acceptable.
+        stats.arena_chunks_live.load(Ordering::Relaxed) as usize <= peak + 1,
+        "live chunks exceeded the grow-phase peak"
+    );
+
+    // Reclaim: with the population shrunk, maintenance rounds (each
+    // advances the reclamation epoch once) must retire and then free
+    // the now-empty chunks — the level drops below the peak.
+    drop(parked);
+    for _ in 0..6 {
+        cache.arena().maintain();
+    }
+    let live = cache.arena().chunks_live();
+    assert!(
+        live < peak,
+        "no reclamation: {live} chunks still live after shrink (peak {peak})"
+    );
+    let snap = stats.snapshot();
+    assert!(snap.arena_chunks_retired > 0, "no chunk was ever retired");
+    assert!(
+        snap.arena_chunks_freed > 0,
+        "retired chunks never finished their grace period"
+    );
+    // The survivors still serve traffic: a full drain conserves the
+    // resident set.
+    let mut n = 0;
+    while cache.try_get().is_some() {
+        n += 1;
+    }
+    assert_eq!(n, RESIDENT);
+}

@@ -1,0 +1,432 @@
+//! Arena-churn profiler — the memory-boundedness evidence for the
+//! bounded Treiber arena.
+//!
+//! Before the bounded arena, the bucket cache's node pool only ever
+//! grew: every insert that missed the free list minted a new slab slot,
+//! and the two exhaustion `assert!`s aborted the process when the index
+//! space ran out. This bench drives the **real**
+//! [`alligator::BucketCache`] (shared-arena layout) through a
+//! grow → churn → shrink population cycle on OS threads and records the
+//! arena's live-chunk level over time, proving:
+//!
+//! * **plateau** — under steady churn the live-chunk level is flat
+//!   (second-half maximum ≤ first-half maximum): steady state recycles
+//!   nodes instead of minting;
+//! * **reuse** — `arena_reuse_hits > 0` and fresh mints stay within one
+//!   chunk of the population (footprint tracks the working set, not the
+//!   op count);
+//! * **reclamation** — after the population shrinks, maintenance
+//!   retires and frees chunks: the level drops below its peak;
+//! * **conservation** — no bucket is lost or duplicated across the
+//!   cycle, including any `ArenaFull` overflow episodes.
+//!
+//! Outputs `BENCH_arena_churn.json` at the repo root (`WAFL_BENCH_ROOT`
+//! overrides the directory) — validated by the CI schema gate — plus
+//! `results/exp_arena_churn.json` via the standard [`emit`] path.
+//! `WAFL_BENCH_QUICK=1` shrinks the workload (gates still enforced:
+//! they are structural, not wall-clock). `--validate <path>` re-parses
+//! a previously written record and checks schema + gates (exit 1 on
+//! violation).
+
+use alligator::arena::CHUNK_NODES;
+use alligator::{AllocStats, Bucket, BucketCache, Tetris};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
+use wafl_bench::emit;
+use wafl_blockdev::{AaId, DriveId, DriveKind, GeometryBuilder, IoEngine, RaidGroupId, Vbn};
+use wafl_simsrv::FigureTable;
+
+/// Schema tag for `BENCH_arena_churn.json`.
+const SCHEMA: &str = "wafl.arena_churn.v1";
+
+/// Cache shards (the arena is shared across all of them).
+const NSHARDS: usize = 8;
+
+/// Churn rounds; the live-chunk level is sampled after each, so the
+/// series has one point per round and the flatness gate compares its
+/// halves.
+const ROUNDS: usize = 8;
+
+/// One swept sample of the arena level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ChurnDoc {
+    /// Schema tag (`wafl.arena_churn.v1`).
+    schema: String,
+    /// Producing binary.
+    bench: String,
+    /// True when run under `WAFL_BENCH_QUICK` (smaller workload; the
+    /// gates are structural and stay enforced).
+    quick: bool,
+    /// `available_parallelism()` of the producing machine.
+    cpus: u64,
+    /// Worker threads churning the cache.
+    threads: u64,
+    /// Nodes per arena chunk (release builds: 64).
+    chunk_nodes: u64,
+    /// Peak bucket population of the grow phase.
+    population: u64,
+    /// Bucket population left resident for the churn + shrink phases.
+    resident: u64,
+    /// GET/reinsert iterations per thread per churn round.
+    iters_per_round: u64,
+    /// Live-chunk level sampled after each churn round.
+    chunk_series: Vec<u64>,
+    /// Live-chunk level right after the grow phase (the peak).
+    peak_chunks: u64,
+    /// Live-chunk level after the shrink phase's maintenance rounds.
+    post_shrink_chunks: u64,
+    /// Buckets recovered by the final drain (must equal `resident`).
+    drained: u64,
+    /// Arena nodes minted fresh over the whole cycle.
+    arena_fresh_mints: u64,
+    /// Allocations served by recycled nodes.
+    arena_reuse_hits: u64,
+    /// Allocations served by another pin slot's cached node.
+    arena_donations: u64,
+    /// Chunks retired into the reclamation limbo list.
+    arena_chunks_retired: u64,
+    /// Retired chunks whose slab was freed after the grace period.
+    arena_chunks_freed: u64,
+    /// Global reclamation-epoch advances.
+    arena_epoch_advances: u64,
+    /// Inserts that hit `ArenaFull` and took the overflow fallback.
+    arena_full_fallbacks: u64,
+    /// CAS retries across the Treiber heads and arena free lists.
+    cache_cas_retries: u64,
+}
+
+/// A filled 4-VBN bucket with a unique identity, sharing one tetris.
+fn mk_buckets(base: u64, n: usize, tetris: &Arc<Tetris>) -> Vec<Bucket> {
+    (0..n)
+        .map(|i| {
+            Bucket::new(
+                RaidGroupId(0),
+                0,
+                DriveId((i % NSHARDS) as u32),
+                AaId {
+                    rg: RaidGroupId(0),
+                    index: 0,
+                },
+                ((base + i as u64) * 64..(base + i as u64) * 64 + 4)
+                    .map(Vbn)
+                    .collect(),
+                0,
+                Arc::clone(tetris),
+                0,
+            )
+        })
+        .collect()
+}
+
+fn shared_tetris() -> Arc<Tetris> {
+    let engine = Arc::new(IoEngine::new(
+        Arc::new(
+            GeometryBuilder::new()
+                .aa_stripes(32)
+                .raid_group(1, 1, 1 << 22)
+                .build(),
+        ),
+        DriveKind::Ssd,
+    ));
+    Tetris::new(RaidGroupId(0), 1, engine, Arc::new(AllocStats::default()))
+}
+
+/// Workload shape: (population, resident, iterations per round).
+fn workload_shape(quick: bool) -> (usize, usize, u64) {
+    if quick {
+        (4 * CHUNK_NODES, CHUNK_NODES / 2, 100)
+    } else {
+        (8 * CHUNK_NODES, CHUNK_NODES, 400)
+    }
+}
+
+/// One churn round: `threads` workers GET (with a timeout, so scarcity
+/// cannot deadlock the round) and reinsert, alternating the single and
+/// collective paths; the collective path runs arena maintenance
+/// in-band, as production refill rounds do.
+fn churn_round(cache: &Arc<BucketCache>, threads: usize, iters: u64) {
+    let handles: Vec<_> = (0..threads)
+        .map(|i| {
+            let cache = Arc::clone(cache);
+            std::thread::spawn(move || {
+                let mut held = Vec::new();
+                for iter in 0..iters {
+                    if let Some(b) = cache.get_timeout_from(i, Duration::from_millis(50)) {
+                        held.push(b);
+                    }
+                    if iter % 4 == 3 || held.len() >= 4 {
+                        if iter % 8 < 4 {
+                            for b in held.drain(..) {
+                                cache.insert(b);
+                            }
+                        } else {
+                            cache.insert_all(std::mem::take(&mut held));
+                        }
+                    }
+                }
+                for b in held {
+                    cache.insert(b);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// Run the grow → churn → shrink cycle and build the record.
+fn run(quick: bool, cpus: u64) -> ChurnDoc {
+    let threads = (cpus as usize).clamp(2, 8);
+    let (population, resident, iters) = workload_shape(quick);
+    let stats = Arc::new(AllocStats::default());
+    let cache = Arc::new(BucketCache::with_shards_capped(
+        NSHARDS,
+        0,
+        Arc::clone(&stats),
+    ));
+    let tetris = shared_tetris();
+
+    // Grow.
+    cache.insert_all(mk_buckets(0, population, &tetris));
+    let peak_chunks = cache.arena().chunks_live() as u64;
+
+    // Shrink the circulating set before churning, so the churn phase
+    // exercises reuse against a mostly-free arena (the hard case for
+    // the plateau: plenty of room to grow into if reuse were broken).
+    let mut parked = Vec::new();
+    while cache.len() > resident {
+        parked.push(cache.try_get().expect("len > 0"));
+    }
+
+    // Churn, sampling the live-chunk level after each round.
+    let mut chunk_series = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        churn_round(&cache, threads, iters);
+        chunk_series.push(cache.arena().chunks_live() as u64);
+    }
+
+    // Shrink: the parked majority is gone for good; maintenance rounds
+    // (each advances the reclamation epoch once) retire + free chunks.
+    drop(parked);
+    for _ in 0..6 {
+        cache.arena().maintain();
+    }
+    let post_shrink_chunks = cache.arena().chunks_live() as u64;
+
+    // Conservation drain.
+    let mut drained = 0u64;
+    while cache.try_get().is_some() {
+        drained += 1;
+    }
+
+    let s = stats.snapshot();
+    ChurnDoc {
+        schema: SCHEMA.to_string(),
+        bench: "exp_arena_churn".to_string(),
+        quick,
+        cpus,
+        threads: threads as u64,
+        chunk_nodes: CHUNK_NODES as u64,
+        population: population as u64,
+        resident: resident as u64,
+        iters_per_round: iters,
+        chunk_series,
+        peak_chunks,
+        post_shrink_chunks,
+        drained,
+        arena_fresh_mints: s.arena_fresh_mints,
+        arena_reuse_hits: s.arena_reuse_hits,
+        arena_donations: s.arena_donations,
+        arena_chunks_retired: s.arena_chunks_retired,
+        arena_chunks_freed: s.arena_chunks_freed,
+        arena_epoch_advances: s.arena_epoch_advances,
+        arena_full_fallbacks: s.arena_full_fallbacks,
+        cache_cas_retries: s.cache_cas_retries,
+    }
+}
+
+/// Schema + boundedness gates. All structural (counter identities and
+/// level comparisons), so they hold on quick runs too.
+fn validate(doc: &ChurnDoc) -> Result<(), String> {
+    if doc.schema != SCHEMA {
+        return Err(format!("schema: expected {SCHEMA:?}, got {:?}", doc.schema));
+    }
+    if doc.chunk_nodes == 0 || doc.population == 0 || doc.resident == 0 {
+        return Err("degenerate workload (zero population/resident/chunk)".into());
+    }
+    if doc.resident >= doc.population {
+        return Err(format!(
+            "resident {} must be a strict shrink of population {}",
+            doc.resident, doc.population
+        ));
+    }
+    if doc.chunk_series.len() < 2 {
+        return Err(format!(
+            "chunk series needs ≥ 2 samples, got {}",
+            doc.chunk_series.len()
+        ));
+    }
+    if doc.peak_chunks * doc.chunk_nodes < doc.population {
+        return Err(format!(
+            "peak of {} chunks cannot hold the population of {}",
+            doc.peak_chunks, doc.population
+        ));
+    }
+    // Gate 1 — plateau: the level never grows through steady churn.
+    let half = doc.chunk_series.len() / 2;
+    let early = *doc.chunk_series[..half].iter().max().unwrap();
+    let late = *doc.chunk_series[half..].iter().max().unwrap();
+    if late > early {
+        return Err(format!(
+            "arena grew under steady churn: late max {late} > early max {early} \
+             (series {:?})",
+            doc.chunk_series
+        ));
+    }
+    // Gate 2 — reuse: steady state recycles; minting tracks the
+    // working set (population plus at most one transient chunk), not
+    // the op count.
+    if doc.arena_reuse_hits + doc.arena_donations == 0 {
+        return Err("no reuse hit or donation: churn never recycled a node".into());
+    }
+    if doc.arena_fresh_mints > doc.population + doc.chunk_nodes {
+        return Err(format!(
+            "{} fresh mints for a population of {}: the arena is growing per-op",
+            doc.arena_fresh_mints, doc.population
+        ));
+    }
+    // Gate 3 — reclamation: the shrink must return chunks.
+    if doc.post_shrink_chunks >= doc.peak_chunks {
+        return Err(format!(
+            "no reclamation: {} chunks live after shrink, peak {}",
+            doc.post_shrink_chunks, doc.peak_chunks
+        ));
+    }
+    if doc.arena_chunks_retired == 0 {
+        return Err("arena_chunks_retired = 0: nothing was ever retired".into());
+    }
+    if doc.arena_chunks_freed == 0 {
+        return Err("arena_chunks_freed = 0: no grace period ever completed".into());
+    }
+    if doc.arena_chunks_freed > doc.arena_chunks_retired {
+        return Err(format!(
+            "freed {} > retired {}: reclamation accounting broken",
+            doc.arena_chunks_freed, doc.arena_chunks_retired
+        ));
+    }
+    if doc.arena_epoch_advances == 0 {
+        return Err("arena_epoch_advances = 0 despite completed grace periods".into());
+    }
+    // Gate 4 — conservation: the final drain recovers exactly the
+    // resident set (the parked majority was consumed, not lost).
+    if doc.drained != doc.resident {
+        return Err(format!(
+            "drained {} buckets but {} were resident",
+            doc.drained, doc.resident
+        ));
+    }
+    Ok(())
+}
+
+/// Directory receiving `BENCH_arena_churn.json`: `WAFL_BENCH_ROOT` if
+/// set (the CI smoke run points it at a temp dir), else the repo root.
+fn bench_root() -> std::path::PathBuf {
+    match std::env::var_os("WAFL_BENCH_ROOT") {
+        Some(d) => d.into(),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    }
+}
+
+fn run_validate(path: &str) -> ! {
+    let raw = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("exp_arena_churn: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc: ChurnDoc = match serde_json::from_str(&raw) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("exp_arena_churn: {path} does not parse as {SCHEMA}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(msg) = validate(&doc) {
+        eprintln!("exp_arena_churn: {path} invalid: {msg}");
+        std::process::exit(1);
+    }
+    println!(
+        "{path}: valid {SCHEMA} (peak {} chunks, post-shrink {}, {} reuse hits, {} freed)",
+        doc.peak_chunks, doc.post_shrink_chunks, doc.arena_reuse_hits, doc.arena_chunks_freed
+    );
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--validate") {
+        match args.get(2) {
+            Some(path) => run_validate(path),
+            None => {
+                eprintln!("usage: exp_arena_churn [--validate <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let quick = std::env::var_os("WAFL_BENCH_QUICK").is_some();
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1) as u64;
+    let doc = run(quick, cpus);
+    if let Err(msg) = validate(&doc) {
+        eprintln!("exp_arena_churn: produced record fails validation: {msg}");
+        std::process::exit(1);
+    }
+
+    let mut t = FigureTable::new(
+        "exp_arena_churn",
+        "bounded-arena memory plateau under grow/churn/shrink",
+    );
+    t.row_measured("peak live chunks", doc.peak_chunks as f64, "chunks");
+    t.row_measured(
+        "post-shrink live chunks",
+        doc.post_shrink_chunks as f64,
+        "chunks",
+    );
+    t.row_measured("fresh mints", doc.arena_fresh_mints as f64, "nodes");
+    t.row_measured("reuse hits", doc.arena_reuse_hits as f64, "nodes");
+    t.row_measured("donations", doc.arena_donations as f64, "nodes");
+    t.row_measured("chunks retired", doc.arena_chunks_retired as f64, "chunks");
+    t.row_measured("chunks freed", doc.arena_chunks_freed as f64, "chunks");
+    t.row_measured("epoch advances", doc.arena_epoch_advances as f64, "count");
+    t.row_measured(
+        "overflow fallbacks",
+        doc.arena_full_fallbacks as f64,
+        "count",
+    );
+
+    let root = bench_root();
+    let _ = std::fs::create_dir_all(&root);
+    let path = root.join("BENCH_arena_churn.json");
+    let json = serde_json::to_string_pretty(&doc).expect("doc serializes");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[saved {}]", path.display());
+    }
+    emit(&t);
+    println!(
+        "live chunks: peak {} → churn plateau {:?} → post-shrink {} \
+         ({} recycled allocs vs {} fresh mints; {} chunks freed)",
+        doc.peak_chunks,
+        doc.chunk_series,
+        doc.post_shrink_chunks,
+        doc.arena_reuse_hits + doc.arena_donations,
+        doc.arena_fresh_mints,
+        doc.arena_chunks_freed
+    );
+}

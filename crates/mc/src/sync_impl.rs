@@ -275,6 +275,18 @@ impl<T> AtomicPtr<T> {
         }
     }
 
+    /// Atomic pointer swap; returns the previous pointer.
+    pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+        match self.model() {
+            Some((ex, tid, id)) => {
+                let old = ex.atomic_rmw(tid, id, |_| p as u64, mord(ord)) as usize as *mut T;
+                self.real.store(p, Ordering::Relaxed); // ordering: non-model mirror; the model layer owns ordering.
+                old
+            }
+            None => self.real.swap(p, ord),
+        }
+    }
+
     /// Strong pointer compare-exchange.
     pub fn compare_exchange(
         &self,

@@ -81,6 +81,16 @@ pub struct SimResult {
     pub put_commit_queue_len: u64,
     /// Total infrastructure time spent committing used buckets.
     pub commit_batch_ns: u64,
+    /// Bucket-cache inserts that minted a fresh arena node (the recycled
+    /// pool was empty, so the modeled arena footprint grew by one node).
+    pub arena_fresh_mints: u64,
+    /// Bucket-cache inserts served from the recycled node pool — the
+    /// steady-state path once the arena reaches its working-set plateau.
+    pub arena_reuse_hits: u64,
+    /// Fully-freed 64-node chunks retired back out of the modeled arena
+    /// (epoch-based reclamation returning memory after a population
+    /// shrink, instead of holding the high-water mark forever).
+    pub arena_chunks_retired: u64,
 }
 
 impl SimResult {
@@ -118,6 +128,9 @@ impl SimResult {
             ("cache_get_batched", self.cache_get_batched),
             ("put_commit_queue_len", self.put_commit_queue_len),
             ("commit_batch_ns", self.commit_batch_ns),
+            ("arena_fresh_mints", self.arena_fresh_mints),
+            ("arena_reuse_hits", self.arena_reuse_hits),
+            ("arena_chunks_retired", self.arena_chunks_retired),
         ]
     }
 
@@ -292,6 +305,17 @@ struct Engine<'c> {
     put_commit_queue_len: u64,
     commit_batch_ns: u64,
 
+    // Arena model: every cached bucket occupies one Treiber-arena node.
+    // Inserts draw from the recycled pool before minting fresh nodes;
+    // pops return nodes to the pool; refill rounds retire whole chunks
+    // once the pool holds more than a chunk of slack (mirroring the real
+    // arena's keep-one-live-chunk retire floor).
+    arena_free_nodes: u64,
+    arena_minted: u64,
+    arena_fresh_mints: u64,
+    arena_reuse_hits: u64,
+    arena_chunks_retired: u64,
+
     // Fault injection. The ordinal is a dedicated counter hashed with the
     // seed, so the fault stream is deterministic and independent of the
     // workload RNG (enabling faults does not reshuffle op shapes).
@@ -405,6 +429,12 @@ impl<'c> Engine<'c> {
             cache_get_batched: 0,
             put_commit_queue_len: 0,
             commit_batch_ns: 0,
+            // The warm-start cache population is already node-backed.
+            arena_free_nodes: 0,
+            arena_minted: initial_cache,
+            arena_fresh_mints: 0,
+            arena_reuse_hits: 0,
+            arena_chunks_retired: 0,
             fault_ordinal: 0,
             injected_faults: 0,
             fault_retries: 0,
@@ -563,6 +593,10 @@ impl<'c> Engine<'c> {
                 match kind {
                     InfraKind::Refill { take } => {
                         self.cache_insert(take);
+                        // Arena maintenance rides the refill round, as in
+                        // the real cache (insert_all runs `maintain()`
+                        // after the publish gate closes).
+                        self.arena_maintain();
                         self.refill_outstanding -= 1;
                         self.refills += 1;
                         self.wake_waiting_cleaners();
@@ -800,6 +834,39 @@ impl<'c> Engine<'c> {
         for _ in 0..n {
             self.shard_rr = (self.shard_rr + 1) % self.shard_buckets.len();
             self.shard_buckets[self.shard_rr] += 1;
+            // Each inserted bucket occupies one arena node: recycle from
+            // the free pool when possible, mint (grow the arena) only
+            // when the pool is dry — the real arena's alloc order.
+            if self.arena_free_nodes > 0 {
+                self.arena_free_nodes -= 1;
+                if self.measuring() {
+                    self.arena_reuse_hits += 1;
+                }
+            } else {
+                self.arena_minted += 1;
+                if self.measuring() {
+                    self.arena_fresh_mints += 1;
+                }
+            }
+        }
+    }
+
+    /// Chunk granularity of the modeled arena (nodes per slab), matching
+    /// the real allocator's release-build chunk size.
+    const ARENA_CHUNK: u64 = 64;
+
+    /// Retire whole chunks out of the modeled arena once the recycled
+    /// pool holds more than a chunk of slack. The real arena only frees
+    /// a slab when every node in it is back on the free list and keeps
+    /// at least one live chunk, so retirement leaves one chunk's worth
+    /// of pooled nodes behind rather than draining to zero.
+    fn arena_maintain(&mut self) {
+        while self.arena_free_nodes >= 2 * Self::ARENA_CHUNK {
+            self.arena_free_nodes -= Self::ARENA_CHUNK;
+            self.arena_minted = self.arena_minted.saturating_sub(Self::ARENA_CHUNK);
+            if self.measuring() {
+                self.arena_chunks_retired += 1;
+            }
         }
     }
 
@@ -830,6 +897,8 @@ impl<'c> Engine<'c> {
         if target != home {
             self.shard_buckets[target] -= 1;
             self.bucket_cache -= 1;
+            // The popped bucket's arena node returns to the free pool.
+            self.arena_free_nodes += 1;
             if self.measuring() {
                 self.cache_get_steal += 1;
             }
@@ -846,6 +915,8 @@ impl<'c> Engine<'c> {
             self.bucket_cache -= 1;
             got += 1;
         }
+        // Batched pops free their nodes in one go (pop_chain semantics).
+        self.arena_free_nodes += got;
         if self.measuring() {
             self.cache_get_fast += got;
             self.cache_get_batched += got - 1;
@@ -1136,6 +1207,9 @@ impl<'c> Engine<'c> {
             cache_get_batched: self.cache_get_batched,
             put_commit_queue_len: self.put_commit_queue_len,
             commit_batch_ns: self.commit_batch_ns,
+            arena_fresh_mints: self.arena_fresh_mints,
+            arena_reuse_hits: self.arena_reuse_hits,
+            arena_chunks_retired: self.arena_chunks_retired,
         }
     }
 }
@@ -1524,6 +1598,29 @@ mod tests {
         assert_eq!(r.cache_lock_waits_ns, 0);
         assert_eq!(r.commit_batch_ns, 0);
         assert_eq!(r.put_commit_queue_len, 0);
+    }
+
+    #[test]
+    fn arena_model_reaches_reuse_steady_state() {
+        // With the cache population cycling (pop → refill → reinsert),
+        // the modeled arena must recycle nodes rather than mint on every
+        // insert: reuse dominates once the working set is built, and any
+        // fresh minting stays within one chunk of the cache's standing
+        // population (the real allocator's boundedness claim).
+        let r = Simulator::new(base(WorkloadKind::sequential_write())).run();
+        assert!(r.refills > 0, "workload must cycle the cache");
+        assert!(
+            r.arena_reuse_hits > r.arena_fresh_mints,
+            "steady state should recycle ({} reuse vs {} mints)",
+            r.arena_reuse_hits,
+            r.arena_fresh_mints
+        );
+        assert!(
+            r.arena_fresh_mints <= Engine::ARENA_CHUNK,
+            "measured-window minting must stay within one chunk of the \
+             warm-start population, got {}",
+            r.arena_fresh_mints
+        );
     }
 
     #[test]

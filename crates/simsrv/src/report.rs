@@ -182,6 +182,9 @@ mod tests {
             cache_get_batched: 30,
             put_commit_queue_len: 5,
             commit_batch_ns: 2_000_000,
+            arena_fresh_mints: 4,
+            arena_reuse_hits: 96,
+            arena_chunks_retired: 1,
         };
         let mut t = FigureTable::new("cache", "contention");
         t.cache_rows("sharded", &r);

@@ -469,6 +469,16 @@ impl CleanerPool {
         reg.counter("io_drive_errors").set(f.io_errors);
         reg.counter("io_blocks_rebuilt").set(f.blocks_rebuilt);
         reg.gauge("io_drives_offline").set(f.drives_offline);
+        // Arena boundedness level (its high-water mark and the traffic
+        // counters arrive through `named()` above).
+        reg.gauge("cache_arena_chunks_live").set(
+            self.shared
+                .alloc
+                .raw_stats()
+                .arena_chunks_live
+                // ordering: statistics gauge; staleness is acceptable.
+                .load(Ordering::Relaxed),
+        );
         reg.text_snapshot()
     }
 

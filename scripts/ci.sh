@@ -26,6 +26,14 @@ echo "=== lock-free cache stress under debug assertions ==="
 RUSTFLAGS="-C debug-assertions=on" \
   cargo test --release -q -p alligator --test cache_stress
 
+echo "=== arena boundedness soak under debug assertions ==="
+# The bounded arena's accounting checks (chunk free counts, tag
+# monotonicity, null-slab pin discipline) are armed while the soak
+# fills a tiny-capped arena past ArenaFull and churns a population
+# through grow/shrink looking for plateau and reclamation.
+RUSTFLAGS="-C debug-assertions=on" \
+  cargo test --release -q -p alligator --test arena_soak
+
 echo "=== concurrency lint (ordering justifications, lock order, unsafe audit) ==="
 python3 scripts/lint_concurrency.py --self-test
 python3 scripts/lint_concurrency.py --check
@@ -83,5 +91,16 @@ cargo run --release -q -p wafl-bench --bin exp_scrub -- \
   --validate "$SMOKE_DIR/BENCH_scrub.json"
 cargo run --release -q -p wafl-bench --bin exp_scrub -- \
   --validate BENCH_scrub.json
+
+echo "=== exp_arena_churn smoke + schema validation ==="
+# Bounded-arena memory gates: live-chunk plateau under churn, reuse
+# over minting, and post-shrink reclamation — on both the fresh smoke
+# record and the committed one.
+WAFL_BENCH_QUICK=1 WAFL_BENCH_ROOT="$SMOKE_DIR" WAFL_RESULTS_DIR="$SMOKE_DIR" \
+  cargo run --release -q -p wafl-bench --bin exp_arena_churn
+cargo run --release -q -p wafl-bench --bin exp_arena_churn -- \
+  --validate "$SMOKE_DIR/BENCH_arena_churn.json"
+cargo run --release -q -p wafl-bench --bin exp_arena_churn -- \
+  --validate BENCH_arena_churn.json
 
 echo "CI green."

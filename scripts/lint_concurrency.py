@@ -20,6 +20,16 @@ Checks
    `// SAFETY:` comment (same attachment rule as orderings). The full
    inventory is generated into UNSAFE_AUDIT.md; `--check` fails if the
    committed audit has drifted from the source.
+4. **Arena reclamation gates** (`crates/alligator/src/{arena,treiber}.rs`):
+   (a) no capacity-exhaustion `assert!`/`panic!` may return — running
+   out of arena must surface as typed `ArenaFull` backpressure, not an
+   abort (the bug class this module replaced); (b) the epoch-protocol
+   atomics (`epoch`, `pin_state`, `overflow_pins`) must use `SeqCst`
+   exclusively — the advance/pin race is reasoned in a single total
+   order and a weakened access silently re-opens the reclamation race;
+   (c) the arena must not reach up into the cache's locks
+   (`lock_shard`/`lock_publish`) — its limbo mutex is a leaf, which is
+   what makes calling `maintain()` under `publish` deadlock-free.
 
 Usage
 -----
@@ -218,6 +228,69 @@ def check_lock_order(cache_path: Path, text: str) -> list[str]:
     return errs
 
 
+EXHAUST_ABORT_RE = re.compile(r"\b(?:debug_)?(?:assert|panic)\w*!\s*[\((].{0,200}?exhaust", re.S)
+# An atomic access to an epoch-protocol field, comments stripped and
+# whitespace collapsed; group 2 spans the call's argument region where
+# the Ordering tokens live.
+EPOCH_ATOMIC_RE = re.compile(
+    r"\b(epoch|pin_state|overflow_pins)\s*\.\s*"
+    r"(?:load|store|swap|fetch_\w+|compare_exchange(?:_weak)?)\s*\(([^;]{0,250}?)\)",
+    re.S,
+)
+WEAK_ORDERING_RE = re.compile(r"\bOrdering::(Relaxed|Acquire|Release|AcqRel)\b")
+
+
+def strip_comments_text(text: str) -> str:
+    """Whole-file comment strip (line comments only, as elsewhere)."""
+    return "\n".join(strip_comment(l) for l in text.splitlines())
+
+
+def check_no_exhaustion_aborts(path: Path, text: str) -> list[str]:
+    """Gate 4a: capacity exhaustion must be `ArenaFull`, never an abort."""
+    errs = []
+    code = strip_comments_text(text)
+    for m in EXHAUST_ABORT_RE.finditer(code):
+        line = code[: m.start()].count("\n") + 1
+        errs.append(
+            f"{path.relative_to(REPO)}:{line}: capacity-exhaustion abort "
+            f"reintroduced — return the typed ArenaFull error instead: "
+            f"{m.group(0).splitlines()[0].strip()}"
+        )
+    return errs
+
+
+def check_epoch_seqcst(path: Path, text: str) -> list[str]:
+    """Gate 4b: epoch-protocol atomics are SeqCst-only."""
+    errs = []
+    code = strip_comments_text(text)
+    for m in EPOCH_ATOMIC_RE.finditer(code):
+        weak = WEAK_ORDERING_RE.search(m.group(2))
+        if weak:
+            line = code[: m.start()].count("\n") + 1
+            errs.append(
+                f"{path.relative_to(REPO)}:{line}: `{m.group(1)}` accessed with "
+                f"Ordering::{weak.group(1)} — the epoch protocol is reasoned in "
+                f"a single total order and must use SeqCst exclusively"
+            )
+    return errs
+
+
+def check_arena_layering(path: Path, text: str) -> list[str]:
+    """Gate 4c: the arena sits below the cache locks."""
+    errs = []
+    code = strip_comments_text(text)
+    for needle in ("lock_shard", "lock_publish"):
+        i = code.find(needle)
+        if i >= 0:
+            line = code[:i].count("\n") + 1
+            errs.append(
+                f"{path.relative_to(REPO)}:{line}: arena references the cache "
+                f"lock `{needle}` — the arena's limbo mutex must stay a leaf "
+                f"(maintain() runs under `publish`)"
+            )
+    return errs
+
+
 def render_audit(inventory: list[dict]) -> str:
     lines = [
         "# Unsafe audit",
@@ -255,6 +328,23 @@ def run_lint(check_only: bool) -> int:
         errs.extend(check_lock_order(cache_path, cache_path.read_text(encoding="utf-8")))
     else:
         errs.append("crates/alligator/src/cache.rs missing — lock-order check skipped")
+    arena_path = REPO / "crates" / "alligator" / "src" / "arena.rs"
+    treiber_path = REPO / "crates" / "alligator" / "src" / "treiber.rs"
+    if arena_path.exists():
+        arena_text = arena_path.read_text(encoding="utf-8")
+        errs.extend(check_no_exhaustion_aborts(arena_path, arena_text))
+        errs.extend(check_epoch_seqcst(arena_path, arena_text))
+        errs.extend(check_arena_layering(arena_path, arena_text))
+    else:
+        errs.append("crates/alligator/src/arena.rs missing — arena gates skipped")
+    if treiber_path.exists():
+        errs.extend(
+            check_no_exhaustion_aborts(
+                treiber_path, treiber_path.read_text(encoding="utf-8")
+            )
+        )
+    else:
+        errs.append("crates/alligator/src/treiber.rs missing — abort gate skipped")
 
     audit = render_audit(inventory)
     if check_only:
@@ -350,6 +440,47 @@ def self_test() -> int:
         REPO / "crates" / "alligator" / "src" / "cache.rs", descending_no_proof
     ):
         failures.append("lock-order check accepted an unprovable iteration order")
+
+    arena = REPO / "crates" / "alligator" / "src" / "arena.rs"
+    abort_text = 'fn mint(&self) { assert!(idx < cap, "TreiberStack arena exhausted"); }'
+    if not check_no_exhaustion_aborts(arena, abort_text):
+        failures.append("arena gate missed a capacity-exhaustion assert")
+    backpressure_text = (
+        'fn push(&self) { self.try_push().expect("arena at capacity '
+        '(use try_push_keyed for backpressure)"); }'
+    )
+    if check_no_exhaustion_aborts(arena, backpressure_text):
+        failures.append("arena gate flagged the typed-backpressure panic text")
+
+    weak_epoch = (
+        "fn pin(&self) {\n"
+        "    let e = self.epoch.load(Ordering::Acquire);\n"
+        "    slot.pin_state\n"
+        "        .compare_exchange(0, e, Ordering::SeqCst, Ordering::Acquire);\n"
+        "}"
+    )
+    errs = check_epoch_seqcst(arena, weak_epoch)
+    if len(errs) != 2:
+        failures.append(
+            f"epoch gate should flag both weakened accesses, flagged {len(errs)}"
+        )
+    seqcst_epoch = (
+        "fn pin(&self) {\n"
+        "    let e = self.epoch.load(Ordering::SeqCst);\n"
+        "    let r = self.limbo_retire_epoch.load(Ordering::Acquire);\n"
+        "    slot.pin_state\n"
+        "        .compare_exchange(0, e, Ordering::SeqCst, Ordering::SeqCst);\n"
+        "    self.overflow_pins.fetch_add(1, Ordering::SeqCst);\n"
+        "}"
+    )
+    if check_epoch_seqcst(arena, seqcst_epoch):
+        failures.append("epoch gate flagged SeqCst (or a non-protocol field)")
+
+    layered = "fn maintain(&self) { let _g = self.cache.lock_shard(0); }"
+    if not check_arena_layering(arena, layered):
+        failures.append("layering gate missed a cache-lock reference in the arena")
+    if check_arena_layering(arena, "fn maintain(&self) { self.limbo.lock(); }"):
+        failures.append("layering gate flagged the arena's own leaf mutex")
 
     for f in failures:
         print(f"lint_concurrency self-test: {f}", file=sys.stderr)
