@@ -114,6 +114,41 @@ impl Infrastructure {
         self.exhausted.load(Ordering::Acquire)
     }
 
+    /// Harvest async write completions without blocking (a no-op when no
+    /// [`wafl_blockdev::AioEngine`] is attached). Accounts latency,
+    /// decrements the inflight gauge, and — crucially for the fault
+    /// machinery under depth > 1 — counts terminal I/O errors here, per
+    /// *completion*, exactly where the synchronous path counted them per
+    /// call. Returns the number of completions harvested.
+    pub fn harvest_io(&self) -> usize {
+        let Some(aio) = self.io.aio() else { return 0 };
+        self.account_completions(aio.poll_completions())
+    }
+
+    /// Barrier: wait for every in-flight async write to complete (and
+    /// the file mirror, if any, to fsync), then harvest. A no-op without
+    /// an attached engine. Returns completions harvested.
+    pub fn drain_io(&self) -> usize {
+        let Some(aio) = self.io.aio() else { return 0 };
+        self.account_completions(aio.drain())
+    }
+
+    fn account_completions(&self, done: Vec<wafl_blockdev::Completion>) -> usize {
+        if done.is_empty() {
+            return 0;
+        }
+        let mut latency = 0u64;
+        for c in &done {
+            latency += c.submit_to_complete_ns;
+            if c.result.is_err() {
+                // ordering: statistics counter; staleness is acceptable.
+                self.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.stats.io_completed(done.len() as u64, latency);
+        done.len()
+    }
+
     /// One refill round (steps 1 and 6→1 of Figure 2): build one bucket
     /// per data drive per RAID group and insert them into `cache`
     /// according to the reinsertion policy. Returns the number of buckets

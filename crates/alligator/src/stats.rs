@@ -189,6 +189,14 @@ alloc_counters! {
         /// High-water mark of live (slab-holding) arena chunks — the
         /// boundedness headline the churn soak gates on.
         arena_chunks_live_peak,
+        /// High-water mark of async write I/Os in flight (submitted to
+        /// the `blockdev::aio` engine, completion not yet harvested) —
+        /// the queue-depth headline of the pipelined CP.
+        io_queue_depth_peak,
+        /// Nanoseconds from async submit to completion publish, summed
+        /// over harvested completions (divide by completed I/Os for the
+        /// mean; the full distribution is in the obs histogram).
+        io_submit_to_complete_ns,
     }
     gauges {
         /// PUT-side convoy gauge: commit messages submitted but not yet
@@ -198,6 +206,9 @@ alloc_counters! {
         /// Arena chunks currently holding a live slab, right now (a
         /// level; its high-water mark is `arena_chunks_live_peak`).
         arena_chunks_live,
+        /// Async write I/Os in flight right now (a level; its
+        /// high-water mark is `io_queue_depth_peak`).
+        io_inflight,
     }
 }
 
@@ -215,6 +226,25 @@ impl AllocStats {
     pub fn commit_dequeued(&self) {
         // ordering: AcqRel — pairs with the gauge increment.
         self.put_commit_outstanding.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Record one async write I/O submitted, maintaining the queue-depth
+    /// high-water mark (same shape as [`AllocStats::commit_enqueued`]).
+    pub fn io_submitted(&self) {
+        // ordering: AcqRel keeps the inflight gauge and its high-water mark mutually consistent.
+        let depth = self.io_inflight.fetch_add(1, Ordering::AcqRel) + 1;
+        // ordering: AcqRel — see the gauge increment above.
+        self.io_queue_depth_peak.fetch_max(depth, Ordering::AcqRel);
+    }
+
+    /// Record `n` async write completions harvested, with their summed
+    /// submit→complete latency.
+    pub fn io_completed(&self, n: u64, latency_ns: u64) {
+        // ordering: AcqRel — pairs with the gauge increment.
+        self.io_inflight.fetch_sub(n, Ordering::AcqRel);
+        // ordering: statistics counter; staleness is acceptable.
+        self.io_submit_to_complete_ns
+            .fetch_add(latency_ns, Ordering::Relaxed);
     }
 }
 

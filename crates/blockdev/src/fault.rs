@@ -73,6 +73,12 @@ pub enum IoError {
         /// The RAID-group-relative description of what was lost.
         detail: &'static str,
     },
+    /// A storage target the backend recognizes but does not implement
+    /// yet (e.g. a raw block device behind the `DiskKind` probe).
+    NotYetSupported {
+        /// What was asked for and why it is rejected.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for IoError {
@@ -96,6 +102,9 @@ impl fmt::Display for IoError {
             }
             IoError::Unrecoverable { detail } => {
                 write!(f, "unrecoverable data loss: {detail}")
+            }
+            IoError::NotYetSupported { detail } => {
+                write!(f, "not yet supported: {detail}")
             }
         }
     }

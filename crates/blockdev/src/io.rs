@@ -10,15 +10,17 @@
 //! counters that the evaluation harness reads (full-stripe ratio, blocks
 //! written per drive, simulated busy time).
 
+use crate::aio::{AioEngine, FileBackend};
 use crate::drive::DriveKind;
 use crate::fault::{FaultPlan, FaultSpec, IoError, RetryPolicy};
 use crate::geometry::{AggregateGeometry, BlockLoc, DriveId, RaidGroupId, Vbn};
 use crate::raid::RaidGroup;
 use crate::BlockStamp;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// One contiguous run of blocks on a single data drive within a write.
 #[derive(Debug, Clone)]
@@ -126,6 +128,12 @@ pub struct IoEngine {
     groups: Vec<RaidGroup>,
     counters: IoCounters,
     fault: Option<Arc<FaultPlan>>,
+    /// Optional real-file mirror: every write that completes against the
+    /// simulated drives is also persisted here (see [`crate::aio`]).
+    mirror: Mutex<Option<Arc<FileBackend>>>,
+    /// Back-reference to an attached async engine, if any. Weak: the
+    /// [`AioEngine`] owns an `Arc<IoEngine>`, never the reverse.
+    aio: Mutex<Weak<AioEngine>>,
 }
 
 impl IoEngine {
@@ -141,7 +149,52 @@ impl IoEngine {
             groups,
             counters: IoCounters::default(),
             fault: None,
+            mirror: Mutex::new(None),
+            aio: Mutex::new(Weak::new()),
         }
+    }
+
+    /// Attach a real-file mirror: from now on every successful
+    /// [`IoEngine::submit_write`] is also applied to the backing files.
+    /// Attach **after** [`FileBackend::load_into`] on remount, so the
+    /// load is not echoed back into the files.
+    pub fn attach_mirror(&self, backend: Arc<FileBackend>) {
+        *self.mirror.lock() = Some(backend);
+    }
+
+    /// The attached file mirror, if any.
+    pub fn file_mirror(&self) -> Option<Arc<FileBackend>> {
+        self.mirror.lock().clone()
+    }
+
+    /// Durability barrier: fdatasync the file mirror (no-op without one).
+    pub fn sync_media(&self) -> Result<(), IoError> {
+        if let Some(m) = self.file_mirror() {
+            m.sync_all().map_err(|_| IoError::Unrecoverable {
+                detail: "file backend fsync failed",
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Crash the file mirror (power-loss simulation): subsequent mirror
+    /// writes are dropped, and one mid-flight write may be torn.
+    pub fn crash_mirror(&self) {
+        if let Some(m) = self.file_mirror() {
+            m.crash();
+        }
+    }
+
+    /// Register an async engine layered on top of this one. Callers that
+    /// honor async submission (the tetris fire path) check
+    /// [`IoEngine::aio`] before falling back to inline completion.
+    pub fn set_aio(&self, engine: &Arc<AioEngine>) {
+        *self.aio.lock() = Arc::downgrade(engine);
+    }
+
+    /// The registered async engine, if one is attached and still alive.
+    pub fn aio(&self) -> Option<Arc<AioEngine>> {
+        self.aio.lock().upgrade()
     }
 
     /// Build an engine whose drives (data and parity) share a seeded
@@ -219,6 +272,11 @@ impl IoEngine {
             }
         }
         let (service_ns, parity_reads) = g.write(&per_drive)?;
+        if let Some(m) = self.file_mirror() {
+            m.apply_write(io).map_err(|_| IoError::Unrecoverable {
+                detail: "file backend write failed",
+            })?;
+        }
         // ordering: statistics counter; staleness is acceptable.
         self.counters.write_ios.fetch_add(1, Ordering::Relaxed);
         self.counters

@@ -36,12 +36,15 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod aio;
 pub mod drive;
 pub mod fault;
 pub mod geometry;
 pub mod io;
 pub mod raid;
+pub mod sync;
 
+pub use aio::{AioEngine, Completion, CompletionRing, DiskKind, FileBackend, IoTicket, SyncPolicy};
 pub use drive::{Drive, DriveKind, ServiceModel};
 pub use fault::{FaultDecision, FaultPlan, FaultSpec, IoError, OpKind, RetryPolicy};
 pub use geometry::{

@@ -54,6 +54,9 @@ pub enum EventKind {
     /// Span: one scrub range message (an allocation-area unit walked by
     /// the online scrubber). `arg` = blocks checked in the unit.
     Scrub = 13,
+    /// Span: one asynchronous write I/O serviced by an `aio` worker
+    /// (submit-ring pop → media completion). `arg` = blocks written.
+    Io = 14,
 }
 
 impl EventKind {
@@ -74,6 +77,7 @@ impl EventKind {
             EventKind::Fault => "fault",
             EventKind::Custom => "custom",
             EventKind::Scrub => "scrub",
+            EventKind::Io => "io",
         }
     }
 
@@ -95,6 +99,7 @@ impl EventKind {
             10 => EventKind::CpPhase,
             11 => EventKind::Fault,
             13 => EventKind::Scrub,
+            14 => EventKind::Io,
             _ => EventKind::Custom,
         }
     }
@@ -123,7 +128,7 @@ mod tests {
 
     #[test]
     fn kind_roundtrips_through_u32() {
-        for v in 0..=13u32 {
+        for v in 0..=14u32 {
             let k = EventKind::from_u32(v);
             assert_eq!(k as u32, v, "kind {v} must round-trip");
         }
@@ -133,7 +138,7 @@ mod tests {
 
     #[test]
     fn kind_names_are_unique() {
-        let names: Vec<_> = (0..=13u32).map(|v| EventKind::from_u32(v).name()).collect();
+        let names: Vec<_> = (0..=14u32).map(|v| EventKind::from_u32(v).name()).collect();
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();

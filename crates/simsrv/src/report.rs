@@ -185,6 +185,9 @@ mod tests {
             arena_fresh_mints: 4,
             arena_reuse_hits: 96,
             arena_chunks_retired: 1,
+            io_inflight: 0,
+            io_queue_depth_peak: 5,
+            io_submit_to_complete_ns: 2_000_000,
         };
         let mut t = FigureTable::new("cache", "contention");
         t.cache_rows("sharded", &r);

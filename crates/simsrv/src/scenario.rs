@@ -207,13 +207,18 @@ pub struct RecoveryRow {
 
 const SWEEP_FILES: u64 = 2;
 
-fn sweep_fs(kind: DriveKind) -> Filesystem {
-    sweep_fs_with(kind, FaultSpec::default())
+fn sweep_fs_with(kind: DriveKind, spec: FaultSpec) -> Filesystem {
+    sweep_fs_depth(kind, spec, 0)
 }
 
-fn sweep_fs_with(kind: DriveKind, spec: FaultSpec) -> Filesystem {
+/// `io_queue_depth > 0` routes every CP stripe through the
+/// `blockdev::aio` submission/completion queues — the sweep's crash
+/// cells then exercise the pipelined path, where a crash point drops
+/// the in-flight queues instead of landing between synchronous writes.
+fn sweep_fs_depth(kind: DriveKind, spec: FaultSpec, io_queue_depth: usize) -> Filesystem {
     let cfg = FsConfig {
         vvbn_per_volume: 1 << 14,
+        io_queue_depth,
         ..FsConfig::default()
     };
     let geometry = GeometryBuilder::new()
@@ -297,8 +302,11 @@ pub fn recovery_sweep(seed: u64, blocks_per_file: u64) -> Vec<RecoveryRow> {
 
     // Cells 1–4: crash at each CP phase, recover from the committed image
     // plus an NVLog replay of acknowledged-but-uncommitted overwrites.
+    // Depth-8 async: the CP pipelines stripes through the aio queues, so
+    // each crash point drops in-flight submissions outright — replay
+    // must still reconstruct every acknowledged op.
     for at in CrashPoint::ALL {
-        let fs = sweep_fs(DriveKind::Ssd);
+        let fs = sweep_fs_depth(DriveKind::Ssd, FaultSpec::default(), 8);
         write_generation(&fs, blocks_per_file, 1);
         fs.run_cp();
         write_generation(&fs, blocks_per_file, 2);
@@ -399,6 +407,46 @@ pub fn recovery_sweep(seed: u64, blocks_per_file: u64) -> Vec<RecoveryRow> {
         });
     }
 
+    // Cell 8: crash-consistency torture on the real file backend. The
+    // aggregate mirrors every stripe to O_DIRECT-opened files, the
+    // mid-CP crash both drops the async queues and tears the mirror
+    // (a stripe racing the crash persists only a prefix of its
+    // segments), and recovery *remounts from the files alone* — fresh
+    // drives rebuilt from on-disk bytes, then NVLog replay. The scrub
+    // afterwards must find nothing.
+    {
+        let dir = std::env::temp_dir().join(format!(
+            "wafl-recovery-sweep-{}-{seed:x}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = sweep_fs_depth(DriveKind::Ssd, FaultSpec::default(), 8);
+        fs.attach_file_backend(&dir, wafl_blockdev::SyncPolicy::Barrier)
+            .expect("file backend opens in a tmpdir");
+        write_generation(&fs, blocks_per_file, 1);
+        fs.run_cp();
+        write_generation(&fs, blocks_per_file, 2);
+        let replayed_ops = fs.nvlog().replay_ops().len() as u64;
+        fs.run_cp_crash_at(CrashPoint::AfterApply);
+        let rec = fs
+            .remount_from_files(&dir, ExecMode::Inline)
+            .expect("remount from torn files");
+        rec.run_cp();
+        let (blocks_checked, ok) = check_generation(&rec, blocks_per_file, 2);
+        let (scrub_blocks, scrub_findings, scrub_clean) = post_recovery_scrub(&rec);
+        let _ = std::fs::remove_dir_all(&dir);
+        rows.push(RecoveryRow {
+            scenario: "file-backend-torn-stripe".into(),
+            replayed_ops,
+            blocks_checked,
+            faults: rec.io().fault_snapshot(),
+            blocks_rebuilt: 0,
+            scrub_blocks,
+            scrub_findings,
+            recovered: ok && rec.verify_integrity().is_ok() && scrub_clean,
+        });
+    }
+
     rows
 }
 
@@ -443,7 +491,7 @@ mod tests {
     #[test]
     fn recovery_sweep_every_cell_recovers() {
         let rows = recovery_sweep(0xFA17, 24);
-        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.len(), 8);
         for row in &rows {
             assert!(row.recovered, "cell {} did not recover", row.scenario);
             assert!(row.blocks_checked > 0);
@@ -476,6 +524,11 @@ mod tests {
         let compound = &rows[6];
         assert!(compound.replayed_ops > 0);
         assert!(compound.blocks_rebuilt > 0);
+        // The file-backend torture cell replayed through a remount built
+        // purely from the on-disk files.
+        let torn = &rows[7];
+        assert!(torn.replayed_ops > 0, "torn-stripe cell replayed nothing");
+        assert_eq!(torn.scrub_findings, 0);
     }
 
     #[test]

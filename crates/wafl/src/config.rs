@@ -17,6 +17,13 @@ pub struct FsConfig {
     /// Maximum metafile-flush fix-point iterations before the CP writes
     /// remaining dirty metafile blocks in place (see `cp.rs` docs).
     pub metafile_fixpoint_max: usize,
+    /// Per-RAID-group submission-queue depth for the async I/O engine
+    /// (`blockdev::aio`). `0` — the default — keeps every write
+    /// synchronous and inline, exactly the pre-aio behavior; any
+    /// positive depth routes tetris stripes through submission/
+    /// completion queues, with CP phase boundaries as the only
+    /// durability barriers.
+    pub io_queue_depth: usize,
 }
 
 impl Default for FsConfig {
@@ -26,6 +33,7 @@ impl Default for FsConfig {
             cleaner: CleanerConfig::default(),
             vvbn_per_volume: 1 << 20,
             metafile_fixpoint_max: 4,
+            io_queue_depth: 0,
         }
     }
 }

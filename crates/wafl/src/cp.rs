@@ -276,16 +276,23 @@ fn run_cp_inner(
     report.buffers_cleaned = frozen.iter().map(|(_, _, b)| b.len()).sum();
     drop(sp1);
     if crash_at == Some(CrashPoint::AfterFreeze) {
+        crash_drop_io(alloc);
         return None;
     }
 
-    // Phase 2: clean.
+    // Phase 2: clean. With an async engine attached, each completed
+    // tetris is only *submitted* here — its media write overlaps the
+    // cleaning (and parity computation) of the stripes after it.
     let sp2 = obs::trace_span!(obs::EventKind::CpPhase, 2);
     let items = partition_work(frozen, &cfg.cleaner);
     report.cleaner_messages = items.len();
     let results = pool.clean_all(items);
+    // Keep the completion ring shallow; errors are accounted per
+    // completion here, not per submission.
+    alloc.infra().harvest_io();
     drop(sp2);
     if crash_at == Some(CrashPoint::AfterClean) {
+        crash_drop_io(alloc);
         return None;
     }
 
@@ -304,8 +311,10 @@ fn run_cp_inner(
     // still sitting in the cache are returned unused, which finishes
     // their tetrises (WAFL's CP-end flush of the partial write I/O).
     flush_bucket_cache(alloc);
+    alloc.infra().harvest_io();
     drop(sp3);
     if crash_at == Some(CrashPoint::AfterApply) {
+        crash_drop_io(alloc);
         return None;
     }
 
@@ -317,11 +326,16 @@ fn run_cp_inner(
     flush_bucket_cache(alloc);
     drop(sp4);
     if crash_at == Some(CrashPoint::AfterMetafileFlush) {
+        crash_drop_io(alloc);
         return None;
     }
 
-    // Phase 5: superblock commit.
+    // Phase 5: superblock commit. This is the CP's one durability
+    // barrier: every stripe submitted during phases 2–4 must be on media
+    // (and the file backend fsynced) before the superblock can root the
+    // new image. Until this point nothing waited on in-flight writes.
     let _sp5 = obs::trace_span!(obs::EventKind::CpPhase, 5);
+    io_barrier(alloc);
     let image = DiskImage {
         cp_id,
         volumes: volumes
@@ -361,6 +375,34 @@ fn flush_bucket_cache(alloc: &Arc<Allocator>) {
     // `flush_cache` retires buckets (no Immediate-mode re-refill), so
     // this terminates under either reinsertion policy.
     alloc.flush_cache();
+}
+
+/// The pre-commit barrier: wait for every async write submitted during
+/// this CP and make the media durable. Without an async engine the only
+/// outstanding obligation is the file mirror's fsync.
+fn io_barrier(alloc: &Arc<Allocator>) {
+    let infra = alloc.infra();
+    if infra.io().aio().is_some() {
+        // `drain` already ends with the media fsync.
+        infra.drain_io();
+    } else {
+        let _ = infra.io().sync_media();
+    }
+}
+
+/// A crash point fired: everything submitted but not yet on media is
+/// lost. Queued async writes are dropped and the file mirror (if any)
+/// stops persisting — tearing at most one mid-flight stripe. Safe
+/// because CP writes are copy-on-write: nothing the *committed* image
+/// references is touched, so the dropped blocks are unreachable after
+/// recovery and NVLog replay restores their logical content.
+fn crash_drop_io(alloc: &Arc<Allocator>) {
+    let infra = alloc.infra();
+    if let Some(aio) = infra.io().aio() {
+        aio.crash_drop_inflight();
+    } else {
+        infra.io().crash_mirror();
+    }
 }
 
 /// Phase 4: write-allocate and write every dirty metafile block.

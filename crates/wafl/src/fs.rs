@@ -57,6 +57,10 @@ pub struct Filesystem {
     cfg: FsConfig,
     topo: Arc<Topology>,
     io: Arc<IoEngine>,
+    /// The async I/O engine, when `cfg.io_queue_depth > 0`. The
+    /// filesystem owns the strong reference; the `IoEngine` holds only a
+    /// `Weak` back-pointer (no cycle).
+    aio: Option<Arc<wafl_blockdev::AioEngine>>,
     alloc: Arc<Allocator>,
     volumes: RwLock<BTreeMap<VolumeId, Arc<Volume>>>,
     nvlog: NvLog,
@@ -153,10 +157,20 @@ impl Filesystem {
             aggr,
         );
         let pool = CleanerPool::new(Arc::clone(&alloc), cfg.cleaner);
+        // Positive queue depth: stand up the async engine and register it
+        // on the I/O engine, so the tetris fire path pipelines stripes
+        // instead of completing them inline. Because the depth travels in
+        // `cfg`, `crash_and_recover` re-creates the engine automatically.
+        let aio = (cfg.io_queue_depth > 0).then(|| {
+            let engine = wafl_blockdev::AioEngine::new(Arc::clone(&io), cfg.io_queue_depth);
+            io.set_aio(&engine);
+            engine
+        });
         Self {
             cfg,
             topo,
             io,
+            aio,
             alloc,
             volumes: RwLock::new(BTreeMap::new()),
             nvlog: NvLog::new(),
@@ -186,6 +200,13 @@ impl Filesystem {
     #[inline]
     pub fn allocator(&self) -> &Arc<Allocator> {
         &self.alloc
+    }
+
+    /// The async I/O engine, when one is configured
+    /// (`FsConfig::io_queue_depth > 0`).
+    #[inline]
+    pub fn aio(&self) -> Option<&Arc<wafl_blockdev::AioEngine>> {
+        self.aio.as_ref()
     }
 
     /// The cleaner pool (e.g., for dynamic-tuner actuation).
@@ -467,6 +488,64 @@ impl Filesystem {
         let image = self.sb.load();
         let ops = self.nvlog.replay_ops();
         Self::recover(self.cfg, Arc::clone(&self.io), image.as_deref(), &ops, exec)
+    }
+
+    /// Attach a real-file backend under `dir`: from now on every write
+    /// that reaches the simulated media is also persisted to per-drive
+    /// backing files (O_DIRECT where the filesystem supports it). Call
+    /// on a fresh instance, before any writes, so files and simulated
+    /// drives stay byte-equivalent.
+    pub fn attach_file_backend(
+        &self,
+        dir: &std::path::Path,
+        policy: wafl_blockdev::SyncPolicy,
+    ) -> Result<Arc<wafl_blockdev::FileBackend>, wafl_blockdev::IoError> {
+        let backend = Arc::new(wafl_blockdev::FileBackend::open(
+            dir,
+            self.io.geometry(),
+            policy,
+        )?);
+        self.io.attach_mirror(Arc::clone(&backend));
+        Ok(backend)
+    }
+
+    /// Remount from the file backend: build **fresh** simulated drives,
+    /// reload their contents from the backing files under `dir` (parity
+    /// rebuilt from the surviving data — a torn stripe reloads as an
+    /// internally consistent but logically stale stripe, exactly like a
+    /// real array after power loss), then recover from the committed
+    /// superblock image + NVRAM replay as usual. Unlike
+    /// [`Filesystem::crash_and_recover`], nothing of the old media
+    /// survives except what the files hold.
+    pub fn remount_from_files(
+        &self,
+        dir: &std::path::Path,
+        exec: ExecMode,
+    ) -> Result<Filesystem, String> {
+        let mirror = self
+            .io
+            .file_mirror()
+            .ok_or("remount_from_files requires an attached file backend")?;
+        let kind = self.io.raid_groups()[0].data_drives()[0].kind();
+        let fresh_io = Arc::new(IoEngine::new(Arc::clone(self.io.geometry()), kind));
+        let backend = Arc::new(
+            wafl_blockdev::FileBackend::open(dir, fresh_io.geometry(), mirror.policy())
+                .map_err(|e| format!("reopen file backend: {e}"))?,
+        );
+        backend
+            .load_into(&fresh_io)
+            .map_err(|e| format!("load file backend: {e}"))?;
+        // Attach only after the load, so reloading is not echoed back.
+        fresh_io.attach_mirror(backend);
+        let image = self.sb.load();
+        let ops = self.nvlog.replay_ops();
+        Ok(Self::recover(
+            self.cfg,
+            fresh_io,
+            image.as_deref(),
+            &ops,
+            exec,
+        ))
     }
 
     /// Build a file system from a committed image + unreplayed NVRAM ops.

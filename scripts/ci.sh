@@ -103,4 +103,36 @@ cargo run --release -q -p wafl-bench --bin exp_arena_churn -- \
 cargo run --release -q -p wafl-bench --bin exp_arena_churn -- \
   --validate BENCH_arena_churn.json
 
+echo "=== file-backend tests on a real tmpdir (O_DIRECT probe) ==="
+# The aio file backend prefers O_DIRECT and quietly falls back to
+# buffered I/O where the filesystem refuses it (tmpfs, some overlays).
+# Probe the scratch dir first: with O_DIRECT available, re-run the
+# file-backend suites pointed there so CI exercises the aligned-buffer
+# path; otherwise skip with a notice (the buffered fallback is already
+# covered by the workspace suite above).
+if dd if=/dev/zero of="$SMOKE_DIR/.direct-probe" bs=4096 count=1 \
+     oflag=direct conv=fsync status=none 2>/dev/null; then
+  rm -f "$SMOKE_DIR/.direct-probe"
+  TMPDIR="$SMOKE_DIR" cargo test --release -q -p wafl-blockdev --lib file_backend
+  TMPDIR="$SMOKE_DIR" cargo test --release -q -p wafl \
+    --test crash_recovery_prop file_backend_torn_stripe_remount
+else
+  echo "NOTICE: O_DIRECT unavailable under $SMOKE_DIR; skipping the \
+file-backend re-run (buffered-fallback coverage still ran in the \
+workspace suite)"
+fi
+
+echo "=== exp_io_engine smoke + schema validation ==="
+# Async-engine pipelining gates: tickets balance at every depth, deep
+# queues really overlap, and depth ≥ 8 beats the depth-1 synchronous
+# baseline — ≥ 1.5× on the committed full record; the quick smoke
+# gates at a 1.05× sanity floor because scratch filesystems make the
+# amortized fsync nearly free.
+WAFL_BENCH_QUICK=1 WAFL_BENCH_ROOT="$SMOKE_DIR" WAFL_RESULTS_DIR="$SMOKE_DIR" \
+  cargo run --release -q -p wafl-bench --bin exp_io_engine
+cargo run --release -q -p wafl-bench --bin exp_io_engine -- \
+  --validate "$SMOKE_DIR/BENCH_io_engine.json"
+cargo run --release -q -p wafl-bench --bin exp_io_engine -- \
+  --validate BENCH_io_engine.json
+
 echo "CI green."

@@ -30,6 +30,11 @@ Checks
    (c) the arena must not reach up into the cache's locks
    (`lock_shard`/`lock_publish`) — its limbo mutex is a leaf, which is
    what makes calling `maintain()` under `publish` deadlock-free.
+5. **Ticket minting** (workspace-wide): `IoTicket(` may be constructed
+   only inside `crates/blockdev/src/aio.rs`. A completion ticket is the
+   engine's receipt that a submission is queued; a forged ticket would
+   unbalance the submitted/completed accounting that `drain` and the
+   crash path rely on.
 
 Usage
 -----
@@ -291,6 +296,26 @@ def check_arena_layering(path: Path, text: str) -> list[str]:
     return errs
 
 
+TICKET_RE = re.compile(r"\bIoTicket\s*\(")
+TICKET_HOME = "crates/blockdev/src/aio.rs"
+
+
+def check_ticket_construction(path: Path, text: str) -> list[str]:
+    """Gate 5: completion tickets are minted only by the aio engine."""
+    if str(path.relative_to(REPO)) == TICKET_HOME:
+        return []
+    errs = []
+    code = strip_comments_text(text)
+    for m in TICKET_RE.finditer(code):
+        line = code[: m.start()].count("\n") + 1
+        errs.append(
+            f"{path.relative_to(REPO)}:{line}: `IoTicket(` constructed outside "
+            f"{TICKET_HOME} — tickets are minted only by `AioEngine::submit`; "
+            f"a forged ticket unbalances the submitted/completed accounting"
+        )
+    return errs
+
+
 def render_audit(inventory: list[dict]) -> str:
     lines = [
         "# Unsafe audit",
@@ -318,11 +343,13 @@ def run_lint(check_only: bool) -> int:
     errs: list[str] = []
     inventory: list[dict] = []
     for path in rust_files():
-        lines = path.read_text(encoding="utf-8").splitlines()
+        text = path.read_text(encoding="utf-8")
+        lines = text.splitlines()
         errs.extend(check_orderings(path, lines))
         file_errs, file_inv = check_unsafe(path, lines)
         errs.extend(file_errs)
         inventory.extend(file_inv)
+        errs.extend(check_ticket_construction(path, text))
     cache_path = REPO / "crates" / "alligator" / "src" / "cache.rs"
     if cache_path.exists():
         errs.extend(check_lock_order(cache_path, cache_path.read_text(encoding="utf-8")))
@@ -475,6 +502,19 @@ def self_test() -> int:
     )
     if check_epoch_seqcst(arena, seqcst_epoch):
         failures.append("epoch gate flagged SeqCst (or a non-protocol field)")
+
+    forged = "fn f() { let t = IoTicket(7); }"
+    if not check_ticket_construction(REPO / "crates" / "wafl" / "src" / "cp.rs", forged):
+        failures.append("ticket gate missed a forged IoTicket")
+    if check_ticket_construction(
+        REPO / "crates" / "blockdev" / "src" / "aio.rs", forged
+    ):
+        failures.append("ticket gate flagged the aio engine's own mint site")
+    if check_ticket_construction(
+        REPO / "crates" / "wafl" / "src" / "cp.rs",
+        "fn f(t: IoTicket) -> u64 { t.id() }",
+    ):
+        failures.append("ticket gate flagged a mere IoTicket type mention")
 
     layered = "fn maintain(&self) { let _g = self.cache.lock_shard(0); }"
     if not check_arena_layering(arena, layered):
