@@ -173,7 +173,8 @@ impl Allocator {
     pub fn request_refill(&self) {
         if self
             .refill_inflight
-            // ordering: AcqRel CAS claims the single-refiller slot; failure Acquire sees the winner's refill.
+            // ordering: AcqRel CAS claims the single-refiller slot; failure
+            // Acquire sees the winner's refill; pairs-with: alloc.refill-slot.
             .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
             .is_err()
         {
@@ -188,7 +189,8 @@ impl Allocator {
             affinity,
             Box::new(move || {
                 infra.refill_round(&cache);
-                // ordering: Release — publishes the refilled cache before reopening the slot.
+                // ordering: Release — publishes the refilled cache before
+                // reopening the slot; pairs-with: alloc.refill-slot.
                 inflight.store(false, Ordering::Release);
             }),
         );

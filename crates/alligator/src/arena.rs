@@ -244,7 +244,7 @@ pub struct Arena<T> {
     epoch: AtomicU64,
     /// Retired chunks awaiting their 2-epoch grace. Leaf lock: nothing
     /// else is ever acquired while it is held.
-    limbo: Mutex<Vec<Limbo>>,
+    limbo: Mutex<Vec<Limbo>>, // lock-rank: arena.limbo 65
     /// Chunks currently Active or Setup (the live-slab gauge mirror).
     chunks_live: AtomicUsize,
     /// Shared counters (fresh mints, reuse hits, donations, retires,
@@ -362,7 +362,8 @@ impl<T> Arena<T> {
         let c = idx as usize / CHUNK_NODES;
         let off = idx as usize % CHUNK_NODES;
         // ordering: Acquire pairs with the Release slab publication in
-        // `claim_empty_chunk`, so the pointed-to nodes are constructed.
+        // `claim_empty_chunk`, so the pointed-to nodes are constructed;
+        // pairs-with: arena.slab.
         let base = self.chunks[c].slab.load(Ordering::Acquire);
         // Hard check, not debug-only: a null slab here means the pin
         // discipline was violated (a reclaimed chunk was dereferenced)
@@ -385,7 +386,8 @@ impl<T> Arena<T> {
     /// internally). Caller must hold a pin — see [`Arena::node`].
     pub fn probe_key(&self, idx: u32) -> u64 {
         // ordering: Acquire — speculative read; stale values are
-        // discarded by the caller's validating CAS.
+        // discarded by the caller's validating CAS;
+        // pairs-with: treiber.key.
         self.node(idx).key.load(Ordering::Acquire)
     }
 
@@ -463,21 +465,22 @@ impl<T> Arena<T> {
         let slot = &self.slots[s];
         loop {
             // ordering: Acquire pairs with the AcqRel cache-push CAS so
-            // the node's link is visible.
+            // the node's link is visible; pairs-with: arena.slot-cache.
             let h = slot.cache.load(Ordering::Acquire);
             let idx = idx_of(h);
             if idx == NIL {
                 return None;
             }
             // ordering: Acquire — link Release-stored before the push
-            // CAS; a stale read is discarded by the tag CAS below.
+            // CAS; a stale read is discarded by the tag CAS below;
+            // pairs-with: arena.link.
             let next = self.node(idx).next.load(Ordering::Acquire);
             if slot
                 .cache
                 // ordering: AcqRel — Acquire synchronizes with the
                 // freeing operation (its item take happens-before our
                 // reuse); Release orders our detach; tag bump defeats
-                // ABA on the cache head.
+                // ABA on the cache head; pairs-with: arena.slot-cache.
                 .compare_exchange(
                     h,
                     pack(tag_of(h).wrapping_add(1), next),
@@ -501,17 +504,19 @@ impl<T> Arena<T> {
         // push so the cap errs toward spilling (never hoards past it).
         slot.cache_len.fetch_add(1, Ordering::Relaxed);
         loop {
-            // ordering: Acquire — see `pop_slot_cache`.
+            // ordering: Acquire — see `pop_slot_cache`;
+            // pairs-with: arena.slot-cache.
             let h = slot.cache.load(Ordering::Acquire);
             // ordering: Release — the link must be visible before the
-            // CAS publishes this node as the cache head.
+            // CAS publishes this node as the cache head;
+            // pairs-with: arena.link.
             self.node(idx).next.store(idx_of(h), Ordering::Release);
             if slot
                 .cache
                 // ordering: AcqRel — Release publishes the freed node
                 // (and the owner's item take before it) to the next
                 // allocator; tag bump defeats ABA; Acquire refreshes on
-                // failure.
+                // failure; pairs-with: arena.slot-cache.
                 .compare_exchange(
                     h,
                     pack(tag_of(h).wrapping_add(1), idx),
@@ -533,19 +538,22 @@ impl<T> Arena<T> {
         let meta = &self.chunks[c];
         loop {
             // ordering: Acquire pairs with the AcqRel free-list CAS in
-            // `push_chunk_free`, making the freed node's writes visible.
+            // `push_chunk_free`, making the freed node's writes visible;
+            // pairs-with: arena.chunk-free.
             let h = meta.free.load(Ordering::Acquire);
             let idx = idx_of(h);
             if idx == NIL {
                 return None;
             }
             // ordering: Acquire — link Release-stored before the push
-            // CAS; stale reads are discarded by the tag CAS below.
+            // CAS; stale reads are discarded by the tag CAS below;
+            // pairs-with: arena.link.
             let next = self.node(idx).next.load(Ordering::Acquire);
             if meta
                 .free
                 // ordering: AcqRel — same contract as the slot cache's
-                // pop CAS (ownership transfer + ABA tag bump).
+                // pop CAS (ownership transfer + ABA tag bump);
+                // pairs-with: arena.chunk-free.
                 .compare_exchange(
                     h,
                     pack(tag_of(h).wrapping_add(1), next),
@@ -555,7 +563,8 @@ impl<T> Arena<T> {
                 .is_ok()
             {
                 // ordering: AcqRel — advisory retire trigger, updated
-                // after the list CAS (the drained walk re-verifies).
+                // after the list CAS (the drained walk re-verifies);
+                // pairs-with: arena.free-count.
                 meta.free_count.fetch_sub(1, Ordering::AcqRel);
                 return Some(idx);
             }
@@ -568,14 +577,17 @@ impl<T> Arena<T> {
         let c = idx as usize / CHUNK_NODES;
         let meta = &self.chunks[c];
         loop {
-            // ordering: Acquire — see `pop_chunk_free`.
+            // ordering: Acquire — see `pop_chunk_free`;
+            // pairs-with: arena.chunk-free.
             let h = meta.free.load(Ordering::Acquire);
-            // ordering: Release — link visible before the publish CAS.
+            // ordering: Release — link visible before the publish CAS;
+            // pairs-with: arena.link.
             self.node(idx).next.store(idx_of(h), Ordering::Release);
             if meta
                 .free
                 // ordering: AcqRel — publishes the freed node; tag bump
-                // defeats ABA; Acquire refreshes on failure.
+                // defeats ABA; Acquire refreshes on failure;
+                // pairs-with: arena.chunk-free.
                 .compare_exchange(
                     h,
                     pack(tag_of(h).wrapping_add(1), idx),
@@ -585,7 +597,7 @@ impl<T> Arena<T> {
                 .is_ok()
             {
                 // ordering: AcqRel — advisory retire trigger (see
-                // `ChunkMeta::free_count`).
+                // `ChunkMeta::free_count`); pairs-with: arena.free-count.
                 meta.free_count.fetch_add(1, Ordering::AcqRel);
                 // ordering: Relaxed — advisory alloc hint.
                 self.alloc_hint.store(c as u32, Ordering::Relaxed);
@@ -606,7 +618,8 @@ impl<T> Arena<T> {
             let meta = &self.chunks[c];
             // ordering: Acquire — pairs with the Release state stores of
             // the lifecycle transitions; an EMPTY read implies the
-            // previous generation's slab swap is visible (null).
+            // previous generation's slab swap is visible (null);
+            // pairs-with: arena.state.
             match meta.state.load(Ordering::Acquire) {
                 SETUP => {
                     saw_setup = true;
@@ -621,7 +634,8 @@ impl<T> Arena<T> {
                 // reclaimer's reset (null slab, zeroed frontier);
                 // Release is not load-bearing here (the slab store
                 // below publishes the construction) but keeps the
-                // lifecycle edges uniform. Failure keeps scanning.
+                // lifecycle edges uniform. Failure keeps scanning;
+                // pairs-with: arena.state.
                 .compare_exchange(EMPTY, SETUP, Ordering::AcqRel, Ordering::Acquire)
                 .is_err()
             {
@@ -639,7 +653,7 @@ impl<T> Arena<T> {
             }
             let raw = Box::into_raw(nodes.into_boxed_slice()) as *mut Node<T>;
             // ordering: Release — publishes the constructed nodes to
-            // `node()`'s Acquire slab load.
+            // `node()`'s Acquire slab load; pairs-with: arena.slab.
             meta.slab.store(raw, Ordering::Release);
             debug_assert_eq!(
                 // ordering: debug-only sanity read of our own Setup.
@@ -648,7 +662,8 @@ impl<T> Arena<T> {
                 "claimed chunk with a dirty mint frontier"
             );
             // ordering: Release — the Active store publishes the slab
-            // store above to `mint_fresh`'s Acquire state check.
+            // store above to `mint_fresh`'s Acquire state check;
+            // pairs-with: arena.state.
             meta.state.store(ACTIVE, Ordering::Release);
             // ordering: Relaxed — advisory gauge.
             let live = self.chunks_live.fetch_add(1, Ordering::Relaxed) + 1;
@@ -673,12 +688,13 @@ impl<T> Arena<T> {
         loop {
             // ordering: Acquire — pairs with the Release mint-chunk
             // store after a roll, so the new chunk's Active state (and
-            // slab) are visible.
+            // slab) are visible; pairs-with: arena.mint-chunk.
             let c = self.mint_chunk.load(Ordering::Acquire);
             if c != NO_CHUNK {
                 let meta = &self.chunks[c as usize];
                 // ordering: Acquire — pairs with the Release Active
-                // store, so the slab is visible before we mint into it.
+                // store, so the slab is visible before we mint into it;
+                // pairs-with: arena.state.
                 if meta.state.load(Ordering::Acquire) == ACTIVE {
                     // ordering: Relaxed — the fetch_add only needs
                     // atomicity to reserve a unique offset; the chunk's
@@ -702,7 +718,8 @@ impl<T> Arena<T> {
                     // and other minters'). A plain store, not a CAS:
                     // concurrent rollers may both claim; the loser's
                     // chunk stays Active-and-unminted and is retired by
-                    // the next `maintain` (orphan rule).
+                    // the next `maintain` (orphan rule);
+                    // pairs-with: arena.mint-chunk.
                     self.mint_chunk.store(c2, Ordering::Release);
                     continue;
                 }
@@ -876,12 +893,14 @@ impl<T> Arena<T> {
     /// Attempt to retire one chunk (see module invariant 2).
     fn try_retire_chunk(&self, c: u32) {
         let meta = &self.chunks[c as usize];
-        // ordering: Acquire — lifecycle read; only Active chunks retire.
+        // ordering: Acquire — lifecycle read; only Active chunks retire;
+        // pairs-with: arena.state.
         if meta.state.load(Ordering::Acquire) != ACTIVE {
             return;
         }
         // ordering: Acquire — pairs with the Release mint-chunk store;
-        // the frontier chunk is hot, never retired.
+        // the frontier chunk is hot, never retired;
+        // pairs-with: arena.mint-chunk.
         if self.mint_chunk.load(Ordering::Acquire) == c {
             return;
         }
@@ -902,7 +921,8 @@ impl<T> Arena<T> {
         // minted while we prove exclusivity.
         // ordering: AcqRel — the poison swap orders after it every
         // racing reservation's success check; `minted` is the true
-        // number of offsets ever handed out.
+        // number of offsets ever handed out;
+        // pairs-with: arena.frontier.
         let minted = meta.next_off.swap(CHUNK_NODES as u32, Ordering::AcqRel);
         let minted = minted.min(CHUNK_NODES as u32);
         // Exclusively drain the chunk's free list.
@@ -911,12 +931,14 @@ impl<T> Arena<T> {
         // bump (no concurrent pop can succeed on the old head).
         let head = {
             loop {
-                // ordering: Acquire — read for the detach CAS below.
+                // ordering: Acquire — read for the detach CAS below;
+                // pairs-with: arena.chunk-free.
                 let h = meta.free.load(Ordering::Acquire);
                 if meta
                     .free
                     // ordering: AcqRel — detach the entire list; tag
-                    // bump invalidates concurrent pops' stale heads.
+                    // bump invalidates concurrent pops' stale heads;
+                    // pairs-with: arena.chunk-free.
                     .compare_exchange(
                         h,
                         pack(tag_of(h).wrapping_add(1), NIL),
@@ -938,7 +960,8 @@ impl<T> Arena<T> {
             count += 1;
             tail = cur;
             // ordering: Acquire — links were Release-stored before each
-            // node was published onto the (now exclusively ours) list.
+            // node was published onto the (now exclusively ours) list;
+            // pairs-with: arena.link.
             cur = self.node(cur).next.load(Ordering::Acquire);
         }
         if count != minted || (minted == 0 && head != NIL) {
@@ -948,15 +971,17 @@ impl<T> Arena<T> {
             // fresh head already; the CAS loop merges beneath them.)
             if head != NIL {
                 loop {
-                    // ordering: Acquire — read for the reattach CAS.
+                    // ordering: Acquire — read for the reattach CAS;
+                    // pairs-with: arena.chunk-free.
                     let h = meta.free.load(Ordering::Acquire);
                     // ordering: Release — splice link visible before the
-                    // publish CAS.
+                    // publish CAS; pairs-with: arena.link.
                     self.node(tail).next.store(idx_of(h), Ordering::Release);
                     if meta
                         .free
                         // ordering: AcqRel — republish the chain; tag
-                        // bump keeps the ABA discipline.
+                        // bump keeps the ABA discipline;
+                        // pairs-with: arena.chunk-free.
                         .compare_exchange(
                             h,
                             pack(tag_of(h).wrapping_add(1), head),
@@ -972,14 +997,16 @@ impl<T> Arena<T> {
             }
             // ordering: Release — un-poison after the chain is back so
             // a racing minter cannot observe a poison-free frontier
-            // while the list is still detached.
+            // while the list is still detached;
+            // pairs-with: arena.frontier.
             meta.next_off.store(minted, Ordering::Release);
             return;
         }
         // Exclusive: every minted node is on our private chain; no
         // allocation, free, or mint of this chunk can occur anymore.
         // ordering: Release — Retired must be visible before the limbo
-        // entry can be reclaimed and the slot recycled.
+        // entry can be reclaimed and the slot recycled;
+        // pairs-with: arena.state.
         meta.state.store(RETIRED, Ordering::Release);
         // ordering: Relaxed — counter reset for the slot's next life
         // (no concurrent users: exclusivity proven above).
@@ -1019,7 +1046,8 @@ impl<T> Arena<T> {
             let meta = &self.chunks[entry.chunk as usize];
             // ordering: AcqRel — take the slab exclusively; Release
             // publishes the null to `node()`'s Acquire load (whose hard
-            // assert is what the mc model watches).
+            // assert is what the mc model watches);
+            // pairs-with: arena.slab.
             let raw = meta.slab.swap(ptr::null_mut(), Ordering::AcqRel);
             debug_assert!(!raw.is_null(), "limbo chunk with no slab");
             if !raw.is_null() {
@@ -1043,7 +1071,8 @@ impl<T> Arena<T> {
             // ordering: Relaxed — no concurrent users until EMPTY.
             meta.next_off.store(0, Ordering::Relaxed);
             // ordering: Release — EMPTY publishes the reset (and the
-            // null slab) to `claim_empty_chunk`'s Acquire.
+            // null slab) to `claim_empty_chunk`'s Acquire;
+            // pairs-with: arena.state.
             meta.state.store(EMPTY, Ordering::Release);
             // ordering: statistics counter.
             self.stats

@@ -111,7 +111,7 @@ use std::time::{Duration, Instant};
 #[derive(Debug)]
 struct Shard {
     stack: TreiberStack<Bucket>,
-    q: Mutex<VecDeque<Bucket>>,
+    q: Mutex<VecDeque<Bucket>>, // lock-rank: cache.shard 60 via lock_shard
     available: Condvar,
     waiters: AtomicUsize,
     /// Shard population, readable without synchronization. Drives the
@@ -156,7 +156,7 @@ pub struct BucketCache {
     /// Serializes collective publishers — and the undo/single-insert
     /// paths that push already-published buckets (see module docs) —
     /// never touched by the GET fast path.
-    publish: Mutex<()>,
+    publish: Mutex<()>, // lock-rank: cache.publish 50 via lock_publish
     /// Epoch-sampled fullest-shard hint (lock-free layout only).
     hint: AtomicUsize,
     /// Total buckets across all shards (lock-free `len`/`is_empty`).
@@ -256,7 +256,8 @@ impl BucketCache {
     pub fn shard_fill(&self, start: usize) -> usize {
         // ordering: Acquire pairs with the Release/AcqRel fill updates on
         // the insert/pop paths; an advisory depth read, monotonicity of
-        // the underlying population is not required.
+        // the underlying population is not required;
+        // pairs-with: cache.fill.
         self.shards[start % self.shards.len()]
             .fill
             .load(Ordering::Acquire)
@@ -328,7 +329,8 @@ impl BucketCache {
     fn gate_enter(&self) -> u64 {
         // ordering: Acquire pairs with the publisher's closing AcqRel
         // `fetch_add` — an even gate implies the whole batch (and the
-        // len/fill updates before it) is visible.
+        // len/fill updates before it) is visible;
+        // pairs-with: cache.gate.
         let g = self.gate.load(Ordering::Acquire);
         if g & 1 == 0 {
             return g;
@@ -337,7 +339,8 @@ impl BucketCache {
         let mut spins = 0u32;
         loop {
             // ordering: Acquire — as above; each retry must see the
-            // publisher's writes once the gate goes even.
+            // publisher's writes once the gate goes even;
+            // pairs-with: cache.gate.
             let g = self.gate.load(Ordering::Acquire);
             if g & 1 == 0 {
                 self.stats
@@ -366,7 +369,8 @@ impl BucketCache {
             // ordering: Acquire pairs with the AcqRel fill updates on the
             // insert/pop paths; the hint tolerates staleness by design
             // (it is re-sampled every round) but should not see fills
-            // from before the buckets they count became poppable.
+            // from before the buckets they count became poppable;
+            // pairs-with: cache.fill.
             let f = shard.fill.load(Ordering::Acquire);
             if f > best {
                 best = f;
@@ -417,7 +421,7 @@ impl BucketCache {
         let mut q = self.lock_shard(shard);
         q.push_back(b);
         // ordering: Release — fill counts published buckets; readers pair
-        // with Acquire in the fill scans.
+        // with Acquire in the fill scans; pairs-with: cache.fill.
         shard.fill.fetch_add(1, Ordering::Release);
         // ordering: SeqCst — waiter protocol (see `wake_parked`).
         self.len.fetch_add(1, Ordering::SeqCst);
@@ -439,7 +443,8 @@ impl BucketCache {
         let mut q = self.lock_shard(shard);
         q.push_back(b);
         // ordering: Release — pairs with `pop_lf`'s Acquire probe; the
-        // count mirrors `q` exactly (only ever stored under its lock).
+        // count mirrors `q` exactly (only ever stored under its lock);
+        // pairs-with: cache.overflow.
         shard.overflow.store(q.len(), Ordering::Release);
     }
 
@@ -459,7 +464,7 @@ impl BucketCache {
         let drained = shard.stack.pop_many(usize::MAX);
         let mut q = self.lock_shard(shard);
         q.extend(drained);
-        // ordering: Release — see `overflow_push_back`.
+        // ordering: Release — see `overflow_push_back`; pairs-with: cache.overflow.
         shard.overflow.store(q.len(), Ordering::Release);
     }
 
@@ -480,12 +485,14 @@ impl BucketCache {
         // ordering: SeqCst — waiter protocol (see `wake_parked`).
         self.len.fetch_add(1, Ordering::SeqCst);
         // ordering: AcqRel — fill is read by concurrent equal-progress
-        // scans (Acquire) and updated from multiple insert/pop paths.
+        // scans (Acquire) and updated from multiple insert/pop paths;
+        // pairs-with: cache.fill.
         let f = shard.fill.fetch_add(1, Ordering::AcqRel) + 1;
         let key = b.generation();
         // ordering: Acquire — overflow probe pairs with the Release
         // stores under the queue lock; under `publish` the mode is
-        // stable (only publish-holders change it).
+        // stable (only publish-holders change it);
+        // pairs-with: cache.overflow.
         if shard.overflow.load(Ordering::Acquire) > 0 {
             // Already in overflow mode: stay FIFO until the queue
             // drains (mixing paths would reorder rounds).
@@ -501,7 +508,8 @@ impl BucketCache {
         // O(1) hint nudge: adopt this shard if it now looks fullest.
         // ordering: Relaxed — the hint is advisory (see `refresh_hint`).
         let h = self.hint.load(Ordering::Relaxed) % self.shards.len();
-        // ordering: Acquire — fill read for the equal-progress compare.
+        // ordering: Acquire — fill read for the equal-progress compare;
+        // pairs-with: cache.fill.
         if s != h && f > self.shards[h].fill.load(Ordering::Acquire) {
             // ordering: Relaxed — advisory hint store.
             self.hint.store(s, Ordering::Relaxed);
@@ -546,7 +554,7 @@ impl BucketCache {
             let mut g = self.lock_shard(&self.shards[s]);
             self.shards[s]
                 .fill
-                // ordering: Release — pairs with the Acquire fill scans.
+                // ordering: Release — pairs with the Acquire fill scans; pairs-with: cache.fill.
                 .fetch_add(batch.len(), Ordering::Release);
             g.extend(batch.drain(..));
             guards.push((s, g));
@@ -565,7 +573,8 @@ impl BucketCache {
         // CAS poppers retry, so the batch becomes visible collectively.
         let _p = self.lock_publish();
         // ordering: AcqRel — opening fence of the publish window: poppers
-        // that Acquire-load an odd gate know a publish is in flight.
+        // that Acquire-load an odd gate know a publish is in flight;
+        // pairs-with: cache.gate.
         let g = self.gate.fetch_add(1, Ordering::AcqRel);
         debug_assert_eq!(g & 1, 0, "publisher found the gate already odd");
         // ordering: SeqCst — waiter protocol (see `wake_parked`).
@@ -574,9 +583,11 @@ impl BucketCache {
             if batch.is_empty() {
                 continue;
             }
-            // ordering: AcqRel — fill update paired with Acquire scans.
+            // ordering: AcqRel — fill update paired with Acquire scans;
+            // pairs-with: cache.fill.
             self.shards[s].fill.fetch_add(batch.len(), Ordering::AcqRel);
-            // ordering: Acquire — overflow probe (see `insert_lf`).
+            // ordering: Acquire — overflow probe (see `insert_lf`);
+            // pairs-with: cache.overflow.
             if self.shards[s].overflow.load(Ordering::Acquire) > 0 {
                 // Overflow mode: the queue already holds the older
                 // rounds at its front (FIFO), so appending the new
@@ -584,7 +595,7 @@ impl BucketCache {
                 let shard = &self.shards[s];
                 let mut q = self.lock_shard(shard);
                 q.extend(batch);
-                // ordering: Release — see `overflow_push_back`.
+                // ordering: Release — see `overflow_push_back`; pairs-with: cache.overflow.
                 shard.overflow.store(q.len(), Ordering::Release);
                 continue;
             }
@@ -616,7 +627,7 @@ impl BucketCache {
                 let shard = &self.shards[s];
                 let mut q = self.lock_shard(shard);
                 q.extend(items.into_iter().map(|(b, _)| b));
-                // ordering: Release — see `overflow_push_back`.
+                // ordering: Release — see `overflow_push_back`; pairs-with: cache.overflow.
                 shard.overflow.store(q.len(), Ordering::Release);
             }
         }
@@ -624,7 +635,8 @@ impl BucketCache {
         // hint honest without any per-GET scan.
         self.refresh_hint();
         // ordering: AcqRel — closing fence: Release publishes the batch
-        // to poppers whose even-gate Acquire load pairs with this.
+        // to poppers whose even-gate Acquire load pairs with this;
+        // pairs-with: cache.gate.
         self.gate.fetch_add(1, Ordering::AcqRel);
         // Arena maintenance rides the refill round, off the GET fast
         // path and outside the gate window (poppers are running again):
@@ -638,7 +650,7 @@ impl BucketCache {
     fn pop_shard(&self, s: usize) -> Option<Bucket> {
         let mut q = self.lock_shard(&self.shards[s]);
         let b = q.pop_front()?;
-        // ordering: Release — pairs with the Acquire fill scans.
+        // ordering: Release — pairs with the Acquire fill scans; pairs-with: cache.fill.
         self.shards[s].fill.fetch_sub(1, Ordering::Release);
         // ordering: SeqCst — waiter protocol (see `wake_parked`).
         self.len.fetch_sub(1, Ordering::SeqCst);
@@ -652,15 +664,17 @@ impl BucketCache {
     fn pop_lf(&self, s: usize) -> Option<Bucket> {
         // ordering: Acquire — pairs with the Release overflow stores;
         // a stale 0 just means we probe the (then-empty) stack and the
-        // timeout path re-scans, a stale >0 costs one queue lock.
+        // timeout path re-scans, a stale >0 costs one queue lock;
+        // pairs-with: cache.overflow.
         if self.shards[s].overflow.load(Ordering::Acquire) > 0 {
             let shard = &self.shards[s];
             let mut q = self.lock_shard(shard);
             if let Some(b) = q.pop_front() {
-                // ordering: Release — see `overflow_push_back`.
+                // ordering: Release — see `overflow_push_back`; pairs-with: cache.overflow.
                 shard.overflow.store(q.len(), Ordering::Release);
                 drop(q);
-                // ordering: AcqRel — fill update paired with Acquire scans.
+                // ordering: AcqRel — fill update paired with Acquire scans;
+                // pairs-with: cache.fill.
                 shard.fill.fetch_sub(1, Ordering::AcqRel);
                 // ordering: SeqCst — waiter protocol (see `wake_parked`).
                 self.len.fetch_sub(1, Ordering::SeqCst);
@@ -669,7 +683,8 @@ impl BucketCache {
             // Queue drained by a racing popper: fall through.
         }
         let b = self.shards[s].stack.pop()?;
-        // ordering: AcqRel — fill update paired with Acquire scans.
+        // ordering: AcqRel — fill update paired with Acquire scans;
+        // pairs-with: cache.fill.
         self.shards[s].fill.fetch_sub(1, Ordering::AcqRel);
         // ordering: SeqCst — waiter protocol (see `wake_parked`).
         self.len.fetch_sub(1, Ordering::SeqCst);
@@ -687,17 +702,19 @@ impl BucketCache {
         let p = self.lock_publish();
         // ordering: SeqCst — waiter protocol (see `wake_parked`).
         self.len.fetch_add(1, Ordering::SeqCst);
-        // ordering: AcqRel — fill update paired with Acquire scans.
+        // ordering: AcqRel — fill update paired with Acquire scans;
+        // pairs-with: cache.fill.
         self.shards[s].fill.fetch_add(1, Ordering::AcqRel);
         let key = b.generation();
-        // ordering: Acquire — overflow probe (see `insert_lf`).
+        // ordering: Acquire — overflow probe (see `insert_lf`);
+        // pairs-with: cache.overflow.
         if self.shards[s].overflow.load(Ordering::Acquire) > 0 {
             // The undone bucket is the oldest in flight: front of the
             // FIFO queue plays the role "top of the stack" does below.
             let shard = &self.shards[s];
             let mut q = self.lock_shard(shard);
             q.push_front(b);
-            // ordering: Release — see `overflow_push_back`.
+            // ordering: Release — see `overflow_push_back`; pairs-with: cache.overflow.
             shard.overflow.store(q.len(), Ordering::Release);
         } else if let Err(b) = self.shards[s].stack.try_push_keyed(b, key) {
             // Arena at capacity: enter overflow mode with the undone
@@ -706,7 +723,7 @@ impl BucketCache {
             let shard = &self.shards[s];
             let mut q = self.lock_shard(shard);
             q.push_front(b);
-            // ordering: Release — see `overflow_push_back`.
+            // ordering: Release — see `overflow_push_back`; pairs-with: cache.overflow.
             shard.overflow.store(q.len(), Ordering::Release);
         }
         drop(p);
@@ -756,11 +773,12 @@ impl BucketCache {
             return None;
         }
         let mut target = home;
-        // ordering: Acquire — fill scan pairs with Release fill updates.
+        // ordering: Acquire — fill scan pairs with Release fill updates;
+        // pairs-with: cache.fill.
         let mut best = self.shards[home].fill.load(Ordering::Acquire);
         for d in 1..n {
             let s = (home + d) % n;
-            // ordering: Acquire — as above.
+            // ordering: Acquire — as above; pairs-with: cache.fill.
             let f = self.shards[s].fill.load(Ordering::Acquire);
             if f > best {
                 best = f;
@@ -797,7 +815,8 @@ impl BucketCache {
                 // Re-read the gate so "None" is still a collective
                 // statement: no publish overlapped the emptiness probe.
                 // ordering: Acquire — pairs with the publisher's gate
-                // increments (see `gate_enter`).
+                // increments (see `gate_enter`);
+                // pairs-with: cache.gate.
                 if self.gate.load(Ordering::Acquire) == g1 {
                     return None;
                 }
@@ -923,7 +942,7 @@ impl BucketCache {
                     let hint = self.hint.load(Ordering::Relaxed) % n;
                     if hint != home
                         // ordering: Acquire (×2) — fill compare (see
-                        // `try_get_lf`).
+                        // `try_get_lf`); pairs-with: cache.fill.
                         && self.shards[hint].fill.load(Ordering::Acquire)
                             > self.shards[home].fill.load(Ordering::Acquire)
                     {
@@ -934,12 +953,13 @@ impl BucketCache {
                         break;
                     }
                     let k = got.len();
-                    // ordering: AcqRel — fill update (see `pop_lf`).
+                    // ordering: AcqRel — fill update (see `pop_lf`);
+                    // pairs-with: cache.fill.
                     self.shards[home].fill.fetch_sub(k, Ordering::AcqRel);
                     // ordering: SeqCst — waiter protocol (see `len`).
                     self.len.fetch_sub(k, Ordering::SeqCst);
                     // ordering: Acquire — seqlock read-side validation
-                    // (see `try_get_lf`).
+                    // (see `try_get_lf`); pairs-with: cache.gate.
                     if self.gate.load(Ordering::Acquire) != g1 {
                         // Raced a collective publish: put the chain back
                         // on top (one CAS, order preserved, serialized
@@ -948,7 +968,8 @@ impl BucketCache {
                         let p = self.lock_publish();
                         // ordering: SeqCst — waiter protocol (see `len`).
                         self.len.fetch_add(k, Ordering::SeqCst);
-                        // ordering: AcqRel — fill update (see `pop_lf`).
+                        // ordering: AcqRel — fill update (see `pop_lf`);
+                        // pairs-with: cache.fill.
                         self.shards[home].fill.fetch_add(k, Ordering::AcqRel);
                         let keyed: Vec<(Bucket, u64)> = got
                             .into_iter()
@@ -969,7 +990,7 @@ impl BucketCache {
                             for (b, _) in items.into_iter().rev() {
                                 q.push_front(b);
                             }
-                            // ordering: Release — see `overflow_push_back`.
+                            // ordering: Release — see `overflow_push_back`; pairs-with: cache.overflow.
                             shard.overflow.store(q.len(), Ordering::Release);
                         }
                         drop(p);
@@ -991,10 +1012,12 @@ impl BucketCache {
             } else {
                 // Same equal-progress guard as the lock-free branch,
                 // via this layout's per-GET fill scan.
-                // ordering: Acquire — fill scan (see `try_get_mutex`).
+                // ordering: Acquire — fill scan (see `try_get_mutex`);
+                // pairs-with: cache.fill.
                 let home_fill = self.shards[home].fill.load(Ordering::Acquire);
                 let fuller = (0..n)
-                    // ordering: Acquire — fill scan (see `try_get_mutex`).
+                    // ordering: Acquire — fill scan (see `try_get_mutex`);
+                    // pairs-with: cache.fill.
                     .any(|s| s != home && self.shards[s].fill.load(Ordering::Acquire) > home_fill);
                 if fuller {
                     return self.try_get_from(start).into_iter().collect();
@@ -1009,7 +1032,8 @@ impl BucketCache {
                 }
                 if k > 0 {
                     let got: Vec<Bucket> = q.drain(..k).collect();
-                    // ordering: Release — fill update (see `pop_shard`).
+                    // ordering: Release — fill update (see `pop_shard`);
+                    // pairs-with: cache.fill.
                     self.shards[home].fill.fetch_sub(k, Ordering::Release);
                     // ordering: SeqCst — waiter protocol (see `len`).
                     self.len.fetch_sub(k, Ordering::SeqCst);

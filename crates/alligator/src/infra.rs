@@ -48,7 +48,7 @@ pub struct Infrastructure {
     aggmap: Arc<AggregateMap>,
     io: Arc<IoEngine>,
     stats: Arc<AllocStats>,
-    cursors: Mutex<Vec<RgCursor>>,
+    cursors: Mutex<Vec<RgCursor>>, // lock-rank: infra.cursors 40
     generation: AtomicU64,
     /// Set when the most recent refill round produced zero buckets —
     /// i.e., the aggregate has no allocatable space left.
@@ -110,7 +110,8 @@ impl Infrastructure {
     /// Did the last refill round find no space anywhere?
     #[inline]
     pub fn is_exhausted(&self) -> bool {
-        // ordering: Acquire — pairs with the Release stores of the fill outcome.
+        // ordering: Acquire — pairs with the Release stores of the fill
+        // outcome; pairs-with: infra.exhausted.
         self.exhausted.load(Ordering::Acquire)
     }
 
@@ -285,7 +286,8 @@ impl Infrastructure {
             cache.insert_all(all_buckets);
         }
         self.exhausted
-            // ordering: Release — publishes the fill outcome this flag summarizes.
+            // ordering: Release — publishes the fill outcome this flag
+            // summarizes; pairs-with: infra.exhausted.
             .store(built == 0 && cache.is_empty(), Ordering::Release);
         sp.set_arg(built as u64);
         built
@@ -423,7 +425,8 @@ impl Infrastructure {
             .vbns_freed
             // ordering: statistics counter; staleness is acceptable.
             .fetch_add(vbns.len() as u64, Ordering::Relaxed);
-        // ordering: Release — reopen only after the new free space is published.
+        // ordering: Release — reopen only after the new free space is
+        // published; pairs-with: infra.exhausted.
         self.exhausted.store(false, Ordering::Release);
     }
 

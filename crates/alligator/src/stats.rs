@@ -216,31 +216,37 @@ impl AllocStats {
     /// Record one PUT commit entering the infrastructure queue,
     /// maintaining the convoy high-water mark.
     pub fn commit_enqueued(&self) {
-        // ordering: AcqRel keeps the outstanding gauge and its high-water mark mutually consistent.
+        // ordering: AcqRel keeps the outstanding gauge and its high-water mark
+        // mutually consistent; pairs-with: stats.commit-gauge.
         let depth = self.put_commit_outstanding.fetch_add(1, Ordering::AcqRel) + 1;
-        // ordering: AcqRel — see the gauge increment above.
+        // ordering: AcqRel — see the gauge increment above;
+        // pairs-with: stats.commit-gauge.
         self.put_commit_queue_len.fetch_max(depth, Ordering::AcqRel);
     }
 
     /// Record one PUT commit leaving the queue (executed).
     pub fn commit_dequeued(&self) {
-        // ordering: AcqRel — pairs with the gauge increment.
+        // ordering: AcqRel — pairs with the gauge increment;
+        // pairs-with: stats.commit-gauge.
         self.put_commit_outstanding.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// Record one async write I/O submitted, maintaining the queue-depth
     /// high-water mark (same shape as [`AllocStats::commit_enqueued`]).
     pub fn io_submitted(&self) {
-        // ordering: AcqRel keeps the inflight gauge and its high-water mark mutually consistent.
+        // ordering: AcqRel keeps the inflight gauge and its high-water mark
+        // mutually consistent; pairs-with: stats.io-gauge.
         let depth = self.io_inflight.fetch_add(1, Ordering::AcqRel) + 1;
-        // ordering: AcqRel — see the gauge increment above.
+        // ordering: AcqRel — see the gauge increment above;
+        // pairs-with: stats.io-gauge.
         self.io_queue_depth_peak.fetch_max(depth, Ordering::AcqRel);
     }
 
     /// Record `n` async write completions harvested, with their summed
     /// submit→complete latency.
     pub fn io_completed(&self, n: u64, latency_ns: u64) {
-        // ordering: AcqRel — pairs with the gauge increment.
+        // ordering: AcqRel — pairs with the gauge increment;
+        // pairs-with: stats.io-gauge.
         self.io_inflight.fetch_sub(n, Ordering::AcqRel);
         // ordering: statistics counter; staleness is acceptable.
         self.io_submit_to_complete_ns

@@ -36,7 +36,7 @@ pub struct Tetris {
     /// Buckets that have not yet deposited and signaled completion.
     outstanding: AtomicUsize,
     /// Deposited per-drive lists: `(drive_in_rg, Vec<(dbn, stamp)>)`.
-    deposits: Mutex<Vec<DriveDeposit>>,
+    deposits: Mutex<Vec<DriveDeposit>>, // lock-rank: tetris.deposits 41
     io: Arc<IoEngine>,
     stats: Arc<AllocStats>,
     submitted: AtomicBool,
@@ -99,7 +99,8 @@ impl Tetris {
         if !writes.is_empty() {
             self.deposits.lock().push((drive_in_rg, writes));
         }
-        // ordering: AcqRel — releases this I/O's effects to whoever observes the count drop.
+        // ordering: AcqRel — releases this I/O's effects to whoever
+        // observes the count drop; pairs-with: tetris.outstanding.
         let prev = self.outstanding.fetch_sub(1, Ordering::AcqRel);
         assert!(prev > 0, "tetris completed more buckets than outstanding");
         if prev == 1 {
@@ -110,7 +111,8 @@ impl Tetris {
     }
 
     fn submit(&self) -> Result<IoResult, IoError> {
-        // ordering: AcqRel — one-shot submit guard; the winner's setup is released to later observers.
+        // ordering: AcqRel — one-shot submit guard; the winner's setup is
+        // released to later observers; pairs-with: tetris.submit.
         let was = self.submitted.swap(true, Ordering::AcqRel);
         assert!(!was, "tetris submitted twice");
         let mut deposits = std::mem::take(&mut *self.deposits.lock());

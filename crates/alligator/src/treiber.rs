@@ -126,7 +126,8 @@ impl<T> TreiberStack<T> {
     /// Is the stack empty right now? (Advisory under concurrency.)
     pub fn is_empty(&self) -> bool {
         // ordering: Acquire pairs with the AcqRel publish CAS in
-        // `attach`, so a non-NIL head implies the node is initialized.
+        // `attach`, so a non-NIL head implies the node is initialized;
+        // pairs-with: treiber.head.
         idx_of(self.head.load(Ordering::Acquire)) == NIL
     }
 
@@ -135,10 +136,12 @@ impl<T> TreiberStack<T> {
     fn attach(&self, first: u32, last: u32) {
         loop {
             // ordering: Acquire pairs with the AcqRel head CAS of
-            // concurrent push/pop so the observed top node is valid.
+            // concurrent push/pop so the observed top node is valid;
+            // pairs-with: treiber.head.
             let h = self.head.load(Ordering::Acquire);
             // ordering: Release — the tail link must be visible before
-            // the publish CAS makes the chain reachable.
+            // the publish CAS makes the chain reachable;
+            // pairs-with: treiber.link.
             self.arena
                 .node(last)
                 .next
@@ -147,7 +150,8 @@ impl<T> TreiberStack<T> {
                 .head
                 // ordering: AcqRel — Release publishes the chain's items,
                 // keys, and links to poppers (the stack's core
-                // happens-before edge); tag bump defeats ABA.
+                // happens-before edge); tag bump defeats ABA;
+                // pairs-with: treiber.head.
                 .compare_exchange(
                     h,
                     pack(tag_of(h).wrapping_add(1), first),
@@ -199,7 +203,7 @@ impl<T> TreiberStack<T> {
         node.item.with_mut(|p| unsafe { *p = Some(item) });
         // ordering: Release — the key stamp must be visible before
         // `attach` publishes the node (speculative key walks may read
-        // it as soon as the head CAS lands).
+        // it as soon as the head CAS lands); pairs-with: treiber.key.
         node.key.store(key, Ordering::Release);
         self.attach(idx, idx);
         Ok(())
@@ -256,7 +260,8 @@ impl<T> TreiberStack<T> {
                         // we are still the exclusive owner of each node.
                         let it = node.item.with_mut(|p| unsafe { (*p).take() });
                         // ordering: Acquire — our own Release stamp from
-                        // this same (private) chain build.
+                        // this same (private) chain build;
+                        // pairs-with: treiber.key.
                         let k = node.key.load(Ordering::Acquire);
                         debug_assert!(it.is_some(), "staged chain node lost its item");
                         if let Some(it) = it {
@@ -273,11 +278,11 @@ impl<T> TreiberStack<T> {
             // SAFETY: detached node, exclusively owned until `attach`.
             node.item.with_mut(|p| unsafe { *p = Some(item) });
             // ordering: Release — stamp visible before the publish CAS
-            // (see `try_push_keyed`).
+            // (see `try_push_keyed`); pairs-with: treiber.key.
             node.key.store(key, Ordering::Release);
             if let Some(&prev) = chain.last() {
                 // ordering: Release — private chain link, published
-                // wholesale by `attach`'s CAS.
+                // wholesale by `attach`'s CAS; pairs-with: treiber.link.
                 self.arena.node(prev).next.store(idx, Ordering::Release);
             }
             chain.push(idx);
@@ -292,7 +297,8 @@ impl<T> TreiberStack<T> {
         let pin = self.arena.pin();
         loop {
             // ordering: Acquire pairs with `attach`'s AcqRel publish CAS:
-            // a non-NIL head implies its item/key/next writes are visible.
+            // a non-NIL head implies its item/key/next writes are visible;
+            // pairs-with: treiber.head.
             let h = self.head.load(Ordering::Acquire);
             let idx = idx_of(h);
             if idx == NIL {
@@ -301,14 +307,14 @@ impl<T> TreiberStack<T> {
             let node = self.arena.node(idx);
             // ordering: Acquire — the link was Release-stored before the
             // node became reachable; a stale value is discarded by the
-            // tag CAS below.
+            // tag CAS below; pairs-with: treiber.link.
             let next = node.next.load(Ordering::Acquire);
             if self
                 .head
                 // ordering: AcqRel — Acquire takes ownership of the
                 // detached node (pusher's writes happen-before our take);
                 // Release orders the detach for the next head reader;
-                // tag bump defeats ABA.
+                // tag bump defeats ABA; pairs-with: treiber.head.
                 .compare_exchange(
                     h,
                     pack(tag_of(h).wrapping_add(1), next),
@@ -360,7 +366,7 @@ impl<T> TreiberStack<T> {
         let pin = self.arena.pin();
         loop {
             // ordering: Acquire pairs with `attach`'s publish CAS (see
-            // `pop`).
+            // `pop`); pairs-with: treiber.head.
             let h = self.head.load(Ordering::Acquire);
             if idx_of(h) == NIL {
                 return Vec::new();
@@ -369,7 +375,8 @@ impl<T> TreiberStack<T> {
             // recycling, but any interference bumps the head tag and
             // fails the CAS below, discarding whatever was read.
             // ordering: Acquire — stamped with Release before publish;
-            // stale reads are discarded by the tag CAS.
+            // stale reads are discarded by the tag CAS;
+            // pairs-with: treiber.key.
             let key0 = self.arena.node(idx_of(h)).key.load(Ordering::Acquire);
             let mut indices = Vec::with_capacity(max.min(16));
             indices.push(idx_of(h));
@@ -379,12 +386,14 @@ impl<T> TreiberStack<T> {
                     .node(*indices.last().unwrap())
                     .next
                     // ordering: Acquire — speculative link read; stale
-                    // values are discarded by the tag CAS.
+                    // values are discarded by the tag CAS;
+                    // pairs-with: treiber.link.
                     .load(Ordering::Acquire);
                 if nx == NIL {
                     break;
                 }
-                // ordering: Acquire — speculative key read (see `key0`).
+                // ordering: Acquire — speculative key read (see `key0`);
+                // pairs-with: treiber.key.
                 if same_key && self.arena.node(nx).key.load(Ordering::Acquire) != key0 {
                     break;
                 }
@@ -395,13 +404,14 @@ impl<T> TreiberStack<T> {
                 .node(*indices.last().unwrap())
                 .next
                 // ordering: Acquire — speculative link read; validated by
-                // the tag CAS.
+                // the tag CAS; pairs-with: treiber.link.
                 .load(Ordering::Acquire);
             if self
                 .head
                 // ordering: AcqRel — same contract as `pop`'s CAS: the
                 // tag bump proves the walked chain was the authentic
-                // top-k and transfers its exclusive ownership.
+                // top-k and transfers its exclusive ownership;
+                // pairs-with: treiber.head.
                 .compare_exchange(
                     h,
                     pack(tag_of(h).wrapping_add(1), after),

@@ -145,7 +145,8 @@ impl<T> CompletionRing<T> {
         loop {
             let slot = &self.slots[(tail & self.mask) as usize];
             // ordering: Acquire — pairs with the pop's Release store; seeing
-            // seq == tail proves the slot's previous value was fully taken.
+            // seq == tail proves the slot's previous value was fully taken;
+            // pairs-with: aio.ring-seq.
             let seq = slot.seq.load(atomic::Ordering::Acquire);
             let dif = seq.wrapping_sub(tail) as i64;
             if dif == 0 {
@@ -164,7 +165,8 @@ impl<T> CompletionRing<T> {
                         // seq store below publishes it.
                         slot.val.with_mut(|p| unsafe { *p = Some(v) });
                         // ordering: Release — publishes the value to the
-                        // consumer whose Acquire load observes seq == tail+1.
+                        // consumer whose Acquire load observes seq == tail+1;
+                        // pairs-with: aio.ring-seq.
                         slot.seq
                             .store(tail.wrapping_add(1), atomic::Ordering::Release);
                         return Ok(());
@@ -187,7 +189,8 @@ impl<T> CompletionRing<T> {
         loop {
             let slot = &self.slots[(head & self.mask) as usize];
             // ordering: Acquire — pairs with the push's Release store; seeing
-            // seq == head+1 proves the slot's value is fully written.
+            // seq == head+1 proves the slot's value is fully written;
+            // pairs-with: aio.ring-seq.
             let seq = slot.seq.load(atomic::Ordering::Acquire);
             let dif = seq.wrapping_sub(head.wrapping_add(1)) as i64;
             if dif == 0 {
@@ -206,7 +209,8 @@ impl<T> CompletionRing<T> {
                         // store below recycles it for producers.
                         let v = slot.val.with_mut(|p| unsafe { (*p).take() });
                         // ordering: Release — recycles the slot for the
-                        // producer one lap ahead (its Acquire load pairs here).
+                        // producer one lap ahead (its Acquire load pairs here);
+                        // pairs-with: aio.ring-seq.
                         slot.seq.store(
                             head.wrapping_add(self.mask).wrapping_add(1),
                             atomic::Ordering::Release,
@@ -381,14 +385,16 @@ impl FileBackend {
     /// multi-segment write racing this call persists only a prefix of
     /// its segments — the torn-stripe case recovery must absorb.
     pub fn crash(&self) {
-        // ordering: Release — the tear point is published to writer threads.
+        // ordering: Release — the tear point is published to writer
+        // threads; pairs-with: aio.file-crash.
         self.crashed
             .store(true, std::sync::atomic::Ordering::Release);
     }
 
     /// Has [`FileBackend::crash`] been called?
     pub fn is_crashed(&self) -> bool {
-        // ordering: Acquire — pairs with the Release store in crash().
+        // ordering: Acquire — pairs with the Release store in crash();
+        // pairs-with: aio.file-crash.
         self.crashed.load(std::sync::atomic::Ordering::Acquire)
     }
 
@@ -567,7 +573,7 @@ struct Pending {
 /// Per-RAID-group bounded MPSC submit ring: producers block when the
 /// ring is at capacity (backpressure), the group's worker drains FIFO.
 struct SubmitRing {
-    q: parking_lot::Mutex<VecDeque<Pending>>,
+    q: parking_lot::Mutex<VecDeque<Pending>>, // lock-rank: aio.queue 73
     not_full: parking_lot::Condvar,
     not_empty: parking_lot::Condvar,
     cap: usize,
@@ -581,7 +587,7 @@ struct Inner {
     /// Spill list for a full completion ring, so a worker never blocks
     /// on a caller that is slow to poll (same pattern as the arena's
     /// ArenaFull overflow queue).
-    overflow: parking_lot::Mutex<Vec<Completion>>,
+    overflow: parking_lot::Mutex<Vec<Completion>>, // lock-rank: aio.overflow 74
     submitted: std::sync::atomic::AtomicU64,
     completed: std::sync::atomic::AtomicU64,
     inflight: std::sync::atomic::AtomicU64,
@@ -590,7 +596,7 @@ struct Inner {
     dropped: std::sync::atomic::AtomicU64,
     shutdown: std::sync::atomic::AtomicBool,
     crashed: std::sync::atomic::AtomicBool,
-    drain_mx: parking_lot::Mutex<()>,
+    drain_mx: parking_lot::Mutex<()>, // lock-rank: aio.drain 72
     drain_cv: parking_lot::Condvar,
     /// Live queue-depth gauge in the obs metrics registry.
     depth_gauge: Arc<obs::Gauge>,
@@ -601,7 +607,7 @@ struct Inner {
 /// The asynchronous I/O engine (see module docs).
 pub struct AioEngine {
     inner: Arc<Inner>,
-    workers: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
+    workers: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>, // lock-rank: aio.workers 75
 }
 
 impl AioEngine {
@@ -669,7 +675,8 @@ impl AioEngine {
         let id = inner
             .submitted
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        // ordering: Acquire — see whether a crash point already fired.
+        // ordering: Acquire — see whether a crash point already fired;
+        // pairs-with: aio.crashed.
         if inner.crashed.load(std::sync::atomic::Ordering::Acquire) {
             // Crashed engine: the write is lost (powered-off media), but
             // the caller's ticket accounting must still balance.
@@ -677,19 +684,22 @@ impl AioEngine {
             inner
                 .dropped
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            // ordering: Release — keeps completed <= submitted visible to drain.
+            // ordering: Release — keeps completed <= submitted visible to
+            // drain; pairs-with: aio.completed.
             inner
                 .completed
                 .fetch_add(1, std::sync::atomic::Ordering::Release);
             return Ok(IoTicket(id));
         }
         // ordering: AcqRel — the gauge and its high-water mark stay
-        // mutually consistent (same pattern as put_commit_outstanding).
+        // mutually consistent (same pattern as put_commit_outstanding);
+        // pairs-with: aio.inflight-gauge.
         let depth = inner
             .inflight
             .fetch_add(1, std::sync::atomic::Ordering::AcqRel)
             + 1;
-        // ordering: AcqRel — see the gauge increment above.
+        // ordering: AcqRel — see the gauge increment above;
+        // pairs-with: aio.inflight-gauge.
         inner
             .depth_peak
             .fetch_max(depth, std::sync::atomic::Ordering::AcqRel);
@@ -699,7 +709,8 @@ impl AioEngine {
         while q.len() >= ring.cap {
             ring.not_full.wait(&mut q);
             // A crash while parked: bail out like the pre-queue check.
-            // ordering: Acquire — pairs with the crash point's Release.
+            // ordering: Acquire — pairs with the crash point's Release;
+            // pairs-with: aio.crashed.
             if inner.crashed.load(std::sync::atomic::Ordering::Acquire) {
                 drop(q);
                 self.account_dropped(1);
@@ -740,7 +751,7 @@ impl AioEngine {
                 // ordering: Acquire — pairs with workers' Release bumps, so
                 // completed == submitted implies all results are visible.
                 let sub = inner.submitted.load(std::sync::atomic::Ordering::Acquire);
-                // ordering: Acquire — see above.
+                // ordering: Acquire — see above; pairs-with: aio.completed.
                 let comp = inner.completed.load(std::sync::atomic::Ordering::Acquire);
                 if comp >= sub {
                     break;
@@ -765,7 +776,8 @@ impl AioEngine {
     pub fn crash_drop_inflight(&self) -> u64 {
         let inner = &*self.inner;
         // ordering: Release — later Acquire loads (submit, workers) see the
-        // crash before they see any queue state mutated below.
+        // crash before they see any queue state mutated below;
+        // pairs-with: aio.crashed.
         inner
             .crashed
             .store(true, std::sync::atomic::Ordering::Release);
@@ -790,11 +802,13 @@ impl AioEngine {
         inner
             .dropped
             .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
-        // ordering: AcqRel — gauge decrement pairs with submit's increment.
+        // ordering: AcqRel — gauge decrement pairs with submit's increment;
+        // pairs-with: aio.inflight-gauge.
         inner
             .inflight
             .fetch_sub(n, std::sync::atomic::Ordering::AcqRel);
-        // ordering: Release — keeps drain's completed-vs-submitted check sound.
+        // ordering: Release — keeps drain's completed-vs-submitted check
+        // sound; pairs-with: aio.completed.
         inner
             .completed
             .fetch_add(n, std::sync::atomic::Ordering::Release);
@@ -813,7 +827,8 @@ impl AioEngine {
 
     /// Total writes completed (including crash-dropped ones).
     pub fn completed(&self) -> u64 {
-        // ordering: Acquire — pairs with workers' Release bumps.
+        // ordering: Acquire — pairs with workers' Release bumps;
+        // pairs-with: aio.completed.
         self.inner
             .completed
             .load(std::sync::atomic::Ordering::Acquire)
@@ -829,7 +844,8 @@ impl AioEngine {
 
     /// Writes currently submitted but not completed.
     pub fn inflight(&self) -> u64 {
-        // ordering: Acquire — pairs with the AcqRel gauge updates.
+        // ordering: Acquire — pairs with the AcqRel gauge updates;
+        // pairs-with: aio.inflight-gauge.
         self.inner
             .inflight
             .load(std::sync::atomic::Ordering::Acquire)
@@ -837,7 +853,8 @@ impl AioEngine {
 
     /// High-water mark of [`AioEngine::inflight`].
     pub fn queue_depth_peak(&self) -> u64 {
-        // ordering: Acquire — pairs with the AcqRel fetch_max.
+        // ordering: Acquire — pairs with the AcqRel fetch_max;
+        // pairs-with: aio.inflight-gauge.
         self.inner
             .depth_peak
             .load(std::sync::atomic::Ordering::Acquire)
@@ -855,7 +872,8 @@ impl AioEngine {
     /// Called automatically on drop.
     pub fn shutdown(&self) {
         // ordering: Release — workers' Acquire loads see the flag after
-        // observing any queue state published before this call.
+        // observing any queue state published before this call;
+        // pairs-with: aio.shutdown.
         self.inner
             .shutdown
             .store(true, std::sync::atomic::Ordering::Release);
@@ -901,7 +919,8 @@ fn worker_loop(inner: &Inner, rg: usize) {
                     ring.not_full.notify_one();
                     break p;
                 }
-                // ordering: Acquire — pairs with shutdown's Release store.
+                // ordering: Acquire — pairs with shutdown's Release store;
+                // pairs-with: aio.shutdown.
                 if inner.shutdown.load(std::sync::atomic::Ordering::Acquire) {
                     return;
                 }
@@ -909,7 +928,8 @@ fn worker_loop(inner: &Inner, rg: usize) {
             }
         };
         // ordering: Acquire — a crash point fired while this item was
-        // queued; drop it exactly as the crash path drops the rest.
+        // queued; drop it exactly as the crash path drops the rest;
+        // pairs-with: aio.crashed.
         if inner.crashed.load(std::sync::atomic::Ordering::Acquire) {
             complete(inner, pending.ticket, None, 0);
             continue;
@@ -948,14 +968,15 @@ fn complete(inner: &Inner, ticket: u64, result: Option<Result<IoResult, IoError>
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
     }
-    // ordering: AcqRel — gauge decrement pairs with submit's increment.
+    // ordering: AcqRel — gauge decrement pairs with submit's increment;
+    // pairs-with: aio.inflight-gauge.
     let depth = inner
         .inflight
         .fetch_sub(1, std::sync::atomic::Ordering::AcqRel)
         - 1;
     inner.depth_gauge.set(depth);
     // ordering: Release — publishes this completion's effects to drain's
-    // Acquire load of the counter.
+    // Acquire load of the counter; pairs-with: aio.completed.
     inner
         .completed
         .fetch_add(1, std::sync::atomic::Ordering::Release);

@@ -84,7 +84,7 @@ pub struct Drive {
     kind: DriveKind,
     model: ServiceModel,
     blocks: u64,
-    content: RwLock<Vec<BlockStamp>>,
+    content: RwLock<Vec<BlockStamp>>, // lock-rank: drive.content 76
     // Statistics (relaxed: monotone counters, read only for reporting).
     writes: AtomicU64,
     blocks_written: AtomicU64,
@@ -95,7 +95,7 @@ pub struct Drive {
     busy_ns: AtomicU64,
     // Fault machinery.
     /// Injected fault schedule, if any (None = perfect media).
-    fault: RwLock<Option<Arc<FaultPlan>>>,
+    fault: RwLock<Option<Arc<FaultPlan>>>, // lock-rank: drive.fault 77
     /// Per-drive op ordinal feeding the fault plan's deterministic draws.
     op_counter: AtomicU64,
     /// Set when the drive has been taken out of service (whole-drive
@@ -160,36 +160,42 @@ impl Drive {
     /// Is the drive out of service?
     #[inline]
     pub fn is_offline(&self) -> bool {
-        // ordering: Acquire — pairs with the Release stores of the health state.
+        // ordering: Acquire — pairs with the Release stores of the health
+        // state; pairs-with: drive.health.
         self.offline.load(Ordering::Acquire)
     }
 
     /// Take the drive out of service; every subsequent I/O fails with
     /// [`IoError::DriveFailed`] until [`Drive::bring_online`].
     pub fn take_offline(&self) {
-        // ordering: Release — publishes the health-state transition.
+        // ordering: Release — publishes the health-state transition;
+        // pairs-with: drive.health.
         self.offline.store(true, Ordering::Release);
     }
 
     /// Return the drive to service (after a rebuild) and reset its
     /// failure streak.
     pub fn bring_online(&self) {
-        // ordering: Release — publishes the health-state transition.
+        // ordering: Release — publishes the health-state transition;
+        // pairs-with: drive.health.
         self.offline.store(false, Ordering::Release);
-        // ordering: Release — publishes the health-state transition.
+        // ordering: Release — publishes the health-state transition;
+        // pairs-with: drive.health.
         self.consecutive_failures.store(0, Ordering::Release);
     }
 
     /// Consecutive exhausted-retry failures since the last success.
     #[inline]
     pub fn consecutive_failures(&self) -> u32 {
-        // ordering: Acquire — pairs with the Release stores of the health state.
+        // ordering: Acquire — pairs with the Release stores of the health
+        // state; pairs-with: drive.health.
         self.consecutive_failures.load(Ordering::Acquire)
     }
 
     /// Record one exhausted-retry failure; returns the new streak length.
     pub(crate) fn note_failure(&self) -> u32 {
-        // ordering: AcqRel — the failure count and the offline decision it feeds must not reorder.
+        // ordering: AcqRel — the failure count and the offline decision it
+        // feeds must not reorder; pairs-with: drive.health.
         self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1
     }
 
@@ -260,7 +266,8 @@ impl Drive {
             let mut c = self.content.write();
             c[start.0 as usize..end as usize].copy_from_slice(stamps);
         }
-        // ordering: Release — publishes the health-state transition.
+        // ordering: Release — publishes the health-state transition;
+        // pairs-with: drive.health.
         self.consecutive_failures.store(0, Ordering::Release);
         // ordering: statistics counter; staleness is acceptable.
         let sequential = self.last_write_end.swap(end, Ordering::Relaxed) == start.0;
@@ -303,7 +310,8 @@ impl Drive {
             }
         }
         let stamp = self.content.read()[dbn.0 as usize];
-        // ordering: Release — publishes the health-state transition.
+        // ordering: Release — publishes the health-state transition;
+        // pairs-with: drive.health.
         self.consecutive_failures.store(0, Ordering::Release);
         // ordering: statistics counter; staleness is acceptable.
         self.reads.fetch_add(1, Ordering::Relaxed);
@@ -344,7 +352,8 @@ impl Drive {
             }
         }
         let out = self.content.read()[start.0 as usize..end as usize].to_vec();
-        // ordering: Release — publishes the health-state transition.
+        // ordering: Release — publishes the health-state transition;
+        // pairs-with: drive.health.
         self.consecutive_failures.store(0, Ordering::Release);
         // ordering: statistics counter; staleness is acceptable.
         self.reads.fetch_add(1, Ordering::Relaxed);

@@ -130,10 +130,10 @@ pub struct IoEngine {
     fault: Option<Arc<FaultPlan>>,
     /// Optional real-file mirror: every write that completes against the
     /// simulated drives is also persisted here (see [`crate::aio`]).
-    mirror: Mutex<Option<Arc<FileBackend>>>,
+    mirror: Mutex<Option<Arc<FileBackend>>>, // lock-rank: io.mirror 70
     /// Back-reference to an attached async engine, if any. Weak: the
     /// [`AioEngine`] owns an `Arc<IoEngine>`, never the reverse.
-    aio: Mutex<Weak<AioEngine>>,
+    aio: Mutex<Weak<AioEngine>>, // lock-rank: io.aio 71
 }
 
 impl IoEngine {

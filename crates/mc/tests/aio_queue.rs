@@ -169,7 +169,7 @@ fn drain_barrier_model() {
                     // ordering: Release — publishes the slot write to the
                     // drainer's Acquire load of the counter, exactly as the
                     // worker's `completed.fetch_add(1, Release)` does in
-                    // `blockdev::aio::complete`.
+                    // `blockdev::aio::complete`; pairs-with: mc.aio-completed.
                     completed.fetch_add(1, Ordering::Release);
                 }
             })
@@ -178,7 +178,8 @@ fn drain_barrier_model() {
     // The drainer: spin until all submissions completed, then sweep.
     let mut spins = 0;
     // ordering: Acquire — pairs with the workers' Release bumps; seeing
-    // `completed == SUBMITTED` implies all ring writes are visible.
+    // `completed == SUBMITTED` implies all ring writes are visible;
+    // pairs-with: mc.aio-completed.
     while completed.load(Ordering::Acquire) < SUBMITTED {
         mc::thread::yield_now();
         spins += 1;
@@ -228,12 +229,14 @@ fn drain_observes_every_completion_exhaustive() {
                     mc::thread::spawn(move || {
                         ring.try_push(t).expect("capacity covers all pushes");
                         // ordering: Release — publishes the slot write, as in
-                        // `blockdev::aio::complete`.
+                        // `blockdev::aio::complete`;
+                        // pairs-with: mc.aio-completed.
                         completed.fetch_add(1, Ordering::Release);
                     })
                 })
                 .collect();
-            // ordering: Acquire — pairs with the workers' Release bumps.
+            // ordering: Acquire — pairs with the workers' Release bumps;
+            // pairs-with: mc.aio-completed.
             if completed.load(Ordering::Acquire) == SUBMITTED {
                 let mut swept = Vec::new();
                 while let Some(v) = ring.try_pop() {

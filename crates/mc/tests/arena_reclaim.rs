@@ -100,7 +100,8 @@ fn no_double_alloc_model() {
                 // allocation is not.
                 if let Ok(idx) = a.alloc(&pin) {
                     // ordering: AcqRel — the claim handoff is the
-                    // property under test; pairs with the release below.
+                    // property under test; pairs with the release below;
+                    // pairs-with: mc.arena-claims.
                     let prev = claims[idx as usize].fetch_add(1, Ordering::AcqRel);
                     assert_eq!(prev, 0, "node {idx} allocated to two owners");
                     held.push(idx);
@@ -109,7 +110,8 @@ fn no_double_alloc_model() {
             for idx in held {
                 // Relinquish the claim *before* the free so the peer's
                 // re-allocation of a recycled index observes 0.
-                // ordering: AcqRel — pairs with the acquire above.
+                // ordering: AcqRel — pairs with the acquire above;
+                // pairs-with: mc.arena-claims.
                 claims[idx as usize].fetch_sub(1, Ordering::AcqRel);
                 a.free(&pin, idx);
             }

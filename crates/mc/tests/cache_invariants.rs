@@ -278,7 +278,8 @@ impl GatePollingCache {
     fn gate_wait_even(&self) -> u64 {
         loop {
             // ordering: Acquire — pairs with the publisher's AcqRel gate
-            // increments, as in the real cache.
+            // increments, as in the real cache;
+            // pairs-with: mc.cache-gate.
             let g = self.gate.load(Ordering::Acquire);
             if g & 1 == 0 {
                 return g;
@@ -291,12 +292,13 @@ impl GatePollingCache {
     /// new item (identical to `insert_all_lf`).
     fn publish(&self, gen: u64) {
         let _p = self.publish.lock();
-        // ordering: AcqRel — open the window (see `insert_all_lf`).
+        // ordering: AcqRel — open the window (see `insert_all_lf`);
+        // pairs-with: mc.cache-gate.
         self.gate.fetch_add(1, Ordering::AcqRel);
         let older = self.stack.pop_many(usize::MAX);
         self.stack
             .push_many_keyed(older.into_iter().chain([gen]).map(|g| (g, g)));
-        // ordering: AcqRel — close the window.
+        // ordering: AcqRel — close the window; pairs-with: mc.cache-gate.
         self.gate.fetch_add(1, Ordering::AcqRel);
     }
 

@@ -153,10 +153,12 @@ fn release_acquire_publication_is_clean() {
             // ordering: payload write ordered before the Release flag
             // store below.
             d2.store(42, Ordering::Relaxed);
-            // ordering: Release publishes the payload to Acquire loaders.
+            // ordering: Release publishes the payload to Acquire loaders;
+            // pairs-with: mc.self-flag.
             f2.store(1, Ordering::Release);
         });
-        // ordering: Acquire pairs with the Release store of the flag.
+        // ordering: Acquire pairs with the Release store of the flag;
+        // pairs-with: mc.self-flag.
         if flag.load(Ordering::Acquire) == 1 {
             // ordering: happens-after the payload write via the
             // acquired flag; stale 0 is coherence-forbidden.

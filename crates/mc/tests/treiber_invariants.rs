@@ -171,13 +171,15 @@ impl UntaggedStack {
         self.pushed[idx as usize].fetch_add(1, Ordering::Relaxed);
         loop {
             // ordering: Acquire/Release/AcqRel mirror the real stack —
-            // the bug under test is the missing tag, not the ordering.
+            // the bug under test is the missing tag, not the ordering;
+            // pairs-with: mc.toy-head.
             let h = self.head.load(Ordering::Acquire);
-            // ordering: as above.
+            // ordering: as above; pairs-with: mc.toy-link.
             self.next[idx as usize].store(h, Ordering::Release);
             if self
                 .head
-                // ordering: as above — deliberately untagged CAS.
+                // ordering: as above — deliberately untagged (ABA-tag-free) CAS;
+                // pairs-with: mc.toy-head.
                 .compare_exchange(h, idx, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
@@ -188,17 +190,18 @@ impl UntaggedStack {
 
     fn pop(&self) -> Option<u32> {
         loop {
-            // ordering: as in `push`.
+            // ordering: as in `push`; pairs-with: mc.toy-head.
             let h = self.head.load(Ordering::Acquire);
             if h == NIL {
                 return None;
             }
             // ordering: as in `push` — this is the stale read ABA turns
-            // into a corrupted head.
+            // into a corrupted head; pairs-with: mc.toy-link.
             let next = self.next[h as usize].load(Ordering::Acquire);
             if self
                 .head
-                // ordering: as in `push` — deliberately untagged CAS.
+                // ordering: as in `push` — deliberately untagged (ABA-tag-free) CAS;
+                // pairs-with: mc.toy-head.
                 .compare_exchange(h, next, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {

@@ -162,7 +162,8 @@ impl ActiveMap {
     #[inline]
     pub fn is_used(&self, idx: u64) -> bool {
         debug_assert!(idx < self.nbits);
-        // ordering: Acquire — observes bits together with the state they guard.
+        // ordering: Acquire — observes bits together with the state they
+        // guard; pairs-with: activemap.bits.
         let w = self.words[(idx / 64) as usize].load(Ordering::Acquire);
         w & (1u64 << (idx % 64)) != 0
     }
@@ -172,7 +173,8 @@ impl ActiveMap {
     pub fn reserve(&self, idx: u64) -> Result<(), AllocError> {
         self.check(idx)?;
         let mask = 1u64 << (idx % 64);
-        // ordering: AcqRel RMW — the bit flip and the block state it guards must not reorder.
+        // ordering: AcqRel RMW — the bit flip and the block state it guards
+        // must not reorder; pairs-with: activemap.bits.
         let prev = self.words[(idx / 64) as usize].fetch_or(mask, Ordering::AcqRel);
         if prev & mask != 0 {
             return Err(AllocError::AlreadyUsed(idx));
@@ -186,7 +188,8 @@ impl ActiveMap {
     pub fn release(&self, idx: u64) -> Result<(), AllocError> {
         self.check(idx)?;
         let mask = 1u64 << (idx % 64);
-        // ordering: AcqRel RMW — the bit flip and the block state it guards must not reorder.
+        // ordering: AcqRel RMW — the bit flip and the block state it guards
+        // must not reorder; pairs-with: activemap.bits.
         let prev = self.words[(idx / 64) as usize].fetch_and(!mask, Ordering::AcqRel);
         if prev & mask == 0 {
             return Err(AllocError::AlreadyFree(idx));
@@ -223,7 +226,8 @@ impl ActiveMap {
     fn mark_dirty(&self, idx: u64) {
         let mf_block = idx / BITS_PER_MF_BLOCK;
         let mask = 1u64 << (mf_block % 64);
-        // ordering: AcqRel RMW — the bit flip and the block state it guards must not reorder.
+        // ordering: AcqRel RMW — the bit flip and the block state it guards
+        // must not reorder; pairs-with: activemap.bits.
         let prev = self.dirty[(mf_block / 64) as usize].fetch_or(mask, Ordering::AcqRel);
         if prev & mask == 0 {
             // ordering: statistics counter; staleness is acceptable.
@@ -235,7 +239,8 @@ impl ActiveMap {
     pub fn dirty_block_count(&self) -> u64 {
         self.dirty
             .iter()
-            // ordering: Acquire — observes bits together with the state they guard.
+            // ordering: Acquire — observes bits together with the state they
+            // guard; pairs-with: activemap.bits.
             .map(|w| w.load(Ordering::Acquire).count_ones() as u64)
             .sum()
     }
@@ -245,7 +250,8 @@ impl ActiveMap {
     pub fn take_dirty_blocks(&self) -> Vec<u64> {
         let mut out = Vec::new();
         for (wi, w) in self.dirty.iter().enumerate() {
-            // ordering: AcqRel — the drain claims the dirty word and sees the writes it summarizes.
+            // ordering: AcqRel — the drain claims the dirty word and sees the
+            // writes it summarizes; pairs-with: activemap.bits.
             let mut bits = w.swap(0, Ordering::AcqRel);
             while bits != 0 {
                 let b = bits.trailing_zeros() as u64;
@@ -276,7 +282,8 @@ impl ActiveMap {
             let word = &self.words[wi];
             let word_base = wi as u64 * 64;
             loop {
-                // ordering: Acquire — observes bits together with the state they guard.
+                // ordering: Acquire — observes bits together with the state they
+                // guard; pairs-with: activemap.bits.
                 let cur = word.load(Ordering::Acquire);
                 // Bits of this word inside [idx, end) that are free.
                 let lo_mask = !0u64 << (idx - word_base);
@@ -293,7 +300,8 @@ impl ActiveMap {
                 let bit = candidates.trailing_zeros() as u64;
                 let mask = 1u64 << bit;
                 if word
-                    // ordering: AcqRel success pairs with the other word RMWs; Acquire failure re-reads a current word.
+                    // ordering: AcqRel success pairs with the other word RMWs; Acquire
+                    // failure re-reads a current word; pairs-with: activemap.bits.
                     .compare_exchange_weak(cur, cur | mask, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
@@ -331,7 +339,8 @@ impl ActiveMap {
         let mut used: u64 = self
             .words
             .iter()
-            // ordering: Acquire — observes bits together with the state they guard.
+            // ordering: Acquire — observes bits together with the state they
+            // guard; pairs-with: activemap.bits.
             .map(|w| w.load(Ordering::Acquire).count_ones() as u64)
             .sum();
         // Subtract the padding bits that were pre-set in `new`.

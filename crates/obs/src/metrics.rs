@@ -205,9 +205,9 @@ impl LogHistogram {
 /// get-or-create accessors; exporting walks the table in name order.
 #[derive(Debug, Default)]
 pub struct Registry {
-    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
-    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
-    histograms: Mutex<BTreeMap<String, Arc<LogHistogram>>>,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>, // lock-rank: obs.counters 85
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,     // lock-rank: obs.gauges 86
+    histograms: Mutex<BTreeMap<String, Arc<LogHistogram>>>, // lock-rank: obs.histograms 87
 }
 
 impl Registry {

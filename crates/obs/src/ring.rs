@@ -92,7 +92,8 @@ impl EventRing {
     /// Total events ever recorded on this ring.
     pub fn head(&self) -> u64 {
         // ordering: monotonic counter read for display; acquire pairs with
-        // the writer's release store so slots below the value are published.
+        // the writer's release store so slots below the value are
+        // published; pairs-with: obs.ring-head.
         self.head.load(Ordering::Acquire)
     }
 
@@ -126,7 +127,8 @@ impl EventRing {
         // the dropped-counter increment above to readers whose seq load
         // observes the busy mark; Acquire keeps the payload stores below
         // from being hoisted above the mark (they must not land while a
-        // reader could still accept the old sequence value).
+        // reader could still accept the old sequence value);
+        // pairs-with: obs.ring-seq.
         slot.seq.swap(2 * h + 1, Ordering::AcqRel);
         // ordering: relaxed payload stores — ordered against readers
         // solely by the seq protocol (busy mark above, release below).
@@ -138,10 +140,12 @@ impl EventRing {
         // ordering: as above — seq arbitrates.
         slot.arg.store(arg, Ordering::Relaxed);
         // ordering: release makes every payload store above visible to a
-        // reader whose acquire seq load observes `2h + 2`.
+        // reader whose acquire seq load observes `2h + 2`;
+        // pairs-with: obs.ring-seq.
         slot.seq.store(2 * h + 2, Ordering::Release);
         // ordering: release so a reader that acquires the new head also
-        // sees the completed slot write it covers.
+        // sees the completed slot write it covers;
+        // pairs-with: obs.ring-head.
         self.head.store(h + 1, Ordering::Release);
     }
 
@@ -152,7 +156,8 @@ impl EventRing {
     /// `events.len() + dropped >= head` always holds.
     pub fn snapshot(&self) -> RingSnapshot {
         // ordering: acquire pairs with the writer's release store of
-        // head; every slot for events < head has its final seq visible.
+        // head; every slot for events < head has its final seq visible;
+        // pairs-with: obs.ring-head.
         let head = self.head.load(Ordering::Acquire);
         let cap = self.slots.len() as u64;
         let start = head.saturating_sub(cap);
@@ -161,7 +166,8 @@ impl EventRing {
             let slot = &self.slots[(i & self.mask) as usize];
             // ordering: acquire so the payload loads below cannot be
             // hoisted above this check and cannot see values older than
-            // the seq they were published under.
+            // the seq they were published under;
+            // pairs-with: obs.ring-seq.
             let s1 = slot.seq.load(Ordering::Acquire);
             if s1 != 2 * i + 2 {
                 continue; // never written, busy, or already overwritten
@@ -181,7 +187,8 @@ impl EventRing {
             // (its payload stores are program-ordered after its busy
             // swap, which would have made this CAS fail).
             // ordering: AcqRel on success for the RMW's read-don't-miss
-            // guarantee; acquire on failure — we only compare the value.
+            // guarantee; acquire on failure — we only compare the value;
+            // pairs-with: obs.ring-seq.
             if slot
                 .seq
                 .compare_exchange(s1, s1, Ordering::AcqRel, Ordering::Acquire)

@@ -68,7 +68,7 @@ mod imp {
     }
 
     fn threads() -> &'static Mutex<Vec<ThreadEntry>> {
-        static THREADS: OnceLock<Mutex<Vec<ThreadEntry>>> = OnceLock::new();
+        static THREADS: OnceLock<Mutex<Vec<ThreadEntry>>> = OnceLock::new(); // lock-rank: obs.threads 88
         THREADS.get_or_init(|| Mutex::new(Vec::new()))
     }
 
@@ -260,7 +260,7 @@ mod tests {
 
     /// The recording switch is process-global; serialize these tests so
     /// a mid-test `set_recording(false)` can't starve a neighbor.
-    static SWITCH_LOCK: Mutex<()> = Mutex::new(());
+    static SWITCH_LOCK: Mutex<()> = Mutex::new(()); // lock-rank: obs.switch 89
 
     #[test]
     fn spans_and_instants_land_on_the_current_thread_in_order() {

@@ -27,7 +27,7 @@ use std::thread::JoinHandle;
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 struct Inner {
-    sched: Mutex<Scheduler<Job>>,
+    sched: Mutex<Scheduler<Job>>, // lock-rank: waffinity.sched 30
     /// Signaled when work arrives or completes (a completion can unblock
     /// any number of excluded affinities, so notify_all).
     work: Condvar,
@@ -111,7 +111,8 @@ impl WaffinityPool {
 
     fn send_id(&self, id: AffinityId, job: Job) {
         assert!(
-            // ordering: Acquire — pairs with the Release shutdown store.
+            // ordering: Acquire — pairs with the Release shutdown store;
+            // pairs-with: waffinity.shutdown.
             !self.inner.shutdown.load(Ordering::Acquire),
             "send() on a shut-down pool"
         );
@@ -175,7 +176,8 @@ impl WaffinityPool {
     }
 
     fn shutdown_impl(&mut self) {
-        // ordering: Release — all work queued before shutdown is visible to the draining workers.
+        // ordering: Release — all work queued before shutdown is visible to
+        // the draining workers; pairs-with: waffinity.shutdown.
         self.inner.shutdown.store(true, Ordering::Release);
         self.inner.work.notify_all();
         for w in self.workers.drain(..) {
@@ -221,7 +223,8 @@ fn worker_loop(inner: &Inner) {
             if sched.is_idle() {
                 inner.idle.notify_all();
             }
-        // ordering: Acquire — pairs with the Release shutdown store.
+        // ordering: Acquire — pairs with the Release shutdown store;
+        // pairs-with: waffinity.shutdown.
         } else if inner.shutdown.load(Ordering::Acquire) && sched.queued() == 0 {
             // Nothing runnable and shutting down. Remaining queued work is
             // zero; running work belongs to other workers.

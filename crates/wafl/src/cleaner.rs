@@ -336,7 +336,7 @@ struct PoolShared {
     /// Workers with index ≥ this limit park (dynamic tuning).
     active_limit: AtomicUsize,
     limit_changed: Condvar,
-    limit_lock: Mutex<()>,
+    limit_lock: Mutex<()>, // lock-rank: cleaner.limit 26
     shutdown: AtomicBool,
     /// Per-pool busy time for utilization measurement.
     busy_ns: AtomicU64,
@@ -390,14 +390,16 @@ impl CleanerPool {
 
     /// Currently active (non-parked) thread limit.
     pub fn active_limit(&self) -> usize {
-        // ordering: Acquire — pairs with the control plane's Release store of the limit.
+        // ordering: Acquire — pairs with the control plane's Release store
+        // of the limit; pairs-with: cleaner.limit.
         self.shared.active_limit.load(Ordering::Acquire)
     }
 
     /// Set the active-thread limit (the dynamic tuner's actuator).
     pub fn set_active_limit(&self, n: usize) {
         let n = n.clamp(1, self.workers.len());
-        // ordering: Release — publishes the new worker limit.
+        // ordering: Release — publishes the new worker limit;
+        // pairs-with: cleaner.limit.
         self.shared.active_limit.store(n, Ordering::Release);
         let _g = self.shared.limit_lock.lock();
         self.shared.limit_changed.notify_all();
@@ -469,13 +471,22 @@ impl CleanerPool {
         reg.counter("io_drive_errors").set(f.io_errors);
         reg.counter("io_blocks_rebuilt").set(f.blocks_rebuilt);
         reg.gauge("io_drives_offline").set(f.drives_offline);
-        // Arena boundedness level (its high-water mark and the traffic
-        // counters arrive through `named()` above).
+        // Instantaneous levels (gauges live on `AllocStats` only — they
+        // are not part of the snapshot, so surface each one here; their
+        // high-water marks arrive through `named()` above).
+        let raw = self.shared.alloc.raw_stats();
         reg.gauge("cache_arena_chunks_live").set(
-            self.shared
-                .alloc
-                .raw_stats()
-                .arena_chunks_live
+            raw.arena_chunks_live
+                // ordering: statistics gauge; staleness is acceptable.
+                .load(Ordering::Relaxed),
+        );
+        reg.gauge("put_commit_outstanding").set(
+            raw.put_commit_outstanding
+                // ordering: statistics gauge; staleness is acceptable.
+                .load(Ordering::Relaxed),
+        );
+        reg.gauge("io_inflight").set(
+            raw.io_inflight
                 // ordering: statistics gauge; staleness is acceptable.
                 .load(Ordering::Relaxed),
         );
@@ -488,7 +499,8 @@ impl CleanerPool {
     }
 
     fn shutdown_impl(&mut self) {
-        // ordering: Release/Acquire pair on the shutdown flag.
+        // ordering: Release/Acquire pair on the shutdown flag;
+        // pairs-with: cleaner.shutdown.
         self.shared.shutdown.store(true, Ordering::Release);
         // Wake parked workers and unblock recv via channel close.
         self.set_active_limit(self.workers.len());
@@ -525,9 +537,11 @@ fn worker(index: usize, shared: &PoolShared) {
         // Dynamic tuning: park while deactivated.
         {
             let mut g = shared.limit_lock.lock();
-            // ordering: Acquire — pairs with the control plane's Release store of the limit.
+            // ordering: Acquire — pairs with the control plane's Release store
+            // of the limit; pairs-with: cleaner.limit.
             while index >= shared.active_limit.load(Ordering::Acquire)
-                // ordering: Release/Acquire pair on the shutdown flag.
+                // ordering: Release/Acquire pair on the shutdown flag;
+        // pairs-with: cleaner.shutdown.
                 && !shared.shutdown.load(Ordering::Acquire)
             {
                 shared.limit_changed.wait(&mut g);

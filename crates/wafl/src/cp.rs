@@ -55,7 +55,7 @@ pub enum MetafileSrc {
 /// written copy-on-write like everything else).
 #[derive(Debug, Default)]
 pub struct MetafileLocs {
-    locs: Mutex<BTreeMap<(MetafileSrc, u64), Vbn>>,
+    locs: Mutex<BTreeMap<(MetafileSrc, u64), Vbn>>, // lock-rank: cp.locs 20
 }
 
 impl MetafileLocs {
@@ -129,7 +129,7 @@ pub struct VolumeImage {
 /// The superblock slot: atomically replaceable committed image.
 #[derive(Debug, Default)]
 pub struct SuperblockStore {
-    image: Mutex<Option<Arc<DiskImage>>>,
+    image: Mutex<Option<Arc<DiskImage>>>, // lock-rank: cp.image 21
 }
 
 impl SuperblockStore {

@@ -62,7 +62,7 @@ pub struct Filesystem {
     /// `Weak` back-pointer (no cycle).
     aio: Option<Arc<wafl_blockdev::AioEngine>>,
     alloc: Arc<Allocator>,
-    volumes: RwLock<BTreeMap<VolumeId, Arc<Volume>>>,
+    volumes: RwLock<BTreeMap<VolumeId, Arc<Volume>>>, // lock-rank: fs.volumes 10
     nvlog: NvLog,
     pool: CleanerPool,
     mf_locs: MetafileLocs,
@@ -389,7 +389,8 @@ impl Filesystem {
         // ordering: Relaxed RMW gives unique CP ids; CP ordering is serialized by the checkpoint lock.
         let cp_id = self.cp_counter.fetch_add(1, Ordering::Relaxed) + 1;
         let vols = self.volumes();
-        // ordering: Release/Acquire pair with `cp_in_flight()`; advisory.
+        // ordering: Release/Acquire pair with `cp_in_flight()`; advisory;
+        // pairs-with: fs.cp-flag.
         self.cp_in_flight.store(true, Ordering::Release);
         let report = cp::run_cp(
             cp_id,
@@ -401,7 +402,8 @@ impl Filesystem {
             &self.mf_locs,
             &self.sb,
         );
-        // ordering: Release — the CP's effects precede the flag clearing.
+        // ordering: Release — the CP's effects precede the flag clearing;
+        // pairs-with: fs.cp-flag.
         self.cp_in_flight.store(false, Ordering::Release);
         report
     }
@@ -416,7 +418,8 @@ impl Filesystem {
         // ordering: Relaxed RMW gives unique CP ids; CP ordering is serialized by the checkpoint lock.
         let cp_id = self.cp_counter.fetch_add(1, Ordering::Relaxed) + 1;
         let vols = self.volumes();
-        // ordering: Release/Acquire pair with `cp_in_flight()`; advisory.
+        // ordering: Release/Acquire pair with `cp_in_flight()`; advisory;
+        // pairs-with: fs.cp-flag.
         self.cp_in_flight.store(true, Ordering::Release);
         let r = cp::run_cp_crash_at(
             cp_id,
@@ -430,7 +433,8 @@ impl Filesystem {
             at,
         );
         debug_assert!(r.is_none(), "an injected crash never commits");
-        // ordering: Release — the abandoned CP's effects precede the clear.
+        // ordering: Release — the abandoned CP's effects precede the clear;
+        // pairs-with: fs.cp-flag.
         self.cp_in_flight.store(false, Ordering::Release);
     }
 
@@ -445,7 +449,8 @@ impl Filesystem {
     /// [`Filesystem::cp_count`] stability check to bracket CP-quiet
     /// windows.
     pub fn cp_in_flight(&self) -> bool {
-        // ordering: Acquire pairs with the Release stores around the CP.
+        // ordering: Acquire pairs with the Release stores around the CP;
+        // pairs-with: fs.cp-flag.
         self.cp_in_flight.load(Ordering::Acquire)
     }
 

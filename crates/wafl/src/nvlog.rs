@@ -77,7 +77,7 @@ pub enum Op {
 /// ```
 #[derive(Debug, Default)]
 pub struct NvLog {
-    inner: Mutex<Halves>,
+    inner: Mutex<Halves>, // lock-rank: nvlog 22
 }
 
 #[derive(Debug, Default)]

@@ -269,7 +269,7 @@ pub struct ScrubCheckpoint {
 /// Shared store for the scrub cursor (the scrubber's "superblock").
 #[derive(Debug, Default)]
 pub struct ScrubCheckpointStore {
-    slot: Mutex<Option<ScrubCheckpoint>>,
+    slot: Mutex<Option<ScrubCheckpoint>>, // lock-rank: scrub.slot 25
 }
 
 impl ScrubCheckpointStore {

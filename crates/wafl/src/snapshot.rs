@@ -64,7 +64,7 @@ impl Snapshot {
 /// The snapshot set of one volume.
 #[derive(Debug, Default)]
 pub struct SnapshotSet {
-    snaps: parking_lot::RwLock<Vec<Arc<Snapshot>>>,
+    snaps: parking_lot::RwLock<Vec<Arc<Snapshot>>>, // lock-rank: snapshot.snaps 23
 }
 
 impl SnapshotSet {

@@ -25,11 +25,11 @@ pub struct Volume {
     id: VolumeId,
     /// Aggregate index in the Waffinity topology housing this volume.
     aggr: u32,
-    inodes: RwLock<BTreeMap<FileId, Arc<Mutex<Inode>>>>,
+    inodes: RwLock<BTreeMap<FileId, Arc<Mutex<Inode>>>>, // lock-rank: volume.inodes 15
     vvbn: VvbnSpace,
     /// "a list of dirty inodes to process in the next consistency point"
     /// (§II-C). A set: an inode appears once however many blocks dirty.
-    dirty: Mutex<BTreeSet<FileId>>,
+    dirty: Mutex<BTreeSet<FileId>>, // lock-rank: volume.dirty 16
     /// Retained point-in-time images (see [`crate::snapshot`]).
     snapshots: SnapshotSet,
 }

@@ -32,7 +32,7 @@ use wafl_metafile::ActiveMap;
 pub struct VvbnSpace {
     map: Arc<ActiveMap>,
     /// Next offset to scan for free VVBNs (wraps once).
-    cursor: Mutex<u64>,
+    cursor: Mutex<u64>, // lock-rank: vvbn.cursor 24
     total: u64,
 }
 

@@ -1,0 +1,11 @@
+// Fixture: a multi-shard-lock function that iterates descending.
+// The cache-order gate must flag the .rev() acquisition loop.
+impl Cache {
+    fn insert_all_mutex(&self) {
+        let mut guards = Vec::new();
+        for (s, _b) in self.shards.iter().enumerate().rev() {
+            let g = self.lock_shard(s);
+            guards.push(g);
+        }
+    }
+}

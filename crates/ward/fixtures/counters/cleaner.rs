@@ -1,0 +1,12 @@
+// Fixture replica of crates/wafl/src/cleaner.rs (reporting surface).
+impl CleanerPool {
+    pub fn metrics_text(&self) -> String {
+        let reg = Registry::new();
+        reg.import_counters(self.shared.alloc.stats().named());
+        let f = self.shared.alloc.infra().io().fault_snapshot();
+        reg.counter("io_reconstructed_reads").set(f.reconstructed_reads);
+        reg.counter("io_blocks_rebuilt").set(f.blocks_rebuilt);
+        reg.gauge("io_inflight_now").set(io_inflight());
+        reg.text_snapshot()
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture replica of crates/simsrv/src/engine.rs with a seeded
+// violation: `io_queue_depth_peak` is collected by the run but missing
+// from named_counters() — the unplumbed-counter class.
+pub struct SimResult {
+    pub ops_completed: u64,
+    pub cache_get_fast: u64,
+    pub io_queue_depth_peak: u64,
+}
+
+impl SimResult {
+    pub fn named_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("ops_completed", self.ops_completed),
+            ("cache_get_fast", self.cache_get_fast),
+        ]
+    }
+
+    pub fn metrics_text(&self) -> String {
+        let reg = Registry::new();
+        reg.import_counters(self.named_counters());
+        reg.text_snapshot()
+    }
+}

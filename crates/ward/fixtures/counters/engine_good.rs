@@ -1,0 +1,22 @@
+// Fixture replica of crates/simsrv/src/engine.rs, fully plumbed.
+pub struct SimResult {
+    pub ops_completed: u64,
+    pub cache_get_fast: u64,
+    pub io_queue_depth_peak: u64,
+}
+
+impl SimResult {
+    pub fn named_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("ops_completed", self.ops_completed),
+            ("cache_get_fast", self.cache_get_fast),
+            ("io_queue_depth_peak", self.io_queue_depth_peak),
+        ]
+    }
+
+    pub fn metrics_text(&self) -> String {
+        let reg = Registry::new();
+        reg.import_counters(self.named_counters());
+        reg.text_snapshot()
+    }
+}

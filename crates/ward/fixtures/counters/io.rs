@@ -1,0 +1,5 @@
+// Fixture replica of crates/blockdev/src/io.rs (FaultSnapshot only).
+pub struct FaultSnapshot {
+    pub reconstructed_reads: u64,
+    pub blocks_rebuilt: u64,
+}

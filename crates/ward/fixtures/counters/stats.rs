@@ -1,0 +1,39 @@
+// Fixture replica of crates/alligator/src/stats.rs (shape only).
+macro_rules! alloc_counters {
+    (
+        counters { $( $cname:ident, )* }
+        gauges { $( $gname:ident, )* }
+    ) => {
+        pub struct AllocStats {
+            $( pub $cname: AtomicU64, )*
+            $( pub $gname: AtomicU64, )*
+        }
+        pub struct StatsSnapshot {
+            $( pub $cname: u64, )*
+        }
+        impl AllocStats {
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $cname: self.$cname.load(Ordering::Relaxed), )*
+                }
+            }
+        }
+        impl StatsSnapshot {
+            pub const NAMES: &'static [&'static str] = &[ $( stringify!($cname), )* ];
+            pub fn named(&self) -> Vec<(&'static str, u64)> {
+                vec![ $( (stringify!($cname), self.$cname), )* ]
+            }
+        }
+    };
+}
+
+alloc_counters! {
+    counters {
+        gets,
+        cache_get_fast,
+        io_queue_depth_peak,
+    }
+    gauges {
+        io_inflight,
+    }
+}

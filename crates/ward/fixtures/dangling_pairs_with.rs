@@ -1,0 +1,10 @@
+// Fixture: a Release publish whose acquire partner was weakened to
+// Relaxed. The pairing gate must flag both the weakened tag site and
+// the now-dangling label.
+fn seed(flag: &std::sync::atomic::AtomicBool) {
+    use std::sync::atomic::Ordering;
+    // ordering: Release publish of the ready flag; pairs-with: fixture.ready.
+    flag.store(true, Ordering::Release);
+    // ordering: was Acquire, weakened in a refactor; pairs-with: fixture.ready.
+    let _ = flag.load(Ordering::Relaxed);
+}

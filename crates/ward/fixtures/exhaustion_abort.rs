@@ -1,0 +1,5 @@
+// Fixture: a capacity-exhaustion abort in arena code.
+// The arena-abort gate must flag the assert.
+fn seed(idx: usize, cap: usize) {
+    assert!(idx < cap, "TreiberStack arena exhausted");
+}

@@ -1,0 +1,5 @@
+// Fixture: an IoTicket constructed outside the aio engine.
+// The ticket gate must flag the forgery.
+fn seed() -> IoTicket {
+    IoTicket(7)
+}

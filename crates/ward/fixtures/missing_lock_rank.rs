@@ -1,0 +1,5 @@
+// Fixture: a Mutex declaration with no `// lock-rank:` annotation.
+// The lock-rank gate must flag the undeclared lock.
+struct Seed {
+    naked: std::sync::Mutex<u32>,
+}

@@ -1,0 +1,5 @@
+// Fixture: an unsafe block with no `// SAFETY:` comment.
+// The unsafe gate must flag line 4.
+fn seed(p: *mut u8) {
+    unsafe { *p = 0 };
+}

@@ -1,0 +1,17 @@
+// Fixture: two ranked locks acquired against their declared order.
+// The lock-rank gate must flag the inversion in `bad`.
+struct Seed {
+    // lock-rank: fixture.outer 10
+    outer: std::sync::Mutex<u32>,
+    // lock-rank: fixture.inner 20
+    inner: std::sync::Mutex<u32>,
+}
+
+impl Seed {
+    fn bad(&self) {
+        let inner = self.inner.lock().unwrap();
+        let outer = self.outer.lock().unwrap();
+        drop(outer);
+        drop(inner);
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: an Ordering use with no `// ordering:` justification.
+// The justification gate must flag line 5.
+fn seed(flag: &std::sync::atomic::AtomicBool) {
+    use std::sync::atomic::Ordering;
+    flag.store(true, Ordering::Relaxed);
+}

@@ -1,0 +1,13 @@
+// Fixture: an epoch-protocol atomic accessed with a weakened ordering.
+// The epoch-seqcst gate must flag the Acquire load.
+struct Seed {
+    epoch: std::sync::atomic::AtomicU64,
+}
+
+impl Seed {
+    fn pin(&self) -> u64 {
+        use std::sync::atomic::Ordering;
+        // ordering: weakened from SeqCst in a refactor.
+        self.epoch.load(Ordering::Acquire)
+    }
+}

@@ -34,9 +34,15 @@ echo "=== arena boundedness soak under debug assertions ==="
 RUSTFLAGS="-C debug-assertions=on" \
   cargo test --release -q -p alligator --test arena_soak
 
-echo "=== concurrency lint (ordering justifications, lock order, unsafe audit) ==="
-python3 scripts/lint_concurrency.py --self-test
-python3 scripts/lint_concurrency.py --check
+echo "=== ward: concurrency analyzer (lock order, pairing, counters, audit) ==="
+# Detection power first (every check must catch its seeded fixture),
+# then the real scan: lock-rank graph, Release/Acquire pairs-with
+# labels, counter plumbing, unsafe-audit freshness. --check also
+# emits the machine-readable report, which must validate against the
+# wafl.ward.v1 schema. See DESIGN.md §15 for the annotation contract.
+cargo run --release -q -p ward -- --self-test
+cargo run --release -q -p ward -- --check
+cargo run --release -q -p ward -- --validate results/ward.json
 
 echo "=== model checker: mc suite (10k schedules/invariant, debug assertions) ==="
 # Every invariant in crates/mc/tests explores at least MC_SCHEDULES
@@ -134,5 +140,43 @@ cargo run --release -q -p wafl-bench --bin exp_io_engine -- \
   --validate "$SMOKE_DIR/BENCH_io_engine.json"
 cargo run --release -q -p wafl-bench --bin exp_io_engine -- \
   --validate BENCH_io_engine.json
+
+echo "=== miri: undefined-behavior check on the lock-free cores ==="
+# The static analyzer proves annotation discipline; Miri checks the
+# actual unsafe dereferences in the Treiber stack and arena under the
+# interpreter's aliasing and validity rules. Nightly-only: skip with a
+# notice where no nightly+miri toolchain is installed (the container
+# bakes stable only) — the stanza arms itself on hosts that have it.
+if command -v rustup >/dev/null 2>&1 \
+   && rustup toolchain list 2>/dev/null | grep -q nightly \
+   && rustup component list --toolchain nightly 2>/dev/null \
+      | grep -q 'miri.*(installed)'; then
+  # Interpreter is ~1000x slower than native: keep to the unit suites
+  # of the two unsafe-heavy modules, with schedule counts at defaults.
+  MIRIFLAGS="-Zmiri-ignore-leaks" \
+    cargo +nightly miri test -q -p alligator --lib treiber
+  MIRIFLAGS="-Zmiri-ignore-leaks" \
+    cargo +nightly miri test -q -p alligator --lib arena
+else
+  echo "NOTICE: nightly+miri not installed; skipping the Miri pass \
+(ward --check and the mc schedule exploration still gate this tree)"
+fi
+
+echo "=== tsan: data-race check on the cache stress suite ==="
+# ThreadSanitizer needs -Z sanitizer=thread plus a rebuilt std
+# (-Zbuild-std), both nightly-only; same skip-with-notice contract as
+# the Miri stanza above.
+HOST_TRIPLE="$(rustc -vV | sed -n 's/^host: //p')"
+if command -v rustup >/dev/null 2>&1 \
+   && rustup toolchain list 2>/dev/null | grep -q nightly \
+   && rustup component list --toolchain nightly 2>/dev/null \
+      | grep -q 'rust-src.*(installed)'; then
+  RUSTFLAGS="-Z sanitizer=thread" \
+    cargo +nightly test --release -q -p alligator --test cache_stress \
+      -Z build-std --target "$HOST_TRIPLE"
+else
+  echo "NOTICE: nightly+rust-src not installed; skipping the TSan pass \
+(the debug-assertion stress run above still covers conservation)"
+fi
 
 echo "CI green."

@@ -1,542 +1,43 @@
 #!/usr/bin/env python3
-"""Concurrency lint: memory-ordering justifications, lock-order checks,
-and an audited unsafe inventory.
+"""DEPRECATED shim — the concurrency lint moved to `crates/ward`.
 
-Checks
-------
-1. **Ordering justification**: every `Ordering::{Relaxed,Acquire,Release,
-   AcqRel,SeqCst}` in Rust source must carry an `// ordering:` comment —
-   on the same line, or in the comment block attached to the enclosing
-   statement (scanning upward through the statement's continuation lines
-   to its leading comments). Unjustified orderings are exactly how
-   "works on x86" bugs get committed; the comment forces the author to
-   state the happens-before edge (or the reason none is needed).
-2. **Shard lock order** (`crates/alligator/src/cache.rs`): any function
-   that accumulates multiple shard-lock guards must acquire them in
-   ascending shard order (syntactically: an `.enumerate()` /
-   ascending-range iteration with no `.rev()`), so lock ordering alone
-   rules out deadlock.
-3. **Unsafe audit**: every `unsafe` block/impl/fn must carry a
-   `// SAFETY:` comment (same attachment rule as orderings). The full
-   inventory is generated into UNSAFE_AUDIT.md; `--check` fails if the
-   committed audit has drifted from the source.
-4. **Arena reclamation gates** (`crates/alligator/src/{arena,treiber}.rs`):
-   (a) no capacity-exhaustion `assert!`/`panic!` may return — running
-   out of arena must surface as typed `ArenaFull` backpressure, not an
-   abort (the bug class this module replaced); (b) the epoch-protocol
-   atomics (`epoch`, `pin_state`, `overflow_pins`) must use `SeqCst`
-   exclusively — the advance/pin race is reasoned in a single total
-   order and a weakened access silently re-opens the reclamation race;
-   (c) the arena must not reach up into the cache's locks
-   (`lock_shard`/`lock_publish`) — its limbo mutex is a leaf, which is
-   what makes calling `maintain()` under `publish` deadlock-free.
-5. **Ticket minting** (workspace-wide): `IoTicket(` may be constructed
-   only inside `crates/blockdev/src/aio.rs`. A completion ticket is the
-   engine's receipt that a submission is queued; a forged ticket would
-   unbalance the submitted/completed accounting that `drain` and the
-   crash path rely on.
+The regex gates that lived here (ordering justifications, cache shard
+lock order, the unsafe audit, the arena reclamation gates, IoTicket
+minting) were ported to the `ward` static analyzer, which adds the
+cross-site checks regexes cannot express: the workspace lock-rank
+graph, Release/Acquire `pairs-with` label pairing, and counter-plumbing
+completeness. See `crates/ward/` and DESIGN.md §15.
 
-Usage
------
-    lint_concurrency.py              lint + regenerate UNSAFE_AUDIT.md
-    lint_concurrency.py --check      lint + verify UNSAFE_AUDIT.md (CI)
-    lint_concurrency.py --self-test  prove each check still detects its
-                                     target violation class
+This shim keeps old invocations working by forwarding to ward:
 
-Exit status 0 iff everything passes. No third-party dependencies.
+    lint_concurrency.py --check      ->  cargo run -p ward -- --check
+    lint_concurrency.py --self-test  ->  cargo run -p ward -- --self-test
+
+It will be removed once nothing calls it; update callers to invoke
+ward directly (`cargo run --release -q -p ward -- --check`).
 """
 
-from __future__ import annotations
-
-import re
+import os
+import subprocess
 import sys
-from pathlib import Path
-
-REPO = Path(__file__).resolve().parent.parent
-AUDIT_PATH = REPO / "UNSAFE_AUDIT.md"
-EXCLUDE_PARTS = {"vendor", "target", ".git"}
-
-ORDERING_RE = re.compile(r"\bOrdering::(Relaxed|Acquire|Release|AcqRel|SeqCst)\b")
-# `unsafe` introducing a block, fn, impl, or trait — not the word inside
-# a comment or string (handled by stripping comments first).
-UNSAFE_RE = re.compile(r"(^|[^\w#])unsafe\b")
-SAFETY_TAG = "SAFETY:"
-ORDERING_TAG = "ordering:"
-# How far upward the statement scan may walk before giving up.
-SCAN_LIMIT = 20
-
-
-def rust_files() -> list[Path]:
-    out = []
-    for p in sorted(REPO.rglob("*.rs")):
-        if EXCLUDE_PARTS.intersection(p.relative_to(REPO).parts):
-            continue
-        out.append(p)
-    return out
-
-
-def strip_comment(line: str) -> str:
-    """Code portion of a line (string-literal-naive, fine for linting)."""
-    i = line.find("//")
-    return line if i < 0 else line[:i]
-
-
-def is_comment_line(line: str) -> bool:
-    s = line.lstrip()
-    return s.startswith("//")
-
-
-def statement_has_tag(lines: list[str], idx: int, tag: str) -> bool:
-    """Does the statement containing line `idx` carry `tag` in a comment?
-
-    Attachment rule: the tag counts if it appears in a comment on the
-    line itself, on any earlier continuation line of the same statement,
-    or in the contiguous comment block immediately above the statement.
-    Statement boundaries (scanning upward) are blank lines or code lines
-    ending in `;`, `{`, or `}`.
-    """
-    line = lines[idx]
-    ci = line.find("//")
-    if ci >= 0 and tag in line[ci:]:
-        return True
-    for off in range(1, SCAN_LIMIT + 1):
-        j = idx - off
-        if j < 0:
-            return False
-        prev = lines[j]
-        if is_comment_line(prev):
-            if tag in prev:
-                return True
-            continue  # comment block: keep climbing
-        stripped = prev.strip()
-        if not stripped:
-            return False  # blank line: left the statement
-        ci = prev.find("//")
-        if ci >= 0 and tag in prev[ci:]:
-            return True
-        code = strip_comment(prev).rstrip()
-        if code.endswith((";", "{", "}")):
-            return False  # previous statement: stop
-        # Continuation line (ends with ',', '(', operator, …): keep going.
-    return False
-
-
-def check_orderings(path: Path, lines: list[str]) -> list[str]:
-    errs = []
-    for i, line in enumerate(lines):
-        code = strip_comment(line)
-        if not ORDERING_RE.search(code):
-            continue
-        if not statement_has_tag(lines, i, ORDERING_TAG):
-            errs.append(
-                f"{path.relative_to(REPO)}:{i + 1}: Ordering use without an "
-                f"`// ordering:` justification: {line.strip()}"
-            )
-    return errs
-
-
-def unsafe_kind(code: str) -> str:
-    if re.search(r"\bunsafe\s+impl\b", code):
-        return "unsafe impl"
-    if re.search(r"\bunsafe\s+(?:\w+\s+)*fn\b", code):
-        return "unsafe fn"
-    if re.search(r"\bunsafe\s+trait\b", code):
-        return "unsafe trait"
-    return "unsafe block"
-
-
-def safety_summary(lines: list[str], idx: int) -> str:
-    """First line of the SAFETY comment attached to line `idx`."""
-    line = lines[idx]
-    ci = line.find("//")
-    if ci >= 0 and SAFETY_TAG in line[ci:]:
-        return line[line.index(SAFETY_TAG) + len(SAFETY_TAG) :].strip()
-    for off in range(1, SCAN_LIMIT + 1):
-        j = idx - off
-        if j < 0:
-            break
-        prev = lines[j]
-        if SAFETY_TAG in prev and (is_comment_line(prev) or prev.find("//") >= 0):
-            return prev[prev.index(SAFETY_TAG) + len(SAFETY_TAG) :].strip()
-        if is_comment_line(prev):
-            continue
-        code = strip_comment(prev).rstrip()
-        if not prev.strip() or code.endswith((";", "{", "}")):
-            break
-    return ""
-
-
-def check_unsafe(path: Path, lines: list[str]) -> tuple[list[str], list[dict]]:
-    errs, inventory = [], []
-    for i, line in enumerate(lines):
-        code = strip_comment(line)
-        if not UNSAFE_RE.search(code):
-            continue
-        justified = statement_has_tag(lines, i, SAFETY_TAG)
-        entry = {
-            "file": str(path.relative_to(REPO)),
-            "line": i + 1,
-            "kind": unsafe_kind(code),
-            "summary": safety_summary(lines, i) if justified else "",
-            "snippet": line.strip(),
-        }
-        inventory.append(entry)
-        if not justified:
-            errs.append(
-                f"{path.relative_to(REPO)}:{i + 1}: {entry['kind']} without a "
-                f"`// SAFETY:` comment: {line.strip()}"
-            )
-    return errs, inventory
-
-
-def fn_bodies(text: str):
-    """Yield (name, body) for each `fn` in `text` via brace matching."""
-    for m in re.finditer(r"\bfn\s+(\w+)", text):
-        brace = text.find("{", m.end())
-        if brace < 0:
-            continue
-        depth, j = 0, brace
-        while j < len(text):
-            if text[j] == "{":
-                depth += 1
-            elif text[j] == "}":
-                depth -= 1
-                if depth == 0:
-                    break
-            j += 1
-        yield m.group(1), text[brace : j + 1]
-
-
-def check_lock_order(cache_path: Path, text: str) -> list[str]:
-    """Multi-shard-lock functions must acquire in ascending shard order."""
-    errs = []
-    rel = cache_path.relative_to(REPO)
-    seen_multi_lock = False
-    for name, body in fn_bodies(text):
-        # A function accumulates multiple live shard guards iff it stores
-        # them (single-guard functions drop before re-locking).
-        if "lock_shard" not in body or "guards.push" not in body:
-            continue
-        seen_multi_lock = True
-        if ".rev()" in body:
-            errs.append(
-                f"{rel}: fn {name}: multi-shard locking iterates with .rev() — "
-                f"shard locks must be acquired in ascending order"
-            )
-        if ".enumerate()" not in body and not re.search(r"for\s+\w+\s+in\s+0\s*\.\.", body):
-            errs.append(
-                f"{rel}: fn {name}: cannot prove ascending shard-lock order "
-                f"(expected an .enumerate() or `for s in 0..` iteration)"
-            )
-    if not seen_multi_lock and "guards" in text:
-        errs.append(f"{rel}: lock-order check found no multi-lock function to verify")
-    return errs
-
-
-EXHAUST_ABORT_RE = re.compile(r"\b(?:debug_)?(?:assert|panic)\w*!\s*[\((].{0,200}?exhaust", re.S)
-# An atomic access to an epoch-protocol field, comments stripped and
-# whitespace collapsed; group 2 spans the call's argument region where
-# the Ordering tokens live.
-EPOCH_ATOMIC_RE = re.compile(
-    r"\b(epoch|pin_state|overflow_pins)\s*\.\s*"
-    r"(?:load|store|swap|fetch_\w+|compare_exchange(?:_weak)?)\s*\(([^;]{0,250}?)\)",
-    re.S,
-)
-WEAK_ORDERING_RE = re.compile(r"\bOrdering::(Relaxed|Acquire|Release|AcqRel)\b")
-
-
-def strip_comments_text(text: str) -> str:
-    """Whole-file comment strip (line comments only, as elsewhere)."""
-    return "\n".join(strip_comment(l) for l in text.splitlines())
-
-
-def check_no_exhaustion_aborts(path: Path, text: str) -> list[str]:
-    """Gate 4a: capacity exhaustion must be `ArenaFull`, never an abort."""
-    errs = []
-    code = strip_comments_text(text)
-    for m in EXHAUST_ABORT_RE.finditer(code):
-        line = code[: m.start()].count("\n") + 1
-        errs.append(
-            f"{path.relative_to(REPO)}:{line}: capacity-exhaustion abort "
-            f"reintroduced — return the typed ArenaFull error instead: "
-            f"{m.group(0).splitlines()[0].strip()}"
-        )
-    return errs
-
-
-def check_epoch_seqcst(path: Path, text: str) -> list[str]:
-    """Gate 4b: epoch-protocol atomics are SeqCst-only."""
-    errs = []
-    code = strip_comments_text(text)
-    for m in EPOCH_ATOMIC_RE.finditer(code):
-        weak = WEAK_ORDERING_RE.search(m.group(2))
-        if weak:
-            line = code[: m.start()].count("\n") + 1
-            errs.append(
-                f"{path.relative_to(REPO)}:{line}: `{m.group(1)}` accessed with "
-                f"Ordering::{weak.group(1)} — the epoch protocol is reasoned in "
-                f"a single total order and must use SeqCst exclusively"
-            )
-    return errs
-
-
-def check_arena_layering(path: Path, text: str) -> list[str]:
-    """Gate 4c: the arena sits below the cache locks."""
-    errs = []
-    code = strip_comments_text(text)
-    for needle in ("lock_shard", "lock_publish"):
-        i = code.find(needle)
-        if i >= 0:
-            line = code[:i].count("\n") + 1
-            errs.append(
-                f"{path.relative_to(REPO)}:{line}: arena references the cache "
-                f"lock `{needle}` — the arena's limbo mutex must stay a leaf "
-                f"(maintain() runs under `publish`)"
-            )
-    return errs
-
-
-TICKET_RE = re.compile(r"\bIoTicket\s*\(")
-TICKET_HOME = "crates/blockdev/src/aio.rs"
-
-
-def check_ticket_construction(path: Path, text: str) -> list[str]:
-    """Gate 5: completion tickets are minted only by the aio engine."""
-    if str(path.relative_to(REPO)) == TICKET_HOME:
-        return []
-    errs = []
-    code = strip_comments_text(text)
-    for m in TICKET_RE.finditer(code):
-        line = code[: m.start()].count("\n") + 1
-        errs.append(
-            f"{path.relative_to(REPO)}:{line}: `IoTicket(` constructed outside "
-            f"{TICKET_HOME} — tickets are minted only by `AioEngine::submit`; "
-            f"a forged ticket unbalances the submitted/completed accounting"
-        )
-    return errs
-
-
-def render_audit(inventory: list[dict]) -> str:
-    lines = [
-        "# Unsafe audit",
-        "",
-        "Generated by `scripts/lint_concurrency.py` — do not edit by hand.",
-        "Every entry must carry a `// SAFETY:` comment in the source; the",
-        "lint fails otherwise. Regenerate with:",
-        "",
-        "    python3 scripts/lint_concurrency.py",
-        "",
-        f"Total `unsafe` sites: {len(inventory)}",
-        "",
-        "| Location | Kind | Safety argument |",
-        "|---|---|---|",
-    ]
-    for e in inventory:
-        summary = e["summary"] or "(see preceding comment block)"
-        summary = summary.replace("|", "\\|")
-        lines.append(f"| `{e['file']}:{e['line']}` | {e['kind']} | {summary} |")
-    lines.append("")
-    return "\n".join(lines)
-
-
-def run_lint(check_only: bool) -> int:
-    errs: list[str] = []
-    inventory: list[dict] = []
-    for path in rust_files():
-        text = path.read_text(encoding="utf-8")
-        lines = text.splitlines()
-        errs.extend(check_orderings(path, lines))
-        file_errs, file_inv = check_unsafe(path, lines)
-        errs.extend(file_errs)
-        inventory.extend(file_inv)
-        errs.extend(check_ticket_construction(path, text))
-    cache_path = REPO / "crates" / "alligator" / "src" / "cache.rs"
-    if cache_path.exists():
-        errs.extend(check_lock_order(cache_path, cache_path.read_text(encoding="utf-8")))
-    else:
-        errs.append("crates/alligator/src/cache.rs missing — lock-order check skipped")
-    arena_path = REPO / "crates" / "alligator" / "src" / "arena.rs"
-    treiber_path = REPO / "crates" / "alligator" / "src" / "treiber.rs"
-    if arena_path.exists():
-        arena_text = arena_path.read_text(encoding="utf-8")
-        errs.extend(check_no_exhaustion_aborts(arena_path, arena_text))
-        errs.extend(check_epoch_seqcst(arena_path, arena_text))
-        errs.extend(check_arena_layering(arena_path, arena_text))
-    else:
-        errs.append("crates/alligator/src/arena.rs missing — arena gates skipped")
-    if treiber_path.exists():
-        errs.extend(
-            check_no_exhaustion_aborts(
-                treiber_path, treiber_path.read_text(encoding="utf-8")
-            )
-        )
-    else:
-        errs.append("crates/alligator/src/treiber.rs missing — abort gate skipped")
-
-    audit = render_audit(inventory)
-    if check_only:
-        current = AUDIT_PATH.read_text(encoding="utf-8") if AUDIT_PATH.exists() else ""
-        if current != audit:
-            errs.append(
-                "UNSAFE_AUDIT.md is stale — regenerate with "
-                "`python3 scripts/lint_concurrency.py`"
-            )
-    else:
-        AUDIT_PATH.write_text(audit, encoding="utf-8")
-
-    for e in errs:
-        print(f"lint_concurrency: {e}", file=sys.stderr)
-    n_ord = sum(
-        1
-        for p in rust_files()
-        for line in p.read_text(encoding="utf-8").splitlines()
-        if ORDERING_RE.search(strip_comment(line))
-    )
-    print(
-        f"lint_concurrency: {'FAIL' if errs else 'OK'} — "
-        f"{n_ord} ordering sites, {len(inventory)} unsafe sites, "
-        f"{len(errs)} violations"
-    )
-    return 1 if errs else 0
-
-
-# ---------------------------------------------------------------------------
-# Self-test: each check must still detect its violation class.
-# ---------------------------------------------------------------------------
-
-
-def self_test() -> int:
-    failures = []
-
-    bad_ordering = [
-        "fn f(x: &AtomicU64) {",
-        "    x.store(1, Ordering::Relaxed);",
-        "}",
-    ]
-    if not check_orderings(REPO / "self_test.rs", bad_ordering):
-        failures.append("ordering check missed an unjustified Ordering::Relaxed")
-
-    good_ordering = [
-        "fn f(x: &AtomicU64) {",
-        "    // ordering: counter, atomicity only.",
-        "    x.store(1, Ordering::Relaxed);",
-        "    x.compare_exchange(",
-        "        0,",
-        "        1,",
-        "        // ordering: justified mid-statement.",
-        "        Ordering::AcqRel,",
-        "        Ordering::Acquire,",
-        "    );",
-        "}",
-    ]
-    if check_orderings(REPO / "self_test.rs", good_ordering):
-        failures.append("ordering check flagged a justified site")
-
-    bad_unsafe = ["fn f(p: *mut u8) {", "    unsafe { *p = 0 };", "}"]
-    errs, _ = check_unsafe(REPO / "self_test.rs", bad_unsafe)
-    if not errs:
-        failures.append("unsafe check missed a SAFETY-less unsafe block")
-
-    good_unsafe = [
-        "fn f(p: *mut u8) {",
-        "    // SAFETY: p is valid for writes by contract.",
-        "    unsafe { *p = 0 };",
-        "}",
-    ]
-    errs, inv = check_unsafe(REPO / "self_test.rs", good_unsafe)
-    if errs:
-        failures.append("unsafe check flagged a SAFETY-annotated block")
-    if not inv or "valid for writes" not in inv[0]["summary"]:
-        failures.append("unsafe inventory lost the SAFETY summary")
-
-    bad_lock_order = (
-        "impl C { fn insert_all_mutex(&self) { "
-        "for (s, b) in shards.iter().enumerate().rev() { "
-        "let g = self.lock_shard(s); guards.push(g); } } }"
-    )
-    if not check_lock_order(
-        REPO / "crates" / "alligator" / "src" / "cache.rs", bad_lock_order
-    ):
-        failures.append("lock-order check missed a .rev() multi-lock loop")
-
-    descending_no_proof = (
-        "impl C { fn insert_all_mutex(&self) { "
-        "for s in order { let g = self.lock_shard(s); guards.push(g); } } }"
-    )
-    if not check_lock_order(
-        REPO / "crates" / "alligator" / "src" / "cache.rs", descending_no_proof
-    ):
-        failures.append("lock-order check accepted an unprovable iteration order")
-
-    arena = REPO / "crates" / "alligator" / "src" / "arena.rs"
-    abort_text = 'fn mint(&self) { assert!(idx < cap, "TreiberStack arena exhausted"); }'
-    if not check_no_exhaustion_aborts(arena, abort_text):
-        failures.append("arena gate missed a capacity-exhaustion assert")
-    backpressure_text = (
-        'fn push(&self) { self.try_push().expect("arena at capacity '
-        '(use try_push_keyed for backpressure)"); }'
-    )
-    if check_no_exhaustion_aborts(arena, backpressure_text):
-        failures.append("arena gate flagged the typed-backpressure panic text")
-
-    weak_epoch = (
-        "fn pin(&self) {\n"
-        "    let e = self.epoch.load(Ordering::Acquire);\n"
-        "    slot.pin_state\n"
-        "        .compare_exchange(0, e, Ordering::SeqCst, Ordering::Acquire);\n"
-        "}"
-    )
-    errs = check_epoch_seqcst(arena, weak_epoch)
-    if len(errs) != 2:
-        failures.append(
-            f"epoch gate should flag both weakened accesses, flagged {len(errs)}"
-        )
-    seqcst_epoch = (
-        "fn pin(&self) {\n"
-        "    let e = self.epoch.load(Ordering::SeqCst);\n"
-        "    let r = self.limbo_retire_epoch.load(Ordering::Acquire);\n"
-        "    slot.pin_state\n"
-        "        .compare_exchange(0, e, Ordering::SeqCst, Ordering::SeqCst);\n"
-        "    self.overflow_pins.fetch_add(1, Ordering::SeqCst);\n"
-        "}"
-    )
-    if check_epoch_seqcst(arena, seqcst_epoch):
-        failures.append("epoch gate flagged SeqCst (or a non-protocol field)")
-
-    forged = "fn f() { let t = IoTicket(7); }"
-    if not check_ticket_construction(REPO / "crates" / "wafl" / "src" / "cp.rs", forged):
-        failures.append("ticket gate missed a forged IoTicket")
-    if check_ticket_construction(
-        REPO / "crates" / "blockdev" / "src" / "aio.rs", forged
-    ):
-        failures.append("ticket gate flagged the aio engine's own mint site")
-    if check_ticket_construction(
-        REPO / "crates" / "wafl" / "src" / "cp.rs",
-        "fn f(t: IoTicket) -> u64 { t.id() }",
-    ):
-        failures.append("ticket gate flagged a mere IoTicket type mention")
-
-    layered = "fn maintain(&self) { let _g = self.cache.lock_shard(0); }"
-    if not check_arena_layering(arena, layered):
-        failures.append("layering gate missed a cache-lock reference in the arena")
-    if check_arena_layering(arena, "fn maintain(&self) { self.limbo.lock(); }"):
-        failures.append("layering gate flagged the arena's own leaf mutex")
-
-    for f in failures:
-        print(f"lint_concurrency self-test: {f}", file=sys.stderr)
-    print(f"lint_concurrency self-test: {'FAIL' if failures else 'OK'}")
-    return 1 if failures else 0
 
 
 def main() -> int:
-    args = set(sys.argv[1:])
-    unknown = args - {"--check", "--self-test"}
-    if unknown:
-        print(f"lint_concurrency: unknown arguments {sorted(unknown)}", file=sys.stderr)
+    known = {"--check", "--self-test"}
+    args = sys.argv[1:]
+    bad = [a for a in args if a not in known]
+    if bad:
+        print(f"lint_concurrency.py: unknown argument(s) {bad}; "
+              "this shim only forwards --check/--self-test to ward",
+              file=sys.stderr)
         return 2
-    if "--self-test" in args:
-        return self_test()
-    return run_lint("--check" in args)
+    print("lint_concurrency.py is DEPRECATED: forwarding to "
+          "`cargo run -p ward`; update the caller (see crates/ward/).",
+          file=sys.stderr)
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    cmd = ["cargo", "run", "--release", "-q", "-p", "ward", "--"]
+    cmd += args if args else ["--check"]
+    return subprocess.call(cmd, cwd=root)
 
 
 if __name__ == "__main__":
