@@ -461,6 +461,9 @@ impl BucketCache {
         self.stats
             .arena_full_fallbacks
             .fetch_add(1, Ordering::Relaxed);
+        // Arena exhaustion means the sizing model broke down — worth a
+        // flight-recorder bundle (lock-free; dumped at next service).
+        obs::trigger(obs::Trigger::ArenaFull, s as u64);
         let drained = shard.stack.pop_many(usize::MAX);
         let mut q = self.lock_shard(shard);
         q.extend(drained);

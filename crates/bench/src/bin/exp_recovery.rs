@@ -81,8 +81,18 @@ fn main() {
         "ms",
     );
     t.row_measured(
+        "fault-free p99.9 latency",
+        rq.latency.p999_ns as f64 / 1e6,
+        "ms",
+    );
+    t.row_measured(
         "1% error rate p99 latency",
         rn.latency.p99_ns as f64 / 1e6,
+        "ms",
+    );
+    t.row_measured(
+        "1% error rate p99.9 latency",
+        rn.latency.p999_ns as f64 / 1e6,
         "ms",
     );
     t.row_measured(

@@ -44,8 +44,11 @@ fn us(ns: u64) -> Value {
 /// `max_events_per_thread` of each thread's *newest* events are
 /// exported (0 = unlimited) so committed artifacts stay bounded; the
 /// per-thread `thread_name` metadata event carries `dropped` (ring
-/// overwrites) and `trimmed` (export-cap cuts) counts so a viewer can
-/// tell the window is partial.
+/// overwrites) and `trimmed` (export-cap cuts) counts, and any thread
+/// that lost events additionally gets a visible `events_lost` instant
+/// at the start of its track — metadata args only show up if the
+/// viewer opens them, so a truncated trace must flag itself *on the
+/// timeline*.
 pub fn chrome_trace_json(traces: &[ThreadTrace], max_events_per_thread: usize) -> String {
     let mut events: Vec<Value> = Vec::new();
     for t in traces {
@@ -64,6 +67,23 @@ pub fn chrome_trace_json(traces: &[ThreadTrace], max_events_per_thread: usize) -
             ]),
         ));
         events.push(map(meta));
+
+        if t.dropped > 0 || skip > 0 {
+            // Pin the marker at the oldest exported timestamp: the lost
+            // window ends exactly where the visible one begins.
+            let first_ts = t.events.get(skip).map_or(0, |e| e.ts_ns);
+            let mut lost = common("events_lost", "i", t.tid);
+            lost.push(("ts", us(first_ts)));
+            lost.push(("s", Value::Str("t".to_string())));
+            lost.push((
+                "args",
+                map(vec![
+                    ("dropped", Value::UInt(t.dropped as u128)),
+                    ("trimmed", Value::UInt(skip as u128)),
+                ]),
+            ));
+            events.push(map(lost));
+        }
 
         for ev in t.events.iter().skip(skip) {
             let args = map(vec![
@@ -129,7 +149,11 @@ mod tests {
             panic!("traceEvents must be an array")
         };
         assert_eq!(top[0].0, "traceEvents");
-        assert_eq!(events.len(), 3, "metadata + two events");
+        assert_eq!(
+            events.len(),
+            4,
+            "metadata + events_lost (3 ring drops) + two events"
+        );
 
         let get = |m: &Value, key: &str| -> Value {
             let Value::Map(pairs) = m else {
@@ -149,15 +173,33 @@ mod tests {
             Value::Str("cleaner-0".into())
         );
         assert_eq!(get(&get(&events[0], "args"), "dropped"), Value::UInt(3));
-        // Span: complete event with µs timestamp/duration.
-        assert_eq!(get(&events[1], "ph"), Value::Str("X".into()));
-        assert_eq!(get(&events[1], "name"), Value::Str("get".into()));
+        // The 3 ring drops surface as a visible instant pinned where the
+        // exported window begins.
+        assert_eq!(get(&events[1], "name"), Value::Str("events_lost".into()));
+        assert_eq!(get(&events[1], "ph"), Value::Str("i".into()));
         assert_eq!(get(&events[1], "ts"), Value::Float(1.5));
-        assert_eq!(get(&events[1], "dur"), Value::Float(0.25));
+        assert_eq!(get(&get(&events[1], "args"), "dropped"), Value::UInt(3));
+        assert_eq!(get(&get(&events[1], "args"), "trimmed"), Value::UInt(0));
+        // Span: complete event with µs timestamp/duration.
+        assert_eq!(get(&events[2], "ph"), Value::Str("X".into()));
+        assert_eq!(get(&events[2], "name"), Value::Str("get".into()));
+        assert_eq!(get(&events[2], "ts"), Value::Float(1.5));
+        assert_eq!(get(&events[2], "dur"), Value::Float(0.25));
         // Instant: thread-scoped.
-        assert_eq!(get(&events[2], "ph"), Value::Str("i".into()));
-        assert_eq!(get(&events[2], "s"), Value::Str("t".into()));
-        assert_eq!(get(&get(&events[2], "args"), "arg"), Value::UInt(16));
+        assert_eq!(get(&events[3], "ph"), Value::Str("i".into()));
+        assert_eq!(get(&events[3], "s"), Value::Str("t".into()));
+        assert_eq!(get(&get(&events[3], "args"), "arg"), Value::UInt(16));
+    }
+
+    #[test]
+    fn lossless_traces_carry_no_loss_marker() {
+        let mut traces = sample_traces();
+        traces[0].dropped = 0;
+        let json = chrome_trace_json(&traces, 0);
+        assert!(
+            !json.contains("events_lost"),
+            "a complete trace must not claim losses"
+        );
     }
 
     #[test]
@@ -178,8 +220,8 @@ mod tests {
         let (_, Value::Seq(events)) = top.into_iter().next().unwrap() else {
             unreachable!()
         };
-        // 1 metadata + the 4 newest events.
-        assert_eq!(events.len(), 5);
+        // 1 metadata + 1 events_lost marker + the 4 newest events.
+        assert_eq!(events.len(), 6);
         let Value::Map(meta) = &events[0] else {
             unreachable!()
         };
@@ -194,7 +236,8 @@ mod tests {
             })
             .unwrap();
         assert_eq!(trimmed, Value::UInt(6));
-        let Value::Map(first) = &events[1] else {
+        // events[1] is the loss marker; the first real event follows it.
+        let Value::Map(first) = &events[2] else {
             unreachable!()
         };
         let Value::Map(args) = first.iter().find(|(k, _)| k == "args").unwrap().1.clone() else {

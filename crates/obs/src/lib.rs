@@ -15,6 +15,15 @@
 //! * **Exporters** ([`chrome::chrome_trace_json`],
 //!   [`metrics::Registry::text_snapshot`]): Chrome trace-event JSON for
 //!   `chrome://tracing`/Perfetto, and text dumps for reports/logs.
+//! * **Continuous telemetry** ([`sampler::Sampler`], DESIGN.md §16): a
+//!   background thread snapshots every registered metric into a
+//!   timestamped delta ring — rate queries, SLO burn-rate tracking, a
+//!   Prometheus-text exporter, and a `wafl.telemetry.v1` JSON export.
+//! * **Flight recorder** ([`blackbox::Blackbox`]): on a trigger (drive
+//!   offlining, CP crash point, `ArenaFull` fallback, scrub finding,
+//!   manual) atomically writes a post-mortem bundle — recent events
+//!   from every thread ring, full metrics, registered config/fault
+//!   sections — schema `wafl.blackbox.v1`.
 //!
 //! Instrumentation sites use the macros:
 //!
@@ -28,16 +37,22 @@
 
 #![warn(missing_docs)]
 
+pub mod blackbox;
 pub mod chrome;
 pub mod event;
 pub mod metrics;
 pub mod ring;
+pub mod sampler;
 pub mod sync;
 pub mod trace;
 
+pub use blackbox::{trigger, Blackbox, BlackboxConfig, Trigger, BLACKBOX_SCHEMA};
 pub use event::{Event, EventKind};
 pub use metrics::{Counter, Gauge, LogHistogram, Registry};
 pub use ring::{EventRing, RingSnapshot};
+pub use sampler::{
+    RegistrySource, Sampler, SamplerConfig, SamplerThread, SloObjective, TELEMETRY_SCHEMA,
+};
 pub use trace::{Span, ThreadTrace, ENABLED};
 
 /// Record an instantaneous event on the current thread's ring.

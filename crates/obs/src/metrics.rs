@@ -199,6 +199,21 @@ impl LogHistogram {
         }
         self.max()
     }
+
+    /// Samples recorded with a value at or below `v`, up to bucket
+    /// resolution: the count includes every bucket whose range starts at
+    /// or below `v`, so samples in `v`'s own bucket that exceed it (by
+    /// at most `1/64` relative) are included too. The SLO tracker uses
+    /// this to count objective-meeting samples; the bucket error only
+    /// ever *flatters* by the histogram's stated `1/64` bound.
+    pub fn count_le(&self, v: u64) -> u64 {
+        let hi = Self::index(v);
+        self.counts[..=hi]
+            .iter()
+            // ordering: statistics read; staleness acceptable.
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
 }
 
 /// The instrument table. Cloneable handles (`Arc`) come out of the
@@ -249,6 +264,38 @@ impl Registry {
         }
     }
 
+    /// Name-sorted snapshot of every counter's current value. The
+    /// sampler walks this to build its delta ring.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect()
+    }
+
+    /// Name-sorted snapshot of every gauge: `(name, value, high_water)`.
+    pub fn gauge_values(&self) -> Vec<(String, u64, u64)> {
+        self.gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get(), g.high_water()))
+            .collect()
+    }
+
+    /// Name-sorted handles to every registered histogram (shared — the
+    /// caller reads counts/quantiles without holding the table lock).
+    pub fn histogram_handles(&self) -> Vec<(String, Arc<LogHistogram>)> {
+        self.histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, h)| (n.clone(), Arc::clone(h)))
+            .collect()
+    }
+
     /// Plain-text snapshot: one line per instrument, sorted by name
     /// within each section. Stable format consumed by `SimResult` dumps
     /// and the cleaner pool (see DESIGN.md §11).
@@ -266,12 +313,13 @@ impl Registry {
         }
         for (name, h) in self.histograms.lock().unwrap().iter() {
             out.push_str(&format!(
-                "hist {name} count {} mean {} p50 {} p95 {} p99 {} max {}\n",
+                "hist {name} count {} mean {} p50 {} p95 {} p99 {} p999 {} max {}\n",
                 h.count(),
                 h.mean(),
                 h.percentile(0.50),
                 h.percentile(0.95),
                 h.percentile(0.99),
+                h.percentile(0.999),
                 h.max()
             ));
         }
@@ -367,10 +415,63 @@ mod tests {
         assert!(text.contains("counter puts 4\n"), "{text}");
         assert!(text.contains("gauge queue 2 high 7\n"), "{text}");
         assert!(
-            text.contains("hist lat count 1 mean 50 p50 50 p95 50 p99 50 max 50\n"),
+            text.contains("hist lat count 1 mean 50 p50 50 p95 50 p99 50 p999 50 max 50\n"),
             "{text}"
         );
         // Sections are name-sorted: gets before puts.
         assert!(text.find("gets").unwrap() < text.find("puts").unwrap());
+    }
+
+    #[test]
+    fn p999_distinguishes_the_tail_p99_misses() {
+        // 10 000 samples at 1 000 ns with the last 50 at 1 000 000:
+        // p99 sits in the bulk, p99.9 must land in the slow tail.
+        let h = LogHistogram::new();
+        for _ in 0..9_950u64 {
+            h.record(1_000);
+        }
+        for _ in 0..50u64 {
+            h.record(1_000_000);
+        }
+        assert!(h.percentile(0.99) <= 1_000 + (1_000 >> SUB_BITS));
+        assert_eq!(h.percentile(0.999), 1_000_000);
+    }
+
+    #[test]
+    fn count_le_counts_objective_meeting_samples() {
+        let h = LogHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 1000);
+        }
+        // Exact at bucket boundaries for values below SUB? use large
+        // values: count_le may over-count within one bucket only.
+        let le = h.count_le(50_000);
+        assert!((50..=51).contains(&le), "count_le(50000) = {le}");
+        assert_eq!(h.count_le(u64::MAX), 100);
+        assert_eq!(h.count_le(0), 0);
+        // Small values are exact buckets.
+        let small = LogHistogram::new();
+        for v in 1..=10u64 {
+            small.record(v);
+        }
+        assert_eq!(small.count_le(5), 5);
+    }
+
+    #[test]
+    fn registry_enumeration_matches_contents() {
+        let reg = Registry::new();
+        reg.counter("a").add(1);
+        reg.counter("b").add(2);
+        reg.gauge("g").set(3);
+        reg.histogram("h").record(4);
+        assert_eq!(
+            reg.counter_values(),
+            vec![("a".to_string(), 1), ("b".to_string(), 2)]
+        );
+        assert_eq!(reg.gauge_values(), vec![("g".to_string(), 3, 3)]);
+        let hists = reg.histogram_handles();
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].0, "h");
+        assert_eq!(hists[0].1.count(), 1);
     }
 }

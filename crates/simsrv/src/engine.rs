@@ -158,6 +158,7 @@ impl SimResult {
             ("latency_p50_ns", self.latency.p50_ns),
             ("latency_p95_ns", self.latency.p95_ns),
             ("latency_p99_ns", self.latency.p99_ns),
+            ("latency_p999_ns", self.latency.p999_ns),
             ("latency_max_ns", self.latency.max_ns),
         ]);
         reg.text_snapshot()
@@ -1640,6 +1641,7 @@ mod tests {
             );
         }
         assert!(text.contains(&format!("counter latency_p99_ns {}", r.latency.p99_ns)));
+        assert!(text.contains(&format!("counter latency_p999_ns {}", r.latency.p999_ns)));
     }
 
     #[test]

@@ -47,6 +47,7 @@ impl LatencyRecorder {
             p50_ns: self.hist.percentile(0.50),
             p95_ns: self.hist.percentile(0.95),
             p99_ns: self.hist.percentile(0.99),
+            p999_ns: self.hist.percentile(0.999),
             max_ns: self.hist.max(),
         }
     }
@@ -65,6 +66,8 @@ pub struct LatencyStats {
     pub p95_ns: u64,
     /// 99th percentile (ns).
     pub p99_ns: u64,
+    /// 99.9th percentile (ns) — the tail the serving SLOs gate on.
+    pub p999_ns: u64,
     /// Maximum (ns).
     pub max_ns: u64,
 }
@@ -264,6 +267,7 @@ mod tests {
             (stats.p50_ns, 0.50, "p50"),
             (stats.p95_ns, 0.95, "p95"),
             (stats.p99_ns, 0.99, "p99"),
+            (stats.p999_ns, 0.999, "p999"),
         ] {
             assert_pct(got, old.pct(p), label);
         }

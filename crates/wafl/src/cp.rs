@@ -196,6 +196,89 @@ pub struct CpReport {
     pub fixpoint_rounds: usize,
     /// Dirty metafile blocks whose re-dirt was dropped at the bound.
     pub residual_dirty_dropped: usize,
+    /// Phase 1 wall time (NVLog/inode freeze).
+    pub freeze_ns: u64,
+    /// Phase 2 wall time (cleaner fan-out, tetris stripe fill,
+    /// async-write submission).
+    pub clean_ns: u64,
+    /// Phase 3 wall time (install cleaned locations, complete
+    /// in-flight tetrises).
+    pub apply_ns: u64,
+    /// Phase 4 wall time (metafile fix-point flush).
+    pub metafile_ns: u64,
+    /// Phase 5a wall time (async-I/O drain / media fsync barrier).
+    pub barrier_ns: u64,
+    /// Phase 5b wall time (disk-image build + superblock commit +
+    /// NVLog half-swap).
+    pub commit_ns: u64,
+    /// Whole-CP wall time, measured around all phases. The per-phase
+    /// times are nested inside this span, so
+    /// `phase_ns().iter().sum() <= total_ns`; the gap is the (tiny)
+    /// inter-phase bookkeeping, which `exp_telemetry` bounds at ≤ 5 %.
+    pub total_ns: u64,
+}
+
+/// Profiler names of the CP phases, index-aligned with
+/// [`CpReport::phase_ns`]. Phase 5 is split at its two very different
+/// costs: the I/O `barrier` (scales with queue depth and device speed)
+/// and the in-memory image `commit`.
+pub const CP_PHASE_NAMES: [&str; 6] = ["freeze", "clean", "apply", "metafile", "barrier", "commit"];
+
+impl CpReport {
+    /// Per-phase wall times, index-aligned with [`CP_PHASE_NAMES`].
+    pub fn phase_ns(&self) -> [u64; 6] {
+        [
+            self.freeze_ns,
+            self.clean_ns,
+            self.apply_ns,
+            self.metafile_ns,
+            self.barrier_ns,
+            self.commit_ns,
+        ]
+    }
+
+    /// Index into [`CP_PHASE_NAMES`] of the phase that bound this CP's
+    /// latency (ties go to the earlier phase).
+    pub fn binding_phase(&self) -> usize {
+        let ns = self.phase_ns();
+        let mut best = 0;
+        for (i, v) in ns.iter().enumerate() {
+            if *v > ns[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Fraction of [`CpReport::total_ns`] the profiled phases account
+    /// for (1.0 when total is zero — a degenerate instant CP has no
+    /// unattributed time).
+    pub fn phase_coverage(&self) -> f64 {
+        if self.total_ns == 0 {
+            return 1.0;
+        }
+        self.phase_ns().iter().sum::<u64>() as f64 / self.total_ns as f64
+    }
+
+    /// Publish this CP's critical-path profile to the global metrics
+    /// registry: one `cp_phase_<name>_ns` histogram sample per phase, a
+    /// `cp_phase_binding_<name>` counter tick for the binding phase,
+    /// and `cp_phase_profiled` for the CP itself. Called by every
+    /// committed CP; the telemetry sampler picks the series up from
+    /// the registry (DESIGN.md §16).
+    pub fn record_profile(&self) {
+        let reg = obs::Registry::global();
+        for (name, ns) in CP_PHASE_NAMES.iter().zip(self.phase_ns()) {
+            reg.histogram(&format!("cp_phase_{name}_ns")).record(ns);
+        }
+        reg.histogram("cp_total_ns").record(self.total_ns);
+        reg.counter(&format!(
+            "cp_phase_binding_{}",
+            CP_PHASE_NAMES[self.binding_phase()]
+        ))
+        .inc();
+        reg.counter("cp_phase_profiled").inc();
+    }
 }
 
 /// Execute one consistency point. See the module docs for phases.
@@ -262,8 +345,10 @@ fn run_cp_inner(
         cp_id,
         ..Default::default()
     };
+    let cp_t0 = std::time::Instant::now();
 
     // Phase 1: freeze.
+    let t0 = std::time::Instant::now();
     let sp1 = obs::trace_span!(obs::EventKind::CpPhase, 1);
     nvlog.freeze();
     let mut frozen = Vec::new();
@@ -275,7 +360,11 @@ fn run_cp_inner(
     report.inodes_cleaned = frozen.len();
     report.buffers_cleaned = frozen.iter().map(|(_, _, b)| b.len()).sum();
     drop(sp1);
+    report.freeze_ns = t0.elapsed().as_nanos() as u64;
     if crash_at == Some(CrashPoint::AfterFreeze) {
+        // Arm the flight recorder before abandoning the CP (lock-free;
+        // dumped at next service). Arg = crash-point pipeline ordinal.
+        obs::trigger(obs::Trigger::CrashPoint, 1);
         crash_drop_io(alloc);
         return None;
     }
@@ -283,6 +372,7 @@ fn run_cp_inner(
     // Phase 2: clean. With an async engine attached, each completed
     // tetris is only *submitted* here — its media write overlaps the
     // cleaning (and parity computation) of the stripes after it.
+    let t0 = std::time::Instant::now();
     let sp2 = obs::trace_span!(obs::EventKind::CpPhase, 2);
     let items = partition_work(frozen, &cfg.cleaner);
     report.cleaner_messages = items.len();
@@ -291,12 +381,16 @@ fn run_cp_inner(
     // completion here, not per submission.
     alloc.infra().harvest_io();
     drop(sp2);
+    report.clean_ns = t0.elapsed().as_nanos() as u64;
     if crash_at == Some(CrashPoint::AfterClean) {
+        // See the AfterFreeze branch.
+        obs::trigger(obs::Trigger::CrashPoint, 2);
         crash_drop_io(alloc);
         return None;
     }
 
     // Phase 3: apply cleaned locations.
+    let t0 = std::time::Instant::now();
     let sp3 = obs::trace_span!(obs::EventKind::CpPhase, 3);
     let by_vol: BTreeMap<VolumeId, &Arc<Volume>> = volumes.iter().map(|v| (v.id(), v)).collect();
     for r in &results {
@@ -313,19 +407,26 @@ fn run_cp_inner(
     flush_bucket_cache(alloc);
     alloc.infra().harvest_io();
     drop(sp3);
+    report.apply_ns = t0.elapsed().as_nanos() as u64;
     if crash_at == Some(CrashPoint::AfterApply) {
+        // See the AfterFreeze branch.
+        obs::trigger(obs::Trigger::CrashPoint, 3);
         crash_drop_io(alloc);
         return None;
     }
 
     // Phase 4: metafile flush (bounded fix-point).
+    let t0 = std::time::Instant::now();
     let sp4 = obs::trace_span!(obs::EventKind::CpPhase, 4);
     flush_metafiles(cfg, volumes, alloc, mf_locs, cp_id, &mut report);
     // The metafile flush allocated through buckets of its own; complete
     // those tetrises too.
     flush_bucket_cache(alloc);
     drop(sp4);
+    report.metafile_ns = t0.elapsed().as_nanos() as u64;
     if crash_at == Some(CrashPoint::AfterMetafileFlush) {
+        // See the AfterFreeze branch.
+        obs::trigger(obs::Trigger::CrashPoint, 4);
         crash_drop_io(alloc);
         return None;
     }
@@ -334,8 +435,14 @@ fn run_cp_inner(
     // barrier: every stripe submitted during phases 2–4 must be on media
     // (and the file backend fsynced) before the superblock can root the
     // new image. Until this point nothing waited on in-flight writes.
+    // The profiler splits it at the barrier: `barrier_ns` is where a
+    // deep I/O queue pays (or hides) its debt, `commit_ns` is pure
+    // in-memory image assembly.
+    let t0 = std::time::Instant::now();
     let _sp5 = obs::trace_span!(obs::EventKind::CpPhase, 5);
     io_barrier(alloc);
+    report.barrier_ns = t0.elapsed().as_nanos() as u64;
+    let t0 = std::time::Instant::now();
     let image = DiskImage {
         cp_id,
         volumes: volumes
@@ -365,6 +472,9 @@ fn run_cp_inner(
     };
     sb.commit(image);
     nvlog.commit_cp();
+    report.commit_ns = t0.elapsed().as_nanos() as u64;
+    report.total_ns = cp_t0.elapsed().as_nanos() as u64;
+    report.record_profile();
     Some(report)
 }
 

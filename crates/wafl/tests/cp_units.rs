@@ -147,3 +147,62 @@ fn empty_files_survive_the_image() {
     let v = r.volume(VolumeId(0)).unwrap();
     assert!(v.has_file(FileId(5)), "created-but-empty file persists");
 }
+
+#[test]
+fn cp_profile_attributes_wall_time_to_phases() {
+    let f = fs();
+    f.create_volume(VolumeId(0));
+    for file in 0..4u64 {
+        f.create_file(VolumeId(0), FileId(file));
+        for fbn in 0..32 {
+            f.write(VolumeId(0), FileId(file), fbn, stamp(file, fbn, 1));
+        }
+    }
+    let r = f.run_cp();
+    assert!(r.total_ns > 0, "a real CP takes measurable time");
+    let attributed: u64 = r.phase_ns().iter().sum();
+    assert!(attributed > 0);
+    assert!(
+        attributed <= r.total_ns,
+        "phases nest inside the CP span: {attributed} <= {}",
+        r.total_ns
+    );
+    assert!(
+        r.phase_coverage() >= 0.95,
+        "inter-phase bookkeeping must stay under 5% ({:.3})",
+        r.phase_coverage()
+    );
+    let binding = r.binding_phase();
+    assert_eq!(
+        r.phase_ns()[binding],
+        *r.phase_ns().iter().max().unwrap(),
+        "binding phase is the arg-max"
+    );
+    // The profile reached the global registry.
+    let reg = obs::Registry::global();
+    assert!(reg.counter("cp_phase_profiled").get() >= 1);
+    let name = wafl::cp::CP_PHASE_NAMES[binding];
+    assert!(reg.counter(&format!("cp_phase_binding_{name}")).get() >= 1);
+    assert!(reg.histogram("cp_total_ns").count() >= 1);
+    for p in wafl::cp::CP_PHASE_NAMES {
+        assert!(
+            reg.histogram(&format!("cp_phase_{p}_ns")).count() >= 1,
+            "phase {p} histogram populated"
+        );
+    }
+}
+
+#[test]
+fn binding_phase_ties_go_to_the_earlier_phase() {
+    let r = wafl::cp::CpReport {
+        clean_ns: 7,
+        barrier_ns: 7,
+        ..Default::default()
+    };
+    assert_eq!(wafl::cp::CP_PHASE_NAMES[r.binding_phase()], "clean");
+    assert_eq!(
+        wafl::cp::CpReport::default().phase_coverage(),
+        1.0,
+        "an instant CP has no unattributed time"
+    );
+}

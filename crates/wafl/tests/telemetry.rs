@@ -1,0 +1,204 @@
+//! Integration of the continuous-telemetry layer (DESIGN.md §16) with
+//! the file system: a deterministic blackbox-dump golden test under a
+//! seeded drive-death fault, and the sampler thread servicing deferred
+//! triggers end to end.
+
+use obs::{Blackbox, BlackboxConfig, RegistrySource, Trigger};
+use serde::Value;
+use std::path::PathBuf;
+use std::sync::Arc;
+use wafl::{ExecMode, FileId, Filesystem, FsConfig, VolumeId};
+use wafl_blockdev::{stamp, DriveKind, FaultSpec, GeometryBuilder, RetryPolicy};
+
+fn tempdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("wafl-telemetry-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn field<'v>(v: &'v Value, key: &str) -> &'v Value {
+    let Value::Map(pairs) = v else {
+        panic!("expected object looking up {key}")
+    };
+    &pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("missing field {key}"))
+        .1
+}
+
+fn uint(v: &Value) -> u128 {
+    match v {
+        Value::UInt(n) => *n,
+        other => panic!("expected uint, got {other:?}"),
+    }
+}
+
+/// Golden post-mortem: a seeded whole-drive death fires the
+/// `drive_offline` trigger; servicing the recorder produces a bundle
+/// whose structure and fault accounting are fully determined by the
+/// seed.
+#[test]
+fn drive_death_produces_a_consistent_blackbox_bundle() {
+    let dir = tempdir("golden");
+    let cfg = FsConfig {
+        vvbn_per_volume: 1 << 14,
+        ..FsConfig::default()
+    };
+    // Drive 1 dies on its 2nd op (ops are whole write runs, so a small
+    // CP only issues a handful per drive): early enough that the
+    // workload below deterministically reaches it, tolerated by
+    // single-parity RAID.
+    let fs = Filesystem::with_faults(
+        cfg,
+        GeometryBuilder::new()
+            .aa_stripes(64)
+            .raid_group(3, 1, 1024)
+            .build(),
+        DriveKind::Ssd,
+        FaultSpec {
+            seed: 0x7e1e,
+            fail_drive: Some(1),
+            fail_drive_after_ops: 1,
+            ..FaultSpec::default()
+        },
+        RetryPolicy::default(),
+        ExecMode::Inline,
+    );
+
+    let bb = Arc::new(Blackbox::new(
+        RegistrySource::Global,
+        BlackboxConfig::new(&dir),
+    ));
+    // Sections close over the live engine/config — the bundle carries
+    // the state *at dump time*, after the death.
+    let io = Arc::clone(fs.io());
+    bb.add_section(
+        "fault_snapshot",
+        Box::new(move || {
+            let s = serde_json::to_string(&io.fault_snapshot()).unwrap();
+            serde_json::from_str(&s).unwrap()
+        }),
+    );
+    bb.add_section(
+        "config",
+        Box::new(move || {
+            let s = serde_json::to_string(&cfg).unwrap();
+            serde_json::from_str(&s).unwrap()
+        }),
+    );
+
+    assert!(
+        bb.service().unwrap().is_none(),
+        "no trigger fired yet — arming must not retro-dump old fires"
+    );
+
+    fs.create_volume(VolumeId(0));
+    for file in 0..4u64 {
+        fs.create_file(VolumeId(0), FileId(file));
+        for fbn in 0..16 {
+            fs.write(VolumeId(0), FileId(file), fbn, stamp(file, fbn, 1));
+        }
+    }
+    fs.run_cp();
+    let snap = fs.io().fault_snapshot();
+    assert_eq!(snap.drives_offline, 1, "seeded death must have happened");
+
+    let path = bb
+        .service()
+        .unwrap()
+        .expect("drive death arms the recorder");
+    let doc: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+
+    assert_eq!(
+        *field(&doc, "schema"),
+        Value::Str("wafl.blackbox.v1".into())
+    );
+    assert_eq!(*field(&doc, "reason"), Value::Str("drive_offline".into()));
+
+    // Trigger board: the drive-offline slot fired and names the drive.
+    let Value::Seq(board) = field(&doc, "triggers") else {
+        panic!("triggers must be an array")
+    };
+    let slot = board
+        .iter()
+        .find(|t| *field(t, "name") == Value::Str("drive_offline".into()))
+        .unwrap();
+    assert!(uint(field(slot, "fires")) >= 1);
+    assert_eq!(uint(field(slot, "last_arg")), 1, "arg is the dead drive id");
+
+    // Fault snapshot in the bundle agrees with the engine.
+    let fsnap = field(field(&doc, "sections"), "fault_snapshot");
+    assert_eq!(uint(field(fsnap, "drives_offline")), 1);
+    assert_eq!(
+        uint(field(fsnap, "degraded_stripes")) > 0,
+        snap.degraded_stripes > 0,
+        "bundle and engine agree on degraded-mode activity"
+    );
+    let conf = field(field(&doc, "sections"), "config");
+    assert_eq!(uint(field(conf, "io_queue_depth")), 0);
+
+    // Metrics snapshot is present and self-consistent: the dump counter
+    // counted this very dump, and the CP profiler left its series.
+    let counters = field(field(&doc, "metrics"), "counters");
+    assert!(uint(field(counters, "telemetry_blackbox_dumps")) >= 1);
+    assert!(uint(field(counters, "cp_phase_profiled")) >= 1);
+
+    // Thread rings: present exactly when the trace feature is compiled
+    // in (CI runs this file both ways).
+    let Value::Seq(threads) = field(&doc, "threads") else {
+        panic!("threads must be an array")
+    };
+    if obs::ENABLED {
+        assert!(
+            !threads.is_empty(),
+            "trace build must capture per-thread rings"
+        );
+        for t in threads {
+            let Value::Seq(events) = field(t, "events") else {
+                panic!("events must be an array")
+            };
+            assert!(
+                !events.is_empty() || uint(field(t, "dropped")) == 0,
+                "a thread with no exported events must not claim drops"
+            );
+        }
+    } else {
+        assert!(threads.is_empty());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// End-to-end deferred-trigger path: the sampler thread both ticks the
+/// time-series ring and services blackbox triggers between ticks.
+#[test]
+fn sampler_thread_services_deferred_triggers() {
+    let dir = tempdir("svc");
+    let reg = Arc::new(obs::Registry::new());
+    let sampler = Arc::new(obs::Sampler::new(
+        RegistrySource::Shared(Arc::clone(&reg)),
+        obs::SamplerConfig {
+            interval: std::time::Duration::from_millis(2),
+            ..obs::SamplerConfig::default()
+        },
+    ));
+    let bb = Arc::new(Blackbox::new(
+        RegistrySource::Shared(Arc::clone(&reg)),
+        BlackboxConfig::new(&dir),
+    ));
+    let mut thread = obs::SamplerThread::spawn(Arc::clone(&sampler), Some(Arc::clone(&bb)));
+
+    obs::trigger(Trigger::Manual, 42);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while bb.dumps() == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    thread.stop();
+    assert!(bb.dumps() >= 1, "sampler thread must service the trigger");
+    assert!(!sampler.ticks().is_empty(), "and keep ticking the ring");
+    assert!(
+        reg.counter("telemetry_blackbox_dumps").get() >= 1,
+        "dump counted on the recorder's own registry"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,12 @@
+//! Telemetry fixture (clean): the flight recorder maintains the dump
+//! counter the sampler's roster declares.
+
+pub struct Blackbox {
+    reg: Registry,
+}
+
+impl Blackbox {
+    fn write_bundle(&self) {
+        self.reg.counter("telemetry_blackbox_dumps").inc();
+    }
+}

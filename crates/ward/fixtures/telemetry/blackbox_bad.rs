@@ -1,0 +1,13 @@
+//! Telemetry fixture (seeded violation): the dump counter declared in
+//! the sampler's roster is never incremented anywhere — a dashboard
+//! panel that silently flatlines.
+
+pub struct Blackbox {
+    reg: Registry,
+}
+
+impl Blackbox {
+    fn write_bundle(&self) {
+        // Forgot: self.reg.counter("telemetry_blackbox_dumps").inc();
+    }
+}

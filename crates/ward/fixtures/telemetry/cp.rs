@@ -1,0 +1,31 @@
+//! Telemetry fixture (clean): a miniature CP profiler with every phase
+//! measured, exported, and published.
+
+/// CP phase names in pipeline order.
+pub const CP_PHASE_NAMES: [&str; 3] = ["freeze", "clean", "commit"];
+
+pub struct CpReport {
+    pub freeze_ns: u64,
+    pub clean_ns: u64,
+    pub commit_ns: u64,
+}
+
+impl CpReport {
+    pub fn phase_ns(&self) -> [u64; 3] {
+        [self.freeze_ns, self.clean_ns, self.commit_ns]
+    }
+
+    pub fn record_profile(&self) {
+        let reg = Registry::global();
+        for (name, ns) in CP_PHASE_NAMES.iter().zip(self.phase_ns()) {
+            reg.histogram(&format!("cp_phase_{name}_ns")).record(ns);
+        }
+        reg.counter(&format!("cp_phase_binding_{}", CP_PHASE_NAMES[0]))
+            .inc();
+        reg.counter("cp_phase_profiled").inc();
+    }
+}
+
+fn run_cp_inner(report: &CpReport) {
+    report.record_profile();
+}

@@ -1,0 +1,25 @@
+//! Telemetry fixture (seeded violation): a phase named in the roster
+//! has no `_ns` field and no export leg, and `record_profile` lost its
+//! publication legs — the profiler claims coverage it doesn't have.
+
+pub const CP_PHASE_NAMES: [&str; 3] = ["freeze", "clean", "commit"];
+
+pub struct CpReport {
+    pub freeze_ns: u64,
+    pub clean_ns: u64,
+    // commit_ns went missing in a refactor.
+}
+
+impl CpReport {
+    pub fn phase_ns(&self) -> [u64; 3] {
+        [self.freeze_ns, self.clean_ns, 0]
+    }
+
+    pub fn record_profile(&self) {
+        // Gutted: nothing reaches the registry any more.
+    }
+}
+
+fn run_cp_inner(report: &CpReport) {
+    report.record_profile();
+}

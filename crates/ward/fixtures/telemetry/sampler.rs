@@ -1,0 +1,26 @@
+//! Telemetry fixture (clean): a miniature sampler that declares its
+//! counter roster and maintains its own legs.
+
+/// Counters the sampler subsystem maintains about itself.
+pub const TELEMETRY_COUNTERS: [&str; 3] = [
+    "telemetry_ticks",
+    "telemetry_slo_breaches",
+    "telemetry_blackbox_dumps",
+];
+
+pub struct Sampler {
+    reg: Registry,
+}
+
+impl Sampler {
+    pub fn sample(&self) {
+        self.reg.counter("telemetry_ticks").inc();
+        if self.burn_rate() > 1.0 {
+            self.reg.counter("telemetry_slo_breaches").inc();
+        }
+    }
+
+    fn burn_rate(&self) -> f64 {
+        0.0
+    }
+}

@@ -257,6 +257,210 @@ pub fn check_counters(srcs: &CounterSources<'_>, findings: &mut Vec<Finding>) ->
     traced
 }
 
+/// The telemetry-layer sources (ISSUE 10): the sampler/blackbox
+/// self-counters and the CP critical-path profiler.
+pub struct TelemetrySources<'a> {
+    /// `crates/obs/src/sampler.rs`
+    pub sampler: &'a Scrubbed,
+    /// `crates/obs/src/blackbox.rs`
+    pub blackbox: &'a Scrubbed,
+    /// `crates/wafl/src/cp.rs`
+    pub cp: &'a Scrubbed,
+}
+
+/// Path used in telemetry findings.
+pub const SAMPLER_PATH: &str = "crates/obs/src/sampler.rs";
+const CP_PATH: &str = "crates/wafl/src/cp.rs";
+
+/// Telemetry plumbing: every counter declared in `TELEMETRY_COUNTERS`
+/// must actually be maintained somewhere in the sampler/blackbox pair,
+/// and every CP phase named in `CP_PHASE_NAMES` must have a
+/// `<phase>_ns` report field that `phase_ns()` exports and
+/// `record_profile()` publishes as a `cp_phase_*` series. Counter names
+/// live inside string literals, which the scrubber blanks, so this
+/// check reads the raw `.text` (same byte offsets).
+pub fn check_telemetry(srcs: &TelemetrySources<'_>, findings: &mut Vec<Finding>) -> usize {
+    let mut traced = 0;
+
+    // --- telemetry_* self-counters. ---
+    let names = str_array(&srcs.sampler.text, "TELEMETRY_COUNTERS");
+    if names.is_empty() {
+        findings.push(Finding::new(
+            "counters",
+            SAMPLER_PATH,
+            0,
+            "could not locate the `TELEMETRY_COUNTERS` declaration — the \
+             telemetry plumbing check has nothing to trace",
+            "no-telemetry-counters",
+        ));
+    }
+    traced += names.len();
+    for n in &names {
+        // One quoted occurrence is the declaration itself; a second is
+        // the maintenance site (`registry.counter("…").inc()`).
+        let quoted = format!("\"{n}\"");
+        let uses = srcs.sampler.text.matches(&quoted).count()
+            + srcs.blackbox.text.matches(&quoted).count();
+        if uses < 2 {
+            findings.push(Finding::new(
+                "counters",
+                SAMPLER_PATH,
+                0,
+                format!(
+                    "telemetry counter `{n}` is declared in TELEMETRY_COUNTERS \
+                     but never maintained by the sampler or the blackbox — \
+                     it will report 0 forever"
+                ),
+                format!("telemetry:{n}"),
+            ));
+        }
+    }
+
+    // --- CP critical-path profiler. ---
+    let phases = str_array(&srcs.cp.text, "CP_PHASE_NAMES");
+    if phases.is_empty() {
+        findings.push(Finding::new(
+            "counters",
+            CP_PATH,
+            0,
+            "could not locate the `CP_PHASE_NAMES` declaration — the CP \
+             profiler check has nothing to trace",
+            "no-cp-phases",
+        ));
+        return traced;
+    }
+    traced += phases.len();
+    let report_fields = struct_fields(&srcs.cp.code, "CpReport");
+    let phase_ns = fn_body_named(&srcs.cp.code, "phase_ns").unwrap_or_default();
+    for p in &phases {
+        let field = format!("{p}_ns");
+        if !report_fields.contains(&field) {
+            findings.push(Finding::new(
+                "counters",
+                CP_PATH,
+                0,
+                format!(
+                    "CP phase `{p}` is named in CP_PHASE_NAMES but CpReport \
+                     has no `{field}` field — its wall time is never measured"
+                ),
+                format!("cp-phase-field:{field}"),
+            ));
+        }
+        if !word_in(&phase_ns, &field) {
+            findings.push(Finding::new(
+                "counters",
+                CP_PATH,
+                0,
+                format!(
+                    "CpReport field `{field}` is not exported by phase_ns() — \
+                     the profiler and binding-phase attribution will miss it"
+                ),
+                format!("cp-phase-export:{field}"),
+            ));
+        }
+    }
+    // record_profile must publish the histogram/counter series; its
+    // body holds the names inside format strings, so slice the raw
+    // text by the scrubbed body's offsets.
+    match fn_span_named(&srcs.cp.code, "record_profile") {
+        Some((open, close)) => {
+            let body = &srcs.cp.text[open..=close];
+            for marker in ["cp_phase_", "cp_phase_binding_", "cp_phase_profiled"] {
+                if !body.contains(marker) {
+                    findings.push(Finding::new(
+                        "counters",
+                        CP_PATH,
+                        0,
+                        format!(
+                            "record_profile() no longer publishes the `{marker}*` \
+                             series — the phase histograms/counters have lost \
+                             their only producer"
+                        ),
+                        format!("cp-profile-leg:{marker}"),
+                    ));
+                }
+            }
+            if find_word(&srcs.cp.code, "record_profile").len() < 2 {
+                findings.push(Finding::new(
+                    "counters",
+                    CP_PATH,
+                    0,
+                    "record_profile() is defined but never called — no CP \
+                     will ever publish its critical-path profile",
+                    "cp-profile-uncalled",
+                ));
+            }
+        }
+        None => findings.push(Finding::new(
+            "counters",
+            CP_PATH,
+            0,
+            "CpReport::record_profile not found — the CP profiler has no \
+             publication path",
+            "no-record-profile",
+        )),
+    }
+    traced
+}
+
+/// String literals inside `<name>: [...] = [ "...", ... ]` — reads raw
+/// text because the scrubber blanks literal contents.
+fn str_array(text: &str, name: &str) -> Vec<String> {
+    // Anchor on the `const <name>` declaration — doc comments elsewhere
+    // mention the name too.
+    let Some(p) = find_word(text, name)
+        .into_iter()
+        .find(|&p| text[..p].trim_end().ends_with("const"))
+    else {
+        return Vec::new();
+    };
+    let Some(open) = text[p..].find('[').map(|i| p + i) else {
+        return Vec::new();
+    };
+    // The declared type may itself be an array (`[&str; 4]`): take the
+    // bracket group after `=`.
+    let open = match text[p..open].contains('=') {
+        true => open,
+        false => {
+            let Some(close) = matching(text, open) else {
+                return Vec::new();
+            };
+            let Some(next) = text[close..].find('[').map(|i| close + i) else {
+                return Vec::new();
+            };
+            next
+        }
+    };
+    let Some(close) = matching(text, open) else {
+        return Vec::new();
+    };
+    let body = &text[open + 1..close];
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(q0) = rest.find('"') {
+        let Some(q1) = rest[q0 + 1..].find('"').map(|i| q0 + 1 + i) else {
+            break;
+        };
+        out.push(rest[q0 + 1..q1].to_string());
+        rest = &rest[q1 + 1..];
+    }
+    out
+}
+
+/// Byte span `(open, close)` of the first `fn <name>` body in `code`.
+fn fn_span_named(code: &str, name: &str) -> Option<(usize, usize)> {
+    for p in find_word(code, name) {
+        let pre = code[..p].trim_end();
+        if !pre.ends_with("fn") {
+            continue;
+        }
+        let open = code[p..].find('{').map(|i| p + i)?;
+        let close = matching(code, open)?;
+        return Some((open, close));
+    }
+    None
+}
+
 /// Identifiers declared in `alloc_counters! { <section> { … } }`.
 fn macro_section_idents(code: &str, section: &str) -> Vec<String> {
     let Some(mac) = code.find("alloc_counters!") else {
@@ -456,5 +660,89 @@ mod tests {
         let stats = STATS.replace("pub fn named(&self) {}", "");
         let f = run(&stats, ENGINE, CLEANER, IO);
         assert!(f.iter().any(|x| x.message.contains("named()")), "{f:?}");
+    }
+
+    const SAMPLER: &str = "pub const TELEMETRY_COUNTERS: [&str; 2] = \
+        [\"telemetry_ticks\", \"telemetry_dumps\"]; \
+        fn sample(&self) { self.registry().counter(\"telemetry_ticks\").inc(); }";
+    const BLACKBOX: &str =
+        "fn write_bundle(&self) { self.registry().counter(\"telemetry_dumps\").inc(); }";
+    const CP: &str = "pub const CP_PHASE_NAMES: [&str; 2] = [\"freeze\", \"clean\"]; \
+        pub struct CpReport { pub freeze_ns: u64, pub clean_ns: u64, } \
+        impl CpReport { \
+        pub fn phase_ns(&self) -> [u64; 2] { [self.freeze_ns, self.clean_ns] } \
+        pub fn record_profile(&self) { \
+        reg.histogram(&format!(\"cp_phase_{n}_ns\")); \
+        reg.counter(&format!(\"cp_phase_binding_{n}\")); \
+        reg.counter(\"cp_phase_profiled\"); } } \
+        fn run_cp_inner() { report.record_profile(); }";
+
+    fn run_telemetry(sampler: &str, blackbox: &str, cp: &str) -> Vec<Finding> {
+        let (s, b, c) = (
+            Scrubbed::new(sampler),
+            Scrubbed::new(blackbox),
+            Scrubbed::new(cp),
+        );
+        let mut f = Vec::new();
+        check_telemetry(
+            &TelemetrySources {
+                sampler: &s,
+                blackbox: &b,
+                cp: &c,
+            },
+            &mut f,
+        );
+        f
+    }
+
+    #[test]
+    fn clean_telemetry_plumbing_passes() {
+        let f = run_telemetry(SAMPLER, BLACKBOX, CP);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unmaintained_telemetry_counter_is_flagged() {
+        // Declared in the array, incremented nowhere.
+        let blackbox = "fn write_bundle(&self) {}";
+        let f = run_telemetry(SAMPLER, blackbox, CP);
+        assert!(
+            f.iter().any(|x| x.key == "telemetry:telemetry_dumps"),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn unmeasured_cp_phase_is_flagged() {
+        let cp = CP
+            .replace("pub clean_ns: u64, ", "")
+            .replace("[self.freeze_ns, self.clean_ns]", "[self.freeze_ns, 0]");
+        let f = run_telemetry(SAMPLER, BLACKBOX, &cp);
+        assert!(
+            f.iter().any(|x| x.key == "cp-phase-field:clean_ns"),
+            "{f:?}"
+        );
+        assert!(
+            f.iter().any(|x| x.key == "cp-phase-export:clean_ns"),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn uncalled_record_profile_is_flagged() {
+        let cp = CP.replace("fn run_cp_inner() { report.record_profile(); }", "");
+        let f = run_telemetry(SAMPLER, BLACKBOX, &cp);
+        assert!(f.iter().any(|x| x.key == "cp-profile-uncalled"), "{f:?}");
+    }
+
+    #[test]
+    fn lost_profile_publication_leg_is_flagged() {
+        let cp = CP.replace("reg.counter(\"cp_phase_profiled\"); ", "");
+        let f = run_telemetry(SAMPLER, BLACKBOX, &cp);
+        assert!(
+            f.iter()
+                .any(|x| x.key == "cp-profile-leg:cp_phase_profiled"),
+            "{f:?}"
+        );
     }
 }

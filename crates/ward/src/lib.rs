@@ -38,7 +38,7 @@ pub mod unsafety;
 
 pub use unsafety::render_audit;
 
-use crate::counters::CounterSources;
+use crate::counters::{CounterSources, TelemetrySources};
 use crate::locks::{LockEdge, LockRegistry};
 use crate::report::{Finding, ScanStats};
 use crate::scrub::Scrubbed;
@@ -243,6 +243,32 @@ pub fn scan_workspace(root: &Path) -> Scan {
             counters::STATS_PATH,
             0,
             "one of the counter-plumbing source files is missing",
+            "missing-sources",
+        )),
+    }
+
+    // Telemetry plumbing: the sampler's counter roster and the CP
+    // profiler's phase exports.
+    match (
+        by_rel("crates/obs/src/sampler.rs"),
+        by_rel("crates/obs/src/blackbox.rs"),
+        by_rel("crates/wafl/src/cp.rs"),
+    ) {
+        (Some(sampler), Some(blackbox), Some(cp)) => {
+            stats.counters += counters::check_telemetry(
+                &TelemetrySources {
+                    sampler,
+                    blackbox,
+                    cp,
+                },
+                &mut findings,
+            );
+        }
+        _ => findings.push(Finding::new(
+            "counters",
+            counters::SAMPLER_PATH,
+            0,
+            "one of the telemetry source files is missing",
             "missing-sources",
         )),
     }

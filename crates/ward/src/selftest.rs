@@ -4,7 +4,7 @@
 //! cannot catch its target bug class is worse than no gate, because it
 //! launders confidence.
 
-use crate::counters::CounterSources;
+use crate::counters::{CounterSources, TelemetrySources};
 use crate::locks::LockRegistry;
 use crate::report::Finding;
 use crate::scrub::Scrubbed;
@@ -145,6 +145,28 @@ pub fn run(fixtures: &Path) -> Vec<CaseResult> {
         })(),
     ));
 
+    // 5b. Unmaintained telemetry counter + gutted CP profiler.
+    out.push(case(
+        "unplumbed_telemetry",
+        "counters",
+        3, // the flatlined counter, the lost phase field, a lost profile leg
+        (|| {
+            let sampler = load(fixtures, "telemetry/sampler.rs")?;
+            let blackbox = load(fixtures, "telemetry/blackbox_bad.rs")?;
+            let cp = load(fixtures, "telemetry/cp_bad.rs")?;
+            let mut f = Vec::new();
+            crate::counters::check_telemetry(
+                &TelemetrySources {
+                    sampler: &sampler,
+                    blackbox: &blackbox,
+                    cp: &cp,
+                },
+                &mut f,
+            );
+            Ok(f)
+        })(),
+    ));
+
     // 6. Missing SAFETY comment.
     out.push(case(
         "missing_safety",
@@ -270,6 +292,40 @@ pub fn run(fixtures: &Path) -> Vec<CaseResult> {
         },
         Err(e) => CaseResult {
             name: "clean_counters",
+            ok: false,
+            detail: e,
+        },
+    });
+
+    // Clean telemetry corpus: the maintained trio stays silent.
+    let clean_telemetry = (|| {
+        let sampler = load(fixtures, "telemetry/sampler.rs")?;
+        let blackbox = load(fixtures, "telemetry/blackbox.rs")?;
+        let cp = load(fixtures, "telemetry/cp.rs")?;
+        let mut f = Vec::new();
+        crate::counters::check_telemetry(
+            &TelemetrySources {
+                sampler: &sampler,
+                blackbox: &blackbox,
+                cp: &cp,
+            },
+            &mut f,
+        );
+        Ok::<_, String>(f)
+    })();
+    out.push(match clean_telemetry {
+        Ok(f) if f.is_empty() => CaseResult {
+            name: "clean_telemetry",
+            ok: true,
+            detail: "0 findings".into(),
+        },
+        Ok(f) => CaseResult {
+            name: "clean_telemetry",
+            ok: false,
+            detail: format!("clean telemetry corpus produced findings: {f:?}"),
+        },
+        Err(e) => CaseResult {
+            name: "clean_telemetry",
             ok: false,
             detail: e,
         },

@@ -141,6 +141,18 @@ cargo run --release -q -p wafl-bench --bin exp_io_engine -- \
 cargo run --release -q -p wafl-bench --bin exp_io_engine -- \
   --validate BENCH_io_engine.json
 
+echo "=== exp_telemetry smoke (traced build) + schema validation ==="
+# Continuous-telemetry gates: CP phase attribution (≥ 95% of wall time
+# named), the drive-death blackbox bundle, and the sampler-overhead
+# A/B. The < 5% sampler budget is enforced on full multi-core runs and
+# reported-only (skip-with-notice) on quick smokes or 1-core boxes.
+WAFL_BENCH_QUICK=1 WAFL_BENCH_ROOT="$SMOKE_DIR" WAFL_RESULTS_DIR="$SMOKE_DIR" \
+  cargo run --release -q -p wafl-bench --features trace --bin exp_telemetry
+cargo run --release -q -p wafl-bench --features trace --bin exp_telemetry -- \
+  --validate "$SMOKE_DIR/BENCH_telemetry.json"
+cargo run --release -q -p wafl-bench --features trace --bin exp_telemetry -- \
+  --validate BENCH_telemetry.json
+
 echo "=== miri: undefined-behavior check on the lock-free cores ==="
 # The static analyzer proves annotation discipline; Miri checks the
 # actual unsafe dereferences in the Treiber stack and arena under the
